@@ -1,0 +1,253 @@
+// Benchmarks regenerating (scaled-down versions of) every table and
+// figure of the paper's evaluation. One testing.B benchmark per
+// experiment; the full-scale regeneration lives in cmd/esteem-bench
+// (see EXPERIMENTS.md for paper-vs-measured numbers).
+//
+//	go test -bench=. -benchmem
+package esteem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+// benchCfg is the scaled-down run configuration used by the
+// regeneration benchmarks: large enough to exercise the whole stack
+// (multiple intervals, refresh windows, reconfigurations), small
+// enough that -bench=. completes quickly.
+func benchCfg(cores int, tech Technique, retention float64) Config {
+	cfg := DefaultConfig(cores)
+	cfg.Technique = tech
+	cfg.RetentionMicros = retention
+	cfg.MeasureInstr = 1_000_000
+	cfg.WarmupInstr = 250_000
+	cfg.IntervalCycles = 250_000
+	return cfg
+}
+
+// benchWorkloads is the representative single-core subset used by the
+// benchmark harness (one per workload class).
+var benchWorkloads = []string{"gamess", "gobmk", "gcc", "sphinx", "lbm", "mcf", "omnetpp"}
+
+// benchMixes is the dual-core subset.
+var benchMixes = [][]string{
+	{"gobmk", "nekbone"},
+	{"gcc", "gamess"},
+	{"leslie3d", "lbm"},
+	{"mcf", "lulesh"},
+}
+
+// BenchmarkTable2 regenerates the eDRAM energy-parameter table.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, mb := range []int{2, 4, 8, 16, 32} {
+			if _, _, err := energy.L2Energy(mb << 20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the h264ref reconfiguration timeline.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg(1, Esteem, 50)
+		cfg.LogIntervals = true
+		r, err := Run(cfg, []string{"h264ref"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Intervals) == 0 {
+			b.Fatal("no interval log")
+		}
+	}
+}
+
+// figureBench runs one figure's technique set over the subset
+// workloads and reports the mean energy saving as a benchmark metric.
+func figureBench(b *testing.B, cores int, retention float64) {
+	b.Helper()
+	var workloads [][]string
+	if cores == 1 {
+		for _, w := range benchWorkloads {
+			workloads = append(workloads, []string{w})
+		}
+	} else {
+		workloads = benchMixes
+	}
+	for i := 0; i < b.N; i++ {
+		var rpvCs, estCs []Comparison
+		for _, wl := range workloads {
+			cfg := benchCfg(cores, Baseline, retention)
+			cs, err := RunComparison(cfg, wl, []Technique{RPV, Esteem})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rpvCs = append(rpvCs, cs[0])
+			estCs = append(estCs, cs[1])
+		}
+		b.ReportMetric(Summarize(rpvCs).EnergySavingPct, "rpv-save-%")
+		b.ReportMetric(Summarize(estCs).EnergySavingPct, "esteem-save-%")
+		b.ReportMetric(Summarize(estCs).WeightedSpeedup, "esteem-ws")
+	}
+}
+
+// BenchmarkFig3 regenerates the single-core 50 µs comparison.
+func BenchmarkFig3(b *testing.B) { figureBench(b, 1, 50) }
+
+// BenchmarkFig4 regenerates the dual-core 50 µs comparison.
+func BenchmarkFig4(b *testing.B) { figureBench(b, 2, 50) }
+
+// BenchmarkFig5 regenerates the single-core 40 µs comparison.
+func BenchmarkFig5(b *testing.B) { figureBench(b, 1, 40) }
+
+// BenchmarkFig6 regenerates the dual-core 40 µs comparison.
+func BenchmarkFig6(b *testing.B) { figureBench(b, 2, 40) }
+
+// BenchmarkTable3 regenerates a slice of the sensitivity study: each
+// sub-benchmark is one parameter variant over the subset workloads.
+func BenchmarkTable3(b *testing.B) {
+	variants := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"default", func(*Config) {}},
+		{"amin2", func(c *Config) { c.Esteem.AMin = 2 }},
+		{"amin4", func(c *Config) { c.Esteem.AMin = 4 }},
+		{"alpha95", func(c *Config) { c.Esteem.Alpha = 0.95 }},
+		{"alpha99", func(c *Config) { c.Esteem.Alpha = 0.99 }},
+		{"mod2", func(c *Config) { c.Modules = 2 }},
+		{"mod32", func(c *Config) { c.Modules = 32 }},
+		{"rs32", func(c *Config) { c.SamplingRatio = 32 }},
+		{"rs128", func(c *Config) { c.SamplingRatio = 128 }},
+		{"assoc8", func(c *Config) { c.L2Assoc = 8 }},
+		{"assoc32", func(c *Config) { c.L2Assoc = 32 }},
+		{"l2-2mb", func(c *Config) { c.L2SizeBytes = 2 << 20 }},
+		{"l2-8mb", func(c *Config) { c.L2SizeBytes = 8 << 20 }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var cs []Comparison
+				for _, w := range benchWorkloads {
+					cfg := benchCfg(1, Baseline, 50)
+					v.mutate(&cfg)
+					base, err := Run(cfg, []string{w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ecfg := cfg
+					ecfg.Technique = Esteem
+					est, err := Run(ecfg, []string{w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cs = append(cs, Compare(w, base, est))
+				}
+				s := Summarize(cs)
+				b.ReportMetric(s.EnergySavingPct, "save-%")
+				b.ReportMetric(s.ActiveRatioPct, "active-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNonLRU measures the non-LRU guard's effect on the
+// scan-heavy workloads (DESIGN.md §5).
+func BenchmarkAblationNonLRU(b *testing.B) {
+	for _, guard := range []bool{true, false} {
+		name := "guard-on"
+		if !guard {
+			name = "guard-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var cs []Comparison
+				for _, w := range []string{"omnetpp", "xalancbmk"} {
+					cfg := benchCfg(1, Baseline, 50)
+					base, err := Run(cfg, []string{w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ecfg := cfg
+					ecfg.Technique = Esteem
+					ecfg.Esteem.DisableNonLRUGuard = !guard
+					est, err := Run(ecfg, []string{w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cs = append(cs, Compare(w, base, est))
+				}
+				s := Summarize(cs)
+				b.ReportMetric(s.EnergySavingPct, "save-%")
+				b.ReportMetric(s.MPKIIncrease, "mpki-inc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationValidOnly isolates valid-only refresh: ESTEEM with
+// and without it (DESIGN.md §5).
+func BenchmarkAblationValidOnly(b *testing.B) {
+	for _, tech := range []Technique{Esteem, EsteemAllLineRefresh} {
+		b.Run(tech.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var cs []Comparison
+				for _, w := range []string{"gamess", "gcc", "lbm"} {
+					cfg := benchCfg(1, Baseline, 50)
+					cs2, err := RunComparison(cfg, []string{w}, []Technique{tech})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cs = append(cs, cs2...)
+				}
+				b.ReportMetric(Summarize(cs).EnergySavingPct, "save-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRefreshPolicies compares all refresh policies on a
+// single workload (DESIGN.md §5: burst-refresh policy space).
+func BenchmarkAblationRefreshPolicies(b *testing.B) {
+	for _, tech := range []Technique{Baseline, PeriodicValid, RPV, RPD, Esteem, NoRefresh} {
+		b.Run(tech.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := Run(benchCfg(1, tech, 50), []string{"dealII"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.RPKI(), "rpki")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput reports raw simulation speed
+// (instructions per second) for the default ESTEEM configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := benchCfg(1, Esteem, 50)
+	b.ResetTimer()
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		r, err := Run(cfg, []string{"gcc"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += r.TotalInstructions()
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkOverheadEquation keeps Equation 1 visible in bench output.
+func BenchmarkOverheadEquation(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = OverheadPercent(4096, 16, 16, 512, 40)
+	}
+	if sink > 0.1 {
+		b.Fatal(fmt.Sprintf("overhead %v%% violates paper claim", sink))
+	}
+}

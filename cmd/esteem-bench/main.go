@@ -1,0 +1,564 @@
+// Command esteem-bench regenerates every table and figure of the
+// ESTEEM paper's evaluation (Section 7):
+//
+//	table2 — eDRAM energy parameters (paper Table 2)
+//	fig2   — ESTEEM reconfiguration over time for h264ref
+//	fig3   — single-core results at 50 µs retention
+//	fig4   — dual-core results at 50 µs retention
+//	fig5   — single-core results at 40 µs retention
+//	fig6   — dual-core results at 40 µs retention
+//	table3 — parameter sensitivity (single- and dual-core)
+//	ablation — design-choice ablations (DESIGN.md §5)
+//	temp   — temperature sweep via the retention model (extension)
+//	scale  — 1/2/4-core scaling (extension)
+//
+// Results are printed and written under -out (default results/).
+// Instruction budgets are scaled from the paper's 400M-instruction
+// runs (see EXPERIMENTS.md); absolute numbers differ but the paper's
+// qualitative shape is expected to hold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/retention"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+type harness struct {
+	instr    uint64
+	warmup   uint64
+	interval uint64
+	seed     uint64
+	outDir   string
+	quick    bool
+
+	// baselines caches baseline runs keyed by config+workload.
+	baselines map[string]*sim.Result
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiments to run (comma-separated): table2,fig2,fig3,fig4,fig5,fig6,table3,ablation,temp,scale,all")
+	out := flag.String("out", "results", "output directory")
+	instr := flag.Uint64("instr", 20_000_000, "measured instructions per core (paper: 400M)")
+	warmup := flag.Uint64("warmup", 10_000_000, "fast-forward instructions per core (paper: 10B)")
+	interval := flag.Uint64("interval", 2_000_000, "ESTEEM interval in cycles (paper: 10M)")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	quick := flag.Bool("quick", false, "use a workload subset and shorter runs")
+	flag.Parse()
+
+	h := &harness{
+		instr: *instr, warmup: *warmup, interval: *interval, seed: *seed,
+		outDir: *out, quick: *quick,
+		baselines: make(map[string]*sim.Result),
+	}
+	if *quick {
+		h.instr /= 4
+		h.warmup /= 4
+	}
+	if err := os.MkdirAll(h.outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	type experiment struct {
+		name string
+		run  func() (string, error)
+	}
+	experiments := []experiment{
+		{"table2", h.table2},
+		{"fig2", h.fig2},
+		{"fig3", func() (string, error) { return h.figure("fig3", 1, 50) }},
+		{"fig4", func() (string, error) { return h.figure("fig4", 2, 50) }},
+		{"fig5", func() (string, error) { return h.figure("fig5", 1, 40) }},
+		{"fig6", func() (string, error) { return h.figure("fig6", 2, 40) }},
+		{"table3", h.table3},
+		{"ablation", h.ablation},
+		{"temp", h.temperature},
+		{"scale", h.scale},
+	}
+	for _, e := range experiments {
+		if !all && !want[e.name] {
+			continue
+		}
+		t0 := time.Now()
+		fmt.Fprintf(os.Stderr, "== running %s ==\n", e.name)
+		text, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+		path := filepath.Join(h.outDir, e.name+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "== %s done in %.1fs -> %s ==\n", e.name, time.Since(t0).Seconds(), path)
+	}
+}
+
+// config builds the scaled run configuration for an experiment.
+func (h *harness) config(cores int, retentionMicros float64, tech sim.Technique) sim.Config {
+	cfg := sim.DefaultConfig(cores)
+	cfg.Technique = tech
+	cfg.RetentionMicros = retentionMicros
+	cfg.MeasureInstr = h.instr
+	cfg.WarmupInstr = h.warmup
+	cfg.IntervalCycles = h.interval
+	cfg.Seed = h.seed
+	return cfg
+}
+
+// baseline returns a (cached) baseline run for the given config and
+// workload. Only fields that change baseline behaviour key the cache.
+func (h *harness) baseline(cfg sim.Config, wl []string) (*sim.Result, error) {
+	b := cfg
+	b.Technique = sim.Baseline
+	key := fmt.Sprintf("%d|%d|%d|%v|%v|%v", b.Cores, b.L2SizeBytes, b.L2Assoc,
+		b.RetentionMicros, b.MemBandwidthBytesPerSec, wl)
+	if r, ok := h.baselines[key]; ok {
+		return r, nil
+	}
+	r, err := sim.Run(b, wl)
+	if err != nil {
+		return nil, err
+	}
+	h.baselines[key] = r
+	return r, nil
+}
+
+// workloads returns the experiment's workload list for a core count.
+func (h *harness) workloads(cores int) [][]string {
+	var out [][]string
+	if cores == 1 {
+		for _, p := range trace.Profiles() {
+			out = append(out, []string{p.Name})
+		}
+	} else {
+		for _, m := range trace.DualCoreWorkloads() {
+			out = append(out, []string{m[0], m[1]})
+		}
+	}
+	if h.quick {
+		// Every third workload, keeping the list's class diversity.
+		var sub [][]string
+		for i, wl := range out {
+			if i%3 == 0 {
+				sub = append(sub, wl)
+			}
+		}
+		out = sub
+	}
+	return out
+}
+
+func workloadName(wl []string) string {
+	if len(wl) == 2 {
+		return trace.MixAcronym(wl[0], wl[1])
+	}
+	return wl[0]
+}
+
+// table2 prints the paper's Table 2 as produced by the energy model.
+func (h *harness) table2() (string, error) {
+	var b strings.Builder
+	b.WriteString("Table 2: Energy values for 16-way eDRAM cache (32 nm, CACTI 5.3 values embedded)\n")
+	fmt.Fprintf(&b, "%8s %22s %18s\n", "size", "E_dyn (nJ/access)", "P_leak (Watts)")
+	for _, mb := range []int{2, 4, 8, 16, 32} {
+		dyn, leak, err := energy.L2Energy(mb << 20)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%5d MB %22.3f %18.3f\n", mb, dyn*1e9, leak)
+	}
+	return b.String(), nil
+}
+
+// fig2 runs h264ref under ESTEEM with interval logging and renders
+// the active ratio and per-module way counts over time.
+func (h *harness) fig2() (string, error) {
+	cfg := h.config(1, 50, sim.Esteem)
+	cfg.LogIntervals = true
+	r, err := sim.Run(cfg, []string{"h264ref"})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Fig 2: ESTEEM reconfiguration over intervals, h264ref (1-core, 4MB L2, 50us)\n")
+	b.WriteString("Per-interval cache active ratio and active ways in each of the 8 modules.\n\n")
+	fmt.Fprintf(&b, "%9s %8s  %s\n", "interval", "activ%", "ways per module")
+	for i, iv := range r.Intervals {
+		bars := make([]string, len(iv.ActiveWays))
+		for m, w := range iv.ActiveWays {
+			bars[m] = fmt.Sprintf("%2d", w)
+		}
+		fmt.Fprintf(&b, "%9d %8.1f  [%s]\n", i, iv.ActiveRatio*100, strings.Join(bars, " "))
+	}
+	var ratios []float64
+	for _, iv := range r.Intervals {
+		ratios = append(ratios, iv.ActiveRatio*100)
+	}
+	b.WriteString("\n")
+	b.WriteString(plot.Series("active ratio %", ratios))
+	fmt.Fprintf(&b, "\nrun active ratio: %.1f%%  energy: %.4f J  IPC: %.3f\n",
+		r.ActiveRatio*100, r.Energy.Total(), r.Cores[0].IPC)
+	return b.String(), nil
+}
+
+// figure runs one of Figs. 3–6: all workloads under RPV and ESTEEM
+// against baseline.
+func (h *harness) figure(name string, cores int, retention float64) (string, error) {
+	groups := map[string][]metrics.Comparison{}
+	var csv []metrics.Comparison
+	for _, wl := range h.workloads(cores) {
+		cfg := h.config(cores, retention, sim.Baseline)
+		base, err := h.baseline(cfg, wl)
+		if err != nil {
+			return "", err
+		}
+		for _, tech := range []sim.Technique{sim.RPV, sim.Esteem} {
+			tcfg := cfg
+			tcfg.Technique = tech
+			r, err := sim.Run(tcfg, wl)
+			if err != nil {
+				return "", err
+			}
+			c := metrics.Compare(workloadName(wl), base, r)
+			groups[tech.String()] = append(groups[tech.String()], c)
+			csv = append(csv, c)
+		}
+		fmt.Fprintf(os.Stderr, "  %s %s done\n", name, workloadName(wl))
+	}
+	title := fmt.Sprintf("%s: %d-core results at %.0fus retention (vs baseline all-line periodic refresh)",
+		name, cores, retention)
+	if err := os.WriteFile(filepath.Join(h.outDir, name+".csv"), []byte(metrics.FormatCSV(csv)), 0o644); err != nil {
+		return "", err
+	}
+	out := metrics.FormatTable(title, groups)
+	// Bar chart of ESTEEM's per-workload savings (the paper's bars).
+	var bars []plot.Bar
+	for _, c := range groups["esteem"] {
+		bars = append(bars, plot.Bar{Label: c.Workload, Value: c.EnergySavingPct})
+	}
+	sortBars(bars)
+	out += "\n" + plot.BarChart("ESTEEM % energy saving per workload", "%", bars, 50)
+	return out, nil
+}
+
+// sortBars orders bars by label for stable output.
+func sortBars(bars []plot.Bar) {
+	sort.Slice(bars, func(i, j int) bool { return bars[i].Label < bars[j].Label })
+}
+
+// sensitivityRow describes one Table 3 row: a label and a config
+// mutation.
+type sensitivityRow struct {
+	label  string
+	mutate func(*sim.Config)
+}
+
+// table3 reproduces the parameter-sensitivity study.
+func (h *harness) table3() (string, error) {
+	var b strings.Builder
+	b.WriteString("Table 3: Parameter sensitivity of ESTEEM (means over workloads; 50us retention)\n")
+	b.WriteString("Interval rows are scaled 5x from the paper's cycles (paper 5M/10M/15M -> 1M/2M/3M).\n\n")
+	for _, cores := range []int{1, 2} {
+		rows := h.sensitivityRows(cores)
+		fmt.Fprintf(&b, "-- %d-core system --\n", cores)
+		fmt.Fprintf(&b, "%-22s %10s %8s %10s %9s %8s\n",
+			"row", "%esaving", "ws", "rpki-dec", "mpki-inc", "activ%")
+		for _, row := range rows {
+			s, err := h.sensitivityMean(cores, row)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%-22s %10.2f %8.3f %10.1f %9.2f %8.1f\n",
+				row.label, s.EnergySavingPct, s.WeightedSpeedup, s.RPKIDecrease,
+				s.MPKIIncrease, s.ActiveRatioPct)
+			fmt.Fprintf(os.Stderr, "  table3 %d-core %s done\n", cores, row.label)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// sensitivityRows lists the paper's Table 3 rows for a core count.
+func (h *harness) sensitivityRows(cores int) []sensitivityRow {
+	rows := []sensitivityRow{
+		{"Default", func(c *sim.Config) {}},
+		{"Amin=2", func(c *sim.Config) { c.Esteem.AMin = 2 }},
+		{"Amin=4", func(c *sim.Config) { c.Esteem.AMin = 4 }},
+		{"alpha=0.95", func(c *sim.Config) { c.Esteem.Alpha = 0.95 }},
+		{"alpha=0.99", func(c *sim.Config) { c.Esteem.Alpha = 0.99 }},
+	}
+	var mods []int
+	if cores == 1 {
+		mods = []int{2, 4, 16, 32}
+	} else {
+		mods = []int{4, 8, 32, 64}
+	}
+	for _, m := range mods {
+		m := m
+		rows = append(rows, sensitivityRow{fmt.Sprintf("%d modules", m), func(c *sim.Config) { c.Modules = m }})
+	}
+	rows = append(rows,
+		sensitivityRow{"5M interval (scaled)", func(c *sim.Config) { c.IntervalCycles = h.interval / 2 }},
+		sensitivityRow{"15M interval (scaled)", func(c *sim.Config) { c.IntervalCycles = h.interval * 3 / 2 }},
+		sensitivityRow{"Rs=32", func(c *sim.Config) { c.SamplingRatio = 32 }},
+		sensitivityRow{"Rs=128", func(c *sim.Config) { c.SamplingRatio = 128 }},
+		sensitivityRow{"8-way L2", func(c *sim.Config) { c.L2Assoc = 8 }},
+		sensitivityRow{"32-way L2", func(c *sim.Config) { c.L2Assoc = 32 }},
+	)
+	if cores == 1 {
+		rows = append(rows,
+			sensitivityRow{"2MB L2", func(c *sim.Config) { c.L2SizeBytes = 2 << 20 }},
+			sensitivityRow{"8MB L2", func(c *sim.Config) { c.L2SizeBytes = 8 << 20 }},
+		)
+	} else {
+		rows = append(rows,
+			sensitivityRow{"4MB L2", func(c *sim.Config) { c.L2SizeBytes = 4 << 20 }},
+			sensitivityRow{"16MB L2", func(c *sim.Config) { c.L2SizeBytes = 16 << 20 }},
+		)
+	}
+	return rows
+}
+
+// sensitivityMean runs ESTEEM with the row's config against the
+// matching baseline on every workload and aggregates.
+func (h *harness) sensitivityMean(cores int, row sensitivityRow) (metrics.Summary, error) {
+	var cs []metrics.Comparison
+	for _, wl := range h.workloads(cores) {
+		cfg := h.config(cores, 50, sim.Esteem)
+		row.mutate(&cfg)
+		base, err := h.baseline(cfg, wl)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		r, err := sim.Run(cfg, wl)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		cs = append(cs, metrics.Compare(workloadName(wl), base, r))
+	}
+	return metrics.Summarize(cs), nil
+}
+
+// ablation runs the design-choice ablations called out in DESIGN.md:
+// refresh-policy alternatives and the non-LRU guard.
+func (h *harness) ablation() (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablations (1-core, 50us retention; % energy saving vs baseline)\n\n")
+
+	// Refresh-policy alternatives on a representative workload set.
+	wls := [][]string{{"gamess"}, {"gobmk"}, {"gcc"}, {"sphinx"}, {"lbm"}, {"mcf"}, {"omnetpp"}}
+	techs := []sim.Technique{sim.PeriodicValid, sim.RPV, sim.RPD, sim.SmartRefresh, sim.ECCExtended, sim.EsteemAllLineRefresh, sim.Esteem, sim.NoRefresh}
+	fmt.Fprintf(&b, "%-12s", "workload")
+	for _, t := range techs {
+		fmt.Fprintf(&b, " %14s", t)
+	}
+	b.WriteString("\n")
+	savings := map[sim.Technique][]float64{}
+	for _, wl := range wls {
+		cfg := h.config(1, 50, sim.Baseline)
+		base, err := h.baseline(cfg, wl)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-12s", workloadName(wl))
+		for _, t := range techs {
+			tcfg := cfg
+			tcfg.Technique = t
+			r, err := sim.Run(tcfg, wl)
+			if err != nil {
+				return "", err
+			}
+			s := energy.SavingPercent(base.Energy.Total(), r.Energy.Total())
+			savings[t] = append(savings[t], s)
+			fmt.Fprintf(&b, " %14.1f", s)
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(os.Stderr, "  ablation %s done\n", workloadName(wl))
+	}
+	fmt.Fprintf(&b, "%-12s", "MEAN")
+	for _, t := range techs {
+		fmt.Fprintf(&b, " %14.1f", stats.Mean(savings[t]))
+	}
+	b.WriteString("\n\n")
+
+	// Non-LRU guard ablation on the non-LRU workloads.
+	b.WriteString("Non-LRU guard ablation (energy saving %% / weighted speedup):\n")
+	fmt.Fprintf(&b, "%-12s %16s %16s\n", "workload", "guard on", "guard off")
+	for _, wl := range []string{"omnetpp", "xalancbmk", "gcc"} {
+		cfg := h.config(1, 50, sim.Esteem)
+		base, err := h.baseline(cfg, []string{wl})
+		if err != nil {
+			return "", err
+		}
+		on, err := sim.Run(cfg, []string{wl})
+		if err != nil {
+			return "", err
+		}
+		offCfg := cfg
+		offCfg.Esteem.DisableNonLRUGuard = true
+		off, err := sim.Run(offCfg, []string{wl})
+		if err != nil {
+			return "", err
+		}
+		cOn := metrics.Compare(wl, base, on)
+		cOff := metrics.Compare(wl, base, off)
+		fmt.Fprintf(&b, "%-12s %8.1f%%/%.3f %8.1f%%/%.3f\n", wl,
+			cOn.EnergySavingPct, cOn.WeightedSpeedup,
+			cOff.EnergySavingPct, cOff.WeightedSpeedup)
+	}
+
+	// Reconfiguration damping — the paper's named future-work
+	// extension (Section 7.2): limit per-interval way changes.
+	b.WriteString("\nReconfiguration damping (future-work extension; saving %% / ws / mpki-inc):\n")
+	fmt.Fprintf(&b, "%-12s %22s %22s\n", "workload", "unlimited (paper)", "MaxWayDelta=2")
+	for _, wl := range []string{"sphinx", "cactusADM", "wrf", "bzip2"} {
+		cfg := h.config(1, 50, sim.Esteem)
+		base, err := h.baseline(cfg, []string{wl})
+		if err != nil {
+			return "", err
+		}
+		plain, err := sim.Run(cfg, []string{wl})
+		if err != nil {
+			return "", err
+		}
+		dampCfg := cfg
+		dampCfg.Esteem.MaxWayDelta = 2
+		damp, err := sim.Run(dampCfg, []string{wl})
+		if err != nil {
+			return "", err
+		}
+		cp := metrics.Compare(wl, base, plain)
+		cd := metrics.Compare(wl, base, damp)
+		fmt.Fprintf(&b, "%-12s %7.1f/%.3f/%5.2f %10.1f/%.3f/%5.2f\n", wl,
+			cp.EnergySavingPct, cp.WeightedSpeedup, cp.MPKIIncrease,
+			cd.EnergySavingPct, cd.WeightedSpeedup, cd.MPKIIncrease)
+	}
+
+	// Sorted technique list for reference.
+	var names []string
+	for _, t := range techs {
+		names = append(names, t.String())
+	}
+	sort.Strings(names)
+	return b.String(), nil
+}
+
+// scale evaluates ESTEEM and RPV at 1, 2 and 4 cores (the 4-core
+// point is a scalability extension beyond the paper; LLC capacity and
+// bandwidth scale with the core count as Section 6.1 does from 1 to
+// 2 cores).
+func (h *harness) scale() (string, error) {
+	var b strings.Builder
+	b.WriteString("Core-count scaling (50us retention; means over workload subsets)\n\n")
+	fmt.Fprintf(&b, "%6s %8s %16s %16s %12s %12s\n",
+		"cores", "L2", "RPV saving %", "ESTEEM saving %", "ESTEEM ws", "activ %")
+	workloadSets := map[int][][]string{
+		1: {{"gobmk"}, {"gcc"}, {"sphinx"}, {"lbm"}, {"mcf"}, {"gamess"}, {"dealII"}, {"omnetpp"}},
+		2: {{"gobmk", "nekbone"}, {"gcc", "gamess"}, {"leslie3d", "lbm"}, {"mcf", "lulesh"},
+			{"sphinx", "bwaves"}, {"omnetpp", "gromacs"}, {"calculix", "tonto"}, {"bzip2", "xalancbmk"}},
+	}
+	var quads [][]string
+	for _, m := range trace.QuadCoreWorkloads() {
+		quads = append(quads, []string{m[0], m[1], m[2], m[3]})
+	}
+	workloadSets[4] = quads
+	for _, cores := range []int{1, 2, 4} {
+		var rpvS, estS, ws, ar []float64
+		for _, wl := range workloadSets[cores] {
+			cfg := h.config(cores, 50, sim.Baseline)
+			base, err := h.baseline(cfg, wl)
+			if err != nil {
+				return "", err
+			}
+			for _, tech := range []sim.Technique{sim.RPV, sim.Esteem} {
+				tcfg := cfg
+				tcfg.Technique = tech
+				r, err := sim.Run(tcfg, wl)
+				if err != nil {
+					return "", err
+				}
+				c := metrics.Compare(workloadName(wl), base, r)
+				if tech == sim.RPV {
+					rpvS = append(rpvS, c.EnergySavingPct)
+				} else {
+					estS = append(estS, c.EnergySavingPct)
+					ws = append(ws, c.WeightedSpeedup)
+					ar = append(ar, c.ActiveRatioPct)
+				}
+			}
+		}
+		cfg := sim.DefaultConfig(cores)
+		fmt.Fprintf(&b, "%6d %6dMB %16.2f %16.2f %12.3f %12.1f\n",
+			cores, cfg.L2SizeBytes>>20, stats.Mean(rpvS), stats.Mean(estS),
+			stats.GeoMean(ws), stats.Mean(ar))
+		fmt.Fprintf(os.Stderr, "  scale %d-core done\n", cores)
+	}
+	return b.String(), nil
+}
+
+// temperature sweeps the operating temperature using the paper's
+// exponential retention model (Section 6.1: 40 µs at 105 °C per Barth
+// et al., 50 µs assumed at 60 °C), extending the Section 7.3
+// observation that lower retention periods magnify both the refresh
+// problem and ESTEEM's advantage.
+func (h *harness) temperature() (string, error) {
+	var b strings.Builder
+	b.WriteString("Temperature sweep (1-core; retention from the paper's exponential model)\n\n")
+	fmt.Fprintf(&b, "%6s %12s %16s %16s %14s\n",
+		"temp C", "retention us", "RPV saving %", "ESTEEM saving %", "base rfsh/L2 %")
+	wls := [][]string{{"gobmk"}, {"gcc"}, {"sphinx"}, {"lbm"}}
+	for _, temp := range []float64{45, 60, 75, 90, 105} {
+		var rpvS, estS, share []float64
+		for _, wl := range wls {
+			cfg := h.config(1, 50, sim.Baseline)
+			cfg.RetentionMicros = 0
+			cfg.TemperatureC = temp
+			base, err := sim.Run(cfg, wl)
+			if err != nil {
+				return "", err
+			}
+			share = append(share, 100*base.Energy.L2Refresh/base.Energy.L2())
+			for _, tech := range []sim.Technique{sim.RPV, sim.Esteem} {
+				tcfg := cfg
+				tcfg.Technique = tech
+				r, err := sim.Run(tcfg, wl)
+				if err != nil {
+					return "", err
+				}
+				s := energy.SavingPercent(base.Energy.Total(), r.Energy.Total())
+				if tech == sim.RPV {
+					rpvS = append(rpvS, s)
+				} else {
+					estS = append(estS, s)
+				}
+			}
+		}
+		ret := retention.Micros(temp)
+		fmt.Fprintf(&b, "%6.0f %12.1f %16.2f %16.2f %14.1f\n",
+			temp, ret, stats.Mean(rpvS), stats.Mean(estS), stats.Mean(share))
+		fmt.Fprintf(os.Stderr, "  temp %.0fC done\n", temp)
+	}
+	b.WriteString("\n(means over gobmk, gcc, sphinx, lbm)\n")
+	return b.String(), nil
+}

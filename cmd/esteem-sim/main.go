@@ -1,0 +1,140 @@
+// Command esteem-sim runs a single simulation: one workload (one
+// benchmark per core) under one technique, printing the measured
+// metrics and energy breakdown. It exposes the full configuration
+// surface of the simulator as flags.
+//
+// Examples:
+//
+//	esteem-sim -bench gobmk
+//	esteem-sim -bench gobmk -technique baseline
+//	esteem-sim -cores 2 -bench gobmk,nekbone -retention 40
+//	esteem-sim -bench h264ref -log-intervals
+//	esteem-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// techniqueByName maps CLI names to techniques.
+var techniqueByName = map[string]sim.Technique{
+	"baseline":       sim.Baseline,
+	"rpv":            sim.RPV,
+	"rpd":            sim.RPD,
+	"periodic-valid": sim.PeriodicValid,
+	"esteem":         sim.Esteem,
+	"esteem-allline": sim.EsteemAllLineRefresh,
+	"no-refresh":     sim.NoRefresh,
+	"smart-refresh":  sim.SmartRefresh,
+	"ecc-extended":   sim.ECCExtended,
+}
+
+func main() {
+	var (
+		bench        = flag.String("bench", "gobmk", "comma-separated benchmark names, one per core")
+		techName     = flag.String("technique", "esteem", "baseline|rpv|rpd|periodic-valid|esteem|esteem-allline|no-refresh|smart-refresh|ecc-extended")
+		cores        = flag.Int("cores", 1, "number of cores")
+		l2MB         = flag.Int("l2mb", 0, "L2 size in MB (0 = paper default for core count)")
+		l2Assoc      = flag.Int("l2assoc", 16, "L2 associativity")
+		retention    = flag.Float64("retention", 50, "eDRAM retention period in microseconds")
+		tempC        = flag.Float64("temp", 0, "operating temperature C (overrides -retention via the paper's model)")
+		sigma        = flag.Float64("sigma", 0, "log-normal retention process-variation sigma (derates the period)")
+		modules      = flag.Int("modules", 0, "reconfiguration modules (0 = paper default)")
+		sampling     = flag.Int("rs", 64, "leader-set sampling ratio Rs")
+		alpha        = flag.Float64("alpha", 0.97, "ESTEEM hit-coverage threshold")
+		amin         = flag.Int("amin", 3, "ESTEEM minimum active ways")
+		interval     = flag.Uint64("interval", 2_000_000, "interval length in cycles")
+		instr        = flag.Uint64("instr", 20_000_000, "measured instructions per core")
+		warmup       = flag.Uint64("warmup", 10_000_000, "fast-forward instructions per core")
+		seed         = flag.Uint64("seed", 1, "workload seed")
+		logIntervals = flag.Bool("log-intervals", false, "print per-interval reconfiguration log")
+		list         = flag.Bool("list", false, "list benchmarks and dual-core mixes, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("single-core benchmarks:")
+		for _, p := range trace.Profiles() {
+			fmt.Printf("  %-12s (%s)\n", p.Name, p.Acronym)
+		}
+		fmt.Println("dual-core mixes:")
+		for _, m := range trace.DualCoreWorkloads() {
+			fmt.Printf("  %-6s %s + %s\n", trace.MixAcronym(m[0], m[1]), m[0], m[1])
+		}
+		return
+	}
+
+	tech, ok := techniqueByName[*techName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown technique %q\n", *techName)
+		os.Exit(2)
+	}
+	cfg := sim.DefaultConfig(*cores)
+	cfg.Technique = tech
+	if *l2MB > 0 {
+		cfg.L2SizeBytes = *l2MB << 20
+	}
+	cfg.L2Assoc = *l2Assoc
+	cfg.RetentionMicros = *retention
+	cfg.TemperatureC = *tempC
+	cfg.RetentionSigma = *sigma
+	if *modules > 0 {
+		cfg.Modules = *modules
+	}
+	cfg.SamplingRatio = *sampling
+	cfg.Esteem.Alpha = *alpha
+	cfg.Esteem.AMin = *amin
+	cfg.IntervalCycles = *interval
+	cfg.MeasureInstr = *instr
+	cfg.WarmupInstr = *warmup
+	cfg.Seed = *seed
+	cfg.LogIntervals = *logIntervals
+
+	benchmarks := strings.Split(*bench, ",")
+	r, err := sim.Run(cfg, benchmarks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	retLabel := fmt.Sprintf("%.0fus", cfg.RetentionMicros)
+	if cfg.TemperatureC > 0 {
+		retLabel = fmt.Sprintf("%.0fC", cfg.TemperatureC)
+	}
+	fmt.Printf("technique: %s   workload: %s   retention: %s   L2: %dMB %d-way, %d modules\n",
+		r.Technique, strings.Join(benchmarks, "+"), retLabel,
+		cfg.L2SizeBytes>>20, cfg.L2Assoc, cfg.Modules)
+	for _, c := range r.Cores {
+		fmt.Printf("core %-12s instr=%d cycles=%d IPC=%.3f stalls(l2=%d refresh=%d mem=%d)\n",
+			c.Benchmark, c.Instructions, c.Cycles, c.IPC,
+			c.StallL2Hit, c.StallRefresh, c.StallMemory)
+	}
+	fmt.Printf("L2: %d hits, %d misses (%.2f MPKI), %d writebacks\n",
+		r.L2.Hits, r.L2.Misses, r.MPKI(), r.L2.Writebacks)
+	fmt.Printf("MM: %d reads, %d writebacks, %d queue-stall cycles\n",
+		r.MM.Reads, r.MM.Writebacks, r.MM.QueueStallCycles)
+	fmt.Printf("refreshes: %d (%.1f RPKI), refresh stalls: %d cycles\n",
+		r.Refreshes, r.RPKI(), r.RefreshStallCycles)
+	fmt.Printf("active ratio: %.1f%%   reconfiguration writebacks: %d\n",
+		r.ActiveRatio*100, r.ReconfigWritebacks)
+	e := r.Energy
+	fmt.Printf("energy: total=%.6f J\n", e.Total())
+	fmt.Printf("  L2   leak=%.6f dyn=%.6f refresh=%.6f  (L2 total %.6f)\n",
+		e.L2Leak, e.L2Dyn, e.L2Refresh, e.L2())
+	fmt.Printf("  MM   leak=%.6f dyn=%.6f              (MM total %.6f)\n",
+		e.MMLeak, e.MMDyn, e.MM())
+	fmt.Printf("  algo %.9f\n", e.Algo)
+
+	if *logIntervals {
+		fmt.Println("\nintervals:")
+		for i, iv := range r.Intervals {
+			fmt.Printf("  %3d end=%d activ=%.1f%% ways=%v\n", i, iv.EndCycle, iv.ActiveRatio*100, iv.ActiveWays)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Command esteem-trace inspects the synthetic workloads: it generates
+// a reference stream for one benchmark and reports its statistical
+// structure — pattern mix, footprint, write fraction, memory-op
+// density, and an LRU stack-distance profile at cache-line
+// granularity (the quantity ESTEEM's Algorithm 1 consumes).
+//
+// Examples:
+//
+//	esteem-trace -bench omnetpp -refs 2000000
+//	esteem-trace -bench h264ref -dump 20
+//	esteem-trace -bench gcc -record gcc.trace -refs 5000000
+//	esteem-trace -replay gcc.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// stackProfiler computes LRU stack distances over line addresses with
+// a simple move-to-front list capped at maxDepth (distances beyond
+// report as cold/deep).
+type stackProfiler struct {
+	lines    []uint64
+	maxDepth int
+	counts   []uint64 // index = distance; len = maxDepth
+	cold     uint64
+	deep     uint64
+}
+
+func newStackProfiler(maxDepth int) *stackProfiler {
+	return &stackProfiler{maxDepth: maxDepth, counts: make([]uint64, maxDepth)}
+}
+
+// touch records an access to the line containing addr and returns its
+// stack distance (-1 if cold or deeper than maxDepth).
+func (sp *stackProfiler) touch(addr uint64) int {
+	line := addr / 64
+	for i, l := range sp.lines {
+		if l == line {
+			copy(sp.lines[1:i+1], sp.lines[:i])
+			sp.lines[0] = line
+			sp.counts[i]++
+			return i
+		}
+	}
+	if len(sp.lines) < sp.maxDepth {
+		sp.lines = append(sp.lines, 0)
+		copy(sp.lines[1:], sp.lines[:len(sp.lines)-1])
+		sp.lines[0] = line
+		sp.cold++
+		return -1
+	}
+	// Deeper than tracked: treat as an eviction + refill at MRU.
+	copy(sp.lines[1:], sp.lines[:len(sp.lines)-1])
+	sp.lines[0] = line
+	sp.deep++
+	return -1
+}
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark name")
+	refs := flag.Int("refs", 1_000_000, "references to generate")
+	seed := flag.Uint64("seed", 1, "stream seed")
+	dump := flag.Int("dump", 0, "dump the first N references and exit")
+	depth := flag.Int("depth", 64, "stack-distance profile depth (lines)")
+	record := flag.String("record", "", "record -refs references to this trace file and exit")
+	replay := flag.String("replay", "", "summarize a recorded trace file and exit")
+	flag.Parse()
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rp, err := trace.ReadReplayer(*replay, f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		writes, instr := 0, uint64(0)
+		lines := map[uint64]struct{}{}
+		for i := 0; i < rp.Len(); i++ {
+			r := rp.Next()
+			if r.Write {
+				writes++
+			}
+			instr += uint64(r.Gap) + 1
+			lines[r.Addr/64] = struct{}{}
+		}
+		fmt.Printf("trace: %s\nrefs: %d   instructions: %d   mlp: %.2f\n", *replay, rp.Len(), instr, rp.MLPFactor())
+		fmt.Printf("write fraction: %.3f   footprint: %.1f KB\n",
+			float64(writes)/float64(rp.Len()), float64(len(lines))*64/1024)
+		return
+	}
+
+	prof, ok := trace.ProfileByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (see esteem-sim -list)\n", *bench)
+		os.Exit(2)
+	}
+	g, err := trace.NewGenerator(prof, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *record != "" {
+		refs := trace.Record(g, *refs)
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteTrace(f, refs, prof.EffectiveMLP()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d references of %s to %s\n", len(refs), prof.Name, *record)
+		return
+	}
+
+	if *dump > 0 {
+		names := map[trace.Kind]string{
+			trace.KindHot: "hot", trace.KindStream: "stream",
+			trace.KindScan: "scan", trace.KindPointer: "pointer",
+			trace.KindLocal: "local",
+		}
+		for i := 0; i < *dump; i++ {
+			r := g.Next()
+			fmt.Printf("%3d addr=%#014x write=%-5v gap=%-3d kind=%s\n", i, r.Addr, r.Write, r.Gap, names[r.Kind])
+		}
+		return
+	}
+
+	kindNames := map[trace.Kind]string{
+		trace.KindHot: "hot", trace.KindStream: "stream",
+		trace.KindScan: "scan", trace.KindPointer: "pointer",
+		trace.KindLocal: "local",
+	}
+	kinds := map[trace.Kind]int{}
+	writes := 0
+	instr := uint64(0)
+	lines := map[uint64]struct{}{}
+	sp := newStackProfiler(*depth)
+	for i := 0; i < *refs; i++ {
+		r := g.Next()
+		kinds[r.Kind]++
+		if r.Write {
+			writes++
+		}
+		instr += uint64(r.Gap) + 1
+		lines[r.Addr/64] = struct{}{}
+		sp.touch(r.Addr)
+	}
+
+	fmt.Printf("benchmark: %s (%s)   refs: %d   instructions: %d\n", prof.Name, prof.Acronym, *refs, instr)
+	fmt.Printf("memory-op density: %.3f refs/instr (profile MemOpFrac %.2f)\n",
+		float64(*refs)/float64(instr), prof.MemOpFrac)
+	fmt.Printf("write fraction: %.3f (profile %.2f)\n", float64(writes)/float64(*refs), prof.WriteFrac)
+	fmt.Printf("distinct lines touched: %d (%.1f KB footprint)\n", len(lines), float64(len(lines))*64/1024)
+	fmt.Println("pattern mix:")
+	for _, k := range []trace.Kind{trace.KindLocal, trace.KindHot, trace.KindStream, trace.KindScan, trace.KindPointer} {
+		if kinds[k] > 0 {
+			fmt.Printf("  %-8s %6.2f%%\n", kindNames[k], 100*float64(kinds[k])/float64(*refs))
+		}
+	}
+	fmt.Printf("stack-distance profile (line granularity, depth %d):\n", *depth)
+	var shown uint64
+	for i := 0; i < *depth; i += 8 {
+		var group uint64
+		for j := i; j < i+8 && j < *depth; j++ {
+			group += sp.counts[j]
+		}
+		shown += group
+		fmt.Printf("  d[%2d..%2d] %9d\n", i, min(i+7, *depth-1), group)
+	}
+	fmt.Printf("  cold      %9d\n  deeper    %9d\n", sp.cold, sp.deep)
+	_ = shown
+}

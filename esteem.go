@@ -1,0 +1,250 @@
+// Package esteem is a Go reproduction of "Improving Energy Efficiency
+// of Embedded DRAM Caches for High-end Computing Systems" (Sparsh
+// Mittal, Jeffrey S. Vetter, Dong Li — HPDC 2014).
+//
+// ESTEEM saves both leakage and refresh energy in an embedded-DRAM
+// last-level cache by dynamic, module-wise selective-way
+// reconfiguration: the cache's sets are divided into M modules, and
+// every interval the controller decides per module how many ways to
+// keep powered on, using LRU-stack hit histograms sampled from leader
+// sets. Powered-off ways need neither leakage power nor refresh, and
+// within the active portion only valid lines are refreshed.
+//
+// This package is the public façade over the full simulation stack:
+//
+//   - Run simulates one workload under one technique (Baseline
+//     periodic refresh, Refrint RPV/RPD/periodic-valid, ESTEEM, and
+//     ablations) on the paper's system model — multi-core trace-driven
+//     cores, private L1s, shared banked eDRAM L2 with a refresh
+//     engine, bandwidth-limited main memory, and the paper's
+//     analytical energy model (Equations 2–8).
+//   - Compare/Summarize produce the paper's evaluation metrics
+//     (energy saving, weighted/fair speedup, ΔRPKI, ΔMPKI, active
+//     ratio) with its aggregation rules.
+//   - Benchmarks/DualCoreWorkloads expose the synthetic workload
+//     suite standing in for SPEC CPU2006 + HPC proxies (Table 1).
+//
+// A minimal experiment:
+//
+//	cfg := esteem.DefaultConfig(1)
+//	cfg.Technique = esteem.Baseline
+//	base, err := esteem.Run(cfg, []string{"gobmk"})
+//	...
+//	cfg.Technique = esteem.Esteem
+//	tech, err := esteem.Run(cfg, []string{"gobmk"})
+//	...
+//	c := esteem.Compare("gobmk", base, tech)
+//	fmt.Printf("saving=%.1f%% speedup=%.3fx\n", c.EnergySavingPct, c.WeightedSpeedup)
+//
+// The cmd/esteem-bench binary regenerates every table and figure of
+// the paper's evaluation (see EXPERIMENTS.md for paper-vs-measured).
+package esteem
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config describes one simulation run; see sim.Config for the full
+// field list. Zero values are not meaningful — start from
+// DefaultConfig.
+type Config = sim.Config
+
+// Technique selects the energy-management scheme under test.
+type Technique = sim.Technique
+
+// The available techniques.
+const (
+	// Baseline refreshes every line frame each retention period.
+	Baseline = sim.Baseline
+	// RPV is Refrint polyphase-valid (the paper's comparison point).
+	RPV = sim.RPV
+	// RPD is Refrint polyphase-dirty (ablation).
+	RPD = sim.RPD
+	// PeriodicValid refreshes valid lines once per window (ablation).
+	PeriodicValid = sim.PeriodicValid
+	// Esteem is the paper's technique.
+	Esteem = sim.Esteem
+	// EsteemAllLineRefresh is ESTEEM without valid-only refresh
+	// (ablation isolating the valid-only contribution).
+	EsteemAllLineRefresh = sim.EsteemAllLineRefresh
+	// NoRefresh is the unrealizable zero-refresh lower bound
+	// (ablation).
+	NoRefresh = sim.NoRefresh
+	// SmartRefresh is Ghosh & Lee's Smart-Refresh (related work).
+	SmartRefresh = sim.SmartRefresh
+	// ECCExtended models ECC-based refresh-period extension (related
+	// work).
+	ECCExtended = sim.ECCExtended
+)
+
+// Result is the outcome of one run: per-core IPC, traffic counters,
+// the evaluated energy breakdown and (optionally) per-interval logs.
+type Result = sim.Result
+
+// CoreResult reports one core's measured execution.
+type CoreResult = sim.CoreResult
+
+// IntervalRecord is one interval of a LogIntervals run (Fig. 2).
+type IntervalRecord = sim.IntervalRecord
+
+// Comparison holds one technique's paper metrics against baseline.
+type Comparison = metrics.Comparison
+
+// Summary aggregates comparisons with the paper's rules.
+type Summary = metrics.Summary
+
+// AlgorithmConfig holds the ESTEEM algorithm parameters (α, A_min).
+type AlgorithmConfig = core.Config
+
+// WorkloadProfile describes one synthetic benchmark.
+type WorkloadProfile = trace.Profile
+
+// DefaultConfig returns the paper's system configuration for 1 or 2
+// cores (Section 6.1), with run lengths scaled as documented in
+// EXPERIMENTS.md.
+func DefaultConfig(cores int) Config { return sim.DefaultConfig(cores) }
+
+// Run simulates the given benchmarks (one per configured core) under
+// cfg and returns the measured result.
+func Run(cfg Config, benchmarks []string) (*Result, error) {
+	return sim.Run(cfg, benchmarks)
+}
+
+// Compare computes the paper's metrics of a technique run against its
+// baseline run for the same workload.
+func Compare(workload string, base, tech *Result) Comparison {
+	return metrics.Compare(workload, base, tech)
+}
+
+// Summarize aggregates comparisons (geometric mean for speedups,
+// arithmetic mean otherwise — Section 6.4).
+func Summarize(cs []Comparison) Summary { return metrics.Summarize(cs) }
+
+// Benchmarks returns the names of the 34 synthetic benchmarks
+// (29 SPEC CPU2006 + 5 HPC proxies, paper Table 1).
+func Benchmarks() []string {
+	ps := trace.Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Profiles returns the full workload profile table.
+func Profiles() []WorkloadProfile { return trace.Profiles() }
+
+// DualCoreWorkloads returns the paper's 17 dual-core mixes (Table 1)
+// as pairs of benchmark names.
+func DualCoreWorkloads() [][2]string { return trace.DualCoreWorkloads() }
+
+// MixAcronym returns the paper's short name for a dual-core pair
+// (e.g. "GkNe").
+func MixAcronym(a, b string) string { return trace.MixAcronym(a, b) }
+
+// DecideActiveWays runs the paper's Algorithm 1 for one module: given
+// the hit counts per LRU position (index 0 = MRU), the coverage
+// threshold α and the minimum way count A_min, it returns how many
+// ways to keep powered on.
+func DecideActiveWays(hits []uint64, alpha float64, aMin int) int {
+	return core.DecideModule(hits, core.Config{Alpha: alpha, AMin: aMin})
+}
+
+// IsNonLRU reports whether a hit histogram trips Algorithm 1's
+// non-LRU anomaly detector (at least A/4 increases down the recency
+// stack).
+func IsNonLRU(hits []uint64) bool { return core.IsNonLRU(hits) }
+
+// OverheadPercent evaluates the paper's Equation 1: ESTEEM's counter
+// storage as a percentage of L2 capacity.
+func OverheadPercent(sets, assoc, modules, blockBits, tagBits int) float64 {
+	return core.OverheadPercent(sets, assoc, modules, blockBits, tagBits)
+}
+
+// RunComparison is a convenience that runs the baseline plus each
+// technique on one workload and returns the comparisons in technique
+// order.
+func RunComparison(cfg Config, benchmarks []string, techniques []Technique) ([]Comparison, error) {
+	baseCfg := cfg
+	baseCfg.Technique = Baseline
+	base, err := sim.Run(baseCfg, benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	name := benchmarks[0]
+	if len(benchmarks) == 2 {
+		name = trace.MixAcronym(benchmarks[0], benchmarks[1])
+	}
+	out := make([]Comparison, 0, len(techniques))
+	for _, tech := range techniques {
+		tcfg := cfg
+		tcfg.Technique = tech
+		r, err := sim.Run(tcfg, benchmarks)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, metrics.Compare(name, base, r))
+	}
+	return out, nil
+}
+
+// Source is the workload-stream abstraction the simulator consumes:
+// the built-in synthetic generators implement it, trace.Replayer
+// replays recorded traces, and downstream users can implement it to
+// drive the simulator with their own traces.
+type Source = trace.Source
+
+// Replayer replays a recorded reference trace as a Source, looping
+// when the simulation budget exceeds the trace length.
+type Replayer = trace.Replayer
+
+// Ref is one memory reference of a workload stream.
+type Ref = trace.Ref
+
+// RunSources runs the configured system over arbitrary workload
+// sources (one per core).
+func RunSources(cfg Config, sources []Source) (*Result, error) {
+	return sim.RunSources(cfg, sources)
+}
+
+// NewGenerator builds the synthetic generator for a workload profile
+// with the given seed.
+func NewGenerator(p WorkloadProfile, seed uint64) (Source, error) {
+	return trace.NewGenerator(p, seed)
+}
+
+// NewReplayer builds a looping Source over recorded references.
+func NewReplayer(name string, refs []Ref, mlp float64) (*Replayer, error) {
+	return trace.NewReplayer(name, refs, mlp)
+}
+
+// WriteTrace serializes references to w in the repository's trace
+// file format; ReadReplayer loads such a file back as a Source.
+func WriteTrace(w io.Writer, refs []Ref, mlp float64) error {
+	return trace.WriteTrace(w, refs, mlp)
+}
+
+// ReadReplayer reads a trace file written by WriteTrace.
+func ReadReplayer(name string, r io.Reader) (*Replayer, error) {
+	return trace.ReadReplayer(name, r)
+}
+
+// RecordTrace captures n references of a named benchmark into a
+// slice, e.g. to serialize with WriteTrace.
+func RecordTrace(benchmark string, n int, seed uint64) ([]Ref, error) {
+	p, ok := trace.ProfileByName(benchmark)
+	if !ok {
+		return nil, fmt.Errorf("esteem: unknown benchmark %q", benchmark)
+	}
+	g, err := trace.NewGenerator(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Record(g, n), nil
+}

@@ -1,0 +1,253 @@
+package esteem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fastConfig scales a config down for test speed.
+func fastConfig(cores int, tech Technique) Config {
+	cfg := DefaultConfig(cores)
+	cfg.Technique = tech
+	cfg.MeasureInstr = 800_000
+	cfg.WarmupInstr = 200_000
+	cfg.IntervalCycles = 200_000
+	return cfg
+}
+
+func TestBenchmarksList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 34 {
+		t.Fatalf("benchmarks = %d, want 34", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate benchmark %q", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"gamess", "libquantum", "omnetpp", "xsbench", "h264ref"} {
+		if !seen[want] {
+			t.Errorf("benchmark %q missing", want)
+		}
+	}
+}
+
+func TestProfilesExposed(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 34 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestDualCoreWorkloadsExposed(t *testing.T) {
+	mixes := DualCoreWorkloads()
+	if len(mixes) != 17 {
+		t.Fatalf("mixes = %d, want 17", len(mixes))
+	}
+	if MixAcronym(mixes[5][0], mixes[5][1]) != "GkNe" {
+		t.Errorf("mix 5 = %v, want gobmk+nekbone", mixes[5])
+	}
+}
+
+func TestRunAndCompareEndToEnd(t *testing.T) {
+	base, err := Run(fastConfig(1, Baseline), []string{"gobmk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech, err := Run(fastConfig(1, Esteem), []string{"gobmk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compare("gobmk", base, tech)
+	if c.Workload != "gobmk" || c.Technique != "esteem" {
+		t.Fatalf("comparison identity: %+v", c)
+	}
+	if c.EnergySavingPct <= 0 {
+		t.Errorf("expected positive saving for gobmk, got %v", c.EnergySavingPct)
+	}
+	if c.ActiveRatioPct >= 100 {
+		t.Errorf("ESTEEM active ratio %v should be < 100", c.ActiveRatioPct)
+	}
+	s := Summarize([]Comparison{c})
+	if s.Workloads != 1 || s.EnergySavingPct != c.EnergySavingPct {
+		t.Errorf("summary wrong: %+v", s)
+	}
+}
+
+func TestRunComparisonHelper(t *testing.T) {
+	cs, err := RunComparison(fastConfig(1, Baseline), []string{"calculix"},
+		[]Technique{RPV, Esteem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("comparisons = %d", len(cs))
+	}
+	if cs[0].Technique != "rpv" || cs[1].Technique != "esteem" {
+		t.Fatalf("technique order wrong: %v %v", cs[0].Technique, cs[1].Technique)
+	}
+	if cs[0].Workload != "calculix" {
+		t.Fatalf("workload = %q", cs[0].Workload)
+	}
+}
+
+func TestRunComparisonDualUsesMixAcronym(t *testing.T) {
+	cfg := fastConfig(2, Baseline)
+	cs, err := RunComparison(cfg, []string{"gobmk", "nekbone"}, []Technique{Esteem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs[0].Workload != "GkNe" {
+		t.Fatalf("workload = %q, want GkNe", cs[0].Workload)
+	}
+}
+
+// TestDecideActiveWaysWorkedExample re-pins the paper's Section 3.1
+// worked example through the public API.
+func TestDecideActiveWaysWorkedExample(t *testing.T) {
+	hits := []uint64{10816, 4645, 2140, 501, 217, 113, 63, 11}
+	if got := DecideActiveWays(hits, 0.97, 1); got != 4 {
+		t.Fatalf("alpha=0.97: %d, want 4", got)
+	}
+	if got := DecideActiveWays(hits, 0.95, 1); got != 3 {
+		t.Fatalf("alpha=0.95: %d, want 3", got)
+	}
+}
+
+func TestIsNonLRUExposed(t *testing.T) {
+	if IsNonLRU([]uint64{100, 50, 25, 12, 6, 3, 2, 1}) {
+		t.Error("monotone profile flagged non-LRU")
+	}
+	if !IsNonLRU([]uint64{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Error("increasing profile not flagged")
+	}
+}
+
+func TestOverheadPercentExposed(t *testing.T) {
+	got := OverheadPercent(4096, 16, 16, 512, 40)
+	if got <= 0 || got >= 0.1 {
+		t.Fatalf("overhead = %v%%, want ~0.06%%", got)
+	}
+}
+
+// TestHeadlineShape is the repository's core acceptance test: on a
+// compact-working-set workload, ESTEEM must beat both the baseline
+// and RPV on energy while not losing performance — the paper's
+// headline claim — even at test scale.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := fastConfig(1, Baseline)
+	cfg.MeasureInstr = 3_000_000
+	cfg.WarmupInstr = 1_000_000
+	cfg.IntervalCycles = 500_000
+	base, err := Run(cfg, []string{"dealII"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Technique = RPV
+	rpv, err := Run(rcfg, []string{"dealII"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := cfg
+	ecfg.Technique = Esteem
+	est, err := Run(ecfg, []string{"dealII"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, er, ee := base.Energy.Total(), rpv.Energy.Total(), est.Energy.Total()
+	if !(ee < er && er < eb) {
+		t.Fatalf("energy ordering violated: esteem %v, rpv %v, baseline %v", ee, er, eb)
+	}
+	if est.Cores[0].IPC < base.Cores[0].IPC {
+		t.Fatalf("ESTEEM slowed dealII down: %v vs %v", est.Cores[0].IPC, base.Cores[0].IPC)
+	}
+	if est.Refreshes >= rpv.Refreshes {
+		t.Fatalf("ESTEEM refreshes %d >= RPV %d", est.Refreshes, rpv.Refreshes)
+	}
+}
+
+func TestRecordReplayRoundTripSimulation(t *testing.T) {
+	// Record a trace, serialize it, load it back, and drive the
+	// simulator with it: the replayed run must behave identically to
+	// the generator-driven run over the same reference stream.
+	refs, err := RecordTrace("gcc", 2_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, refs, 2); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ReadReplayer("gcc", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig(1, Esteem)
+	viaReplay, err := RunSources(cfg, []Source{rp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generator path with the same seed produces the same stream
+	// (the trace is long enough that the replayer never loops).
+	viaGen, err := Run(cfg, []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Loops() != 0 {
+		t.Fatalf("trace looped (%d); comparison invalid", rp.Loops())
+	}
+	if viaReplay.Energy.Total() != viaGen.Energy.Total() {
+		t.Fatalf("replayed energy %v != generated %v", viaReplay.Energy.Total(), viaGen.Energy.Total())
+	}
+	if viaReplay.Cores[0].Cycles != viaGen.Cores[0].Cycles {
+		t.Fatalf("replayed cycles %d != generated %d", viaReplay.Cores[0].Cycles, viaGen.Cores[0].Cycles)
+	}
+}
+
+func TestRunSourcesValidation(t *testing.T) {
+	cfg := fastConfig(1, Baseline)
+	if _, err := RunSources(cfg, nil); err == nil {
+		t.Error("no sources accepted")
+	}
+	if _, err := RunSources(cfg, []Source{nil}); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestRecordTraceUnknownBenchmark(t *testing.T) {
+	if _, err := RecordTrace("nosuch", 10, 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeSourceConstructors(t *testing.T) {
+	ps := Profiles()
+	src, err := NewGenerator(ps[0], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != ps[0].Name {
+		t.Fatalf("generator name %q", src.Name())
+	}
+	rp, err := NewReplayer("r", []Ref{{Addr: 64}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Len() != 1 {
+		t.Fatal("replayer wrong")
+	}
+	if _, err := NewGenerator(WorkloadProfile{}, 1); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package esteem_test
+
+import (
+	"fmt"
+
+	esteem "repro"
+)
+
+// The paper's Section 3.1 worked example: choosing how many ways to
+// keep powered on from a module's LRU hit histogram.
+func ExampleDecideActiveWays() {
+	hits := []uint64{10816, 4645, 2140, 501, 217, 113, 63, 11}
+	fmt.Println(esteem.DecideActiveWays(hits, 0.97, 1))
+	fmt.Println(esteem.DecideActiveWays(hits, 0.95, 1))
+	// Output:
+	// 4
+	// 3
+}
+
+// Detecting the non-LRU access behaviour that makes Algorithm 1 back
+// off (omnetpp/xalancbmk-style hit profiles).
+func ExampleIsNonLRU() {
+	lruFriendly := []uint64{900, 300, 100, 40, 20, 8, 3, 1}
+	scanning := []uint64{10, 40, 15, 60, 20, 80, 25, 100}
+	fmt.Println(esteem.IsNonLRU(lruFriendly))
+	fmt.Println(esteem.IsNonLRU(scanning))
+	// Output:
+	// false
+	// true
+}
+
+// Equation 1 of the paper: ESTEEM's counter overhead for the 4 MB,
+// 16-way, 16-module configuration.
+func ExampleOverheadPercent() {
+	pct := esteem.OverheadPercent(4096, 16, 16, 512, 40)
+	fmt.Printf("%.2f%%\n", pct)
+	// Output:
+	// 0.06%
+}
+
+// MixAcronym builds the paper's short names for dual-core mixes.
+func ExampleMixAcronym() {
+	fmt.Println(esteem.MixAcronym("gobmk", "nekbone"))
+	// Output:
+	// GkNe
+}

@@ -1,0 +1,50 @@
+// Quickstart: simulate one benchmark under the baseline eDRAM cache
+// (periodic all-line refresh) and under ESTEEM, then print the
+// paper's headline metrics — energy saving, speedup, refresh
+// reduction and cache active ratio.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	esteem "repro"
+)
+
+func main() {
+	// The paper's single-core system: 4 MB 16-way eDRAM L2 in 8
+	// modules, 50 µs retention, 2 GHz. Run lengths are scaled down
+	// here so the example finishes in a couple of seconds.
+	cfg := esteem.DefaultConfig(1)
+	cfg.MeasureInstr = 8_000_000
+	cfg.WarmupInstr = 2_000_000
+
+	cfg.Technique = esteem.Baseline
+	base, err := esteem.Run(cfg, []string{"gobmk"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Technique = esteem.Esteem
+	tech, err := esteem.Run(cfg, []string{"gobmk"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := esteem.Compare("gobmk", base, tech)
+	fmt.Println("gobmk, 1-core, 4MB eDRAM L2, 50us retention")
+	fmt.Printf("  baseline: IPC %.3f, %.1f refreshes/KI, energy %.4f J\n",
+		base.Cores[0].IPC, base.RPKI(), base.Energy.Total())
+	fmt.Printf("  ESTEEM:   IPC %.3f, %.1f refreshes/KI, energy %.4f J\n",
+		tech.Cores[0].IPC, tech.RPKI(), tech.Energy.Total())
+	fmt.Printf("  -> energy saving %.1f%%, speedup %.3fx, RPKI -%.0f, MPKI +%.2f, active ratio %.0f%%\n",
+		c.EnergySavingPct, c.WeightedSpeedup, c.RPKIDecrease, c.MPKIIncrease, c.ActiveRatioPct)
+
+	// Where the energy went (Equations 2-8 of the paper).
+	fmt.Println("\nbaseline energy breakdown:")
+	b := base.Energy
+	fmt.Printf("  L2 refresh %.4f J (%.0f%% of L2)\n", b.L2Refresh, 100*b.L2Refresh/b.L2())
+	fmt.Printf("  L2 leakage %.4f J, L2 dynamic %.4f J, MM %.4f J\n", b.L2Leak, b.L2Dyn, b.MM())
+}

@@ -1,0 +1,83 @@
+// Refreshpolicies: compare every refresh-management policy in the
+// repository on workloads with different cache occupancy — the
+// baseline (refresh everything), Refrint periodic-valid, RPV and RPD,
+// ESTEEM, an ESTEEM ablation without valid-only refresh, and the
+// unrealizable no-refresh lower bound.
+//
+//	go run ./examples/refreshpolicies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	esteem "repro"
+)
+
+func main() {
+	policies := []esteem.Technique{
+		esteem.Baseline,
+		esteem.PeriodicValid,
+		esteem.RPV,
+		esteem.RPD,
+		esteem.SmartRefresh,
+		esteem.ECCExtended,
+		esteem.EsteemAllLineRefresh,
+		esteem.Esteem,
+		esteem.NoRefresh,
+	}
+	// gamess leaves the L2 nearly empty (valid-only policies shine);
+	// sphinx fills it with live data (only reconfiguration helps);
+	// lbm fills it with dead streaming data (refresh avoidance is
+	// cheap there, and ESTEEM also shuts capacity off).
+	workloads := []string{"gamess", "sphinx", "lbm"}
+
+	fmt.Println("% energy saving vs baseline (1-core, 4MB L2, 50us retention)")
+	fmt.Printf("%-16s", "policy")
+	for _, w := range workloads {
+		fmt.Printf(" %10s", w)
+	}
+	fmt.Println()
+
+	results := map[string]map[esteem.Technique]*esteem.Result{}
+	for _, w := range workloads {
+		results[w] = map[esteem.Technique]*esteem.Result{}
+		for _, p := range policies {
+			cfg := esteem.DefaultConfig(1)
+			cfg.Technique = p
+			cfg.MeasureInstr = 12_000_000
+			cfg.WarmupInstr = 6_000_000
+			r, err := esteem.Run(cfg, []string{w})
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[w][p] = r
+		}
+	}
+	for _, p := range policies {
+		fmt.Printf("%-16s", p)
+		for _, w := range workloads {
+			base := results[w][esteem.Baseline].Energy.Total()
+			cur := results[w][p].Energy.Total()
+			fmt.Printf(" %9.1f%%", 100*(base-cur)/base)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nrefreshes per kilo-instruction:")
+	for _, p := range policies {
+		fmt.Printf("%-16s", p)
+		for _, w := range workloads {
+			fmt.Printf(" %10.0f", results[w][p].RPKI())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nnotes:")
+	fmt.Println("  - no-refresh is an unrealizable lower bound (data would decay).")
+	fmt.Println("  - RPD trades refreshes for misses: check its MPKI against RPV's.")
+	for _, w := range workloads {
+		fmt.Printf("    %s: RPV MPKI %.2f vs RPD MPKI %.2f\n",
+			w, results[w][esteem.RPV].MPKI(), results[w][esteem.RPD].MPKI())
+	}
+}

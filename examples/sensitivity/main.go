@@ -1,0 +1,61 @@
+// Sensitivity: sweep ESTEEM's algorithm parameters (α, A_min, module
+// count) on one benchmark, mirroring the paper's Table 3 study, and
+// show the energy/performance trade-off each knob controls.
+//
+//	go run ./examples/sensitivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	esteem "repro"
+)
+
+func main() {
+	const bench = "sphinx"
+	base := run(esteem.Baseline, func(*esteem.Config) {})
+
+	fmt.Printf("%s, 1-core, 4MB L2: ESTEEM parameter sweep (vs baseline)\n\n", bench)
+	fmt.Printf("%-16s %9s %7s %9s %8s\n", "variant", "%esaving", "ws", "mpki-inc", "activ%")
+
+	show := func(label string, mutate func(*esteem.Config)) {
+		r := run(esteem.Esteem, mutate)
+		c := esteem.Compare(bench, base, r)
+		fmt.Printf("%-16s %9.2f %7.3f %9.2f %8.1f\n",
+			label, c.EnergySavingPct, c.WeightedSpeedup, c.MPKIIncrease, c.ActiveRatioPct)
+	}
+
+	show("default", func(*esteem.Config) {})
+	// Lower α = more aggressive turn-off (covers fewer hits).
+	show("alpha=0.95", func(c *esteem.Config) { c.Esteem.Alpha = 0.95 })
+	show("alpha=0.99", func(c *esteem.Config) { c.Esteem.Alpha = 0.99 })
+	// A_min bounds the worst case.
+	show("amin=2", func(c *esteem.Config) { c.Esteem.AMin = 2 })
+	show("amin=4", func(c *esteem.Config) { c.Esteem.AMin = 4 })
+	// Module count sets reconfiguration granularity.
+	show("2 modules", func(c *esteem.Config) { c.Modules = 2 })
+	show("32 modules", func(c *esteem.Config) { c.Modules = 32 })
+	// Leader-set density trades profiling fidelity for overhead.
+	show("Rs=32", func(c *esteem.Config) { c.SamplingRatio = 32 })
+	show("Rs=128", func(c *esteem.Config) { c.SamplingRatio = 128 })
+	// The paper's named future work: damp per-interval swings.
+	show("maxdelta=2", func(c *esteem.Config) { c.Esteem.MaxWayDelta = 2 })
+
+	// Equation 1: the counter overhead of the default configuration.
+	fmt.Printf("\nEquation 1 overhead (4MB, 16-way, 16 modules): %.3f%% of L2 capacity\n",
+		esteem.OverheadPercent(4096, 16, 16, 512, 40))
+}
+
+func run(tech esteem.Technique, mutate func(*esteem.Config)) *esteem.Result {
+	cfg := esteem.DefaultConfig(1)
+	cfg.Technique = tech
+	cfg.MeasureInstr = 16_000_000
+	cfg.WarmupInstr = 8_000_000
+	mutate(&cfg)
+	r, err := esteem.Run(cfg, []string{"sphinx"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

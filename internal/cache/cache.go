@@ -1,0 +1,583 @@
+// Package cache implements the set-associative cache model underlying
+// both the L1 caches and the reconfigurable eDRAM L2 cache of the
+// ESTEEM paper (Mittal, Vetter, Li — HPDC'14).
+//
+// The L2-specific machinery follows Sections 3–5 of the paper:
+//
+//   - The sets are partitioned into M contiguous "modules"; each module
+//     has its own count of powered-on ("active") ways, controlled by
+//     per-way disable bits (selective-ways reconfiguration).
+//   - Every Rs-th set is a "leader" set: it always keeps all ways
+//     active and never undergoes reconfiguration. Leader sets double
+//     as the auxiliary tag directory (ATD) embedded in the main tag
+//     directory; hit-position (LRU recency) histograms are collected
+//     from leader sets only.
+//   - On shrinking a module, clean lines in the disabled ways are
+//     dropped and dirty lines are written back (counted, so the
+//     simulator can charge main-memory traffic and energy).
+//
+// Replacement is true LRU, as in the paper's simulated hierarchy.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// Params configures a cache instance.
+type Params struct {
+	// Name is used in error messages and reports (e.g. "L2").
+	Name string
+	// SizeBytes is the total capacity. Must be divisible by
+	// LineBytes*Assoc into a power-of-two number of sets.
+	SizeBytes int
+	// Assoc is the number of ways per set.
+	Assoc int
+	// LineBytes is the cache line (block) size; the paper uses 64 B.
+	LineBytes int
+	// Latency is the access latency in cycles (informational; the
+	// simulator charges it).
+	Latency int
+	// Modules is the number of reconfiguration modules M. Sets are
+	// split into M contiguous ranges. Use 1 for non-reconfigurable
+	// caches (L1). Must divide the number of sets.
+	Modules int
+	// SamplingRatio is Rs: one of every Rs sets is a leader set.
+	// 0 disables leader sets entirely (L1 caches).
+	SamplingRatio int
+	// Banks is the number of banks lines are interleaved across; the
+	// paper's eDRAM L2 has 4. Use 1 when banking is irrelevant.
+	Banks int
+}
+
+// validate checks the parameter combination and derives the set count.
+func (p Params) validate() (sets int, err error) {
+	if p.SizeBytes <= 0 || p.Assoc <= 0 || p.LineBytes <= 0 {
+		return 0, fmt.Errorf("cache %s: size, assoc and line size must be positive", p.Name)
+	}
+	if p.SizeBytes%(p.LineBytes*p.Assoc) != 0 {
+		return 0, fmt.Errorf("cache %s: size %d not divisible by line*assoc", p.Name, p.SizeBytes)
+	}
+	sets = p.SizeBytes / (p.LineBytes * p.Assoc)
+	if bits.OnesCount(uint(sets)) != 1 {
+		return 0, fmt.Errorf("cache %s: set count %d is not a power of two", p.Name, sets)
+	}
+	if bits.OnesCount(uint(p.LineBytes)) != 1 {
+		return 0, fmt.Errorf("cache %s: line size %d is not a power of two", p.Name, p.LineBytes)
+	}
+	if p.Modules <= 0 {
+		return 0, fmt.Errorf("cache %s: modules must be >= 1", p.Name)
+	}
+	if sets%p.Modules != 0 {
+		return 0, fmt.Errorf("cache %s: %d sets not divisible into %d modules", p.Name, sets, p.Modules)
+	}
+	if p.SamplingRatio < 0 {
+		return 0, fmt.Errorf("cache %s: negative sampling ratio", p.Name)
+	}
+	if p.Banks <= 0 {
+		return 0, fmt.Errorf("cache %s: banks must be >= 1", p.Name)
+	}
+	if p.Assoc > 64 {
+		return 0, fmt.Errorf("cache %s: associativity %d > 64 unsupported", p.Name, p.Assoc)
+	}
+	return sets, nil
+}
+
+// line is one cache block's tag state.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// set holds the ways of one cache set plus its LRU stack.
+type set struct {
+	lines []line
+	// order lists way indices from MRU (order[0]) to LRU
+	// (order[assoc-1]).
+	order []uint8
+}
+
+// AccessResult reports what happened on one cache access.
+type AccessResult struct {
+	// Hit is true if the line was present in an active way.
+	Hit bool
+	// Way is the physical way that was hit or filled.
+	Way int
+	// LRUPos is the LRU-stack position of the hit (0 = MRU); -1 on a
+	// miss.
+	LRUPos int
+	// Set and Bank identify where the access landed.
+	Set, Bank int
+	// Module is the reconfiguration module of the set.
+	Module int
+	// Leader is true if the set is a leader (profiling) set.
+	Leader bool
+	// WritebackVictim is true when the fill evicted a dirty line that
+	// must be written back to the next level; VictimAddr is then the
+	// evicted line's address.
+	WritebackVictim bool
+	VictimAddr      Addr
+}
+
+// Counters is a snapshot of access statistics.
+type Counters struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions (demand misses + reconfiguration flushes)
+	Fills      uint64
+}
+
+// Accesses returns hits + misses.
+func (c Counters) Accesses() uint64 { return c.Hits + c.Misses }
+
+// Observer receives line lifecycle events; refresh policies (e.g.
+// Refrint RPV) use it to track per-line touch phases without the cache
+// knowing about them.
+type Observer interface {
+	// OnTouch fires on every hit or fill of (set, way).
+	OnTouch(set, way int)
+	// OnInvalidate fires whenever a line becomes invalid (eviction or
+	// reconfiguration flush).
+	OnInvalidate(set, way int)
+}
+
+// Cache is a single-level set-associative cache.
+type Cache struct {
+	p          Params
+	sets       []set
+	numSets    int
+	setsPerMod int
+	lineShift  uint
+	setMask    uint64
+
+	// activeWays[m] is the number of powered-on ways in module m;
+	// ways [0, activeWays[m]) are active in follower sets.
+	activeWays []int
+
+	// validByBank[b] counts valid lines whose set maps to bank b.
+	// Because disabled ways are flushed, every valid line is in an
+	// active way (or in a leader set, which is always fully active).
+	validByBank []int
+
+	// hitPos[m][pos] counts leader-set hits in module m at LRU
+	// position pos since the last ResetInterval.
+	hitPos [][]uint64
+
+	total    Counters // since construction
+	interval Counters // since last ResetInterval
+
+	observer Observer
+}
+
+// New builds a cache from p. All ways start active and all lines
+// invalid.
+func New(p Params) (*Cache, error) {
+	numSets, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		p:           p,
+		numSets:     numSets,
+		setsPerMod:  numSets / p.Modules,
+		lineShift:   uint(bits.TrailingZeros(uint(p.LineBytes))),
+		setMask:     uint64(numSets - 1),
+		activeWays:  make([]int, p.Modules),
+		validByBank: make([]int, p.Banks),
+		hitPos:      make([][]uint64, p.Modules),
+	}
+	c.sets = make([]set, numSets)
+	for i := range c.sets {
+		c.sets[i].lines = make([]line, p.Assoc)
+		c.sets[i].order = make([]uint8, p.Assoc)
+		for w := range c.sets[i].order {
+			c.sets[i].order[w] = uint8(w)
+		}
+	}
+	for m := range c.activeWays {
+		c.activeWays[m] = p.Assoc
+		c.hitPos[m] = make([]uint64, p.Assoc)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for tests and fixed configs.
+func MustNew(p Params) *Cache {
+	c, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SetObserver installs an observer for line lifecycle events.
+// A nil observer disables notifications.
+func (c *Cache) SetObserver(o Observer) { c.observer = o }
+
+// Params returns the construction parameters.
+func (c *Cache) Params() Params { return c.p }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// NumModules returns M.
+func (c *Cache) NumModules() int { return c.p.Modules }
+
+// SetsPerModule returns S/M.
+func (c *Cache) SetsPerModule() int { return c.setsPerMod }
+
+// SetIndex maps an address to its set.
+func (c *Cache) SetIndex(a Addr) int {
+	return int((uint64(a) >> c.lineShift) & c.setMask)
+}
+
+// tagOf extracts the tag for an address.
+func (c *Cache) tagOf(a Addr) uint64 {
+	return uint64(a) >> c.lineShift >> uint(bits.TrailingZeros(uint(c.numSets)))
+}
+
+// lineAddr reconstructs the base address of the line with the given
+// tag in the given set (inverse of SetIndex/tagOf).
+func (c *Cache) lineAddr(setIdx int, tag uint64) Addr {
+	return Addr((tag*uint64(c.numSets) + uint64(setIdx)) << c.lineShift)
+}
+
+// ModuleOf returns the module of a set index.
+func (c *Cache) ModuleOf(setIdx int) int { return setIdx / c.setsPerMod }
+
+// BankOf returns the bank a set maps to (low-order interleaving).
+func (c *Cache) BankOf(setIdx int) int { return setIdx % c.p.Banks }
+
+// IsLeader reports whether a set is a leader (profiling) set.
+func (c *Cache) IsLeader(setIdx int) bool {
+	return c.p.SamplingRatio > 0 && setIdx%c.p.SamplingRatio == 0
+}
+
+// NumLeaderSets returns the number of leader sets.
+func (c *Cache) NumLeaderSets() int {
+	if c.p.SamplingRatio <= 0 {
+		return 0
+	}
+	return (c.numSets + c.p.SamplingRatio - 1) / c.p.SamplingRatio
+}
+
+// waysFor returns how many ways are active for a given set.
+func (c *Cache) waysFor(setIdx int) int {
+	if c.IsLeader(setIdx) {
+		return c.p.Assoc
+	}
+	return c.activeWays[c.ModuleOf(setIdx)]
+}
+
+// Access performs a read (write=false) or write (write=true) to addr
+// and updates replacement and statistics. On a miss the line is filled
+// (allocate-on-miss for both reads and writes, matching a write-back,
+// write-allocate LLC).
+func (c *Cache) Access(addr Addr, write bool) AccessResult {
+	setIdx := c.SetIndex(addr)
+	tag := c.tagOf(addr)
+	s := &c.sets[setIdx]
+	nActive := c.waysFor(setIdx)
+	res := AccessResult{
+		Set:    setIdx,
+		Bank:   c.BankOf(setIdx),
+		Module: c.ModuleOf(setIdx),
+		Leader: c.IsLeader(setIdx),
+		LRUPos: -1,
+	}
+
+	// Probe active ways. The LRU position is the index within the
+	// recency stack, which is what Algorithm 1's nL2Hit indexes by.
+	for pos := 0; pos < c.p.Assoc; pos++ {
+		w := int(s.order[pos])
+		if w >= nActive {
+			continue // disabled way: cannot hold a valid line, skip
+		}
+		ln := &s.lines[w]
+		if ln.valid && ln.tag == tag {
+			res.Hit = true
+			res.Way = w
+			res.LRUPos = pos
+			if write {
+				ln.dirty = true
+			}
+			c.promote(s, pos)
+			c.total.Hits++
+			c.interval.Hits++
+			if res.Leader {
+				c.hitPos[res.Module][pos]++
+			}
+			if c.observer != nil {
+				c.observer.OnTouch(setIdx, w)
+			}
+			return res
+		}
+	}
+
+	// Miss: choose a victim among active ways — the lowest-numbered
+	// invalid active way if one exists (so fills pack into low ways,
+	// the ones selective-ways keeps enabled), otherwise the LRU
+	// active way.
+	c.total.Misses++
+	c.interval.Misses++
+	victimWay := -1
+	for w := 0; w < nActive; w++ {
+		if !s.lines[w].valid {
+			victimWay = w
+			break
+		}
+	}
+	victimPos := -1
+	if victimWay >= 0 {
+		for pos := 0; pos < c.p.Assoc; pos++ {
+			if int(s.order[pos]) == victimWay {
+				victimPos = pos
+				break
+			}
+		}
+	} else {
+		for pos := c.p.Assoc - 1; pos >= 0; pos-- {
+			if int(s.order[pos]) < nActive {
+				victimPos = pos
+				break
+			}
+		}
+	}
+	if victimPos < 0 {
+		// No active ways at all — cannot happen with A_min >= 1, but
+		// guard against misconfiguration rather than corrupt state.
+		panic(fmt.Sprintf("cache %s: set %d has zero active ways", c.p.Name, setIdx))
+	}
+	w := int(s.order[victimPos])
+	ln := &s.lines[w]
+	if ln.valid {
+		if ln.dirty {
+			res.WritebackVictim = true
+			res.VictimAddr = c.lineAddr(setIdx, ln.tag)
+			c.total.Writebacks++
+			c.interval.Writebacks++
+		}
+		c.validByBank[res.Bank]--
+		if c.observer != nil {
+			c.observer.OnInvalidate(setIdx, w)
+		}
+	}
+	ln.tag = tag
+	ln.valid = true
+	ln.dirty = write
+	c.validByBank[res.Bank]++
+	c.total.Fills++
+	c.interval.Fills++
+	res.Way = w
+	c.promote(s, victimPos)
+	if c.observer != nil {
+		c.observer.OnTouch(setIdx, w)
+	}
+	return res
+}
+
+// promote moves the way at stack position pos to MRU.
+func (c *Cache) promote(s *set, pos int) {
+	w := s.order[pos]
+	copy(s.order[1:pos+1], s.order[:pos])
+	s.order[0] = w
+}
+
+// Probe reports whether addr is present in an active way, without
+// disturbing replacement state or statistics.
+func (c *Cache) Probe(addr Addr) bool {
+	setIdx := c.SetIndex(addr)
+	tag := c.tagOf(addr)
+	s := &c.sets[setIdx]
+	nActive := c.waysFor(setIdx)
+	for pos := 0; pos < c.p.Assoc; pos++ {
+		w := int(s.order[pos])
+		if w >= nActive {
+			continue
+		}
+		if s.lines[w].valid && s.lines[w].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// SetActiveWays reconfigures module m to keep n ways powered on.
+// Shrinking flushes the disabled ways of every follower set in the
+// module: clean lines are dropped and dirty lines counted as
+// writebacks. It returns the number of lines invalidated and how many
+// of those were dirty (writebacks). Growing simply enables the ways.
+// It panics if m or n is out of range, matching the paper's invariant
+// that the controller always requests 1 <= n <= A.
+func (c *Cache) SetActiveWays(m, n int) (invalidated, writebacks int) {
+	if m < 0 || m >= c.p.Modules {
+		panic(fmt.Sprintf("cache %s: module %d out of range", c.p.Name, m))
+	}
+	if n < 1 || n > c.p.Assoc {
+		panic(fmt.Sprintf("cache %s: active ways %d out of range [1,%d]", c.p.Name, n, c.p.Assoc))
+	}
+	old := c.activeWays[m]
+	c.activeWays[m] = n
+	if n >= old {
+		return 0, 0
+	}
+	lo, hi := m*c.setsPerMod, (m+1)*c.setsPerMod
+	for setIdx := lo; setIdx < hi; setIdx++ {
+		if c.IsLeader(setIdx) {
+			continue // leader sets never reconfigure (Section 3.2)
+		}
+		s := &c.sets[setIdx]
+		for w := n; w < old; w++ {
+			ln := &s.lines[w]
+			if !ln.valid {
+				continue
+			}
+			if ln.dirty {
+				writebacks++
+				c.total.Writebacks++
+				c.interval.Writebacks++
+			}
+			ln.valid = false
+			ln.dirty = false
+			invalidated++
+			c.validByBank[c.BankOf(setIdx)]--
+			if c.observer != nil {
+				c.observer.OnInvalidate(setIdx, w)
+			}
+		}
+	}
+	return invalidated, writebacks
+}
+
+// ActiveWays returns the active-way count of module m.
+func (c *Cache) ActiveWays(m int) int { return c.activeWays[m] }
+
+// ActiveFraction returns F_A: the fraction of the cache's lines that
+// are powered on, counting leader sets (always fully on) and follower
+// sets at their configured width — exactly the accounting the paper
+// requires ("F_A for ESTEEM duly takes into account the active area
+// due to leader and follower sets").
+func (c *Cache) ActiveFraction() float64 {
+	activeLines := 0
+	for m := 0; m < c.p.Modules; m++ {
+		lo, hi := m*c.setsPerMod, (m+1)*c.setsPerMod
+		leaders := 0
+		for setIdx := lo; setIdx < hi; setIdx++ {
+			if c.IsLeader(setIdx) {
+				leaders++
+			}
+		}
+		followers := c.setsPerMod - leaders
+		activeLines += leaders*c.p.Assoc + followers*c.activeWays[m]
+	}
+	return float64(activeLines) / float64(c.numSets*c.p.Assoc)
+}
+
+// ValidByBank returns the number of valid lines mapped to bank b.
+func (c *Cache) ValidByBank(b int) int { return c.validByBank[b] }
+
+// ValidLines returns the total number of valid lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, v := range c.validByBank {
+		n += v
+	}
+	return n
+}
+
+// TotalLines returns S*A.
+func (c *Cache) TotalLines() int { return c.numSets * c.p.Assoc }
+
+// LinesPerBank returns the number of line frames in bank b.
+func (c *Cache) LinesPerBank(b int) int {
+	// Sets are interleaved across banks low-order; with a power-of-two
+	// set count and any bank count, distribute remainders exactly.
+	full := c.numSets / c.p.Banks
+	if b < c.numSets%c.p.Banks {
+		full++
+	}
+	return full * c.p.Assoc
+}
+
+// LineState reports the valid/dirty state of the line at (setIdx, way).
+func (c *Cache) LineState(setIdx, way int) (valid, dirty bool) {
+	ln := &c.sets[setIdx].lines[way]
+	return ln.valid, ln.dirty
+}
+
+// HitPositions returns the leader-set hit histogram for module m at
+// the current interval: element i counts hits at LRU position i since
+// the last ResetInterval. The returned slice aliases internal state;
+// callers must not modify it and must copy if retaining across
+// ResetInterval.
+func (c *Cache) HitPositions(m int) []uint64 { return c.hitPos[m] }
+
+// TotalCounters returns statistics since construction.
+func (c *Cache) TotalCounters() Counters { return c.total }
+
+// IntervalCounters returns statistics since the last ResetInterval.
+func (c *Cache) IntervalCounters() Counters { return c.interval }
+
+// ResetInterval clears the interval counters and leader histograms.
+// The ESTEEM controller calls it after consuming an interval's
+// profiling data.
+func (c *Cache) ResetInterval() {
+	c.interval = Counters{}
+	for m := range c.hitPos {
+		for i := range c.hitPos[m] {
+			c.hitPos[m][i] = 0
+		}
+	}
+}
+
+// InvalidateAll drops every line (counting dirty writebacks), e.g. for
+// tests and for policies that eagerly invalidate.
+func (c *Cache) InvalidateAll() (writebacks int) {
+	for setIdx := range c.sets {
+		s := &c.sets[setIdx]
+		for w := range s.lines {
+			ln := &s.lines[w]
+			if !ln.valid {
+				continue
+			}
+			if ln.dirty {
+				writebacks++
+				c.total.Writebacks++
+				c.interval.Writebacks++
+			}
+			ln.valid = false
+			ln.dirty = false
+			c.validByBank[c.BankOf(setIdx)]--
+			if c.observer != nil {
+				c.observer.OnInvalidate(setIdx, w)
+			}
+		}
+	}
+	return writebacks
+}
+
+// InvalidateLine invalidates (set, way) if valid, returning whether it
+// was dirty. Used by eager-invalidation refresh policies (Refrint
+// RPD).
+func (c *Cache) InvalidateLine(setIdx, way int) (wasValid, wasDirty bool) {
+	ln := &c.sets[setIdx].lines[way]
+	if !ln.valid {
+		return false, false
+	}
+	wasDirty = ln.dirty
+	if wasDirty {
+		c.total.Writebacks++
+		c.interval.Writebacks++
+	}
+	ln.valid = false
+	ln.dirty = false
+	c.validByBank[c.BankOf(setIdx)]--
+	if c.observer != nil {
+		c.observer.OnInvalidate(setIdx, way)
+	}
+	return true, wasDirty
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/xrand"
+)
+
+// TestAlgorithmWorkedExample pins the worked example from Section 3.1
+// of the paper: with per-position hits
+// {10816, 4645, 2140, 501, 217, 113, 63, 11} (H = 18506),
+// α = 0.97 requires X = 4 active ways and α = 0.95 requires X = 3.
+func TestAlgorithmWorkedExample(t *testing.T) {
+	hits := []uint64{10816, 4645, 2140, 501, 217, 113, 63, 11}
+	if got := DecideModule(hits, Config{Alpha: 0.97, AMin: 1}); got != 4 {
+		t.Fatalf("alpha=0.97: X = %d, want 4", got)
+	}
+	if got := DecideModule(hits, Config{Alpha: 0.95, AMin: 1}); got != 3 {
+		t.Fatalf("alpha=0.95: X = %d, want 3", got)
+	}
+}
+
+func TestAMinFloor(t *testing.T) {
+	// Extremely concentrated hits: coverage reached at position 0,
+	// but A_min must floor the decision.
+	hits := []uint64{1000, 0, 0, 0, 0, 0, 0, 0}
+	if got := DecideModule(hits, Config{Alpha: 0.97, AMin: 3}); got != 3 {
+		t.Fatalf("X = %d, want A_min = 3", got)
+	}
+}
+
+func TestZeroHitsGivesAMin(t *testing.T) {
+	// A module with no hits at all (e.g. streaming) shrinks to A_min.
+	hits := make([]uint64, 16)
+	if got := DecideModule(hits, Config{Alpha: 0.97, AMin: 3}); got != 3 {
+		t.Fatalf("X = %d, want 3", got)
+	}
+}
+
+func TestIsNonLRU(t *testing.T) {
+	cases := []struct {
+		name string
+		hits []uint64
+		want bool
+	}{
+		{"monotone", []uint64{100, 50, 25, 12, 6, 3, 2, 1}, false},
+		{"flat", []uint64{5, 5, 5, 5, 5, 5, 5, 5}, false}, // ties are not anomalies (strict <)
+		// A/4 = 2 anomalies needed for A=8.
+		{"one-anomaly", []uint64{100, 50, 60, 12, 6, 3, 2, 1}, false},
+		{"two-anomalies", []uint64{100, 50, 60, 12, 20, 3, 2, 1}, true},
+		{"increasing", []uint64{1, 2, 3, 4, 5, 6, 7, 8}, true},
+		{"empty", nil, true}, // 0 anomalies >= 0/4: vacuously non-LRU; never occurs (A >= 1)
+	}
+	for _, c := range cases {
+		if got := IsNonLRU(c.hits); got != c.want {
+			t.Errorf("%s: IsNonLRU = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestNonLRUClampKeepsAMinusOne(t *testing.T) {
+	// Strongly non-LRU pattern whose coverage point is early: the
+	// clamp of Algorithm 1 line 22 must keep A-1 ways.
+	hits := []uint64{100, 10, 90, 10, 80, 10, 70, 10}
+	got := DecideModule(hits, Config{Alpha: 0.5, AMin: 2})
+	if got != 7 {
+		t.Fatalf("X = %d, want A-1 = 7", got)
+	}
+}
+
+func TestAlphaOneKeepsThroughLastHit(t *testing.T) {
+	// α = 1 requires covering all hits: the decision is the deepest
+	// position with a hit.
+	hits := []uint64{10, 5, 0, 2, 0, 0, 0, 0}
+	got := DecideModule(hits, Config{Alpha: 1, AMin: 1})
+	if got != 4 {
+		t.Fatalf("X = %d, want 4 (deepest hit position +1)", got)
+	}
+}
+
+func TestDecideModuleProperties(t *testing.T) {
+	err := quick.Check(func(seed uint64, aminRaw, alphaRaw uint8) bool {
+		rng := xrand.New(seed)
+		a := 16
+		hits := make([]uint64, a)
+		for i := range hits {
+			hits[i] = rng.Uint64n(10000)
+		}
+		amin := int(aminRaw%uint8(a)) + 1
+		alpha := 0.5 + float64(alphaRaw%50)/100
+		n := DecideModule(hits, Config{Alpha: alpha, AMin: amin})
+		// Bounds.
+		if n < 1 || n > a {
+			return false
+		}
+		if IsNonLRU(hits) {
+			// Non-LRU modules keep at least A-1 ways. (Algorithm 1
+			// line 22 overwrites the A_min clamp, so A_min does not
+			// apply here.)
+			if n < a-1 {
+				return false
+			}
+		} else if n < amin {
+			// A_min floor holds for LRU-friendly modules.
+			return false
+		}
+		// Coverage: the chosen prefix covers >= alpha of hits.
+		var tot, acc uint64
+		for _, h := range hits {
+			tot += h
+		}
+		for i := 0; i < n; i++ {
+			acc += hits[i]
+		}
+		return float64(acc) >= alpha*float64(tot)-1e-9
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecideMonotonicInAlpha(t *testing.T) {
+	// Raising α can never decrease the number of active ways.
+	err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		hits := make([]uint64, 16)
+		for i := range hits {
+			hits[i] = rng.Uint64n(5000)
+		}
+		prev := 0
+		for _, alpha := range []float64{0.5, 0.7, 0.9, 0.95, 0.97, 0.99, 1.0} {
+			n := DecideModule(hits, Config{Alpha: alpha, AMin: 1})
+			if n < prev {
+				return false
+			}
+			prev = n
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Alpha: 0, AMin: 3},
+		{Alpha: 1.5, AMin: 3},
+		{Alpha: -0.5, AMin: 3},
+		{Alpha: 0.97, AMin: 0},
+		{Alpha: 0.97, AMin: 17},
+	}
+	for _, c := range bad {
+		if c.Validate(16) == nil {
+			t.Errorf("Config %+v: expected error", c)
+		}
+	}
+	if err := DefaultConfig().Validate(16); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// TestOverheadEquation pins Equation (1) with the paper's example:
+// a 4 MB cache (S=4096, A=16, B=512 bits, G=40 bits) with 16 modules
+// has overhead ~0.06% of L2 capacity.
+func TestOverheadEquation(t *testing.T) {
+	got := OverheadPercent(4096, 16, 16, 512, 40)
+	if math.Abs(got-0.06) > 0.005 {
+		t.Fatalf("overhead = %v%%, want ~0.06%%", got)
+	}
+	if got >= 0.1 {
+		t.Fatalf("overhead %v%% violates the paper's <0.1%% claim", got)
+	}
+}
+
+func newTestCache(t *testing.T) *cache.Cache {
+	t.Helper()
+	// 64 sets, 8 ways, 4 modules, sampling 16 → 4 leader sets
+	// (0, 16, 32, 48), one per module.
+	return cache.MustNew(cache.Params{
+		Name: "L2", SizeBytes: 64 * 8 * 64, Assoc: 8, LineBytes: 64,
+		Modules: 4, Banks: 4, SamplingRatio: 16,
+	})
+}
+
+func addrFor(set, tag, numSets int) cache.Addr {
+	return cache.Addr(uint64(tag)*uint64(numSets)*64 + uint64(set)*64)
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	c := newTestCache(t)
+	if _, err := NewController(c, Config{Alpha: 2, AMin: 3}); err == nil {
+		t.Error("bad alpha accepted")
+	}
+	noLeaders := cache.MustNew(cache.Params{
+		Name: "L2", SizeBytes: 64 * 8 * 64, Assoc: 8, LineBytes: 64,
+		Modules: 4, Banks: 4,
+	})
+	if _, err := NewController(noLeaders, Config{Alpha: 0.97, AMin: 3}); err == nil {
+		t.Error("cache without leader sets accepted")
+	}
+	if _, err := NewController(c, DefaultConfig()); err != nil {
+		t.Errorf("valid controller rejected: %v", err)
+	}
+}
+
+func TestEndIntervalShrinksIdleModules(t *testing.T) {
+	c := newTestCache(t)
+	ctl, err := NewController(c, Config{Alpha: 0.97, AMin: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate MRU-concentrated hits in leader set 0 (module 0):
+	// repeatedly touch one line.
+	c.Access(addrFor(0, 1, 64), false)
+	for i := 0; i < 100; i++ {
+		c.Access(addrFor(0, 1, 64), false)
+	}
+	d := ctl.EndInterval()
+	if d.ActiveWays[0] != 2 {
+		t.Fatalf("module 0 active ways = %d, want A_min = 2", d.ActiveWays[0])
+	}
+	// Modules with zero hits also shrink to A_min.
+	for m := 1; m < 4; m++ {
+		if d.ActiveWays[m] != 2 {
+			t.Fatalf("idle module %d active ways = %d, want 2", m, d.ActiveWays[m])
+		}
+	}
+	if c.ActiveWays(0) != 2 {
+		t.Fatal("decision not applied to cache")
+	}
+}
+
+func TestEndIntervalKeepsBusyModuleWide(t *testing.T) {
+	c := newTestCache(t)
+	ctl, err := NewController(c, Config{Alpha: 0.97, AMin: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leader set 16 is in module 1 (sets 16-31). Cycle through 8
+	// distinct tags twice so hits land across all 8 LRU positions...
+	// Access pattern: fill 8 tags, then re-access in fill order: each
+	// re-access hits at LRU position 7 (the oldest). That's an
+	// anti-LRU scan → non-LRU detection keeps A-1.
+	for tag := 1; tag <= 8; tag++ {
+		c.Access(addrFor(16, tag, 64), false)
+	}
+	for round := 0; round < 10; round++ {
+		for tag := 1; tag <= 8; tag++ {
+			c.Access(addrFor(16, tag, 64), false)
+		}
+	}
+	d := ctl.EndInterval()
+	if d.ActiveWays[1] < 7 {
+		t.Fatalf("scanning module shrunk to %d ways; non-LRU guard should keep >= 7", d.ActiveWays[1])
+	}
+}
+
+func TestEndIntervalCountsTransitions(t *testing.T) {
+	c := newTestCache(t)
+	ctl, err := NewController(c, Config{Alpha: 0.97, AMin: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ctl.EndInterval() // all modules 8 → 2 ways
+	// Each module: 16 sets, 1 leader → 15 follower sets × 6 ways
+	// turned off = 90 line transitions; 4 modules → 360.
+	if d.LinesTransitioned != 360 {
+		t.Fatalf("lines transitioned = %d, want 360", d.LinesTransitioned)
+	}
+	// Second interval with no hits: modules stay at 2, no transitions.
+	d2 := ctl.EndInterval()
+	if d2.LinesTransitioned != 0 {
+		t.Fatalf("steady state transitions = %d, want 0", d2.LinesTransitioned)
+	}
+	st := ctl.Stats()
+	if st.Intervals != 2 || st.LinesTransitioned != 360 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEndIntervalFlushCounts(t *testing.T) {
+	c := newTestCache(t)
+	ctl, err := NewController(c, Config{Alpha: 0.97, AMin: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty a line in a follower set's way 7 (fill 8 ways of set 1,
+	// last one dirty). Fills go to ways 0..7 in order.
+	for tag := 1; tag <= 8; tag++ {
+		c.Access(addrFor(1, tag, 64), tag == 8)
+	}
+	d := ctl.EndInterval() // shrink flushes ways 2..7 of followers
+	if d.Invalidated < 6 {
+		t.Fatalf("invalidated = %d, want >= 6", d.Invalidated)
+	}
+	if d.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", d.Writebacks)
+	}
+}
+
+func TestEndIntervalResetsHistograms(t *testing.T) {
+	c := newTestCache(t)
+	ctl, err := NewController(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(addrFor(0, 1, 64), false)
+	c.Access(addrFor(0, 1, 64), false)
+	ctl.EndInterval()
+	for _, v := range c.HitPositions(0) {
+		if v != 0 {
+			t.Fatal("histograms not reset after EndInterval")
+		}
+	}
+}
+
+func TestControllerGrowsBack(t *testing.T) {
+	c := newTestCache(t)
+	ctl, err := NewController(c, Config{Alpha: 0.97, AMin: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.EndInterval() // idle → all modules at 2
+	// Cycle over 6 tags in the (always 8-way) leader set 0: in steady
+	// state every access hits at LRU position 5, so α coverage needs
+	// 6 ways — and a single anomaly (position 4→5) stays below the
+	// A/4 = 2 non-LRU threshold.
+	for round := 0; round < 20; round++ {
+		for tag := 1; tag <= 6; tag++ {
+			c.Access(addrFor(0, tag, 64), false)
+		}
+	}
+	d := ctl.EndInterval()
+	if d.ActiveWays[0] != 6 {
+		t.Fatalf("module 0 active ways = %d, want 6", d.ActiveWays[0])
+	}
+}
+
+func TestDisableNonLRUGuard(t *testing.T) {
+	// A strongly non-LRU profile whose coverage point is early: with
+	// the guard the decision is A-1; with the ablation flag it falls
+	// back to pure coverage.
+	hits := []uint64{100, 10, 90, 10, 80, 10, 70, 10}
+	guarded := DecideModule(hits, Config{Alpha: 0.5, AMin: 2})
+	unguarded := DecideModule(hits, Config{Alpha: 0.5, AMin: 2, DisableNonLRUGuard: true})
+	if guarded != 7 {
+		t.Fatalf("guarded = %d, want 7", guarded)
+	}
+	if unguarded >= guarded {
+		t.Fatalf("unguarded = %d, want < %d", unguarded, guarded)
+	}
+}
+
+func TestMaxWayDeltaDampsSwings(t *testing.T) {
+	c := newTestCache(t)
+	ctl, err := NewController(c, Config{Alpha: 0.97, AMin: 2, MaxWayDelta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle interval would shrink 8 -> 2 directly; with MaxWayDelta=2
+	// it must step 8 -> 6 -> 4 -> 2 across intervals.
+	want := []int{6, 4, 2, 2}
+	for step, w := range want {
+		d := ctl.EndInterval()
+		for m, got := range d.ActiveWays {
+			if got != w {
+				t.Fatalf("step %d module %d: ways = %d, want %d", step, m, got, w)
+			}
+		}
+	}
+}
+
+func TestMaxWayDeltaValidation(t *testing.T) {
+	if (Config{Alpha: 0.97, AMin: 3, MaxWayDelta: -1}).Validate(16) == nil {
+		t.Fatal("negative MaxWayDelta accepted")
+	}
+	if (Config{Alpha: 0.97, AMin: 3, MaxWayDelta: 4}).Validate(16) != nil {
+		t.Fatal("valid MaxWayDelta rejected")
+	}
+}

@@ -1,0 +1,213 @@
+// Package edram models the refresh behaviour of an embedded-DRAM
+// (gain cell) cache, per Section 6.1 of the ESTEEM paper:
+//
+//   - every cell must be refreshed within its retention period
+//     (40–50 µs at the modelled temperatures, i.e. 80–100 k cycles at
+//     2 GHz — about a thousand times shorter than commodity DRAM);
+//   - the cache is banked (4 banks in the paper) and each bank has
+//     dedicated, pipelined refresh logic that refreshes one line per
+//     cycle;
+//   - while a bank is refreshing, demand accesses to it stall, which
+//     is the paper's refresh-induced performance loss.
+//
+// The Engine schedules refresh events lazily as simulated time
+// advances; a Policy decides how many lines each event refreshes in
+// each bank (all frames for the baseline, valid lines only for
+// ESTEEM, per-phase subsets for the Refrint policies in package
+// refrint).
+package edram
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Clock is the simulated cycle counter shared between the simulator
+// and refresh policies (policies need the current cycle to compute
+// the retention phase of a touch).
+type Clock struct {
+	Cycle uint64
+}
+
+// Params configures the refresh engine.
+type Params struct {
+	// RetentionCycles is the retention period in core cycles
+	// (e.g. 100000 for 50 µs at 2 GHz).
+	RetentionCycles uint64
+	// Banks is the number of independently refreshable banks.
+	Banks int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.RetentionCycles == 0 {
+		return fmt.Errorf("edram: retention period must be positive")
+	}
+	if p.Banks <= 0 {
+		return fmt.Errorf("edram: banks must be >= 1")
+	}
+	return nil
+}
+
+// RetentionCyclesFor converts a retention period in microseconds and
+// a core frequency in GHz to cycles.
+func RetentionCyclesFor(retentionMicros, freqGHz float64) uint64 {
+	return uint64(retentionMicros * 1000 * freqGHz)
+}
+
+// Policy decides what each refresh event refreshes.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// EventsPerWindow is the number of refresh events per retention
+	// window: 1 for periodic policies, the phase count for polyphase
+	// (Refrint) policies.
+	EventsPerWindow() int
+	// RefreshEvent performs the refresh work for the given bank at
+	// the given event index within the window and returns the number
+	// of lines refreshed. It may mutate state (e.g. Refrint RPD
+	// invalidates clean lines instead of refreshing them).
+	RefreshEvent(bank, event int) int
+}
+
+// Engine schedules refresh events and tracks the resulting bank
+// occupancy and refresh counts.
+type Engine struct {
+	p      Params
+	policy Policy
+
+	eventSpacing uint64 // cycles between refresh events
+	nextEvent    uint64 // cycle of the next pending event
+	eventIdx     int    // index of the next event within its window
+
+	// busyUntil[b] is the first cycle at which bank b has no pending
+	// refresh work.
+	busyUntil []uint64
+
+	totalRefreshed    uint64
+	intervalRefreshed uint64
+	totalBusyCycles   uint64
+	events            uint64
+}
+
+// NewEngine builds a refresh engine. The first refresh event fires at
+// the end of the first sub-window (cycle RetentionCycles /
+// EventsPerWindow), then every sub-window thereafter.
+func NewEngine(p Params, policy Policy) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ev := policy.EventsPerWindow()
+	if ev <= 0 {
+		return nil, fmt.Errorf("edram: policy %q has %d events per window", policy.Name(), ev)
+	}
+	if uint64(ev) > p.RetentionCycles {
+		return nil, fmt.Errorf("edram: %d events do not fit in %d retention cycles", ev, p.RetentionCycles)
+	}
+	spacing := p.RetentionCycles / uint64(ev)
+	return &Engine{
+		p:            p,
+		policy:       policy,
+		eventSpacing: spacing,
+		nextEvent:    spacing,
+		busyUntil:    make([]uint64, p.Banks),
+	}, nil
+}
+
+// Policy returns the engine's refresh policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// AdvanceTo processes every refresh event scheduled at or before
+// cycle. It is idempotent for non-increasing cycles.
+func (e *Engine) AdvanceTo(cycle uint64) {
+	for e.nextEvent <= cycle {
+		start := e.nextEvent
+		for b := 0; b < e.p.Banks; b++ {
+			n := uint64(e.policy.RefreshEvent(b, e.eventIdx))
+			if n == 0 {
+				continue
+			}
+			if e.busyUntil[b] < start {
+				e.busyUntil[b] = start
+			}
+			e.busyUntil[b] += n
+			e.totalRefreshed += n
+			e.intervalRefreshed += n
+			e.totalBusyCycles += n
+		}
+		e.events++
+		e.eventIdx = (e.eventIdx + 1) % e.policy.EventsPerWindow()
+		e.nextEvent += e.eventSpacing
+	}
+}
+
+// AccessDelay returns how many cycles a demand access to bank at the
+// given cycle must wait for in-progress refresh work. It advances the
+// engine to cycle first.
+func (e *Engine) AccessDelay(bank int, cycle uint64) uint64 {
+	e.AdvanceTo(cycle)
+	if e.busyUntil[bank] > cycle {
+		return e.busyUntil[bank] - cycle
+	}
+	return 0
+}
+
+// TotalRefreshed returns the number of line refreshes performed since
+// construction.
+func (e *Engine) TotalRefreshed() uint64 { return e.totalRefreshed }
+
+// IntervalRefreshed returns the refreshes since the last
+// ResetInterval; this is N_R in the paper's energy model.
+func (e *Engine) IntervalRefreshed() uint64 { return e.intervalRefreshed }
+
+// ResetInterval clears the interval refresh counter.
+func (e *Engine) ResetInterval() { e.intervalRefreshed = 0 }
+
+// TotalBusyCycles returns the cumulative bank-cycles spent refreshing.
+func (e *Engine) TotalBusyCycles() uint64 { return e.totalBusyCycles }
+
+// Events returns the number of refresh events processed.
+func (e *Engine) Events() uint64 { return e.events }
+
+// RefreshAll is the paper's baseline policy: every line frame in the
+// cache is refreshed once per retention window, valid or not.
+type RefreshAll struct {
+	c *cache.Cache
+}
+
+// NewRefreshAll builds the baseline policy over c.
+func NewRefreshAll(c *cache.Cache) *RefreshAll { return &RefreshAll{c: c} }
+
+func (p *RefreshAll) Name() string         { return "baseline" }
+func (p *RefreshAll) EventsPerWindow() int { return 1 }
+func (p *RefreshAll) RefreshEvent(bank, event int) int {
+	return p.c.LinesPerBank(bank)
+}
+
+// ValidOnly refreshes only the currently valid lines, once per
+// retention window. ESTEEM uses it for the active portion of the
+// cache: powered-off ways hold no valid lines, so they are skipped
+// automatically, and within the active portion only valid blocks are
+// refreshed (Section 3.1).
+type ValidOnly struct {
+	c *cache.Cache
+}
+
+// NewValidOnly builds the valid-lines-only policy over c.
+func NewValidOnly(c *cache.Cache) *ValidOnly { return &ValidOnly{c: c} }
+
+func (p *ValidOnly) Name() string         { return "valid-only" }
+func (p *ValidOnly) EventsPerWindow() int { return 1 }
+func (p *ValidOnly) RefreshEvent(bank, event int) int {
+	return p.c.ValidByBank(bank)
+}
+
+// None performs no refreshes. It is not a realizable eDRAM policy
+// (data would decay); it serves as an idealized lower bound in
+// ablation experiments.
+type None struct{}
+
+func (None) Name() string                     { return "no-refresh" }
+func (None) EventsPerWindow() int             { return 1 }
+func (None) RefreshEvent(bank, event int) int { return 0 }

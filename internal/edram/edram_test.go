@@ -1,0 +1,291 @@
+package edram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+// fixedPolicy refreshes a constant number of lines per bank per event.
+type fixedPolicy struct {
+	perBank int
+	events  int
+	calls   int
+}
+
+func (p *fixedPolicy) Name() string         { return "fixed" }
+func (p *fixedPolicy) EventsPerWindow() int { return p.events }
+func (p *fixedPolicy) RefreshEvent(bank, event int) int {
+	p.calls++
+	return p.perBank
+}
+
+func TestRetentionCyclesFor(t *testing.T) {
+	if got := RetentionCyclesFor(50, 2); got != 100000 {
+		t.Fatalf("50us@2GHz = %d cycles, want 100000", got)
+	}
+	if got := RetentionCyclesFor(40, 2); got != 80000 {
+		t.Fatalf("40us@2GHz = %d cycles, want 80000", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if (Params{RetentionCycles: 0, Banks: 4}).Validate() == nil {
+		t.Error("zero retention accepted")
+	}
+	if (Params{RetentionCycles: 100, Banks: 0}).Validate() == nil {
+		t.Error("zero banks accepted")
+	}
+	if (Params{RetentionCycles: 100, Banks: 4}).Validate() != nil {
+		t.Error("valid params rejected")
+	}
+}
+
+func TestEngineEventSchedule(t *testing.T) {
+	p := &fixedPolicy{perBank: 10, events: 1}
+	e, err := NewEngine(Params{RetentionCycles: 1000, Banks: 2}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No events before the first window boundary.
+	e.AdvanceTo(999)
+	if e.Events() != 0 {
+		t.Fatalf("events at cycle 999 = %d, want 0", e.Events())
+	}
+	e.AdvanceTo(1000)
+	if e.Events() != 1 {
+		t.Fatalf("events at cycle 1000 = %d, want 1", e.Events())
+	}
+	if e.TotalRefreshed() != 20 { // 10 per bank x 2 banks
+		t.Fatalf("refreshed = %d, want 20", e.TotalRefreshed())
+	}
+	// Jumping far ahead processes all intermediate windows.
+	e.AdvanceTo(5500)
+	if e.Events() != 5 {
+		t.Fatalf("events at cycle 5500 = %d, want 5", e.Events())
+	}
+	if e.TotalRefreshed() != 100 {
+		t.Fatalf("refreshed = %d, want 100", e.TotalRefreshed())
+	}
+}
+
+func TestEngineAccessDelay(t *testing.T) {
+	p := &fixedPolicy{perBank: 100, events: 1}
+	e, err := NewEngine(Params{RetentionCycles: 1000, Banks: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refresh burst occupies [1000, 1100). An access at 1000 waits
+	// 100 cycles; at 1050, 50; at 1100, 0.
+	if d := e.AccessDelay(0, 1000); d != 100 {
+		t.Fatalf("delay at burst start = %d, want 100", d)
+	}
+	if d := e.AccessDelay(0, 1050); d != 50 {
+		t.Fatalf("delay mid-burst = %d, want 50", d)
+	}
+	if d := e.AccessDelay(0, 1100); d != 0 {
+		t.Fatalf("delay after burst = %d, want 0", d)
+	}
+	// Before any event there is no delay.
+	e2, _ := NewEngine(Params{RetentionCycles: 1000, Banks: 1}, &fixedPolicy{perBank: 100, events: 1})
+	if d := e2.AccessDelay(0, 500); d != 0 {
+		t.Fatalf("delay before first event = %d, want 0", d)
+	}
+}
+
+func TestEngineBurstsQueue(t *testing.T) {
+	// Bursts longer than the window must queue: with 2000 lines per
+	// event and a 1000-cycle window, busy time accumulates.
+	p := &fixedPolicy{perBank: 2000, events: 1}
+	e, _ := NewEngine(Params{RetentionCycles: 1000, Banks: 1}, p)
+	e.AdvanceTo(2000) // events at 1000 and 2000
+	// First burst: [1000,3000). Second: [3000,5000).
+	if d := e.AccessDelay(0, 2000); d != 3000 {
+		t.Fatalf("queued delay = %d, want 3000", d)
+	}
+}
+
+func TestEnginePolyphaseSpacing(t *testing.T) {
+	p := &fixedPolicy{perBank: 1, events: 4}
+	e, err := NewEngine(Params{RetentionCycles: 1000, Banks: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AdvanceTo(250)
+	if e.Events() != 1 {
+		t.Fatalf("first phase event not at retention/4: %d", e.Events())
+	}
+	e.AdvanceTo(1000)
+	if e.Events() != 4 {
+		t.Fatalf("events at one window = %d, want 4", e.Events())
+	}
+}
+
+func TestEngineIntervalAccounting(t *testing.T) {
+	p := &fixedPolicy{perBank: 5, events: 1}
+	e, _ := NewEngine(Params{RetentionCycles: 100, Banks: 2}, p)
+	e.AdvanceTo(300)
+	if e.IntervalRefreshed() != 30 {
+		t.Fatalf("interval refreshed = %d, want 30", e.IntervalRefreshed())
+	}
+	e.ResetInterval()
+	if e.IntervalRefreshed() != 0 {
+		t.Fatal("interval counter not reset")
+	}
+	e.AdvanceTo(400)
+	if e.IntervalRefreshed() != 10 {
+		t.Fatalf("interval refreshed after reset = %d, want 10", e.IntervalRefreshed())
+	}
+	if e.TotalRefreshed() != 40 {
+		t.Fatalf("total refreshed = %d, want 40", e.TotalRefreshed())
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(Params{RetentionCycles: 0, Banks: 1}, &fixedPolicy{events: 1}); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := NewEngine(Params{RetentionCycles: 100, Banks: 1}, &fixedPolicy{events: 0}); err == nil {
+		t.Error("zero-event policy accepted")
+	}
+	if _, err := NewEngine(Params{RetentionCycles: 2, Banks: 1}, &fixedPolicy{events: 4}); err == nil {
+		t.Error("more events than cycles accepted")
+	}
+}
+
+func newL2(t testing.TB) *cache.Cache {
+	t.Helper()
+	return cache.MustNew(cache.Params{
+		Name: "L2", SizeBytes: 64 * 8 * 64, Assoc: 8, LineBytes: 64,
+		Modules: 4, Banks: 4, SamplingRatio: 16,
+	})
+}
+
+func TestRefreshAllCountsAllFrames(t *testing.T) {
+	c := newL2(t)
+	p := NewRefreshAll(c)
+	total := 0
+	for b := 0; b < 4; b++ {
+		total += p.RefreshEvent(b, 0)
+	}
+	if total != c.TotalLines() {
+		t.Fatalf("baseline refreshes %d lines, want all %d", total, c.TotalLines())
+	}
+	// Independent of cache contents.
+	c.Access(0, false)
+	total2 := 0
+	for b := 0; b < 4; b++ {
+		total2 += p.RefreshEvent(b, 0)
+	}
+	if total2 != total {
+		t.Fatal("baseline count changed with cache contents")
+	}
+}
+
+func TestValidOnlyTracksValidLines(t *testing.T) {
+	c := newL2(t)
+	p := NewValidOnly(c)
+	count := func() int {
+		n := 0
+		for b := 0; b < 4; b++ {
+			n += p.RefreshEvent(b, 0)
+		}
+		return n
+	}
+	if count() != 0 {
+		t.Fatal("empty cache should need no refreshes")
+	}
+	for i := 0; i < 10; i++ {
+		c.Access(cache.Addr(i*64), false)
+	}
+	if count() != 10 {
+		t.Fatalf("valid-only count = %d, want 10", count())
+	}
+	// Shrinking flushes follower lines; the count must drop
+	// accordingly.
+	before := count()
+	for m := 0; m < c.NumModules(); m++ {
+		c.SetActiveWays(m, 1)
+	}
+	if count() > before {
+		t.Fatal("count grew after shrink")
+	}
+	if count() != c.ValidLines() {
+		t.Fatalf("count = %d, valid = %d", count(), c.ValidLines())
+	}
+}
+
+func TestNonePolicy(t *testing.T) {
+	e, err := NewEngine(Params{RetentionCycles: 100, Banks: 4}, None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AdvanceTo(10000)
+	if e.TotalRefreshed() != 0 {
+		t.Fatal("None policy refreshed lines")
+	}
+	if d := e.AccessDelay(2, 10000); d != 0 {
+		t.Fatal("None policy delayed an access")
+	}
+}
+
+// Property: total refreshed lines equal events x banks x perBank for
+// any advance pattern, and AdvanceTo is idempotent/monotonic.
+func TestEngineAdvanceProperty(t *testing.T) {
+	err := quick.Check(func(steps []uint16) bool {
+		p := &fixedPolicy{perBank: 3, events: 2}
+		e, err := NewEngine(Params{RetentionCycles: 500, Banks: 2}, p)
+		if err != nil {
+			return false
+		}
+		var cur uint64
+		for _, s := range steps {
+			cur += uint64(s)
+			e.AdvanceTo(cur)
+			e.AdvanceTo(cur)     // idempotent
+			e.AdvanceTo(cur / 2) // non-monotonic call is a no-op
+		}
+		wantEvents := cur / 250
+		return e.Events() == wantEvents && e.TotalRefreshed() == wantEvents*2*3
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAccessDelay(b *testing.B) {
+	c := newL2(b)
+	e, _ := NewEngine(Params{RetentionCycles: 100000, Banks: 4}, NewValidOnly(c))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AccessDelay(i%4, uint64(i))
+	}
+}
+
+func TestPolicyIdentities(t *testing.T) {
+	c := newL2(t)
+	ra := NewRefreshAll(c)
+	if ra.Name() != "baseline" || ra.EventsPerWindow() != 1 {
+		t.Error("RefreshAll identity wrong")
+	}
+	vo := NewValidOnly(c)
+	if vo.Name() != "valid-only" || vo.EventsPerWindow() != 1 {
+		t.Error("ValidOnly identity wrong")
+	}
+	if (None{}).Name() != "no-refresh" || (None{}).EventsPerWindow() != 1 {
+		t.Error("None identity wrong")
+	}
+}
+
+func TestEnginePolicyAndBusyCycles(t *testing.T) {
+	p := &fixedPolicy{perBank: 5, events: 1}
+	e, _ := NewEngine(Params{RetentionCycles: 100, Banks: 2}, p)
+	if e.Policy() != p {
+		t.Error("Policy() accessor wrong")
+	}
+	e.AdvanceTo(100)
+	if e.TotalBusyCycles() != 10 {
+		t.Errorf("busy cycles = %d, want 10", e.TotalBusyCycles())
+	}
+}

@@ -1,0 +1,190 @@
+// Package energy implements the ESTEEM paper's analytical energy
+// model (Section 6.3, Equations 2–8):
+//
+//	E      = E_L2 + E_MM + E_Algo                         (2)
+//	E_L2   = LE_L2 + DE_L2 + RE_L2                        (3)
+//	LE_L2  = P_L2_leak * F_A * T                          (4)
+//	DE_L2  = E_L2_dyn * (2*M_L2 + H_L2)                   (5)
+//	RE_L2  = N_R * E_L2_dyn                               (6)
+//	E_MM   = P_MM_leak * T + E_MM_dyn * A_MM              (7)
+//	E_Algo = E_chi * N_L                                  (8)
+//
+// The L2 constants come from the paper's Table 2 (CACTI 5.3, 32 nm,
+// 16-way eDRAM); main-memory constants are E_MM_dyn = 70 nJ and
+// P_MM_leak = 0.18 W, and the block power-state transition energy is
+// E_chi = 2 pJ. Refreshing a line costs the same energy as accessing
+// it (the paper's assumption, following Refrint).
+package energy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Constants from Section 6.3.
+const (
+	// MMDynJ is E_MM_dyn: main-memory energy per access (70 nJ).
+	MMDynJ = 70e-9
+	// MMLeakW is P_MM_leak: main-memory leakage power (0.18 W).
+	MMLeakW = 0.18
+	// TransitionJ is E_chi: energy per cache-block power-state
+	// transition (2 pJ).
+	TransitionJ = 2e-12
+)
+
+// table2 holds the paper's Table 2: per-access dynamic energy (nJ)
+// and leakage power (W) for 16-way eDRAM caches at 32 nm.
+var table2 = []struct {
+	sizeMB int
+	dynNJ  float64
+	leakW  float64
+}{
+	{2, 0.186, 0.096},
+	{4, 0.212, 0.116},
+	{8, 0.282, 0.280},
+	{16, 0.370, 0.456},
+	{32, 0.467, 1.056},
+}
+
+// L2Energy returns (dynamic J/access, leakage W) for an eDRAM L2 of
+// the given size. Sizes present in Table 2 return the paper's values
+// exactly; other sizes within [2 MB, 32 MB] are log-log interpolated
+// (the CACTI-mini substitute documented in DESIGN.md). Sizes outside
+// the table's range return an error.
+func L2Energy(sizeBytes int) (dynJ, leakW float64, err error) {
+	mb := float64(sizeBytes) / (1 << 20)
+	lo := table2[0]
+	hi := table2[len(table2)-1]
+	if mb < float64(lo.sizeMB) || mb > float64(hi.sizeMB) {
+		return 0, 0, fmt.Errorf("energy: L2 size %.2f MB outside Table 2 range [%d,%d] MB", mb, lo.sizeMB, hi.sizeMB)
+	}
+	// Exact hit?
+	for _, e := range table2 {
+		if mb == float64(e.sizeMB) {
+			return e.dynNJ * 1e-9, e.leakW, nil
+		}
+	}
+	// Log-log interpolation between bracketing entries.
+	i := sort.Search(len(table2), func(i int) bool { return float64(table2[i].sizeMB) > mb })
+	a, b := table2[i-1], table2[i]
+	t := (math.Log(mb) - math.Log(float64(a.sizeMB))) / (math.Log(float64(b.sizeMB)) - math.Log(float64(a.sizeMB)))
+	interp := func(x, y float64) float64 {
+		return math.Exp(math.Log(x)*(1-t) + math.Log(y)*t)
+	}
+	return interp(a.dynNJ, b.dynNJ) * 1e-9, interp(a.leakW, b.leakW), nil
+}
+
+// Model holds the constants needed to evaluate the equations for one
+// simulated system.
+type Model struct {
+	// L2DynJ is E_L2_dyn in joules per access.
+	L2DynJ float64
+	// L2LeakW is P_L2_leak in watts.
+	L2LeakW float64
+	// MMDynJPerAccess is E_MM_dyn in joules.
+	MMDynJPerAccess float64
+	// MMLeakWatt is P_MM_leak in watts.
+	MMLeakWatt float64
+	// TransJ is E_chi in joules.
+	TransJ float64
+	// FreqHz converts cycles to seconds.
+	FreqHz float64
+}
+
+// NewModel builds a Model for an L2 of the given size and a core
+// clock of freqHz, using the paper's constants.
+func NewModel(l2SizeBytes int, freqHz float64) (Model, error) {
+	if freqHz <= 0 {
+		return Model{}, fmt.Errorf("energy: frequency must be positive")
+	}
+	dyn, leak, err := L2Energy(l2SizeBytes)
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{
+		L2DynJ:          dyn,
+		L2LeakW:         leak,
+		MMDynJPerAccess: MMDynJ,
+		MMLeakWatt:      MMLeakW,
+		TransJ:          TransitionJ,
+		FreqHz:          freqHz,
+	}, nil
+}
+
+// Activity aggregates the measured quantities of one interval (or a
+// whole run) that the equations consume.
+type Activity struct {
+	// Cycles is the elapsed time of the measurement in core cycles
+	// (T = Cycles / FreqHz).
+	Cycles uint64
+	// L2Hits is H_L2 and L2Misses is M_L2.
+	L2Hits, L2Misses uint64
+	// Refreshes is N_R: line refreshes performed.
+	Refreshes uint64
+	// ActiveFraction is F_A (1.0 for baseline and RPV).
+	ActiveFraction float64
+	// MMAccesses is A_MM: main-memory accesses (demand misses plus
+	// writebacks).
+	MMAccesses uint64
+	// LinesTransitioned is N_L: block power-state transitions (0 for
+	// baseline and RPV).
+	LinesTransitioned uint64
+}
+
+// Add accumulates another activity record (e.g. per-interval records
+// into a run total). ActiveFraction is combined as a cycle-weighted
+// mean.
+func (a *Activity) Add(b Activity) {
+	totalCycles := a.Cycles + b.Cycles
+	if totalCycles > 0 {
+		a.ActiveFraction = (a.ActiveFraction*float64(a.Cycles) + b.ActiveFraction*float64(b.Cycles)) / float64(totalCycles)
+	}
+	a.Cycles = totalCycles
+	a.L2Hits += b.L2Hits
+	a.L2Misses += b.L2Misses
+	a.Refreshes += b.Refreshes
+	a.MMAccesses += b.MMAccesses
+	a.LinesTransitioned += b.LinesTransitioned
+}
+
+// Breakdown is the evaluated energy, per component, in joules.
+type Breakdown struct {
+	L2Leak    float64 // Equation (4)
+	L2Dyn     float64 // Equation (5)
+	L2Refresh float64 // Equation (6)
+	MMLeak    float64 // first term of Equation (7)
+	MMDyn     float64 // second term of Equation (7)
+	Algo      float64 // Equation (8)
+}
+
+// L2 returns E_L2 (Equation 3).
+func (b Breakdown) L2() float64 { return b.L2Leak + b.L2Dyn + b.L2Refresh }
+
+// MM returns E_MM (Equation 7).
+func (b Breakdown) MM() float64 { return b.MMLeak + b.MMDyn }
+
+// Total returns E (Equation 2).
+func (b Breakdown) Total() float64 { return b.L2() + b.MM() + b.Algo }
+
+// Eval applies Equations (2)–(8) to the measured activity.
+func (m Model) Eval(a Activity) Breakdown {
+	t := float64(a.Cycles) / m.FreqHz
+	return Breakdown{
+		L2Leak:    m.L2LeakW * a.ActiveFraction * t,
+		L2Dyn:     m.L2DynJ * float64(2*a.L2Misses+a.L2Hits),
+		L2Refresh: float64(a.Refreshes) * m.L2DynJ,
+		MMLeak:    m.MMLeakWatt * t,
+		MMDyn:     m.MMDynJPerAccess * float64(a.MMAccesses),
+		Algo:      m.TransJ * float64(a.LinesTransitioned),
+	}
+}
+
+// SavingPercent returns the percentage energy saving of technique
+// relative to base: 100 * (base - technique) / base.
+func SavingPercent(base, technique float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - technique) / base
+}

@@ -1,0 +1,252 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestTable2 pins the paper's Table 2 values exactly.
+func TestTable2(t *testing.T) {
+	cases := []struct {
+		mb    int
+		dynNJ float64
+		leakW float64
+	}{
+		{2, 0.186, 0.096},
+		{4, 0.212, 0.116},
+		{8, 0.282, 0.280},
+		{16, 0.370, 0.456},
+		{32, 0.467, 1.056},
+	}
+	for _, c := range cases {
+		dyn, leak, err := L2Energy(c.mb << 20)
+		if err != nil {
+			t.Fatalf("%d MB: %v", c.mb, err)
+		}
+		if !close(dyn, c.dynNJ*1e-9, 1e-15) {
+			t.Errorf("%d MB dyn = %v, want %v nJ", c.mb, dyn*1e9, c.dynNJ)
+		}
+		if !close(leak, c.leakW, 1e-12) {
+			t.Errorf("%d MB leak = %v, want %v W", c.mb, leak, c.leakW)
+		}
+	}
+}
+
+func TestL2EnergyInterpolation(t *testing.T) {
+	// 6 MB must land strictly between the 4 MB and 8 MB rows.
+	dyn, leak, err := L2Energy(6 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn <= 0.212e-9 || dyn >= 0.282e-9 {
+		t.Errorf("6 MB dyn = %v nJ outside (0.212, 0.282)", dyn*1e9)
+	}
+	if leak <= 0.116 || leak >= 0.280 {
+		t.Errorf("6 MB leak = %v outside (0.116, 0.280)", leak)
+	}
+}
+
+func TestL2EnergyMonotone(t *testing.T) {
+	prevDyn, prevLeak := 0.0, 0.0
+	for mb := 2; mb <= 32; mb++ {
+		dyn, leak, err := L2Energy(mb << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dyn < prevDyn || leak < prevLeak {
+			t.Fatalf("energy not monotone at %d MB", mb)
+		}
+		prevDyn, prevLeak = dyn, leak
+	}
+}
+
+func TestL2EnergyOutOfRange(t *testing.T) {
+	if _, _, err := L2Energy(1 << 20); err == nil {
+		t.Error("1 MB accepted")
+	}
+	if _, _, err := L2Energy(64 << 20); err == nil {
+		t.Error("64 MB accepted")
+	}
+}
+
+func TestNewModel(t *testing.T) {
+	m, err := NewModel(4<<20, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(m.L2DynJ, 0.212e-9, 1e-15) || !close(m.L2LeakW, 0.116, 1e-12) {
+		t.Errorf("model constants wrong: %+v", m)
+	}
+	if m.MMDynJPerAccess != 70e-9 || m.MMLeakWatt != 0.18 || m.TransJ != 2e-12 {
+		t.Errorf("paper constants wrong: %+v", m)
+	}
+	if _, err := NewModel(4<<20, 0); err == nil {
+		t.Error("zero frequency accepted")
+	}
+}
+
+// TestEvalHandComputed checks every equation term against a hand
+// computation.
+func TestEvalHandComputed(t *testing.T) {
+	m := Model{
+		L2DynJ:          0.2e-9,
+		L2LeakW:         0.1,
+		MMDynJPerAccess: 70e-9,
+		MMLeakWatt:      0.18,
+		TransJ:          2e-12,
+		FreqHz:          2e9,
+	}
+	a := Activity{
+		Cycles:            2_000_000_000, // 1 s
+		L2Hits:            1000,
+		L2Misses:          500,
+		Refreshes:         10000,
+		ActiveFraction:    0.5,
+		MMAccesses:        600,
+		LinesTransitioned: 1e6,
+	}
+	b := m.Eval(a)
+	if !close(b.L2Leak, 0.1*0.5*1.0, 1e-12) { // Eq 4
+		t.Errorf("L2Leak = %v", b.L2Leak)
+	}
+	if !close(b.L2Dyn, 0.2e-9*(2*500+1000), 1e-18) { // Eq 5
+		t.Errorf("L2Dyn = %v", b.L2Dyn)
+	}
+	if !close(b.L2Refresh, 10000*0.2e-9, 1e-15) { // Eq 6
+		t.Errorf("L2Refresh = %v", b.L2Refresh)
+	}
+	if !close(b.MMLeak, 0.18, 1e-12) { // Eq 7 term 1
+		t.Errorf("MMLeak = %v", b.MMLeak)
+	}
+	if !close(b.MMDyn, 70e-9*600, 1e-12) { // Eq 7 term 2
+		t.Errorf("MMDyn = %v", b.MMDyn)
+	}
+	if !close(b.Algo, 2e-12*1e6, 1e-15) { // Eq 8
+		t.Errorf("Algo = %v", b.Algo)
+	}
+	if !close(b.Total(), b.L2Leak+b.L2Dyn+b.L2Refresh+b.MMLeak+b.MMDyn+b.Algo, 1e-15) {
+		t.Error("Total != sum of parts")
+	}
+	if !close(b.L2(), b.L2Leak+b.L2Dyn+b.L2Refresh, 1e-15) {
+		t.Error("L2() != sum of L2 parts")
+	}
+	if !close(b.MM(), b.MMLeak+b.MMDyn, 1e-15) {
+		t.Error("MM() != sum of MM parts")
+	}
+}
+
+// TestRefreshDominatesBaseline verifies the headline motivation: for
+// an idle-ish baseline 4 MB cache at 50 µs retention, refresh energy
+// is ~70% of L2 energy (leakage most of the rest), per the paper's
+// Section 1 citation of Refrint.
+func TestRefreshDominatesBaseline(t *testing.T) {
+	m, err := NewModel(4<<20, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One second of a baseline cache: all 65536 lines refreshed every
+	// 50 us → 20000 windows/s.
+	lines := uint64(4 << 20 / 64)
+	a := Activity{
+		Cycles:         2_000_000_000,
+		Refreshes:      lines * 20000,
+		ActiveFraction: 1,
+		// modest access traffic so dynamic energy stays small
+		L2Hits:   1_000_000,
+		L2Misses: 100_000,
+	}
+	b := m.Eval(a)
+	frac := b.L2Refresh / b.L2()
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("refresh fraction of L2 energy = %.2f, want ~0.7", frac)
+	}
+	if b.L2Leak/b.L2() < 0.1 {
+		t.Fatalf("leakage fraction = %.2f, want most of the remainder", b.L2Leak/b.L2())
+	}
+}
+
+func TestActivityAdd(t *testing.T) {
+	a := Activity{Cycles: 100, L2Hits: 10, ActiveFraction: 1.0}
+	b := Activity{Cycles: 300, L2Misses: 5, ActiveFraction: 0.2}
+	a.Add(b)
+	if a.Cycles != 400 || a.L2Hits != 10 || a.L2Misses != 5 {
+		t.Fatalf("counts wrong: %+v", a)
+	}
+	// Cycle-weighted active fraction: (1.0*100 + 0.2*300)/400 = 0.4.
+	if !close(a.ActiveFraction, 0.4, 1e-12) {
+		t.Fatalf("active fraction = %v, want 0.4", a.ActiveFraction)
+	}
+}
+
+func TestActivityAddEmpty(t *testing.T) {
+	var a Activity
+	a.Add(Activity{})
+	if a.Cycles != 0 || a.ActiveFraction != 0 {
+		t.Fatalf("empty add produced %+v", a)
+	}
+}
+
+func TestSavingPercent(t *testing.T) {
+	if got := SavingPercent(100, 75); got != 25 {
+		t.Errorf("saving = %v, want 25", got)
+	}
+	if got := SavingPercent(100, 120); got != -20 {
+		t.Errorf("negative saving = %v, want -20", got)
+	}
+	if got := SavingPercent(0, 5); got != 0 {
+		t.Errorf("zero base = %v, want 0", got)
+	}
+}
+
+// Property: energy is non-negative and monotone in every activity
+// component.
+func TestEvalMonotoneProperty(t *testing.T) {
+	m, err := NewModel(8<<20, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = quick.Check(func(cyc uint32, hits, misses, refr, mma, nl uint16) bool {
+		a := Activity{
+			Cycles: uint64(cyc), L2Hits: uint64(hits), L2Misses: uint64(misses),
+			Refreshes: uint64(refr), ActiveFraction: 0.5, MMAccesses: uint64(mma),
+			LinesTransitioned: uint64(nl),
+		}
+		base := m.Eval(a).Total()
+		if base < 0 {
+			return false
+		}
+		bumped := a
+		bumped.L2Misses++
+		bumped.Refreshes++
+		bumped.MMAccesses++
+		return m.Eval(bumped).Total() >= base
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Activity.Add is associative enough for accounting — the
+// sum of evaluated parts equals the evaluation of the sum (all terms
+// are linear; F_A is cycle-weighted).
+func TestAddLinearityProperty(t *testing.T) {
+	m, err := NewModel(4<<20, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = quick.Check(func(c1, c2 uint16, h1, h2 uint16, f1, f2 uint8) bool {
+		a := Activity{Cycles: uint64(c1) + 1, L2Hits: uint64(h1), ActiveFraction: float64(f1%101) / 100}
+		b := Activity{Cycles: uint64(c2) + 1, L2Hits: uint64(h2), ActiveFraction: float64(f2%101) / 100}
+		split := m.Eval(a).Total() + m.Eval(b).Total()
+		sum := a
+		sum.Add(b)
+		merged := m.Eval(sum).Total()
+		return close(split, merged, 1e-9*math.Max(split, 1))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package mem models the main memory of the simulated system as the
+// ESTEEM paper configures it (Section 6.1): a fixed access latency
+// (220 cycles), a finite channel bandwidth (10 GB/s single-core,
+// 15 GB/s dual-core), and queue contention — an access issued while
+// the channel is busy waits for the in-flight transfers ahead of it.
+//
+// Demand reads stall the issuing core for queue delay + latency.
+// Writebacks occupy channel bandwidth but do not stall the core
+// (modern processors drain them through write-back buffers, as the
+// paper notes in Section 4), and they count toward A_MM for the
+// energy model.
+package mem
+
+import "fmt"
+
+// Params configures the memory model.
+type Params struct {
+	// LatencyCycles is the uncontended access latency.
+	LatencyCycles uint64
+	// BandwidthBytesPerSec is the channel bandwidth.
+	BandwidthBytesPerSec float64
+	// FreqHz is the core clock, to convert bandwidth to cycles.
+	FreqHz float64
+	// LineBytes is the transfer granularity (one cache line).
+	LineBytes int
+	// WriteBufferEntries bounds the in-flight writebacks (the
+	// write-back buffers the paper's Section 4 appeals to). While a
+	// slot is free, writebacks drain without stalling the issuing
+	// core; when the buffer is full, the writer stalls until the
+	// oldest transfer completes. 0 means unbounded (the original
+	// no-back-pressure model).
+	WriteBufferEntries int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.LatencyCycles == 0 {
+		return fmt.Errorf("mem: latency must be positive")
+	}
+	if p.BandwidthBytesPerSec <= 0 {
+		return fmt.Errorf("mem: bandwidth must be positive")
+	}
+	if p.FreqHz <= 0 {
+		return fmt.Errorf("mem: frequency must be positive")
+	}
+	if p.LineBytes <= 0 {
+		return fmt.Errorf("mem: line size must be positive")
+	}
+	if p.WriteBufferEntries < 0 {
+		return fmt.Errorf("mem: negative write buffer size")
+	}
+	return nil
+}
+
+// Counters is a snapshot of memory traffic statistics.
+type Counters struct {
+	Reads            uint64
+	Writebacks       uint64
+	QueueStallCycles uint64
+	// WriteBufferStallCycles counts cycles writers spent blocked on a
+	// full write buffer.
+	WriteBufferStallCycles uint64
+}
+
+// Accesses returns A_MM: total main-memory accesses.
+func (c Counters) Accesses() uint64 { return c.Reads + c.Writebacks }
+
+// Memory is a bandwidth-limited memory channel.
+type Memory struct {
+	p              Params
+	transferCycles float64
+	// nextFree is the cycle at which the channel becomes idle. It is
+	// kept as float64 because the per-line transfer time is
+	// fractional (e.g. 12.8 cycles for 64 B at 10 GB/s and 2 GHz).
+	nextFree float64
+
+	total    Counters
+	interval Counters
+
+	// wbFinish holds the completion cycles of in-flight writebacks
+	// (bounded by WriteBufferEntries when set).
+	wbFinish []float64
+}
+
+// New builds a memory channel.
+func New(p Params) (*Memory, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Memory{
+		p:              p,
+		transferCycles: float64(p.LineBytes) * p.FreqHz / p.BandwidthBytesPerSec,
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(p Params) *Memory {
+	m, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Params returns the construction parameters.
+func (m *Memory) Params() Params { return m.p }
+
+// TransferCycles returns the channel occupancy of one line transfer.
+func (m *Memory) TransferCycles() float64 { return m.transferCycles }
+
+// Read issues a demand read at the given cycle and returns the total
+// latency the issuing core observes: queue delay (if the channel is
+// busy) plus the fixed access latency.
+func (m *Memory) Read(cycle uint64) uint64 {
+	queue := m.occupy(cycle)
+	m.total.Reads++
+	m.interval.Reads++
+	m.total.QueueStallCycles += queue
+	m.interval.QueueStallCycles += queue
+	return queue + m.p.LatencyCycles
+}
+
+// Writeback issues a writeback at the given cycle. It consumes
+// channel bandwidth (delaying later accesses). It normally does not
+// stall the issuing core; with a bounded write buffer it returns the
+// stall cycles the writer incurs when the buffer is full.
+func (m *Memory) Writeback(cycle uint64) uint64 {
+	var stall uint64
+	if n := m.p.WriteBufferEntries; n > 0 {
+		// Retire completed transfers.
+		live := m.wbFinish[:0]
+		for _, f := range m.wbFinish {
+			if f > float64(cycle) {
+				live = append(live, f)
+			}
+		}
+		m.wbFinish = live
+		if len(m.wbFinish) >= n {
+			// Block until the oldest in-flight writeback completes.
+			oldest := m.wbFinish[0]
+			for _, f := range m.wbFinish[1:] {
+				if f < oldest {
+					oldest = f
+				}
+			}
+			stall = uint64(oldest) - cycle + 1
+			cycle += stall
+			m.total.WriteBufferStallCycles += stall
+			m.interval.WriteBufferStallCycles += stall
+			// Retire again at the advanced cycle.
+			live := m.wbFinish[:0]
+			for _, f := range m.wbFinish {
+				if f > float64(cycle) {
+					live = append(live, f)
+				}
+			}
+			m.wbFinish = live
+		}
+	}
+	m.occupy(cycle)
+	if m.p.WriteBufferEntries > 0 {
+		m.wbFinish = append(m.wbFinish, m.nextFree)
+	}
+	m.total.Writebacks++
+	m.interval.Writebacks++
+	return stall
+}
+
+// occupy reserves one line transfer on the channel starting no
+// earlier than cycle, returning the queue delay.
+func (m *Memory) occupy(cycle uint64) uint64 {
+	start := float64(cycle)
+	var queue uint64
+	if m.nextFree > start {
+		queue = uint64(m.nextFree - start)
+		start = m.nextFree
+	}
+	m.nextFree = start + m.transferCycles
+	return queue
+}
+
+// TotalCounters returns traffic since construction.
+func (m *Memory) TotalCounters() Counters { return m.total }
+
+// IntervalCounters returns traffic since the last ResetInterval.
+func (m *Memory) IntervalCounters() Counters { return m.interval }
+
+// ResetInterval clears the interval counters.
+func (m *Memory) ResetInterval() { m.interval = Counters{} }

@@ -1,0 +1,243 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func params() Params {
+	return Params{
+		LatencyCycles:        220,
+		BandwidthBytesPerSec: 10e9,
+		FreqHz:               2e9,
+		LineBytes:            64,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{},
+		{LatencyCycles: 220, BandwidthBytesPerSec: 0, FreqHz: 2e9, LineBytes: 64},
+		{LatencyCycles: 220, BandwidthBytesPerSec: 10e9, FreqHz: 0, LineBytes: 64},
+		{LatencyCycles: 220, BandwidthBytesPerSec: 10e9, FreqHz: 2e9, LineBytes: 0},
+	}
+	for i, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if _, err := New(params()); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+}
+
+func TestTransferCycles(t *testing.T) {
+	m := MustNew(params())
+	// 64 B at 10 GB/s = 6.4 ns = 12.8 cycles at 2 GHz.
+	if math.Abs(m.TransferCycles()-12.8) > 1e-9 {
+		t.Fatalf("transfer cycles = %v, want 12.8", m.TransferCycles())
+	}
+}
+
+func TestUncontendedRead(t *testing.T) {
+	m := MustNew(params())
+	if got := m.Read(1000); got != 220 {
+		t.Fatalf("uncontended read latency = %d, want 220", got)
+	}
+	// A read far in the future is also uncontended.
+	if got := m.Read(100000); got != 220 {
+		t.Fatalf("later read latency = %d, want 220", got)
+	}
+}
+
+func TestQueueContention(t *testing.T) {
+	m := MustNew(params())
+	m.Read(1000) // occupies [1000, 1012.8)
+	got := m.Read(1000)
+	if got != 220+12 { // queue delay truncates 12.8 → 12
+		t.Fatalf("contended read latency = %d, want 232", got)
+	}
+	// Third back-to-back read queues behind two transfers.
+	got = m.Read(1000)
+	if got != 220+25 { // 25.6 → 25
+		t.Fatalf("third read latency = %d, want 245", got)
+	}
+}
+
+func TestBandwidthBound(t *testing.T) {
+	// Issue 1000 reads at the same cycle: the last one's queue delay
+	// must be ~999 * 12.8 cycles.
+	m := MustNew(params())
+	var last uint64
+	for i := 0; i < 1000; i++ {
+		last = m.Read(0)
+	}
+	backlog := 999 * 12.8
+	want := uint64(backlog) + 220
+	if last < want-2 || last > want+2 {
+		t.Fatalf("1000th read latency = %d, want ~%d", last, want)
+	}
+}
+
+func TestWritebackConsumesBandwidthWithoutStall(t *testing.T) {
+	m := MustNew(params())
+	m.Writeback(1000)
+	// The following read queues behind the writeback transfer.
+	if got := m.Read(1000); got <= 220 {
+		t.Fatalf("read after writeback = %d, want > 220", got)
+	}
+	c := m.TotalCounters()
+	if c.Writebacks != 1 || c.Reads != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.Accesses() != 2 {
+		t.Fatalf("accesses = %d, want 2", c.Accesses())
+	}
+}
+
+func TestIdleChannelRecovers(t *testing.T) {
+	m := MustNew(params())
+	for i := 0; i < 10; i++ {
+		m.Read(0)
+	}
+	// Long after the backlog drains, reads are uncontended again.
+	if got := m.Read(10000); got != 220 {
+		t.Fatalf("read after idle = %d, want 220", got)
+	}
+}
+
+func TestIntervalCounters(t *testing.T) {
+	m := MustNew(params())
+	m.Read(0)
+	m.Writeback(0)
+	m.ResetInterval()
+	if ic := m.IntervalCounters(); ic != (Counters{}) {
+		t.Fatalf("interval counters not reset: %+v", ic)
+	}
+	m.Read(100000)
+	if ic := m.IntervalCounters(); ic.Reads != 1 {
+		t.Fatalf("interval reads = %d", ic.Reads)
+	}
+	if tc := m.TotalCounters(); tc.Reads != 2 || tc.Writebacks != 1 {
+		t.Fatalf("total counters = %+v", tc)
+	}
+}
+
+func TestQueueStallAccounting(t *testing.T) {
+	m := MustNew(params())
+	m.Read(0)
+	m.Read(0)
+	c := m.TotalCounters()
+	if c.QueueStallCycles != 12 {
+		t.Fatalf("queue stall cycles = %d, want 12", c.QueueStallCycles)
+	}
+}
+
+// Property: latency is always >= the fixed latency, and issuing reads
+// at non-decreasing cycles keeps the channel causal (queue delay never
+// exceeds the backlog created by prior transfers).
+func TestReadLatencyBounds(t *testing.T) {
+	err := quick.Check(func(gaps []uint8) bool {
+		m := MustNew(params())
+		var cycle uint64
+		issued := 0
+		for _, g := range gaps {
+			cycle += uint64(g)
+			lat := m.Read(cycle)
+			issued++
+			if lat < 220 {
+				return false
+			}
+			// Upper bound: full backlog of all prior transfers.
+			if lat > 220+uint64(float64(issued)*12.8)+1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	m := MustNew(params())
+	for i := 0; i < b.N; i++ {
+		m.Read(uint64(i) * 20)
+	}
+}
+
+func TestWriteBufferUnboundedByDefault(t *testing.T) {
+	m := MustNew(params())
+	for i := 0; i < 1000; i++ {
+		if st := m.Writeback(0); st != 0 {
+			t.Fatalf("unbounded buffer stalled at writeback %d", i)
+		}
+	}
+}
+
+func TestWriteBufferBackPressure(t *testing.T) {
+	p := params()
+	p.WriteBufferEntries = 4
+	m := MustNew(p)
+	// Fill the buffer instantly: the first 4 writebacks are free.
+	for i := 0; i < 4; i++ {
+		if st := m.Writeback(0); st != 0 {
+			t.Fatalf("writeback %d stalled with free slots", i)
+		}
+	}
+	// The 5th must wait for the oldest transfer (finishes at 12.8).
+	st := m.Writeback(0)
+	if st == 0 {
+		t.Fatal("full buffer did not stall")
+	}
+	if st < 12 || st > 14 {
+		t.Fatalf("stall = %d, want ~13 (one transfer time)", st)
+	}
+	if got := m.TotalCounters().WriteBufferStallCycles; got != st {
+		t.Fatalf("stall accounting = %d, want %d", got, st)
+	}
+}
+
+func TestWriteBufferDrains(t *testing.T) {
+	p := params()
+	p.WriteBufferEntries = 2
+	m := MustNew(p)
+	m.Writeback(0)
+	m.Writeback(0)
+	// Far in the future both transfers completed: no stall.
+	if st := m.Writeback(10_000); st != 0 {
+		t.Fatalf("drained buffer stalled: %d", st)
+	}
+}
+
+func TestWriteBufferValidation(t *testing.T) {
+	p := params()
+	p.WriteBufferEntries = -1
+	if _, err := New(p); err == nil {
+		t.Fatal("negative buffer size accepted")
+	}
+}
+
+// Property: with a bounded buffer, in-flight writebacks never exceed
+// the bound, and writeback counters always match issued calls.
+func TestWriteBufferInvariant(t *testing.T) {
+	err := quick.Check(func(gaps []uint8) bool {
+		p := params()
+		p.WriteBufferEntries = 3
+		m := MustNew(p)
+		var cycle uint64
+		for _, g := range gaps {
+			cycle += uint64(g)
+			m.Writeback(cycle)
+			if len(m.wbFinish) > 3 {
+				return false
+			}
+		}
+		return m.TotalCounters().Writebacks == uint64(len(gaps))
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package metrics computes the ESTEEM paper's evaluation metrics
+// (Section 6.4) from simulation results and aggregates them with the
+// paper's rules: weighted and fair speedups are averaged with the
+// geometric mean; every other metric — which can be zero or negative
+// — with the arithmetic mean.
+//
+//   - percentage energy saving over the baseline (Equations 2–8);
+//   - weighted speedup (Equation 9): mean over cores of
+//     IPC(technique)/IPC(base);
+//   - fair speedup: harmonic mean of the per-core speedups;
+//   - absolute decrease in refreshes per kilo-instruction (RPKI);
+//   - absolute increase in misses per kilo-instruction (MPKI);
+//   - active ratio (time-averaged F_A; 100% for baseline and RPV).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Comparison holds one technique's metrics against the baseline for
+// one workload.
+type Comparison struct {
+	// Workload names the benchmark (single-core) or mix acronym
+	// (dual-core).
+	Workload string
+	// Technique is the technique's display name.
+	Technique string
+	// EnergySavingPct is the % memory-subsystem energy saving.
+	EnergySavingPct float64
+	// WeightedSpeedup is Equation 9.
+	WeightedSpeedup float64
+	// FairSpeedup is the harmonic-mean speedup.
+	FairSpeedup float64
+	// RPKIDecrease is RPKI(base) - RPKI(technique).
+	RPKIDecrease float64
+	// MPKIIncrease is MPKI(technique) - MPKI(base).
+	MPKIIncrease float64
+	// ActiveRatioPct is the technique's time-averaged F_A in percent.
+	ActiveRatioPct float64
+}
+
+// Compare derives a Comparison from a baseline run and a technique
+// run of the same workload. It panics if the runs have different core
+// counts, which would indicate mismatched experiments.
+func Compare(workload string, base, tech *sim.Result) Comparison {
+	if len(base.Cores) != len(tech.Cores) {
+		panic(fmt.Sprintf("metrics: core count mismatch %d vs %d", len(base.Cores), len(tech.Cores)))
+	}
+	n := len(base.Cores)
+	wsSum := 0.0
+	invSum := 0.0
+	for i := 0; i < n; i++ {
+		r := tech.Cores[i].IPC / base.Cores[i].IPC
+		wsSum += r
+		invSum += 1 / r
+	}
+	return Comparison{
+		Workload:        workload,
+		Technique:       tech.Technique.String(),
+		EnergySavingPct: energy.SavingPercent(base.Energy.Total(), tech.Energy.Total()),
+		WeightedSpeedup: wsSum / float64(n),
+		FairSpeedup:     float64(n) / invSum,
+		RPKIDecrease:    base.RPKI() - tech.RPKI(),
+		MPKIIncrease:    tech.MPKI() - base.MPKI(),
+		ActiveRatioPct:  tech.ActiveRatio * 100,
+	}
+}
+
+// Summary aggregates comparisons across workloads per the paper's
+// rules.
+type Summary struct {
+	Technique       string
+	Workloads       int
+	EnergySavingPct float64 // arithmetic mean
+	WeightedSpeedup float64 // geometric mean
+	FairSpeedup     float64 // geometric mean
+	RPKIDecrease    float64 // arithmetic mean
+	MPKIIncrease    float64 // arithmetic mean
+	ActiveRatioPct  float64 // arithmetic mean
+}
+
+// Summarize aggregates a slice of comparisons (all for the same
+// technique). It returns a zero Summary for an empty slice.
+func Summarize(cs []Comparison) Summary {
+	if len(cs) == 0 {
+		return Summary{}
+	}
+	var save, ws, fs, rpki, mpki, ar []float64
+	for _, c := range cs {
+		save = append(save, c.EnergySavingPct)
+		ws = append(ws, c.WeightedSpeedup)
+		fs = append(fs, c.FairSpeedup)
+		rpki = append(rpki, c.RPKIDecrease)
+		mpki = append(mpki, c.MPKIIncrease)
+		ar = append(ar, c.ActiveRatioPct)
+	}
+	return Summary{
+		Technique:       cs[0].Technique,
+		Workloads:       len(cs),
+		EnergySavingPct: stats.Mean(save),
+		WeightedSpeedup: stats.GeoMean(ws),
+		FairSpeedup:     stats.GeoMean(fs),
+		RPKIDecrease:    stats.Mean(rpki),
+		MPKIIncrease:    stats.Mean(mpki),
+		ActiveRatioPct:  stats.Mean(ar),
+	}
+}
+
+// FormatTable renders comparisons (sorted by workload) plus their
+// summary as a fixed-width text table, in the layout of the paper's
+// Figures 3–6.
+func FormatTable(title string, groups map[string][]Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cs := append([]Comparison(nil), groups[name]...)
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Workload < cs[j].Workload })
+		fmt.Fprintf(&b, "\n-- technique: %s --\n", name)
+		fmt.Fprintf(&b, "%-14s %10s %8s %8s %10s %9s %8s\n",
+			"workload", "%esaving", "ws", "fs", "rpki-dec", "mpki-inc", "activ%")
+		for _, c := range cs {
+			fmt.Fprintf(&b, "%-14s %10.2f %8.3f %8.3f %10.1f %9.2f %8.1f\n",
+				c.Workload, c.EnergySavingPct, c.WeightedSpeedup, c.FairSpeedup,
+				c.RPKIDecrease, c.MPKIIncrease, c.ActiveRatioPct)
+		}
+		s := Summarize(cs)
+		fmt.Fprintf(&b, "%-14s %10.2f %8.3f %8.3f %10.1f %9.2f %8.1f\n",
+			"MEAN", s.EnergySavingPct, s.WeightedSpeedup, s.FairSpeedup,
+			s.RPKIDecrease, s.MPKIIncrease, s.ActiveRatioPct)
+	}
+	return b.String()
+}
+
+// FormatCSV renders comparisons as CSV with a header row.
+func FormatCSV(cs []Comparison) string {
+	var b strings.Builder
+	b.WriteString("workload,technique,energy_saving_pct,weighted_speedup,fair_speedup,rpki_decrease,mpki_increase,active_ratio_pct\n")
+	for _, c := range cs {
+		fmt.Fprintf(&b, "%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			c.Workload, c.Technique, c.EnergySavingPct, c.WeightedSpeedup,
+			c.FairSpeedup, c.RPKIDecrease, c.MPKIIncrease, c.ActiveRatioPct)
+	}
+	return b.String()
+}

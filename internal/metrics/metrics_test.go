@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+)
+
+// fakeResult builds a minimal sim.Result for metric computation.
+func fakeResult(tech sim.Technique, totalJ float64, ipcs []float64, misses, refreshes, instrPerCore uint64, ar float64) *sim.Result {
+	r := &sim.Result{
+		Technique: tech,
+		Energy: energy.Breakdown{
+			L2Dyn: totalJ, // park the whole total in one component
+		},
+		ActiveRatio: ar,
+	}
+	r.Refreshes = refreshes
+	r.L2.Misses = misses
+	for i, ipc := range ipcs {
+		r.Cores = append(r.Cores, sim.CoreResult{
+			Benchmark:    "b",
+			Instructions: instrPerCore,
+			IPC:          ipc,
+			Cycles:       uint64(float64(instrPerCore) / ipc),
+		})
+		_ = i
+	}
+	return r
+}
+
+func TestCompareSingleCore(t *testing.T) {
+	base := fakeResult(sim.Baseline, 100, []float64{0.5}, 1000, 500000, 1_000_000, 1)
+	tech := fakeResult(sim.Esteem, 75, []float64{0.55}, 1300, 200000, 1_000_000, 0.44)
+	c := Compare("gcc", base, tech)
+	if c.Workload != "gcc" || c.Technique != "esteem" {
+		t.Fatalf("identity wrong: %+v", c)
+	}
+	if math.Abs(c.EnergySavingPct-25) > 1e-9 {
+		t.Errorf("saving = %v, want 25", c.EnergySavingPct)
+	}
+	if math.Abs(c.WeightedSpeedup-1.1) > 1e-9 {
+		t.Errorf("ws = %v, want 1.1", c.WeightedSpeedup)
+	}
+	// Single core: fair speedup equals weighted speedup.
+	if math.Abs(c.FairSpeedup-c.WeightedSpeedup) > 1e-9 {
+		t.Errorf("fs = %v != ws %v", c.FairSpeedup, c.WeightedSpeedup)
+	}
+	if math.Abs(c.RPKIDecrease-300) > 1e-9 { // 500 - 200 per KI
+		t.Errorf("rpki dec = %v, want 300", c.RPKIDecrease)
+	}
+	if math.Abs(c.MPKIIncrease-0.3) > 1e-9 { // 1.3 - 1.0
+		t.Errorf("mpki inc = %v, want 0.3", c.MPKIIncrease)
+	}
+	if math.Abs(c.ActiveRatioPct-44) > 1e-9 {
+		t.Errorf("active = %v, want 44", c.ActiveRatioPct)
+	}
+}
+
+func TestCompareDualCoreSpeedups(t *testing.T) {
+	base := fakeResult(sim.Baseline, 100, []float64{0.5, 1.0}, 0, 0, 1_000_000, 1)
+	tech := fakeResult(sim.RPV, 90, []float64{1.0, 1.0}, 0, 0, 1_000_000, 1)
+	c := Compare("mix", base, tech)
+	// Core 0 sped up 2x, core 1 unchanged: WS = 1.5, FS = harmonic
+	// mean = 2/(1/2 + 1/1) = 4/3.
+	if math.Abs(c.WeightedSpeedup-1.5) > 1e-9 {
+		t.Errorf("ws = %v, want 1.5", c.WeightedSpeedup)
+	}
+	if math.Abs(c.FairSpeedup-4.0/3.0) > 1e-9 {
+		t.Errorf("fs = %v, want 4/3", c.FairSpeedup)
+	}
+}
+
+func TestComparePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched core counts accepted")
+		}
+	}()
+	Compare("x",
+		fakeResult(sim.Baseline, 1, []float64{1}, 0, 0, 1, 1),
+		fakeResult(sim.Esteem, 1, []float64{1, 1}, 0, 0, 1, 1))
+}
+
+func TestSummarizeRules(t *testing.T) {
+	cs := []Comparison{
+		{Technique: "esteem", EnergySavingPct: 10, WeightedSpeedup: 1.0, FairSpeedup: 1.0, RPKIDecrease: 100, MPKIIncrease: 0.1, ActiveRatioPct: 40},
+		{Technique: "esteem", EnergySavingPct: 30, WeightedSpeedup: 4.0, FairSpeedup: 4.0, RPKIDecrease: 300, MPKIIncrease: 0.3, ActiveRatioPct: 60},
+	}
+	s := Summarize(cs)
+	if s.Workloads != 2 || s.Technique != "esteem" {
+		t.Fatalf("identity: %+v", s)
+	}
+	// Arithmetic means.
+	if s.EnergySavingPct != 20 || s.RPKIDecrease != 200 || math.Abs(s.MPKIIncrease-0.2) > 1e-12 || s.ActiveRatioPct != 50 {
+		t.Errorf("arithmetic means wrong: %+v", s)
+	}
+	// Geometric mean of speedups: sqrt(1*4) = 2, NOT 2.5.
+	if math.Abs(s.WeightedSpeedup-2) > 1e-9 {
+		t.Errorf("ws gmean = %v, want 2", s.WeightedSpeedup)
+	}
+	if math.Abs(s.FairSpeedup-2) > 1e-9 {
+		t.Errorf("fs gmean = %v, want 2", s.FairSpeedup)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Workloads != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	groups := map[string][]Comparison{
+		"esteem": {
+			{Workload: "bzip2", Technique: "esteem", EnergySavingPct: 12.3, WeightedSpeedup: 1.05, FairSpeedup: 1.05},
+			{Workload: "astar", Technique: "esteem", EnergySavingPct: 8.1, WeightedSpeedup: 1.01, FairSpeedup: 1.01},
+		},
+	}
+	out := FormatTable("fig3", groups)
+	if !strings.Contains(out, "== fig3 ==") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "MEAN") {
+		t.Error("summary row missing")
+	}
+	// Workloads sorted alphabetically.
+	if strings.Index(out, "astar") > strings.Index(out, "bzip2") {
+		t.Error("rows not sorted")
+	}
+}
+
+func TestFormatCSV(t *testing.T) {
+	cs := []Comparison{{Workload: "gcc", Technique: "rpv", EnergySavingPct: 1.5}}
+	out := FormatCSV(cs)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "workload,technique,") {
+		t.Error("header wrong")
+	}
+	if !strings.HasPrefix(lines[1], "gcc,rpv,1.5000") {
+		t.Errorf("row wrong: %s", lines[1])
+	}
+}
+
+func TestFormatTableEmpty(t *testing.T) {
+	out := FormatTable("empty", nil)
+	if !strings.Contains(out, "== empty ==") {
+		t.Fatal("title missing for empty table")
+	}
+}
+
+func TestFormatCSVEmpty(t *testing.T) {
+	out := FormatCSV(nil)
+	if !strings.HasPrefix(out, "workload,") || strings.Count(out, "\n") != 1 {
+		t.Fatalf("empty csv wrong: %q", out)
+	}
+}

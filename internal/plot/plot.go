@@ -1,0 +1,112 @@
+// Package plot renders simple, dependency-free ASCII charts for the
+// benchmark harness: horizontal bar charts for the per-workload
+// figures (the paper's Figs. 3–6 are bar charts) and sparklines for
+// time series (Fig. 2's active-ratio trace).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders bars as a horizontal ASCII chart of the given
+// width (columns used for the bars themselves). Negative values
+// render to the left of the zero axis, positive to the right, with
+// the axis placed proportionally. Width < 10 is clamped to 10.
+func BarChart(title, unit string, bars []Bar, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(bars) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	minV, maxV := 0.0, 0.0
+	labelW := 0
+	for _, bar := range bars {
+		minV = math.Min(minV, bar.Value)
+		maxV = math.Max(maxV, bar.Value)
+		if len(bar.Label) > labelW {
+			labelW = len(bar.Label)
+		}
+	}
+	span := maxV - minV
+	if span == 0 {
+		span = 1
+	}
+	// Column of the zero axis.
+	zeroCol := int(math.Round(-minV / span * float64(width)))
+	for _, bar := range bars {
+		cells := make([]byte, width+1)
+		for i := range cells {
+			cells[i] = ' '
+		}
+		if zeroCol >= 0 && zeroCol <= width {
+			cells[zeroCol] = '|'
+		}
+		barLen := int(math.Round(math.Abs(bar.Value) / span * float64(width)))
+		if bar.Value >= 0 {
+			for i := 0; i < barLen && zeroCol+1+i <= width; i++ {
+				cells[zeroCol+1+i] = '#'
+			}
+		} else {
+			for i := 0; i < barLen && zeroCol-1-i >= 0; i++ {
+				cells[zeroCol-1-i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %s %8.2f%s\n", labelW, bar.Label, string(cells), bar.Value, unit)
+	}
+	return b.String()
+}
+
+// sparkLevels are the eight block characters used by Sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a single-line block-character series
+// scaled to [lo, hi]; out-of-range values are clamped. It returns an
+// empty string for no values. lo must be < hi.
+func Sparkline(values []float64, lo, hi float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	for _, v := range values {
+		t := (v - lo) / (hi - lo)
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		idx := int(t * float64(len(sparkLevels)-1))
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Series renders a labelled sparkline with its range annotated.
+func Series(label string, values []float64) string {
+	if len(values) == 0 {
+		return fmt.Sprintf("%s: (no data)\n", label)
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return fmt.Sprintf("%s [%.2f..%.2f] %s\n", label, lo, hi, Sparkline(values, lo, hi))
+}

@@ -1,0 +1,230 @@
+// Package refrint implements the Refrint refresh policies of Agrawal,
+// Jain, Ansari and Torrellas (HPCA 2013), which the ESTEEM paper uses
+// as its comparison point (Section 6.2):
+//
+//   - RPV (polyphase-valid): a block read or written is implicitly
+//     refreshed by the access, so it need not be refreshed for one
+//     retention period. The retention period is divided into P phases
+//     (the paper uses 4); each block remembers the phase of its last
+//     touch, and the refresh engine re-refreshes it at the beginning
+//     of that phase in every subsequent retention period. Only valid
+//     blocks are refreshed.
+//   - RPD (polyphase-dirty): like RPV, but only dirty blocks are
+//     refreshed; clean valid blocks reaching their phase event are
+//     eagerly invalidated instead (their data is still clean in
+//     memory). The ESTEEM paper argues this floods main memory with
+//     re-fetches for mostly-clean workloads and excludes it from the
+//     headline comparison; we implement it for the ablation benches.
+//   - Periodic-valid: refresh every valid block once per retention
+//     window at the window boundary (shown inferior to RPV in the
+//     Refrint paper; provided for ablations).
+//
+// The polyphase policies observe line touches through the cache's
+// Observer hook and read the current cycle from the shared
+// edram.Clock.
+package refrint
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/edram"
+)
+
+// untracked marks a line frame with no live phase assignment.
+const untracked = int8(-1)
+
+// polyphase holds the state shared by RPV and RPD.
+type polyphase struct {
+	c         *cache.Cache
+	clock     *edram.Clock
+	phases    int
+	retention uint64
+	phaseLen  uint64
+	assoc     int
+	banks     int
+	// phase[set*assoc+way] is the phase of the line's last touch, or
+	// untracked.
+	phase []int8
+	// counts[bank*phases+ph] is the number of tracked lines in the
+	// bank whose stored phase is ph, maintained incrementally so
+	// refresh events are O(1) per bank.
+	counts []int
+}
+
+func newPolyphase(c *cache.Cache, clock *edram.Clock, phases int, retentionCycles uint64) (*polyphase, error) {
+	if phases < 1 || phases > 127 {
+		return nil, fmt.Errorf("refrint: phase count %d out of [1,127]", phases)
+	}
+	if retentionCycles < uint64(phases) {
+		return nil, fmt.Errorf("refrint: %d phases do not fit in %d retention cycles", phases, retentionCycles)
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("refrint: nil clock")
+	}
+	p := &polyphase{
+		c:         c,
+		clock:     clock,
+		phases:    phases,
+		retention: retentionCycles,
+		phaseLen:  retentionCycles / uint64(phases),
+		assoc:     c.Params().Assoc,
+		banks:     c.Params().Banks,
+		phase:     make([]int8, c.NumSets()*c.Params().Assoc),
+		counts:    make([]int, c.Params().Banks*phases),
+	}
+	for i := range p.phase {
+		p.phase[i] = untracked
+	}
+	return p, nil
+}
+
+// currentPhase computes which phase of the retention window the clock
+// is in.
+func (p *polyphase) currentPhase() int8 {
+	ph := (p.clock.Cycle % p.retention) / p.phaseLen
+	if ph >= uint64(p.phases) { // retention not divisible by phases
+		ph = uint64(p.phases) - 1
+	}
+	return int8(ph)
+}
+
+// OnTouch implements cache.Observer: record the touch phase.
+func (p *polyphase) OnTouch(set, way int) {
+	i := set*p.assoc + way
+	bank := set % p.banks
+	if old := p.phase[i]; old != untracked {
+		p.counts[bank*p.phases+int(old)]--
+	}
+	ph := p.currentPhase()
+	p.phase[i] = ph
+	p.counts[bank*p.phases+int(ph)]++
+}
+
+// OnInvalidate implements cache.Observer.
+func (p *polyphase) OnInvalidate(set, way int) {
+	i := set*p.assoc + way
+	if old := p.phase[i]; old != untracked {
+		p.counts[(set%p.banks)*p.phases+int(old)]--
+		p.phase[i] = untracked
+	}
+}
+
+// TrackedLines returns how many lines currently carry a phase; it
+// must equal the cache's valid-line count (tested as an invariant).
+func (p *polyphase) TrackedLines() int {
+	n := 0
+	for _, ph := range p.phase {
+		if ph != untracked {
+			n++
+		}
+	}
+	return n
+}
+
+// RPV is the Refrint polyphase-valid policy.
+type RPV struct {
+	*polyphase
+}
+
+// NewRPV builds an RPV policy with the given phase count over c,
+// reading time from clock, and installs itself as the cache's
+// observer.
+func NewRPV(c *cache.Cache, clock *edram.Clock, phases int, retentionCycles uint64) (*RPV, error) {
+	pp, err := newPolyphase(c, clock, phases, retentionCycles)
+	if err != nil {
+		return nil, err
+	}
+	r := &RPV{polyphase: pp}
+	c.SetObserver(r)
+	return r, nil
+}
+
+// Name implements edram.Policy.
+func (r *RPV) Name() string { return fmt.Sprintf("refrint-rpv%d", r.phases) }
+
+// EventsPerWindow implements edram.Policy.
+func (r *RPV) EventsPerWindow() int { return r.phases }
+
+// RefreshEvent refreshes every valid line in the bank whose last
+// touch (or engine refresh) fell in the event's phase. The refresh
+// renews retention from this same phase, so the stored phase — and
+// therefore the incremental count — is unchanged.
+func (r *RPV) RefreshEvent(bank, event int) int {
+	return r.counts[bank*r.phases+event]
+}
+
+// RPD is the Refrint polyphase-dirty policy.
+type RPD struct {
+	*polyphase
+	invalidated uint64
+}
+
+// NewRPD builds an RPD policy and installs it as the cache's observer.
+func NewRPD(c *cache.Cache, clock *edram.Clock, phases int, retentionCycles uint64) (*RPD, error) {
+	pp, err := newPolyphase(c, clock, phases, retentionCycles)
+	if err != nil {
+		return nil, err
+	}
+	r := &RPD{polyphase: pp}
+	c.SetObserver(r)
+	return r, nil
+}
+
+// Name implements edram.Policy.
+func (r *RPD) Name() string { return fmt.Sprintf("refrint-rpd%d", r.phases) }
+
+// EventsPerWindow implements edram.Policy.
+func (r *RPD) EventsPerWindow() int { return r.phases }
+
+// RefreshEvent refreshes dirty lines at their phase and eagerly
+// invalidates clean ones (avoiding their refresh at the cost of a
+// future miss).
+func (r *RPD) RefreshEvent(bank, event int) int {
+	n := 0
+	ph := int8(event)
+	for set := bank; set < r.c.NumSets(); set += r.banks {
+		base := set * r.assoc
+		for w := 0; w < r.assoc; w++ {
+			if r.phase[base+w] != ph {
+				continue
+			}
+			if _, dirty := r.c.LineState(set, w); dirty {
+				n++
+			} else {
+				// InvalidateLine fires OnInvalidate, untracking the
+				// frame.
+				r.c.InvalidateLine(set, w)
+				r.invalidated++
+			}
+		}
+	}
+	return n
+}
+
+// Invalidated returns how many clean lines RPD has eagerly dropped.
+func (r *RPD) Invalidated() uint64 { return r.invalidated }
+
+// PeriodicValid refreshes all valid lines once per retention window.
+// It is a named alias of the generic valid-only policy so reports can
+// distinguish "Refrint periodic-valid" from ESTEEM's valid-only
+// refresh of the active portion.
+type PeriodicValid struct {
+	inner *edram.ValidOnly
+}
+
+// NewPeriodicValid builds the policy over c.
+func NewPeriodicValid(c *cache.Cache) *PeriodicValid {
+	return &PeriodicValid{inner: edram.NewValidOnly(c)}
+}
+
+// Name implements edram.Policy.
+func (p *PeriodicValid) Name() string { return "refrint-periodic-valid" }
+
+// EventsPerWindow implements edram.Policy.
+func (p *PeriodicValid) EventsPerWindow() int { return 1 }
+
+// RefreshEvent implements edram.Policy.
+func (p *PeriodicValid) RefreshEvent(bank, event int) int {
+	return p.inner.RefreshEvent(bank, event)
+}

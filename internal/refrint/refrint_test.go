@@ -1,0 +1,277 @@
+package refrint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/edram"
+	"repro/internal/xrand"
+)
+
+func newL2(t testing.TB) *cache.Cache {
+	t.Helper()
+	return cache.MustNew(cache.Params{
+		Name: "L2", SizeBytes: 64 * 8 * 64, Assoc: 8, LineBytes: 64,
+		Modules: 4, Banks: 4, SamplingRatio: 16,
+	})
+}
+
+func addrFor(set, tag, numSets int) cache.Addr {
+	return cache.Addr(uint64(tag)*uint64(numSets)*64 + uint64(set)*64)
+}
+
+func TestNewRPVValidation(t *testing.T) {
+	c := newL2(t)
+	clk := &edram.Clock{}
+	if _, err := NewRPV(c, clk, 0, 1000); err == nil {
+		t.Error("0 phases accepted")
+	}
+	if _, err := NewRPV(c, clk, 200, 1000); err == nil {
+		t.Error("200 phases accepted")
+	}
+	if _, err := NewRPV(c, clk, 4, 2); err == nil {
+		t.Error("phases > retention accepted")
+	}
+	if _, err := NewRPV(c, nil, 4, 1000); err == nil {
+		t.Error("nil clock accepted")
+	}
+	r, err := NewRPV(c, clk, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "refrint-rpv4" {
+		t.Errorf("name = %q", r.Name())
+	}
+	if r.EventsPerWindow() != 4 {
+		t.Errorf("events = %d", r.EventsPerWindow())
+	}
+}
+
+func TestRPVPhaseAssignment(t *testing.T) {
+	c := newL2(t)
+	clk := &edram.Clock{}
+	r, err := NewRPV(c, clk, 4, 1000) // phases of 250 cycles
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch a line in each phase; count refreshes per phase event.
+	countPhase := func(ph int) int {
+		n := 0
+		for b := 0; b < 4; b++ {
+			n += r.RefreshEvent(b, ph)
+		}
+		return n
+	}
+	clk.Cycle = 100 // phase 0
+	c.Access(addrFor(0, 1, 64), false)
+	clk.Cycle = 300 // phase 1
+	c.Access(addrFor(1, 1, 64), false)
+	clk.Cycle = 990 // phase 3
+	c.Access(addrFor(2, 1, 64), false)
+	if countPhase(0) != 1 || countPhase(1) != 1 || countPhase(2) != 0 || countPhase(3) != 1 {
+		t.Fatalf("phase counts = %d,%d,%d,%d", countPhase(0), countPhase(1), countPhase(2), countPhase(3))
+	}
+	// Wrap into the next window: phase repeats.
+	clk.Cycle = 1100 // phase 0 of window 1
+	c.Access(addrFor(3, 1, 64), false)
+	if countPhase(0) != 2 {
+		t.Fatalf("phase 0 count after wrap = %d, want 2", countPhase(0))
+	}
+}
+
+func TestRPVTouchMovesPhase(t *testing.T) {
+	c := newL2(t)
+	clk := &edram.Clock{}
+	r, _ := NewRPV(c, clk, 4, 1000)
+	clk.Cycle = 0
+	res := c.Access(addrFor(0, 1, 64), false)
+	bank := res.Bank
+	if r.RefreshEvent(bank, 0) != 1 {
+		t.Fatal("line not tracked in phase 0")
+	}
+	// Re-touch in phase 2: the scheduled refresh moves.
+	clk.Cycle = 600
+	c.Access(addrFor(0, 1, 64), false)
+	if r.RefreshEvent(bank, 0) != 0 {
+		t.Fatal("stale phase-0 schedule survived a re-touch")
+	}
+	if r.RefreshEvent(bank, 2) != 1 {
+		t.Fatal("line not rescheduled to phase 2")
+	}
+}
+
+func TestRPVEvictionUntracks(t *testing.T) {
+	c := newL2(t)
+	clk := &edram.Clock{}
+	r, _ := NewRPV(c, clk, 4, 1000)
+	c.Access(addrFor(0, 1, 64), false)
+	// Evict by filling the set beyond associativity.
+	for tag := 2; tag <= 9; tag++ {
+		c.Access(addrFor(0, tag, 64), false)
+	}
+	if got := r.TrackedLines(); got != c.ValidLines() {
+		t.Fatalf("tracked %d != valid %d", got, c.ValidLines())
+	}
+}
+
+func TestRPVRefreshCountMatchesValid(t *testing.T) {
+	// Summing refreshes over all phases and banks must equal the
+	// number of valid lines (each valid line has exactly one phase).
+	c := newL2(t)
+	clk := &edram.Clock{}
+	r, _ := NewRPV(c, clk, 4, 1000)
+	rng := xrand.New(5)
+	for i := 0; i < 500; i++ {
+		clk.Cycle += uint64(rng.Intn(50))
+		c.Access(cache.Addr(rng.Uint64n(64*64*32)), rng.Bool(0.3))
+	}
+	total := 0
+	for ph := 0; ph < 4; ph++ {
+		for b := 0; b < 4; b++ {
+			total += r.RefreshEvent(b, ph)
+		}
+	}
+	if total != c.ValidLines() {
+		t.Fatalf("phase-sum %d != valid %d", total, c.ValidLines())
+	}
+}
+
+func TestRPDRefreshesOnlyDirty(t *testing.T) {
+	c := newL2(t)
+	clk := &edram.Clock{}
+	r, err := NewRPD(c, clk, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Cycle = 0 // phase 0
+	resDirty := c.Access(addrFor(0, 1, 64), true)
+	c.Access(addrFor(4, 1, 64), false) // clean, same bank 0
+	if resDirty.Bank != 0 {
+		t.Fatalf("expected bank 0, got %d", resDirty.Bank)
+	}
+	n := r.RefreshEvent(0, 0)
+	if n != 1 {
+		t.Fatalf("RPD refreshed %d lines, want 1 (the dirty one)", n)
+	}
+	if r.Invalidated() != 1 {
+		t.Fatalf("RPD invalidated %d, want 1 (the clean one)", r.Invalidated())
+	}
+	// The clean line must actually be gone from the cache.
+	if c.Probe(addrFor(4, 1, 64)) {
+		t.Fatal("clean line still present after RPD event")
+	}
+	if !c.Probe(addrFor(0, 1, 64)) {
+		t.Fatal("dirty line was dropped by RPD")
+	}
+}
+
+func TestRPDName(t *testing.T) {
+	c := newL2(t)
+	r, _ := NewRPD(c, &edram.Clock{}, 4, 1000)
+	if r.Name() != "refrint-rpd4" {
+		t.Errorf("name = %q", r.Name())
+	}
+}
+
+func TestPeriodicValid(t *testing.T) {
+	c := newL2(t)
+	p := NewPeriodicValid(c)
+	if p.Name() != "refrint-periodic-valid" || p.EventsPerWindow() != 1 {
+		t.Fatalf("identity wrong: %q/%d", p.Name(), p.EventsPerWindow())
+	}
+	for i := 0; i < 7; i++ {
+		c.Access(cache.Addr(i*64), false)
+	}
+	total := 0
+	for b := 0; b < 4; b++ {
+		total += p.RefreshEvent(b, 0)
+	}
+	if total != 7 {
+		t.Fatalf("periodic-valid refreshed %d, want 7", total)
+	}
+}
+
+// Property: tracked lines always equal the cache's valid lines across
+// random access mixes, evictions and reconfigurations.
+func TestTrackedMatchesValidProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		c := newL2(t)
+		clk := &edram.Clock{}
+		r, err := NewRPV(c, clk, 4, 100000)
+		if err != nil {
+			return false
+		}
+		rng := xrand.New(seed)
+		for i := 0; i < 400; i++ {
+			clk.Cycle += uint64(rng.Intn(300))
+			switch rng.Intn(12) {
+			case 0:
+				c.SetActiveWays(rng.Intn(4), 1+rng.Intn(8))
+			default:
+				c.Access(cache.Addr(rng.Uint64n(64*64*16)), rng.Bool(0.4))
+			}
+		}
+		return r.TrackedLines() == c.ValidLines()
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Integration: RPV under an edram.Engine must refresh fewer lines than
+// the all-frames baseline for a sparsely occupied cache.
+func TestRPVBeatsBaselineOnSparseCache(t *testing.T) {
+	mk := func(policy func(c *cache.Cache, clk *edram.Clock) edram.Policy) uint64 {
+		c := newL2(t)
+		clk := &edram.Clock{}
+		pol := policy(c, clk)
+		eng, err := edram.NewEngine(edram.Params{RetentionCycles: 1000, Banks: 4}, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Touch 10 lines, then run 10 windows of refresh.
+		for i := 0; i < 10; i++ {
+			c.Access(cache.Addr(i*64), false)
+		}
+		for cyc := uint64(0); cyc <= 10000; cyc += 100 {
+			clk.Cycle = cyc
+			eng.AdvanceTo(cyc)
+		}
+		return eng.TotalRefreshed()
+	}
+	baseline := mk(func(c *cache.Cache, clk *edram.Clock) edram.Policy { return edram.NewRefreshAll(c) })
+	rpv := mk(func(c *cache.Cache, clk *edram.Clock) edram.Policy {
+		r, err := NewRPV(c, clk, 4, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	})
+	if rpv >= baseline/10 {
+		t.Fatalf("RPV refreshed %d vs baseline %d; expected order-of-magnitude fewer on a sparse cache", rpv, baseline)
+	}
+	if rpv == 0 {
+		t.Fatal("RPV refreshed nothing; valid lines must still be refreshed")
+	}
+}
+
+func BenchmarkRPVRefreshEvent(b *testing.B) {
+	c := cache.MustNew(cache.Params{
+		Name: "L2", SizeBytes: 4 << 20, Assoc: 16, LineBytes: 64,
+		Modules: 8, Banks: 4, SamplingRatio: 64,
+	})
+	clk := &edram.Clock{}
+	r, err := NewRPV(c, clk, 4, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	for i := 0; i < 100000; i++ {
+		c.Access(cache.Addr(rng.Uint64()%(64<<20)), rng.Bool(0.3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RefreshEvent(i%4, i%4)
+	}
+}

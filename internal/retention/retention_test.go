@@ -1,0 +1,189 @@
+package retention
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestCalibrationPoints pins the paper's two (temperature, retention)
+// points: 40 µs at 105 °C (Barth et al.) and 50 µs at 60 °C (the
+// paper's assumed operating point).
+func TestCalibrationPoints(t *testing.T) {
+	if got := Micros(105); !close(got, 40, 1e-9) {
+		t.Errorf("Micros(105) = %v, want 40", got)
+	}
+	if got := Micros(60); !close(got, 50, 1e-9) {
+		t.Errorf("Micros(60) = %v, want 50", got)
+	}
+}
+
+func TestMicrosMonotoneDecreasing(t *testing.T) {
+	prev := math.Inf(1)
+	for temp := 20.0; temp <= 125; temp += 5 {
+		cur := Micros(temp)
+		if cur >= prev {
+			t.Fatalf("retention not decreasing at %v C", temp)
+		}
+		if cur <= 0 {
+			t.Fatalf("non-positive retention at %v C", temp)
+		}
+		prev = cur
+	}
+}
+
+func TestTempForMicrosRoundTrip(t *testing.T) {
+	for _, temp := range []float64{25, 60, 85, 105} {
+		ret := Micros(temp)
+		back, err := TempForMicros(ret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close(back, temp, 1e-6) {
+			t.Errorf("round trip %v C -> %v us -> %v C", temp, ret, back)
+		}
+	}
+	if _, err := TempForMicros(0); err == nil {
+		t.Error("zero retention accepted")
+	}
+	if _, err := TempForMicros(-5); err == nil {
+		t.Error("negative retention accepted")
+	}
+}
+
+func TestVariationValidate(t *testing.T) {
+	if (Variation{Sigma: -1}).Validate() == nil {
+		t.Error("negative sigma accepted")
+	}
+	if (Variation{Sigma: 0.2}).Validate() != nil {
+		t.Error("valid sigma rejected")
+	}
+}
+
+func TestSampleNoVariation(t *testing.T) {
+	v := Variation{Sigma: 0}
+	rng := xrand.New(1)
+	for i := 0; i < 10; i++ {
+		if v.Sample(rng) != 1 {
+			t.Fatal("sigma=0 sample != 1")
+		}
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	v := Variation{Sigma: 0.2}
+	rng := xrand.New(7)
+	const n = 100000
+	sumLog := 0.0
+	sumLog2 := 0.0
+	for i := 0; i < n; i++ {
+		l := math.Log(v.Sample(rng))
+		sumLog += l
+		sumLog2 += l * l
+	}
+	mean := sumLog / n
+	sd := math.Sqrt(sumLog2/n - mean*mean)
+	if math.Abs(mean) > 0.005 {
+		t.Errorf("log-mean = %v, want ~0", mean)
+	}
+	if math.Abs(sd-0.2) > 0.005 {
+		t.Errorf("log-sd = %v, want ~0.2", sd)
+	}
+}
+
+func TestWorstCaseMultiplier(t *testing.T) {
+	v := Variation{Sigma: 0.2}
+	m1, err := v.WorstCaseMultiplier(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m64k, err := v.WorstCaseMultiplier(65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m64k >= m1 {
+		t.Fatalf("worst case of 64k lines (%v) should be below 1 line (%v)", m64k, m1)
+	}
+	if m64k <= 0 || m64k >= 1 {
+		t.Fatalf("worst-case multiplier %v out of (0,1)", m64k)
+	}
+	// Quantile 1/(n+1) at n=64k, sigma=0.2: z ~ -4.0 → exp(-0.80) ~ 0.45.
+	if m64k < 0.35 || m64k > 0.55 {
+		t.Errorf("worst-case multiplier = %v, want ~0.45", m64k)
+	}
+	if _, err := v.WorstCaseMultiplier(0); err == nil {
+		t.Error("zero population accepted")
+	}
+	// No variation → multiplier exactly 1 regardless of population.
+	m, err := Variation{}.WorstCaseMultiplier(1 << 20)
+	if err != nil || m != 1 {
+		t.Errorf("sigma=0 multiplier = %v (%v)", m, err)
+	}
+}
+
+func TestDeratedMicros(t *testing.T) {
+	// At the nominal temperature with no variation, derated equals
+	// nominal retention.
+	d, err := DeratedMicros(60, Variation{}, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(d, 50, 1e-9) {
+		t.Errorf("derated = %v, want 50", d)
+	}
+	// With variation the usable period shrinks.
+	d2, err := DeratedMicros(60, Variation{Sigma: 0.2}, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 >= d {
+		t.Errorf("variation did not derate: %v vs %v", d2, d)
+	}
+	if _, err := DeratedMicros(60, Variation{Sigma: -1}, 10); err == nil {
+		t.Error("invalid variation accepted")
+	}
+}
+
+// TestNormQuantile checks the quantile approximation against known
+// standard-normal values.
+func TestNormQuantile(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.841344746, 1.0},
+		{1e-6, -4.753424},
+	}
+	for _, c := range cases {
+		if got := normQuantile(c.p); !close(got, c.z, 1e-4) {
+			t.Errorf("normQuantile(%v) = %v, want %v", c.p, got, c.z)
+		}
+	}
+}
+
+func TestNormQuantileSymmetryProperty(t *testing.T) {
+	err := quick.Check(func(raw uint16) bool {
+		p := (float64(raw) + 1) / 65538 // (0, 1)
+		return close(normQuantile(p), -normQuantile(1-p), 1e-6)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("normQuantile(%v) did not panic", p)
+				}
+			}()
+			normQuantile(p)
+		}()
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestGoldenRun pins the exact observable counters of one small run
+// over an inline workload profile (independent of the tuned benchmark
+// table). Any change to the cache, refresh, memory or core models
+// shows up here; if a change is intentional, regenerate the constants
+// with `go test -run TestGoldenRun -v -update-golden` (prints the new
+// values).
+func TestGoldenRun(t *testing.T) {
+	prof := trace.Profile{
+		Name: "golden", Acronym: "Gn",
+		MemOpFrac: 0.4, WriteFrac: 0.3,
+		HotKB: 512, ZipfS: 1.0, BurstRefs: 4, LocalFrac: 0.5,
+		StreamFrac: 0.1, StreamKB: 8 << 10, MLP: 2,
+	}
+	gen, err := trace.NewGenerator(prof, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.Technique = Esteem
+	cfg.WarmupInstr = 300_000
+	cfg.MeasureInstr = 1_500_000
+	cfg.IntervalCycles = 250_000
+	r, err := RunSources(cfg, []trace.Source{gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]uint64{
+		"cycles":     r.Cores[0].Cycles,
+		"instr":      r.Cores[0].Instructions,
+		"l2hits":     r.L2.Hits,
+		"l2misses":   r.L2.Misses,
+		"refreshes":  r.Refreshes,
+		"mmreads":    r.MM.Reads,
+		"mmwb":       r.MM.Writebacks,
+		"reconfigwb": r.ReconfigWritebacks,
+	}
+	want := map[string]uint64{
+		"cycles":     2974561,
+		"instr":      1500002,
+		"l2hits":     88868,
+		"l2misses":   6720,
+		"refreshes":  257518,
+		"mmreads":    6720,
+		"mmwb":       77,
+		"reconfigwb": 4,
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("golden %s = %d, want %d", k, got[k], w)
+		}
+	}
+	if t.Failed() {
+		t.Logf("regenerated golden values: %#v", got)
+	}
+}

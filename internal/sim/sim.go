@@ -1,0 +1,804 @@
+// Package sim assembles the full simulated system of the ESTEEM paper
+// (Section 6.1) and drives it: one or more cores executing synthetic
+// benchmarks through private L1 data caches, a shared eDRAM L2 with a
+// banked refresh engine, and a bandwidth-limited main memory. It
+// implements the paper's measurement protocol (fast-forward, fixed
+// measured instruction budget per core, early finishers keep running)
+// and its interval machinery (the ESTEEM controller runs every
+// IntervalCycles; energy is accounted per interval with Equations
+// 2–8).
+//
+// Simulated defaults mirror the paper: 2 GHz cores; 32 KB 4-way L1;
+// 16-way L2 of 4 MB (single-core, 8 modules, 10 GB/s memory) or 8 MB
+// (dual-core, 16 modules, 15 GB/s); 12-cycle L2, 220-cycle memory;
+// 4 L2 banks with pipelined 1-line/cycle refresh; 50 µs retention.
+// Instruction budgets and the interval length are scaled down ~10–20x
+// from the paper's 400M/10M-cycle runs so the full evaluation fits in
+// CI; every knob is a Config field (see EXPERIMENTS.md).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/edram"
+	"repro/internal/energy"
+	"repro/internal/mem"
+	"repro/internal/refrint"
+	"repro/internal/retention"
+	"repro/internal/smartref"
+	"repro/internal/trace"
+)
+
+// Technique selects the refresh/energy-management scheme under test.
+type Technique int
+
+const (
+	// Baseline periodically refreshes every line frame (the paper's
+	// reference point).
+	Baseline Technique = iota
+	// RPV is Refrint polyphase-valid (the paper's comparison
+	// technique).
+	RPV
+	// RPD is Refrint polyphase-dirty (ablation; excluded from the
+	// paper's headline results).
+	RPD
+	// PeriodicValid refreshes valid lines each window (ablation).
+	PeriodicValid
+	// Esteem is the paper's technique: module-wise selective-way
+	// reconfiguration plus valid-only refresh.
+	Esteem
+	// EsteemAllLineRefresh is an ablation of ESTEEM that refreshes
+	// every frame of the active portion, isolating the contribution
+	// of valid-only refresh.
+	EsteemAllLineRefresh
+	// NoRefresh never refreshes (unrealizable lower bound, ablation).
+	NoRefresh
+	// SmartRefresh is Ghosh & Lee's Smart-Refresh (MICRO'07), cited
+	// in the paper's related work: per-line counters skip engine
+	// refreshes for recently touched lines entirely.
+	SmartRefresh
+	// ECCExtended models ECC-based refresh-period extension
+	// (Wilkerson et al., cited in related work): the retention period
+	// is multiplied by ECCRetentionFactor and every L2 access pays an
+	// ECCDynOverheadFrac dynamic-energy surcharge for decode.
+	ECCExtended
+
+	maxTechnique = ECCExtended
+)
+
+// String names the technique.
+func (t Technique) String() string {
+	switch t {
+	case Baseline:
+		return "baseline"
+	case RPV:
+		return "rpv"
+	case RPD:
+		return "rpd"
+	case PeriodicValid:
+		return "periodic-valid"
+	case Esteem:
+		return "esteem"
+	case EsteemAllLineRefresh:
+		return "esteem-allline"
+	case NoRefresh:
+		return "no-refresh"
+	case SmartRefresh:
+		return "smart-refresh"
+	case ECCExtended:
+		return "ecc-extended"
+	default:
+		return fmt.Sprintf("technique(%d)", int(t))
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Cores     int
+	Technique Technique
+
+	// L1 (private, per core).
+	L1SizeBytes int
+	L1Assoc     int
+
+	// L2 (shared).
+	L2SizeBytes     int
+	L2Assoc         int
+	L2LatencyCycles uint64
+	LineBytes       int
+	Banks           int
+
+	// eDRAM. RetentionMicros sets the retention period directly;
+	// alternatively TemperatureC > 0 derives it from the paper's
+	// exponential temperature model (40 µs @ 105 °C, 50 µs @ 60 °C),
+	// and RetentionSigma > 0 additionally derates it for log-normal
+	// per-line process variation (the weakest of the L2's lines
+	// bounds the refresh period).
+	RetentionMicros float64
+	TemperatureC    float64
+	RetentionSigma  float64
+
+	// Main memory.
+	MemLatencyCycles        uint64
+	MemBandwidthBytesPerSec float64
+	// WriteBufferEntries bounds in-flight writebacks (0 = unbounded).
+	WriteBufferEntries int
+
+	// Clock.
+	FreqHz float64
+
+	// ESTEEM parameters.
+	IntervalCycles uint64
+	Modules        int
+	SamplingRatio  int
+	Esteem         core.Config
+
+	// Refrint parameters.
+	RefrintPhases int
+
+	// Smart-Refresh parameters (technique SmartRefresh): counter
+	// range in sub-periods per retention window; 0 means 4.
+	SmartRefreshPeriods int
+
+	// ECC-extension parameters (technique ECCExtended): retention
+	// multiplier (0 means 4) and per-access dynamic-energy surcharge
+	// (0 means 0.10).
+	ECCRetentionFactor float64
+	ECCDynOverheadFrac float64
+
+	// Run lengths (per core).
+	WarmupInstr  uint64
+	MeasureInstr uint64
+
+	// Seed drives workload generation.
+	Seed uint64
+
+	// LogIntervals records per-interval state (Fig. 2).
+	LogIntervals bool
+}
+
+// DefaultConfig returns the paper's system configuration for the
+// given core count, with run lengths scaled for tractability.
+func DefaultConfig(cores int) Config {
+	cfg := Config{
+		Cores:              cores,
+		Technique:          Esteem,
+		L1SizeBytes:        32 << 10,
+		L1Assoc:            4,
+		L2Assoc:            16,
+		L2LatencyCycles:    12,
+		LineBytes:          64,
+		Banks:              4,
+		RetentionMicros:    50,
+		MemLatencyCycles:   220,
+		FreqHz:             2e9,
+		WriteBufferEntries: 16,
+		IntervalCycles:     2_000_000, // paper: 10M; scaled 5x
+		SamplingRatio:      64,
+		Esteem:             core.DefaultConfig(),
+		RefrintPhases:      4,
+		WarmupInstr:        10_000_000, // paper: 10B fast-forward
+		MeasureInstr:       20_000_000, // paper: 400M
+		Seed:               1,
+	}
+	switch {
+	case cores <= 1:
+		cfg.L2SizeBytes = 4 << 20
+		cfg.MemBandwidthBytesPerSec = 10e9
+		cfg.Modules = 8
+	case cores == 2:
+		cfg.L2SizeBytes = 8 << 20
+		cfg.MemBandwidthBytesPerSec = 15e9
+		cfg.Modules = 16
+	default:
+		// Scalability extension beyond the paper's 1-2 cores: keep
+		// the paper's 4 MB-per-core LLC scaling and grow bandwidth
+		// by 5 GB/s per extra core.
+		cfg.L2SizeBytes = cores * (4 << 20)
+		cfg.MemBandwidthBytesPerSec = float64(10+5*(cores-1)) * 1e9
+		cfg.Modules = 8 * cores
+	}
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: cores must be >= 1")
+	}
+	if c.MeasureInstr == 0 {
+		return fmt.Errorf("sim: MeasureInstr must be positive")
+	}
+	if c.IntervalCycles == 0 {
+		return fmt.Errorf("sim: IntervalCycles must be positive")
+	}
+	if c.RetentionMicros <= 0 && c.TemperatureC <= 0 {
+		return fmt.Errorf("sim: retention must be positive (or set TemperatureC)")
+	}
+	if c.RetentionSigma < 0 {
+		return fmt.Errorf("sim: negative retention sigma")
+	}
+	if c.FreqHz <= 0 {
+		return fmt.Errorf("sim: frequency must be positive")
+	}
+	if c.Technique < Baseline || c.Technique > maxTechnique {
+		return fmt.Errorf("sim: unknown technique %d", int(c.Technique))
+	}
+	if c.ECCRetentionFactor < 0 || c.ECCDynOverheadFrac < 0 {
+		return fmt.Errorf("sim: negative ECC parameters")
+	}
+	return nil
+}
+
+// CoreResult reports one core's measured execution.
+type CoreResult struct {
+	Benchmark    string
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+	// Stall breakdown over the whole run (including any post-window
+	// execution).
+	StallL2Hit, StallRefresh, StallMemory uint64
+	L1Hits, L1Misses                      uint64
+}
+
+// IntervalRecord captures one interval for Fig. 2-style plots.
+type IntervalRecord struct {
+	// EndCycle is the frontier cycle at which the interval closed.
+	EndCycle uint64
+	// ActiveRatio is F_A during the interval.
+	ActiveRatio float64
+	// ActiveWays is the per-module configuration chosen *for the
+	// next* interval (nil for non-ESTEEM techniques).
+	ActiveWays []int
+	// Activity is the measured activity of the interval.
+	Activity energy.Activity
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Config    Config
+	Technique Technique
+	Cores     []CoreResult
+
+	// Activity aggregates the measured run (cycle count is wall
+	// time: the frontier advance from measurement start to finish).
+	Activity energy.Activity
+	// Energy is the paper's Equations 2–8 evaluated over Activity.
+	Energy energy.Breakdown
+	// Model holds the constants used.
+	Model energy.Model
+
+	// L2 and MM are the measured traffic counters.
+	L2 cache.Counters
+	MM mem.Counters
+	// Refreshes is N_R over the measured run.
+	Refreshes uint64
+	// ActiveRatio is the time-averaged F_A.
+	ActiveRatio float64
+	// RefreshStallCycles sums refresh-induced stalls across cores.
+	RefreshStallCycles uint64
+	// Intervals is the per-interval log (only with LogIntervals).
+	Intervals []IntervalRecord
+	// ReconfigWritebacks counts dirty lines flushed by ESTEEM
+	// reconfigurations.
+	ReconfigWritebacks uint64
+}
+
+// TotalInstructions sums the measured instructions of all cores.
+func (r *Result) TotalInstructions() uint64 {
+	var n uint64
+	for _, c := range r.Cores {
+		n += c.Instructions
+	}
+	return n
+}
+
+// MPKI returns L2 misses per kilo-instruction over the measured run.
+func (r *Result) MPKI() float64 {
+	ti := r.TotalInstructions()
+	if ti == 0 {
+		return 0
+	}
+	return float64(r.L2.Misses) * 1000 / float64(ti)
+}
+
+// RPKI returns refreshes per kilo-instruction over the measured run.
+func (r *Result) RPKI() float64 {
+	ti := r.TotalInstructions()
+	if ti == 0 {
+		return 0
+	}
+	return float64(r.Refreshes) * 1000 / float64(ti)
+}
+
+// Simulator holds one assembled system.
+type Simulator struct {
+	cfg        Config
+	benchNames []string
+	cores      []*cpu.Core
+	// effMemLat[i] is core i's exposed miss latency: the fixed memory
+	// latency divided by the benchmark's MLP factor (DESIGN.md —
+	// out-of-order overlap abstraction).
+	effMemLat []uint64
+	l1        []*cache.Cache
+	l2        *cache.Cache
+	clk       *edram.Clock
+	eng       *edram.Engine
+	mm        *mem.Memory
+	ctl       *core.Controller // nil unless Technique == Esteem*
+	rpd       *refrint.RPD     // nil unless Technique == RPD
+
+	measuring     bool
+	lastBoundary  uint64
+	nextBoundary  uint64
+	totalActivity energy.Activity
+	l2Measured    cache.Counters
+	mmMeasured    mem.Counters
+	intervals     []IntervalRecord
+	reconfigWB    uint64
+}
+
+// New assembles a simulator for the given benchmarks (one per core).
+func New(cfg Config, benchmarks []string) (*Simulator, error) {
+	if cfg.Cores >= 1 && len(benchmarks) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d benchmarks for %d cores", len(benchmarks), cfg.Cores)
+	}
+	sources := make([]trace.Source, len(benchmarks))
+	for i, name := range benchmarks {
+		prof, ok := trace.ProfileByName(name)
+		if !ok {
+			return nil, fmt.Errorf("sim: unknown benchmark %q", name)
+		}
+		gen, err := trace.NewGenerator(prof, cfg.Seed+uint64(i)*0x9E3779B9)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = gen
+	}
+	return NewFromSources(cfg, sources)
+}
+
+// NewFromSources assembles a simulator over arbitrary workload
+// sources (one per core) — synthetic generators, trace replayers, or
+// user-supplied implementations of trace.Source.
+func NewFromSources(cfg Config, sources []trace.Source) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d sources for %d cores", len(sources), cfg.Cores)
+	}
+
+	s := &Simulator{cfg: cfg, clk: &edram.Clock{}}
+
+	// Cores over their workload sources. Each core's program runs in
+	// its own address space: a per-core offset keeps multiprogrammed
+	// workloads from aliasing in the shared L2 (they are separate
+	// processes in the paper's methodology).
+	for i, src := range sources {
+		if src == nil {
+			return nil, fmt.Errorf("sim: nil source for core %d", i)
+		}
+		s.benchNames = append(s.benchNames, src.Name())
+		if i > 0 {
+			src = &offsetSource{Source: src, offset: uint64(i) << 44}
+		}
+		s.cores = append(s.cores, cpu.New(i, src))
+		mlp := src.MLPFactor()
+		if mlp < 1 {
+			mlp = 1
+		}
+		eff := uint64(float64(cfg.MemLatencyCycles) / mlp)
+		if eff == 0 {
+			eff = 1
+		}
+		s.effMemLat = append(s.effMemLat, eff)
+		l1, err := cache.New(cache.Params{
+			Name: fmt.Sprintf("L1D%d", i), SizeBytes: cfg.L1SizeBytes,
+			Assoc: cfg.L1Assoc, LineBytes: cfg.LineBytes,
+			Latency: 2, Modules: 1, Banks: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.l1 = append(s.l1, l1)
+	}
+
+	// Shared L2. Only ESTEEM needs leader sets; other techniques use
+	// the full cache uniformly.
+	sampling := 0
+	if cfg.Technique == Esteem || cfg.Technique == EsteemAllLineRefresh {
+		sampling = cfg.SamplingRatio
+	}
+	modules := cfg.Modules
+	if modules == 0 {
+		modules = 1
+	}
+	l2, err := cache.New(cache.Params{
+		Name: "L2", SizeBytes: cfg.L2SizeBytes, Assoc: cfg.L2Assoc,
+		LineBytes: cfg.LineBytes, Latency: int(cfg.L2LatencyCycles),
+		Modules: modules, SamplingRatio: sampling, Banks: cfg.Banks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.l2 = l2
+
+	// Refresh policy and engine.
+	retMicros := cfg.RetentionMicros
+	if cfg.TemperatureC > 0 {
+		retMicros = retention.Micros(cfg.TemperatureC)
+	}
+	if cfg.Technique == ECCExtended {
+		factor := cfg.ECCRetentionFactor
+		if factor == 0 {
+			factor = 4
+		}
+		retMicros *= factor
+	}
+	if cfg.RetentionSigma > 0 {
+		d, err := retention.DeratedMicros(retention.NominalTempC, retention.Variation{Sigma: cfg.RetentionSigma}, l2.TotalLines())
+		if err != nil {
+			return nil, err
+		}
+		// Apply the derating ratio to whichever nominal retention is
+		// in effect.
+		retMicros *= d / retention.NominalRetentionMicros
+	}
+	retentionCycles := edram.RetentionCyclesFor(retMicros, cfg.FreqHz/1e9)
+	var policy edram.Policy
+	switch cfg.Technique {
+	case Baseline:
+		policy = edram.NewRefreshAll(l2)
+	case RPV:
+		rpv, err := refrint.NewRPV(l2, s.clk, cfg.RefrintPhases, retentionCycles)
+		if err != nil {
+			return nil, err
+		}
+		policy = rpv
+	case RPD:
+		rpd, err := refrint.NewRPD(l2, s.clk, cfg.RefrintPhases, retentionCycles)
+		if err != nil {
+			return nil, err
+		}
+		s.rpd = rpd
+		policy = rpd
+	case PeriodicValid:
+		policy = refrint.NewPeriodicValid(l2)
+	case Esteem:
+		policy = edram.NewValidOnly(l2)
+	case EsteemAllLineRefresh:
+		policy = edram.NewRefreshAll(l2)
+	case NoRefresh:
+		policy = edram.None{}
+	case SmartRefresh:
+		periods := cfg.SmartRefreshPeriods
+		if periods == 0 {
+			periods = 4
+		}
+		sr, err := smartref.New(l2, periods)
+		if err != nil {
+			return nil, err
+		}
+		policy = sr
+	case ECCExtended:
+		// Wilkerson-style: periodic refresh of every frame, at the
+		// ECC-extended period.
+		policy = edram.NewRefreshAll(l2)
+	}
+	eng, err := edram.NewEngine(edram.Params{RetentionCycles: retentionCycles, Banks: cfg.Banks}, policy)
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+
+	// Main memory.
+	m, err := mem.New(mem.Params{
+		LatencyCycles:        cfg.MemLatencyCycles,
+		BandwidthBytesPerSec: cfg.MemBandwidthBytesPerSec,
+		FreqHz:               cfg.FreqHz,
+		LineBytes:            cfg.LineBytes,
+		WriteBufferEntries:   cfg.WriteBufferEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mm = m
+
+	// ESTEEM controller.
+	if cfg.Technique == Esteem || cfg.Technique == EsteemAllLineRefresh {
+		ctl, err := core.NewController(l2, cfg.Esteem)
+		if err != nil {
+			return nil, err
+		}
+		s.ctl = ctl
+	}
+
+	return s, nil
+}
+
+// offsetSource relocates a workload's address space by a fixed
+// offset (one distinct 16 TiB region per core).
+type offsetSource struct {
+	trace.Source
+	offset uint64
+}
+
+// Next shifts every reference by the core's offset.
+func (o *offsetSource) Next() trace.Ref {
+	r := o.Source.Next()
+	r.Addr += o.offset
+	return r
+}
+
+// frontier returns the minimum core clock — the simulation's wall
+// time.
+func (s *Simulator) frontier() uint64 {
+	f := s.cores[0].Clock()
+	for _, c := range s.cores[1:] {
+		if c.Clock() < f {
+			f = c.Clock()
+		}
+	}
+	return f
+}
+
+// pickCore returns the core with the smallest clock among those
+// matching done==false, or any core if all match; nil when no core
+// qualifies.
+func (s *Simulator) pickCore() *cpu.Core {
+	var best *cpu.Core
+	for _, c := range s.cores {
+		if best == nil || c.Clock() < best.Clock() {
+			best = c
+		}
+	}
+	return best
+}
+
+// step executes one memory reference on the earliest core, charging
+// all hierarchy latencies.
+func (s *Simulator) step() {
+	c := s.pickCore()
+	ref := c.NextRef()
+	now := c.Clock()
+	s.clk.Cycle = now
+
+	l1 := s.l1[c.ID()]
+	r1 := l1.Access(cache.Addr(ref.Addr), ref.Write)
+	if r1.Hit {
+		return
+	}
+
+	// L1 miss: demand-read the line from L2 (allocate on miss; a
+	// store dirties L1, and L2 becomes dirty only via L1 writebacks).
+	addr := cache.Addr(ref.Addr)
+	bank := s.l2.BankOf(s.l2.SetIndex(addr))
+	if d := s.eng.AccessDelay(bank, now); d > 0 {
+		c.Stall(d, cpu.StallRefresh)
+	}
+	r2 := s.l2.Access(addr, false)
+	c.Stall(s.cfg.L2LatencyCycles, cpu.StallL2Hit)
+	if !r2.Hit {
+		lat := s.mm.Read(c.Clock())
+		// The queue delay (lat minus the fixed latency) is real
+		// bandwidth contention; the fixed latency is overlapped by
+		// the benchmark's memory-level parallelism.
+		stall := lat - s.cfg.MemLatencyCycles + s.effMemLat[c.ID()]
+		c.Stall(stall, cpu.StallMemory)
+		if r2.WritebackVictim {
+			// A full write buffer back-pressures the core.
+			if st := s.mm.Writeback(c.Clock()); st > 0 {
+				c.Stall(st, cpu.StallMemory)
+			}
+		}
+	}
+
+	// The L1's dirty victim drains through the write-back buffers:
+	// no core stall, but it updates (or bypasses) the L2 and counts
+	// toward bandwidth and energy.
+	if r1.WritebackVictim {
+		va := r1.VictimAddr
+		if s.l2.Probe(va) {
+			r3 := s.l2.Access(va, true)
+			if !r3.Hit {
+				// Probe/Access race cannot happen single-threaded;
+				// defensive only.
+				s.mm.Writeback(c.Clock())
+			}
+		} else {
+			// Non-inclusive hierarchy: L1 victim absent from L2 goes
+			// straight to memory.
+			s.mm.Writeback(c.Clock())
+		}
+	}
+}
+
+// processBoundary closes the interval ending at the current frontier:
+// snapshots activity, runs the ESTEEM controller, resets interval
+// counters.
+func (s *Simulator) processBoundary(frontier uint64) {
+	s.eng.AdvanceTo(frontier)
+	ic := s.l2.IntervalCounters()
+	im := s.mm.IntervalCounters()
+	act := energy.Activity{
+		Cycles:         frontier - s.lastBoundary,
+		L2Hits:         ic.Hits,
+		L2Misses:       ic.Misses,
+		Refreshes:      s.eng.IntervalRefreshed(),
+		ActiveFraction: s.l2.ActiveFraction(),
+		MMAccesses:     im.Accesses(),
+	}
+
+	var waysSnapshot []int
+	if s.ctl != nil {
+		dec := s.ctl.EndInterval() // also resets L2 interval counters
+		act.LinesTransitioned = uint64(dec.LinesTransitioned)
+		// Dirty lines flushed by the shrink drain to memory now; they
+		// are charged to the next interval's memory counters.
+		for i := 0; i < dec.Writebacks; i++ {
+			s.mm.Writeback(frontier)
+		}
+		s.reconfigWB += uint64(dec.Writebacks)
+		if s.cfg.LogIntervals {
+			waysSnapshot = append([]int(nil), dec.ActiveWays...)
+		}
+	} else {
+		s.l2.ResetInterval()
+	}
+	s.eng.ResetInterval()
+	s.mm.ResetInterval()
+
+	if s.measuring {
+		s.totalActivity.Add(act)
+		s.l2Measured.Hits += ic.Hits
+		s.l2Measured.Misses += ic.Misses
+		s.l2Measured.Writebacks += ic.Writebacks
+		s.l2Measured.Fills += ic.Fills
+		s.mmMeasured.Reads += im.Reads
+		s.mmMeasured.Writebacks += im.Writebacks
+		s.mmMeasured.QueueStallCycles += im.QueueStallCycles
+		if s.cfg.LogIntervals {
+			s.intervals = append(s.intervals, IntervalRecord{
+				EndCycle:    frontier,
+				ActiveRatio: act.ActiveFraction,
+				ActiveWays:  waysSnapshot,
+				Activity:    act,
+			})
+		}
+	}
+	s.lastBoundary = frontier
+}
+
+// Run executes warmup plus measurement and returns the result.
+func (s *Simulator) Run() (*Result, error) {
+	// Warmup: run every core to its warmup budget. Interval
+	// machinery runs (so ESTEEM enters the run adapted) but nothing
+	// is recorded.
+	s.nextBoundary = s.cfg.IntervalCycles
+	for {
+		done := true
+		for _, c := range s.cores {
+			if c.Instructions() < s.cfg.WarmupInstr {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		s.step()
+		if f := s.frontier(); f >= s.nextBoundary {
+			s.processBoundary(f)
+			for s.nextBoundary <= f {
+				s.nextBoundary += s.cfg.IntervalCycles
+			}
+		}
+	}
+
+	// Measurement start: clear interval state and open the windows.
+	f := s.frontier()
+	s.eng.AdvanceTo(f)
+	s.l2.ResetInterval()
+	s.eng.ResetInterval()
+	s.mm.ResetInterval()
+	s.lastBoundary = f
+	s.nextBoundary = f + s.cfg.IntervalCycles
+	s.measuring = true
+	for _, c := range s.cores {
+		c.BeginMeasurement(s.cfg.MeasureInstr)
+	}
+
+	for {
+		done := true
+		for _, c := range s.cores {
+			if !c.MeasurementDone() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		s.step()
+		if fr := s.frontier(); fr >= s.nextBoundary {
+			s.processBoundary(fr)
+			for s.nextBoundary <= fr {
+				s.nextBoundary += s.cfg.IntervalCycles
+			}
+		}
+	}
+	// Flush the final partial interval.
+	if fr := s.frontier(); fr > s.lastBoundary {
+		s.processBoundary(fr)
+	}
+
+	return s.buildResult()
+}
+
+// buildResult evaluates the energy model and packages the outcome.
+func (s *Simulator) buildResult() (*Result, error) {
+	model, err := energy.NewModel(s.cfg.L2SizeBytes, s.cfg.FreqHz)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Technique == ECCExtended {
+		// ECC decode costs extra dynamic energy on every access and
+		// refresh.
+		frac := s.cfg.ECCDynOverheadFrac
+		if frac == 0 {
+			frac = 0.10
+		}
+		model.L2DynJ *= 1 + frac
+	}
+	res := &Result{
+		Config:             s.cfg,
+		Technique:          s.cfg.Technique,
+		Activity:           s.totalActivity,
+		Model:              model,
+		L2:                 s.l2Measured,
+		MM:                 s.mmMeasured,
+		Refreshes:          s.totalActivity.Refreshes,
+		ActiveRatio:        s.totalActivity.ActiveFraction,
+		Intervals:          s.intervals,
+		ReconfigWritebacks: s.reconfigWB,
+	}
+	res.Energy = model.Eval(s.totalActivity)
+	for i, c := range s.cores {
+		res.Cores = append(res.Cores, CoreResult{
+			Benchmark:    s.benchNames[i],
+			Instructions: c.MeasuredInstructions(),
+			Cycles:       c.MeasuredCycles(),
+			IPC:          c.IPC(),
+			StallL2Hit:   c.StallCycles(cpu.StallL2Hit),
+			StallRefresh: c.StallCycles(cpu.StallRefresh),
+			StallMemory:  c.StallCycles(cpu.StallMemory),
+			L1Hits:       s.l1[i].TotalCounters().Hits,
+			L1Misses:     s.l1[i].TotalCounters().Misses,
+		})
+		res.RefreshStallCycles += c.StallCycles(cpu.StallRefresh)
+	}
+	return res, nil
+}
+
+// Run is the package-level convenience: build and run in one call.
+func Run(cfg Config, benchmarks []string) (*Result, error) {
+	s, err := New(cfg, benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// RunSources builds and runs over arbitrary workload sources.
+func RunSources(cfg Config, sources []trace.Source) (*Result, error) {
+	s, err := NewFromSources(cfg, sources)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

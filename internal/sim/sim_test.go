@@ -1,0 +1,571 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// testConfig returns a config scaled for fast tests.
+func testConfig(cores int, tech Technique) Config {
+	cfg := DefaultConfig(cores)
+	cfg.Technique = tech
+	cfg.WarmupInstr = 200_000
+	cfg.MeasureInstr = 1_000_000
+	cfg.IntervalCycles = 200_000
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.MeasureInstr = 0 },
+		func(c *Config) { c.IntervalCycles = 0 },
+		func(c *Config) { c.RetentionMicros = 0 },
+		func(c *Config) { c.FreqHz = 0 },
+		func(c *Config) { c.Technique = Technique(99) },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig(1)
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	c1 := DefaultConfig(1)
+	if c1.L2SizeBytes != 4<<20 || c1.Modules != 8 || c1.MemBandwidthBytesPerSec != 10e9 {
+		t.Errorf("single-core defaults wrong: %+v", c1)
+	}
+	c2 := DefaultConfig(2)
+	if c2.L2SizeBytes != 8<<20 || c2.Modules != 16 || c2.MemBandwidthBytesPerSec != 15e9 {
+		t.Errorf("dual-core defaults wrong: %+v", c2)
+	}
+	for _, c := range []Config{c1, c2} {
+		if c.L2Assoc != 16 || c.L1SizeBytes != 32<<10 || c.L1Assoc != 4 ||
+			c.LineBytes != 64 || c.Banks != 4 || c.RetentionMicros != 50 ||
+			c.MemLatencyCycles != 220 || c.FreqHz != 2e9 ||
+			c.SamplingRatio != 64 || c.RefrintPhases != 4 ||
+			c.Esteem.Alpha != 0.97 || c.Esteem.AMin != 3 {
+			t.Errorf("paper parameters wrong: %+v", c)
+		}
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(testConfig(1, Baseline), []string{"nosuch"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := New(testConfig(2, Baseline), []string{"gcc"}); err == nil {
+		t.Error("benchmark/core count mismatch accepted")
+	}
+	bad := testConfig(1, Baseline)
+	bad.Cores = 0
+	if _, err := New(bad, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestTechniqueString(t *testing.T) {
+	names := map[Technique]string{
+		Baseline: "baseline", RPV: "rpv", RPD: "rpd",
+		PeriodicValid: "periodic-valid", Esteem: "esteem",
+		EsteemAllLineRefresh: "esteem-allline", NoRefresh: "no-refresh",
+	}
+	for tech, want := range names {
+		if tech.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(tech), tech.String(), want)
+		}
+	}
+	if Technique(42).String() == "" {
+		t.Error("unknown technique should format")
+	}
+}
+
+func TestBaselineRunBasics(t *testing.T) {
+	r, err := Run(testConfig(1, Baseline), []string{"gamess"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cores) != 1 || r.Cores[0].Benchmark != "gamess" {
+		t.Fatalf("core results wrong: %+v", r.Cores)
+	}
+	if r.Cores[0].Instructions < 1_000_000 {
+		t.Errorf("measured %d instructions, want >= budget", r.Cores[0].Instructions)
+	}
+	// gamess fits in L1: IPC exactly 1 and near-zero L2 traffic.
+	if r.Cores[0].IPC != 1 {
+		t.Errorf("gamess IPC = %v, want 1", r.Cores[0].IPC)
+	}
+	if r.ActiveRatio != 1 {
+		t.Errorf("baseline active ratio = %v, want 1", r.ActiveRatio)
+	}
+	// Baseline refreshes all 65536 frames every 100k cycles: RPKI =
+	// 655.36 * CPI = 655.36 at IPC 1.
+	if math.Abs(r.RPKI()-655.36) > 15 {
+		t.Errorf("baseline RPKI = %v, want ~655", r.RPKI())
+	}
+	if r.Activity.ActiveFraction != 1 {
+		t.Errorf("baseline F_A = %v", r.Activity.ActiveFraction)
+	}
+}
+
+func TestEnergyMatchesModel(t *testing.T) {
+	r, err := Run(testConfig(1, Baseline), []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Model.Eval(r.Activity)
+	if math.Abs(want.Total()-r.Energy.Total()) > 1e-12 {
+		t.Fatalf("energy %v != model eval %v", r.Energy.Total(), want.Total())
+	}
+	if r.Energy.Total() <= 0 {
+		t.Fatal("non-positive energy")
+	}
+}
+
+func TestEsteemShrinksAndSavesRefreshes(t *testing.T) {
+	base, err := Run(testConfig(1, Baseline), []string{"gobmk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(testConfig(1, Esteem), []string{"gobmk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ActiveRatio >= 0.9 {
+		t.Errorf("ESTEEM active ratio = %v, expected aggressive shrink for gobmk", est.ActiveRatio)
+	}
+	if est.RPKI() >= base.RPKI() {
+		t.Errorf("ESTEEM RPKI %v >= baseline %v", est.RPKI(), base.RPKI())
+	}
+	if est.Energy.Total() >= base.Energy.Total() {
+		t.Errorf("ESTEEM energy %v >= baseline %v for compact workload", est.Energy.Total(), base.Energy.Total())
+	}
+}
+
+func TestRPVReducesRefreshesOnSparseWorkload(t *testing.T) {
+	base, err := Run(testConfig(1, Baseline), []string{"povray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpv, err := Run(testConfig(1, RPV), []string{"povray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpv.Refreshes >= base.Refreshes/2 {
+		t.Errorf("RPV refreshes %d vs baseline %d: expected big cut on sparse cache", rpv.Refreshes, base.Refreshes)
+	}
+	if rpv.ActiveRatio != 1 {
+		t.Errorf("RPV active ratio = %v, must stay 1 (no turn-off)", rpv.ActiveRatio)
+	}
+	if rpv.MPKI() != base.MPKI() {
+		t.Errorf("RPV changed MPKI: %v vs %v (it never invalidates)", rpv.MPKI(), base.MPKI())
+	}
+}
+
+func TestNoRefreshZeroRefreshes(t *testing.T) {
+	r, err := Run(testConfig(1, NoRefresh), []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Refreshes != 0 {
+		t.Fatalf("NoRefresh refreshed %d lines", r.Refreshes)
+	}
+	if r.RefreshStallCycles != 0 {
+		t.Fatalf("NoRefresh stalled %d cycles", r.RefreshStallCycles)
+	}
+}
+
+func TestRPDRunsAndInvalidates(t *testing.T) {
+	base, err := Run(testConfig(1, Baseline), []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpd, err := Run(testConfig(1, RPD), []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RPD refreshes only dirty lines: far fewer refreshes, but more
+	// misses (eager invalidation).
+	if rpd.Refreshes >= base.Refreshes {
+		t.Errorf("RPD refreshes %d >= baseline %d", rpd.Refreshes, base.Refreshes)
+	}
+	if rpd.MPKI() <= base.MPKI() {
+		t.Errorf("RPD MPKI %v <= baseline %v: eager invalidation should cost misses", rpd.MPKI(), base.MPKI())
+	}
+}
+
+func TestPeriodicValidBetweenBaselineAndRPV(t *testing.T) {
+	cfgs := map[string]Technique{"base": Baseline, "pv": PeriodicValid}
+	res := map[string]*Result{}
+	for name, tech := range cfgs {
+		r, err := Run(testConfig(1, tech), []string{"dealII"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res[name] = r
+	}
+	if res["pv"].Refreshes >= res["base"].Refreshes {
+		t.Errorf("periodic-valid refreshes %d >= baseline %d", res["pv"].Refreshes, res["base"].Refreshes)
+	}
+}
+
+func TestEsteemAllLineAblation(t *testing.T) {
+	est, err := Run(testConfig(1, Esteem), []string{"calculix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Run(testConfig(1, EsteemAllLineRefresh), []string{"calculix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ablation refreshes every frame (active or not, valid or
+	// not): strictly more refreshes than valid-only ESTEEM.
+	if all.Refreshes <= est.Refreshes {
+		t.Errorf("all-line ablation refreshes %d <= valid-only %d", all.Refreshes, est.Refreshes)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		r, err := Run(testConfig(1, Esteem), []string{"sphinx"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Energy.Total() != b.Energy.Total() {
+		t.Fatalf("energy differs across identical runs: %v vs %v", a.Energy.Total(), b.Energy.Total())
+	}
+	if a.Cores[0].Cycles != b.Cores[0].Cycles || a.Refreshes != b.Refreshes {
+		t.Fatal("run not deterministic")
+	}
+	// A different seed changes the run.
+	cfg := testConfig(1, Esteem)
+	cfg.Seed = 999
+	c, err := Run(cfg, []string{"sphinx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cores[0].Cycles == a.Cores[0].Cycles {
+		t.Fatal("seed had no effect")
+	}
+}
+
+func TestDualCoreRun(t *testing.T) {
+	r, err := Run(testConfig(2, Esteem), []string{"gobmk", "nekbone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cores) != 2 {
+		t.Fatalf("cores = %d", len(r.Cores))
+	}
+	for i, c := range r.Cores {
+		if c.Instructions < 1_000_000 {
+			t.Errorf("core %d measured %d instructions", i, c.Instructions)
+		}
+		if c.IPC <= 0 || c.IPC > 1 {
+			t.Errorf("core %d IPC = %v", i, c.IPC)
+		}
+	}
+	if r.Cores[0].Benchmark != "gobmk" || r.Cores[1].Benchmark != "nekbone" {
+		t.Error("benchmark attribution wrong")
+	}
+	if r.TotalInstructions() != r.Cores[0].Instructions+r.Cores[1].Instructions {
+		t.Error("TotalInstructions wrong")
+	}
+}
+
+func TestIntervalLogging(t *testing.T) {
+	cfg := testConfig(1, Esteem)
+	cfg.LogIntervals = true
+	r, err := Run(cfg, []string{"h264ref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Intervals) < 3 {
+		t.Fatalf("only %d interval records", len(r.Intervals))
+	}
+	prevEnd := uint64(0)
+	for _, iv := range r.Intervals {
+		if iv.EndCycle <= prevEnd {
+			t.Fatal("interval end cycles not increasing")
+		}
+		prevEnd = iv.EndCycle
+		if iv.ActiveRatio <= 0 || iv.ActiveRatio > 1 {
+			t.Fatalf("interval active ratio %v", iv.ActiveRatio)
+		}
+		if len(iv.ActiveWays) != cfg.Modules {
+			t.Fatalf("interval ways len %d, want %d", len(iv.ActiveWays), cfg.Modules)
+		}
+		for _, w := range iv.ActiveWays {
+			if w < cfg.Esteem.AMin || w > cfg.L2Assoc {
+				t.Fatalf("interval ways %d out of [A_min, A]", w)
+			}
+		}
+	}
+}
+
+func TestNoIntervalLogWithoutFlag(t *testing.T) {
+	r, err := Run(testConfig(1, Esteem), []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Intervals) != 0 {
+		t.Fatal("interval log recorded without LogIntervals")
+	}
+}
+
+func TestRetention40IncreasesBaselineRefreshEnergy(t *testing.T) {
+	cfg50 := testConfig(1, Baseline)
+	cfg40 := testConfig(1, Baseline)
+	cfg40.RetentionMicros = 40
+	r50, err := Run(cfg50, []string{"wrf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r40, err := Run(cfg40, []string{"wrf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shorter retention → more refreshes per instruction and more
+	// refresh energy.
+	if r40.RPKI() <= r50.RPKI() {
+		t.Errorf("RPKI at 40us %v <= at 50us %v", r40.RPKI(), r50.RPKI())
+	}
+	if r40.Energy.L2Refresh <= r50.Energy.L2Refresh {
+		t.Error("refresh energy did not increase at 40us")
+	}
+}
+
+func TestRefreshStallsHappenOnBaseline(t *testing.T) {
+	r, err := Run(testConfig(1, Baseline), []string{"sphinx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RefreshStallCycles == 0 {
+		t.Fatal("baseline run shows no refresh stalls")
+	}
+	if r.Cores[0].StallRefresh != r.RefreshStallCycles {
+		t.Fatal("stall accounting mismatch")
+	}
+}
+
+func TestMPKIRPKIAccessors(t *testing.T) {
+	r := &Result{}
+	if r.MPKI() != 0 || r.RPKI() != 0 {
+		t.Fatal("zero-instruction metrics should be 0")
+	}
+}
+
+func BenchmarkSimBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := testConfig(1, Baseline)
+		if _, err := Run(cfg, []string{"gcc"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimEsteem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := testConfig(1, Esteem)
+		if _, err := Run(cfg, []string{"gcc"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSmartRefreshTechnique(t *testing.T) {
+	base, err := Run(testConfig(1, Baseline), []string{"dealII"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Run(testConfig(1, SmartRefresh), []string{"dealII"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpv, err := Run(testConfig(1, RPV), []string{"dealII"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Refreshes >= base.Refreshes {
+		t.Errorf("smart-refresh refreshes %d >= baseline %d", sr.Refreshes, base.Refreshes)
+	}
+	// Smart-Refresh skips engine refreshes for hot lines entirely, so
+	// it should refresh no more than RPV on a reuse-heavy workload.
+	if sr.Refreshes > rpv.Refreshes {
+		t.Errorf("smart-refresh refreshes %d > rpv %d", sr.Refreshes, rpv.Refreshes)
+	}
+	if sr.MPKI() != base.MPKI() {
+		t.Errorf("smart-refresh changed MPKI (%v vs %v): it never invalidates", sr.MPKI(), base.MPKI())
+	}
+}
+
+func TestECCExtendedTechnique(t *testing.T) {
+	base, err := Run(testConfig(1, Baseline), []string{"dealII"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecc, err := Run(testConfig(1, ECCExtended), []string{"dealII"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x retention → ~4x fewer refreshes.
+	ratio := float64(base.Refreshes) / float64(ecc.Refreshes)
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("ECC refresh reduction ratio = %v, want ~4", ratio)
+	}
+	// The surcharge must be visible in the model.
+	if ecc.Model.L2DynJ <= base.Model.L2DynJ {
+		t.Error("ECC dynamic-energy surcharge missing")
+	}
+}
+
+func TestTemperatureDerivesRetention(t *testing.T) {
+	cfg := testConfig(1, Baseline)
+	cfg.RetentionMicros = 0
+	cfg.TemperatureC = 105 // 40us per the paper's model
+	hot, err := Run(cfg, []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg50 := testConfig(1, Baseline)
+	cfg50.RetentionMicros = 40
+	want, err := Run(cfg50, []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Refreshes != want.Refreshes {
+		t.Errorf("105C run refreshes %d != 40us run %d", hot.Refreshes, want.Refreshes)
+	}
+}
+
+func TestRetentionSigmaDerates(t *testing.T) {
+	plain := testConfig(1, Baseline)
+	derated := testConfig(1, Baseline)
+	derated.RetentionSigma = 0.2
+	p, err := Run(plain, []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Run(derated, []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Refreshes <= p.Refreshes {
+		t.Errorf("process variation should force more refreshes: %d vs %d", d.Refreshes, p.Refreshes)
+	}
+}
+
+func TestMaxWayDeltaEndToEnd(t *testing.T) {
+	cfg := testConfig(1, Esteem)
+	cfg.Esteem.MaxWayDelta = 2
+	r, err := Run(cfg, []string{"sphinx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ActiveRatio >= 1 {
+		t.Error("damped ESTEEM did not reconfigure at all")
+	}
+}
+
+func TestQuadCoreDefaults(t *testing.T) {
+	c := DefaultConfig(4)
+	if c.L2SizeBytes != 16<<20 || c.Modules != 32 || c.MemBandwidthBytesPerSec != 25e9 {
+		t.Fatalf("quad-core defaults wrong: %+v", c)
+	}
+}
+
+func TestQuadCoreRun(t *testing.T) {
+	cfg := testConfig(4, Esteem)
+	r, err := Run(cfg, []string{"gobmk", "nekbone", "gamess", "calculix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cores) != 4 {
+		t.Fatalf("cores = %d", len(r.Cores))
+	}
+	for i, c := range r.Cores {
+		if c.Instructions < cfg.MeasureInstr {
+			t.Errorf("core %d measured %d instructions", i, c.Instructions)
+		}
+	}
+	if r.ActiveRatio >= 1 {
+		t.Error("quad-core ESTEEM did not reconfigure")
+	}
+}
+
+// TestDualCoreInterference: a benchmark sharing the L2 with an
+// L2-hungry partner must run no faster than the same benchmark
+// sharing with an L1-resident partner. The comparison uses the
+// NoRefresh technique to isolate cache-capacity and bandwidth
+// interference: under the baseline's burst-aligned refresh, a busy
+// partner can paradoxically *reduce* a core's refresh waits by
+// pushing its arrivals past the burst, masking the contention
+// effect.
+func TestDualCoreInterference(t *testing.T) {
+	run := func(partner string) float64 {
+		r, err := Run(testConfig(2, NoRefresh), []string{"sphinx", partner})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cores[0].IPC
+	}
+	calm := run("gamess")      // partner lives in its L1
+	noisy := run("libquantum") // partner streams through the L2
+	if noisy > calm {
+		t.Fatalf("sphinx IPC with streaming partner (%v) > with calm partner (%v)", noisy, calm)
+	}
+}
+
+// TestFrontierMonotone: the wall-clock activity cycles must be
+// positive and at least as large as any single core's measured
+// cycles could imply.
+func TestActivityCyclesSane(t *testing.T) {
+	r, err := Run(testConfig(2, Baseline), []string{"gcc", "bzip2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Activity.Cycles == 0 {
+		t.Fatal("no wall time recorded")
+	}
+	// Interval records disabled: wall time accumulated in activity
+	// only; it must be within 2x of the slower core's cycles.
+	maxCyc := r.Cores[0].Cycles
+	if r.Cores[1].Cycles > maxCyc {
+		maxCyc = r.Cores[1].Cycles
+	}
+	if r.Activity.Cycles > 2*maxCyc {
+		t.Fatalf("wall time %d implausible vs max core cycles %d", r.Activity.Cycles, maxCyc)
+	}
+}
+
+// TestAddressSpaceIsolation: two cores running the SAME benchmark
+// must not share L2 lines (separate processes in the paper's
+// multiprogrammed methodology). With per-core offsets, the dual run
+// of two gcc instances misses roughly twice as much as one instance
+// — shared lines would make the second instance nearly free.
+func TestAddressSpaceIsolation(t *testing.T) {
+	single, err := Run(testConfig(1, NoRefresh), []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := Run(testConfig(2, NoRefresh), []string{"gcc", "gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dual-core L2 is twice the size, so per-instance behaviour
+	// is comparable; sharing would cut total misses far below 2x.
+	ratio := float64(dual.L2.Misses) / float64(single.L2.Misses)
+	if ratio < 1.5 {
+		t.Fatalf("dual/single miss ratio = %.2f; address spaces appear shared", ratio)
+	}
+}

@@ -1,0 +1,109 @@
+// Package smartref implements the Smart-Refresh policy of Ghosh and
+// Lee (MICRO 2007), one of the refresh-energy techniques the ESTEEM
+// paper surveys in its related work (Section 2): "The Smart-Refresh
+// technique avoids refreshing the DRAM rows which are recently read
+// or written."
+//
+// Each line carries a small down-counter. A read or write implicitly
+// refreshes the line and reloads its counter to the full window (P
+// sub-periods). The refresh engine fires P times per retention
+// window; at each event every valid line's counter is decremented,
+// and only lines whose counter reaches zero are refreshed (and
+// reloaded). A line touched at least once per retention window is
+// therefore never refreshed by the engine at all — unlike Refrint
+// RPV, which still re-refreshes such lines once per window at their
+// phase.
+//
+// The reproduction uses the policy at cache-line granularity (the
+// eDRAM LLC's refresh granularity), with the counter width P
+// configurable (Ghosh and Lee evaluate 2- and 3-bit counters).
+package smartref
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Policy is the Smart-Refresh refresh policy. It implements
+// edram.Policy and cache.Observer.
+type Policy struct {
+	c       *cache.Cache
+	periods int
+	assoc   int
+	banks   int
+	// counter[set*assoc+way] is the remaining sub-periods before the
+	// line needs an engine refresh; 0 means untracked/invalid.
+	counter []uint8
+}
+
+// New builds a Smart-Refresh policy with the given number of
+// sub-periods per retention window (counter range; 2-bit counters =
+// 3 usable periods) and installs itself as the cache's observer.
+func New(c *cache.Cache, periods int) (*Policy, error) {
+	if periods < 1 || periods > 255 {
+		return nil, fmt.Errorf("smartref: periods %d out of [1,255]", periods)
+	}
+	p := &Policy{
+		c:       c,
+		periods: periods,
+		assoc:   c.Params().Assoc,
+		banks:   c.Params().Banks,
+		counter: make([]uint8, c.NumSets()*c.Params().Assoc),
+	}
+	c.SetObserver(p)
+	return p, nil
+}
+
+// Name implements edram.Policy.
+func (p *Policy) Name() string { return fmt.Sprintf("smart-refresh%d", p.periods) }
+
+// EventsPerWindow implements edram.Policy: the engine fires once per
+// sub-period.
+func (p *Policy) EventsPerWindow() int { return p.periods }
+
+// OnTouch implements cache.Observer: the access itself refreshes the
+// line, so its counter reloads to the full window.
+func (p *Policy) OnTouch(set, way int) {
+	p.counter[set*p.assoc+way] = uint8(p.periods)
+}
+
+// OnInvalidate implements cache.Observer.
+func (p *Policy) OnInvalidate(set, way int) {
+	p.counter[set*p.assoc+way] = 0
+}
+
+// RefreshEvent implements edram.Policy: decrement every tracked line
+// in the bank; lines reaching zero are refreshed and reloaded.
+func (p *Policy) RefreshEvent(bank, event int) int {
+	n := 0
+	for set := bank; set < p.c.NumSets(); set += p.banks {
+		base := set * p.assoc
+		for w := 0; w < p.assoc; w++ {
+			cnt := p.counter[base+w]
+			if cnt == 0 {
+				continue // invalid / untracked
+			}
+			cnt--
+			if cnt == 0 {
+				// Engine refresh renews the full window.
+				n++
+				cnt = uint8(p.periods)
+			}
+			p.counter[base+w] = cnt
+		}
+	}
+	return n
+}
+
+// TrackedLines returns the number of lines carrying a live counter
+// (must equal the cache's valid-line count; tested as an invariant).
+func (p *Policy) TrackedLines() int {
+	n := 0
+	for _, c := range p.counter {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}

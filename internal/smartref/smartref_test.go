@@ -1,0 +1,169 @@
+package smartref
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/edram"
+	"repro/internal/xrand"
+)
+
+func newL2(t testing.TB) *cache.Cache {
+	t.Helper()
+	return cache.MustNew(cache.Params{
+		Name: "L2", SizeBytes: 64 * 8 * 64, Assoc: 8, LineBytes: 64,
+		Modules: 4, Banks: 4, SamplingRatio: 16,
+	})
+}
+
+func addrFor(set, tag, numSets int) cache.Addr {
+	return cache.Addr(uint64(tag)*uint64(numSets)*64 + uint64(set)*64)
+}
+
+func TestNewValidation(t *testing.T) {
+	c := newL2(t)
+	if _, err := New(c, 0); err == nil {
+		t.Error("0 periods accepted")
+	}
+	if _, err := New(c, 300); err == nil {
+		t.Error("300 periods accepted")
+	}
+	p, err := New(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "smart-refresh4" || p.EventsPerWindow() != 4 {
+		t.Fatalf("identity wrong: %q/%d", p.Name(), p.EventsPerWindow())
+	}
+}
+
+// countAll sums one event's refreshes across banks.
+func countAll(p *Policy, event int) int {
+	n := 0
+	for b := 0; b < 4; b++ {
+		n += p.RefreshEvent(b, event)
+	}
+	return n
+}
+
+func TestUntouchedLineRefreshedOncePerWindow(t *testing.T) {
+	c := newL2(t)
+	p, _ := New(c, 4)
+	c.Access(addrFor(0, 1, 64), false) // counter = 4
+	// Events 0..2 decrement without refreshing; event 3 refreshes.
+	for e := 0; e < 3; e++ {
+		if n := countAll(p, e); n != 0 {
+			t.Fatalf("event %d refreshed %d lines, want 0", e, n)
+		}
+	}
+	if n := countAll(p, 3); n != 1 {
+		t.Fatalf("4th event refreshed %d lines, want 1", n)
+	}
+	// The engine refresh reloads the counter: the next window repeats.
+	for e := 0; e < 3; e++ {
+		if n := countAll(p, e); n != 0 {
+			t.Fatalf("window 2 event %d refreshed %d, want 0", e, n)
+		}
+	}
+	if n := countAll(p, 3); n != 1 {
+		t.Fatalf("window 2 final event refreshed %d, want 1", n)
+	}
+}
+
+func TestTouchSkipsEngineRefresh(t *testing.T) {
+	c := newL2(t)
+	p, _ := New(c, 4)
+	c.Access(addrFor(0, 1, 64), false)
+	// Touch the line again every couple of events: the engine must
+	// never refresh it.
+	for e := 0; e < 12; e++ {
+		if n := countAll(p, e%4); n != 0 {
+			t.Fatalf("event %d refreshed a frequently touched line", e)
+		}
+		if e%2 == 1 {
+			c.Access(addrFor(0, 1, 64), false)
+		}
+	}
+}
+
+func TestInvalidateUntracks(t *testing.T) {
+	c := newL2(t)
+	p, _ := New(c, 4)
+	res := c.Access(addrFor(0, 1, 64), false)
+	c.InvalidateLine(res.Set, res.Way)
+	for e := 0; e < 8; e++ {
+		if n := countAll(p, e%4); n != 0 {
+			t.Fatalf("invalidated line got refreshed at event %d", e)
+		}
+	}
+	if p.TrackedLines() != 0 {
+		t.Fatal("invalidated line still tracked")
+	}
+}
+
+func TestTrackedMatchesValidProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		c := newL2(t)
+		p, err := New(c, 4)
+		if err != nil {
+			return false
+		}
+		rng := xrand.New(seed)
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				c.SetActiveWays(rng.Intn(4), 1+rng.Intn(8))
+			case 1:
+				p.RefreshEvent(rng.Intn(4), rng.Intn(4))
+			default:
+				c.Access(cache.Addr(rng.Uint64n(64*64*16)), rng.Bool(0.3))
+			}
+		}
+		return p.TrackedLines() == c.ValidLines()
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Integration: under an engine, Smart-Refresh must refresh strictly
+// fewer lines than valid-only periodic refresh when lines are touched
+// regularly, and exactly the valid lines per window when idle.
+func TestSmartRefreshVsPeriodicValid(t *testing.T) {
+	c := newL2(t)
+	p, _ := New(c, 4)
+	eng, err := edram.NewEngine(edram.Params{RetentionCycles: 1000, Banks: 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 idle valid lines for 10 windows → ~1 refresh/line/window
+	// (first window only decrements).
+	for i := 0; i < 10; i++ {
+		c.Access(cache.Addr(i*64), false)
+	}
+	eng.AdvanceTo(10_000)
+	got := eng.TotalRefreshed()
+	if got < 80 || got > 100 {
+		t.Fatalf("idle refreshes = %d, want ~90 (one per line per window)", got)
+	}
+}
+
+func BenchmarkRefreshEvent(b *testing.B) {
+	c := cache.MustNew(cache.Params{
+		Name: "L2", SizeBytes: 4 << 20, Assoc: 16, LineBytes: 64,
+		Modules: 8, Banks: 4, SamplingRatio: 64,
+	})
+	p, err := New(c, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	for i := 0; i < 100000; i++ {
+		c.Access(cache.Addr(rng.Uint64()%(64<<20)), rng.Bool(0.3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RefreshEvent(i%4, i%4)
+	}
+}

@@ -1,0 +1,191 @@
+// Source abstraction and trace (de)serialization: the simulator can
+// consume any reference stream, not just the built-in synthetic
+// generators — in particular traces captured from real applications
+// and replayed from files.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Source produces a memory-reference stream. The built-in Generator
+// implements it; Replayer replays recorded traces; users can supply
+// their own.
+type Source interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Next returns the next reference. Sources must be effectively
+	// endless: the simulator pulls as many references as its
+	// instruction budget requires (Replayer loops its trace).
+	Next() Ref
+	// MLPFactor returns the workload's memory-level-parallelism
+	// factor (>= 1) used to scale exposed miss latency.
+	MLPFactor() float64
+}
+
+// Generator implements Source.
+var _ Source = (*Generator)(nil)
+
+// MLPFactor implements Source for the synthetic generator.
+func (g *Generator) MLPFactor() float64 { return g.p.EffectiveMLP() }
+
+// Trace file format: a fixed header followed by fixed-size records.
+//
+//	magic   [8]byte  "ESTEEMT1"
+//	count   uint64   number of records
+//	mlp     uint64   MLP factor scaled by 1000
+//	records count x {
+//	    addr  uint64
+//	    gap   uint32
+//	    flags uint8   bit0 = write; bits 1-3 = Kind
+//	}
+var traceMagic = [8]byte{'E', 'S', 'T', 'E', 'E', 'M', 'T', '1'}
+
+const recordBytes = 8 + 4 + 1
+
+// WriteTrace serializes refs to w with the given workload MLP factor.
+func WriteTrace(w io.Writer, refs []Ref, mlp float64) error {
+	if mlp < 1 {
+		mlp = 1
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(len(refs)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(mlp*1000))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordBytes]byte
+	for _, r := range refs {
+		if r.Gap < 0 {
+			return fmt.Errorf("trace: negative gap %d", r.Gap)
+		}
+		binary.LittleEndian.PutUint64(rec[0:], r.Addr)
+		binary.LittleEndian.PutUint32(rec[8:], uint32(r.Gap))
+		flags := uint8(r.Kind) << 1
+		if r.Write {
+			flags |= 1
+		}
+		rec[12] = flags
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (refs []Ref, mlp float64, err error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, 0, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, 0, errors.New("trace: bad magic (not an ESTEEM trace file)")
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[0:])
+	mlp = float64(binary.LittleEndian.Uint64(hdr[8:])) / 1000
+	const maxTrace = 1 << 31 // sanity bound: ~2G records
+	if count > maxTrace {
+		return nil, 0, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	// Cap the preallocation: the header count is untrusted input, so
+	// a corrupt file must not force a giant allocation before the
+	// (much smaller) body fails to read.
+	capHint := count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	refs = make([]Ref, 0, capHint)
+	var rec [recordBytes]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, 0, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		flags := rec[12]
+		refs = append(refs, Ref{
+			Addr:  binary.LittleEndian.Uint64(rec[0:]),
+			Gap:   int(binary.LittleEndian.Uint32(rec[8:])),
+			Write: flags&1 != 0,
+			Kind:  Kind(flags >> 1),
+		})
+	}
+	return refs, mlp, nil
+}
+
+// Replayer replays a recorded reference slice as a Source, looping
+// when it reaches the end (the simulator's budget may exceed the
+// trace length).
+type Replayer struct {
+	name string
+	refs []Ref
+	mlp  float64
+	pos  int
+	// Loops counts completed passes over the trace.
+	loops int
+}
+
+// NewReplayer builds a looping Source over refs.
+func NewReplayer(name string, refs []Ref, mlp float64) (*Replayer, error) {
+	if len(refs) == 0 {
+		return nil, errors.New("trace: empty trace")
+	}
+	if mlp < 1 {
+		mlp = 1
+	}
+	return &Replayer{name: name, refs: refs, mlp: mlp}, nil
+}
+
+// ReadReplayer reads a trace file into a Replayer.
+func ReadReplayer(name string, r io.Reader) (*Replayer, error) {
+	refs, mlp, err := ReadTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplayer(name, refs, mlp)
+}
+
+// Name implements Source.
+func (rp *Replayer) Name() string { return rp.name }
+
+// MLPFactor implements Source.
+func (rp *Replayer) MLPFactor() float64 { return rp.mlp }
+
+// Len returns the trace length in references.
+func (rp *Replayer) Len() int { return len(rp.refs) }
+
+// Loops returns how many full passes have been replayed.
+func (rp *Replayer) Loops() int { return rp.loops }
+
+// Next implements Source.
+func (rp *Replayer) Next() Ref {
+	r := rp.refs[rp.pos]
+	rp.pos++
+	if rp.pos == len(rp.refs) {
+		rp.pos = 0
+		rp.loops++
+	}
+	return r
+}
+
+// Record captures n references from a source into a slice (helper for
+// building trace files from the synthetic generators).
+func Record(src Source, n int) []Ref {
+	refs := make([]Ref, n)
+	for i := range refs {
+		refs[i] = src.Next()
+	}
+	return refs
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRefs(n int) []Ref {
+	p, _ := ProfileByName("gcc")
+	g := MustNewGenerator(p, 11)
+	return Record(g, n)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	refs := sampleRefs(5000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, refs, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	got, mlp, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlp != 2.5 {
+		t.Fatalf("mlp = %v, want 2.5", mlp)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("len = %d, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestWriteTraceRejectsNegativeGap(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTrace(&buf, []Ref{{Gap: -1}}, 1)
+	if err == nil {
+		t.Fatal("negative gap accepted")
+	}
+}
+
+func TestWriteTraceClampsMLP(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sampleRefs(10), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	_, mlp, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlp != 1 {
+		t.Fatalf("mlp = %v, want clamped to 1", mlp)
+	}
+}
+
+func TestReadTraceBadInput(t *testing.T) {
+	if _, _, err := ReadTrace(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := ReadTrace(strings.NewReader("NOTATRACEFILE___")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated records.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sampleRefs(100), 1); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	refs := sampleRefs(100)
+	rp, err := NewReplayer("loopy", refs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "loopy" || rp.MLPFactor() != 2 || rp.Len() != 100 {
+		t.Fatalf("identity wrong: %s/%v/%d", rp.Name(), rp.MLPFactor(), rp.Len())
+	}
+	for i := 0; i < 250; i++ {
+		want := refs[i%100]
+		if got := rp.Next(); got != want {
+			t.Fatalf("ref %d: %+v != %+v", i, got, want)
+		}
+	}
+	if rp.Loops() != 2 {
+		t.Fatalf("loops = %d, want 2", rp.Loops())
+	}
+}
+
+func TestNewReplayerRejectsEmpty(t *testing.T) {
+	if _, err := NewReplayer("x", nil, 1); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestReadReplayer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sampleRefs(42), 3); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ReadReplayer("fromfile", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Len() != 42 || rp.MLPFactor() != 3 {
+		t.Fatalf("replayer wrong: %d/%v", rp.Len(), rp.MLPFactor())
+	}
+}
+
+func TestGeneratorIsSource(t *testing.T) {
+	p, _ := ProfileByName("lbm")
+	var src Source = MustNewGenerator(p, 1)
+	if src.MLPFactor() != 8 {
+		t.Fatalf("lbm MLP = %v, want 8", src.MLPFactor())
+	}
+	if src.Name() != "lbm" {
+		t.Fatalf("name = %q", src.Name())
+	}
+}
+
+// Property: serialization round-trips arbitrary records.
+func TestRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(addrs []uint64, gaps []uint16, flags []bool) bool {
+		n := len(addrs)
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		if len(flags) < n {
+			n = len(flags)
+		}
+		if n == 0 {
+			return true
+		}
+		refs := make([]Ref, n)
+		for i := 0; i < n; i++ {
+			refs[i] = Ref{
+				Addr:  addrs[i],
+				Gap:   int(gaps[i]),
+				Write: flags[i],
+				Kind:  Kind(uint8(gaps[i]) % 5),
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, refs, 1.5); err != nil {
+			return false
+		}
+		got, _, err := ReadTrace(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
