@@ -1,0 +1,34 @@
+# Convenience targets; `make check` is the CI/verification gate.
+
+.PHONY: check build vet test race bench results quick-results
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# The runner executes simulations on parallel workers; always keep the
+# race pass green.
+race:
+	go test -race ./...
+
+# Hot-path benchmarks with allocation counts (cache access, simulator
+# step, refresh windows, whole short runs).
+bench:
+	go test -bench . -benchmem -run '^$$' ./internal/cache/ ./internal/sim/ ./internal/refrint/ .
+
+# Regenerate the paper evaluation (long; uses every CPU by default —
+# tune with JOBS=N).
+JOBS ?= 0
+results:
+	go run ./cmd/esteem-bench -jobs $(JOBS)
+
+quick-results:
+	go run ./cmd/esteem-bench -quick -jobs $(JOBS)

@@ -16,9 +16,17 @@
 // Instruction budgets are scaled from the paper's 400M-instruction
 // runs (see EXPERIMENTS.md); absolute numbers differ but the paper's
 // qualitative shape is expected to hold.
+//
+// Simulations run on the internal/runner execution engine: each
+// experiment schedules its jobs up front, the whole batch executes on
+// -jobs parallel workers (baseline runs deduplicated across
+// experiments, technique runs ordered after their baselines by DAG
+// edges), and the output is formatted from the results in submission
+// order — so it is byte-identical for every worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +39,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/plot"
 	"repro/internal/retention"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -44,9 +53,13 @@ type harness struct {
 	outDir   string
 	quick    bool
 
-	// baselines caches baseline runs keyed by config+workload.
-	baselines map[string]*sim.Result
+	// sweep executes every experiment's jobs; baseline runs are
+	// deduplicated across experiments by a typed key.
+	sweep *runner.Sweep
 }
+
+// formatFunc renders one experiment's output after the sweep has run.
+type formatFunc func() (string, error)
 
 func main() {
 	exp := flag.String("exp", "all", "experiments to run (comma-separated): table2,fig2,fig3,fig4,fig5,fig6,table3,ablation,temp,scale,all")
@@ -56,12 +69,13 @@ func main() {
 	interval := flag.Uint64("interval", 2_000_000, "ESTEEM interval in cycles (paper: 10M)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	quick := flag.Bool("quick", false, "use a workload subset and shorter runs")
+	jobs := flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS); any value yields identical results")
 	flag.Parse()
 
 	h := &harness{
 		instr: *instr, warmup: *warmup, interval: *interval, seed: *seed,
 		outDir: *out, quick: *quick,
-		baselines: make(map[string]*sim.Result),
+		sweep: runner.NewSweep(*jobs, runner.WithProgress(os.Stderr), runner.WithLabel("esteem-bench")),
 	}
 	if *quick {
 		h.instr /= 4
@@ -78,40 +92,72 @@ func main() {
 	}
 	all := want["all"]
 	type experiment struct {
-		name string
-		run  func() (string, error)
+		name     string
+		schedule func() formatFunc
 	}
 	experiments := []experiment{
 		{"table2", h.table2},
 		{"fig2", h.fig2},
-		{"fig3", func() (string, error) { return h.figure("fig3", 1, 50) }},
-		{"fig4", func() (string, error) { return h.figure("fig4", 2, 50) }},
-		{"fig5", func() (string, error) { return h.figure("fig5", 1, 40) }},
-		{"fig6", func() (string, error) { return h.figure("fig6", 2, 40) }},
+		{"fig3", func() formatFunc { return h.figure("fig3", 1, 50) }},
+		{"fig4", func() formatFunc { return h.figure("fig4", 2, 50) }},
+		{"fig5", func() formatFunc { return h.figure("fig5", 1, 40) }},
+		{"fig6", func() formatFunc { return h.figure("fig6", 2, 40) }},
 		{"table3", h.table3},
 		{"ablation", h.ablation},
 		{"temp", h.temperature},
 		{"scale", h.scale},
 	}
+
+	// Phase 1: every selected experiment schedules its jobs; shared
+	// baseline runs collapse to one job no matter which experiment asks
+	// first.
+	type scheduled struct {
+		name   string
+		format formatFunc
+	}
+	var selected []scheduled
 	for _, e := range experiments {
 		if !all && !want[e.name] {
 			continue
 		}
-		t0 := time.Now()
-		fmt.Fprintf(os.Stderr, "== running %s ==\n", e.name)
-		text, err := e.run()
+		selected = append(selected, scheduled{e.name, e.schedule()})
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments selected by -exp %q\n", *exp)
+		os.Exit(1)
+	}
+
+	// Phase 2: one parallel run over the whole job DAG.
+	t0 := time.Now()
+	if err := h.sweep.Run(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wall := time.Since(t0)
+
+	// Phase 3: format and write in submission order (worker-count
+	// independent).
+	for _, s := range selected {
+		text, err := s.format()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.name, err)
 			os.Exit(1)
 		}
 		fmt.Println(text)
-		path := filepath.Join(h.outDir, e.name+".txt")
+		path := filepath.Join(h.outDir, s.name+".txt")
 		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "== %s done in %.1fs -> %s ==\n", e.name, time.Since(t0).Seconds(), path)
+		fmt.Fprintf(os.Stderr, "== %s -> %s ==\n", s.name, path)
 	}
+
+	// Throughput summary.
+	sims, instrDone := h.sweep.Stats()
+	secs := wall.Seconds()
+	fmt.Fprintf(os.Stderr, "== %d simulations, %.0fM simulated instructions in %.1fs wall (%d workers): %.2f sims/s, %.1fM instr/s ==\n",
+		sims, float64(instrDone)/1e6, secs, h.sweep.Workers(),
+		float64(sims)/secs, float64(instrDone)/1e6/secs)
 }
 
 // config builds the scaled run configuration for an experiment.
@@ -124,24 +170,6 @@ func (h *harness) config(cores int, retentionMicros float64, tech sim.Technique)
 	cfg.IntervalCycles = h.interval
 	cfg.Seed = h.seed
 	return cfg
-}
-
-// baseline returns a (cached) baseline run for the given config and
-// workload. Only fields that change baseline behaviour key the cache.
-func (h *harness) baseline(cfg sim.Config, wl []string) (*sim.Result, error) {
-	b := cfg
-	b.Technique = sim.Baseline
-	key := fmt.Sprintf("%d|%d|%d|%v|%v|%v", b.Cores, b.L2SizeBytes, b.L2Assoc,
-		b.RetentionMicros, b.MemBandwidthBytesPerSec, wl)
-	if r, ok := h.baselines[key]; ok {
-		return r, nil
-	}
-	r, err := sim.Run(b, wl)
-	if err != nil {
-		return nil, err
-	}
-	h.baselines[key] = r
-	return r, nil
 }
 
 // workloads returns the experiment's workload list for a core count.
@@ -177,89 +205,94 @@ func workloadName(wl []string) string {
 }
 
 // table2 prints the paper's Table 2 as produced by the energy model.
-func (h *harness) table2() (string, error) {
-	var b strings.Builder
-	b.WriteString("Table 2: Energy values for 16-way eDRAM cache (32 nm, CACTI 5.3 values embedded)\n")
-	fmt.Fprintf(&b, "%8s %22s %18s\n", "size", "E_dyn (nJ/access)", "P_leak (Watts)")
-	for _, mb := range []int{2, 4, 8, 16, 32} {
-		dyn, leak, err := energy.L2Energy(mb << 20)
-		if err != nil {
-			return "", err
+// It runs no simulations.
+func (h *harness) table2() formatFunc {
+	return func() (string, error) {
+		var b strings.Builder
+		b.WriteString("Table 2: Energy values for 16-way eDRAM cache (32 nm, CACTI 5.3 values embedded)\n")
+		fmt.Fprintf(&b, "%8s %22s %18s\n", "size", "E_dyn (nJ/access)", "P_leak (Watts)")
+		for _, mb := range []int{2, 4, 8, 16, 32} {
+			dyn, leak, err := energy.L2Energy(mb << 20)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%5d MB %22.3f %18.3f\n", mb, dyn*1e9, leak)
 		}
-		fmt.Fprintf(&b, "%5d MB %22.3f %18.3f\n", mb, dyn*1e9, leak)
+		return b.String(), nil
 	}
-	return b.String(), nil
 }
 
 // fig2 runs h264ref under ESTEEM with interval logging and renders
 // the active ratio and per-module way counts over time.
-func (h *harness) fig2() (string, error) {
+func (h *harness) fig2() formatFunc {
 	cfg := h.config(1, 50, sim.Esteem)
 	cfg.LogIntervals = true
-	r, err := sim.Run(cfg, []string{"h264ref"})
-	if err != nil {
-		return "", err
-	}
-	var b strings.Builder
-	b.WriteString("Fig 2: ESTEEM reconfiguration over intervals, h264ref (1-core, 4MB L2, 50us)\n")
-	b.WriteString("Per-interval cache active ratio and active ways in each of the 8 modules.\n\n")
-	fmt.Fprintf(&b, "%9s %8s  %s\n", "interval", "activ%", "ways per module")
-	for i, iv := range r.Intervals {
-		bars := make([]string, len(iv.ActiveWays))
-		for m, w := range iv.ActiveWays {
-			bars[m] = fmt.Sprintf("%2d", w)
+	job := h.sweep.Sim(cfg, []string{"h264ref"})
+	return func() (string, error) {
+		r := job.Result()
+		var b strings.Builder
+		b.WriteString("Fig 2: ESTEEM reconfiguration over intervals, h264ref (1-core, 4MB L2, 50us)\n")
+		b.WriteString("Per-interval cache active ratio and active ways in each of the 8 modules.\n\n")
+		fmt.Fprintf(&b, "%9s %8s  %s\n", "interval", "activ%", "ways per module")
+		for i, iv := range r.Intervals {
+			bars := make([]string, len(iv.ActiveWays))
+			for m, w := range iv.ActiveWays {
+				bars[m] = fmt.Sprintf("%2d", w)
+			}
+			fmt.Fprintf(&b, "%9d %8.1f  [%s]\n", i, iv.ActiveRatio*100, strings.Join(bars, " "))
 		}
-		fmt.Fprintf(&b, "%9d %8.1f  [%s]\n", i, iv.ActiveRatio*100, strings.Join(bars, " "))
+		var ratios []float64
+		for _, iv := range r.Intervals {
+			ratios = append(ratios, iv.ActiveRatio*100)
+		}
+		b.WriteString("\n")
+		b.WriteString(plot.Series("active ratio %", ratios))
+		fmt.Fprintf(&b, "\nrun active ratio: %.1f%%  energy: %.4f J  IPC: %.3f\n",
+			r.ActiveRatio*100, r.Energy.Total(), r.Cores[0].IPC)
+		return b.String(), nil
 	}
-	var ratios []float64
-	for _, iv := range r.Intervals {
-		ratios = append(ratios, iv.ActiveRatio*100)
-	}
-	b.WriteString("\n")
-	b.WriteString(plot.Series("active ratio %", ratios))
-	fmt.Fprintf(&b, "\nrun active ratio: %.1f%%  energy: %.4f J  IPC: %.3f\n",
-		r.ActiveRatio*100, r.Energy.Total(), r.Cores[0].IPC)
-	return b.String(), nil
 }
 
-// figure runs one of Figs. 3–6: all workloads under RPV and ESTEEM
-// against baseline.
-func (h *harness) figure(name string, cores int, retention float64) (string, error) {
-	groups := map[string][]metrics.Comparison{}
-	var csv []metrics.Comparison
+// figure schedules one of Figs. 3–6: all workloads under RPV and
+// ESTEEM against baseline.
+func (h *harness) figure(name string, cores int, retention float64) formatFunc {
+	type row struct {
+		tech sim.Technique
+		cmp  *runner.CompareJob
+	}
+	var rows []row
 	for _, wl := range h.workloads(cores) {
 		cfg := h.config(cores, retention, sim.Baseline)
-		base, err := h.baseline(cfg, wl)
-		if err != nil {
-			return "", err
-		}
+		base := h.sweep.Baseline(cfg, wl)
 		for _, tech := range []sim.Technique{sim.RPV, sim.Esteem} {
 			tcfg := cfg
 			tcfg.Technique = tech
-			r, err := sim.Run(tcfg, wl)
-			if err != nil {
-				return "", err
-			}
-			c := metrics.Compare(workloadName(wl), base, r)
-			groups[tech.String()] = append(groups[tech.String()], c)
+			rows = append(rows, row{tech, h.sweep.Compare(workloadName(wl), base, tcfg, wl)})
+		}
+	}
+	return func() (string, error) {
+		groups := map[string][]metrics.Comparison{}
+		var csv []metrics.Comparison
+		for _, rw := range rows {
+			c := rw.cmp.Comparison()
+			groups[rw.tech.String()] = append(groups[rw.tech.String()], c)
 			csv = append(csv, c)
 		}
-		fmt.Fprintf(os.Stderr, "  %s %s done\n", name, workloadName(wl))
+		title := fmt.Sprintf("%s: %d-core results at %.0fus retention (vs baseline all-line periodic refresh)",
+			name, cores, retention)
+		if err := os.WriteFile(filepath.Join(h.outDir, name+".csv"), []byte(metrics.FormatCSV(csv)), 0o644); err != nil {
+			return "", err
+		}
+		out := metrics.FormatTable(title, groups)
+		// Bar chart of ESTEEM's per-workload savings (the paper's bars).
+		var bars []plot.Bar
+		for _, c := range groups["esteem"] {
+			bars = append(bars, plot.Bar{Label: c.Workload, Value: c.EnergySavingPct})
+		}
+		sortBars(bars)
+		out += "\n" + plot.BarChart("ESTEEM % energy saving per workload", "%", bars, 50)
+		return out, nil
 	}
-	title := fmt.Sprintf("%s: %d-core results at %.0fus retention (vs baseline all-line periodic refresh)",
-		name, cores, retention)
-	if err := os.WriteFile(filepath.Join(h.outDir, name+".csv"), []byte(metrics.FormatCSV(csv)), 0o644); err != nil {
-		return "", err
-	}
-	out := metrics.FormatTable(title, groups)
-	// Bar chart of ESTEEM's per-workload savings (the paper's bars).
-	var bars []plot.Bar
-	for _, c := range groups["esteem"] {
-		bars = append(bars, plot.Bar{Label: c.Workload, Value: c.EnergySavingPct})
-	}
-	sortBars(bars)
-	out += "\n" + plot.BarChart("ESTEEM % energy saving per workload", "%", bars, 50)
-	return out, nil
 }
 
 // sortBars orders bars by label for stable output.
@@ -274,29 +307,47 @@ type sensitivityRow struct {
 	mutate func(*sim.Config)
 }
 
-// table3 reproduces the parameter-sensitivity study.
-func (h *harness) table3() (string, error) {
-	var b strings.Builder
-	b.WriteString("Table 3: Parameter sensitivity of ESTEEM (means over workloads; 50us retention)\n")
-	b.WriteString("Interval rows are scaled 5x from the paper's cycles (paper 5M/10M/15M -> 1M/2M/3M).\n\n")
-	for _, cores := range []int{1, 2} {
-		rows := h.sensitivityRows(cores)
-		fmt.Fprintf(&b, "-- %d-core system --\n", cores)
-		fmt.Fprintf(&b, "%-22s %10s %8s %10s %9s %8s\n",
-			"row", "%esaving", "ws", "rpki-dec", "mpki-inc", "activ%")
-		for _, row := range rows {
-			s, err := h.sensitivityMean(cores, row)
-			if err != nil {
-				return "", err
-			}
-			fmt.Fprintf(&b, "%-22s %10.2f %8.3f %10.1f %9.2f %8.1f\n",
-				row.label, s.EnergySavingPct, s.WeightedSpeedup, s.RPKIDecrease,
-				s.MPKIIncrease, s.ActiveRatioPct)
-			fmt.Fprintf(os.Stderr, "  table3 %d-core %s done\n", cores, row.label)
-		}
-		b.WriteString("\n")
+// table3 schedules the parameter-sensitivity study.
+func (h *harness) table3() formatFunc {
+	type cell struct {
+		label string
+		cmps  []*runner.CompareJob
 	}
-	return b.String(), nil
+	cells := map[int][]cell{}
+	for _, cores := range []int{1, 2} {
+		for _, row := range h.sensitivityRows(cores) {
+			c := cell{label: row.label}
+			for _, wl := range h.workloads(cores) {
+				cfg := h.config(cores, 50, sim.Esteem)
+				row.mutate(&cfg)
+				base := h.sweep.Baseline(cfg, wl)
+				c.cmps = append(c.cmps, h.sweep.Compare(workloadName(wl), base, cfg, wl))
+			}
+			cells[cores] = append(cells[cores], c)
+		}
+	}
+	return func() (string, error) {
+		var b strings.Builder
+		b.WriteString("Table 3: Parameter sensitivity of ESTEEM (means over workloads; 50us retention)\n")
+		b.WriteString("Interval rows are scaled 5x from the paper's cycles (paper 5M/10M/15M -> 1M/2M/3M).\n\n")
+		for _, cores := range []int{1, 2} {
+			fmt.Fprintf(&b, "-- %d-core system --\n", cores)
+			fmt.Fprintf(&b, "%-22s %10s %8s %10s %9s %8s\n",
+				"row", "%esaving", "ws", "rpki-dec", "mpki-inc", "activ%")
+			for _, c := range cells[cores] {
+				var cs []metrics.Comparison
+				for _, cmp := range c.cmps {
+					cs = append(cs, cmp.Comparison())
+				}
+				s := metrics.Summarize(cs)
+				fmt.Fprintf(&b, "%-22s %10.2f %8.3f %10.1f %9.2f %8.1f\n",
+					c.label, s.EnergySavingPct, s.WeightedSpeedup, s.RPKIDecrease,
+					s.MPKIIncrease, s.ActiveRatioPct)
+			}
+			b.WriteString("\n")
+		}
+		return b.String(), nil
+	}
 }
 
 // sensitivityRows lists the paper's Table 3 rows for a core count.
@@ -340,139 +391,118 @@ func (h *harness) sensitivityRows(cores int) []sensitivityRow {
 	return rows
 }
 
-// sensitivityMean runs ESTEEM with the row's config against the
-// matching baseline on every workload and aggregates.
-func (h *harness) sensitivityMean(cores int, row sensitivityRow) (metrics.Summary, error) {
-	var cs []metrics.Comparison
-	for _, wl := range h.workloads(cores) {
-		cfg := h.config(cores, 50, sim.Esteem)
-		row.mutate(&cfg)
-		base, err := h.baseline(cfg, wl)
-		if err != nil {
-			return metrics.Summary{}, err
-		}
-		r, err := sim.Run(cfg, wl)
-		if err != nil {
-			return metrics.Summary{}, err
-		}
-		cs = append(cs, metrics.Compare(workloadName(wl), base, r))
-	}
-	return metrics.Summarize(cs), nil
-}
-
-// ablation runs the design-choice ablations called out in DESIGN.md:
-// refresh-policy alternatives and the non-LRU guard.
-func (h *harness) ablation() (string, error) {
-	var b strings.Builder
-	b.WriteString("Ablations (1-core, 50us retention; % energy saving vs baseline)\n\n")
-
+// ablation schedules the design-choice ablations called out in
+// DESIGN.md: refresh-policy alternatives, the non-LRU guard, and
+// reconfiguration damping.
+func (h *harness) ablation() formatFunc {
 	// Refresh-policy alternatives on a representative workload set.
 	wls := [][]string{{"gamess"}, {"gobmk"}, {"gcc"}, {"sphinx"}, {"lbm"}, {"mcf"}, {"omnetpp"}}
 	techs := []sim.Technique{sim.PeriodicValid, sim.RPV, sim.RPD, sim.SmartRefresh, sim.ECCExtended, sim.EsteemAllLineRefresh, sim.Esteem, sim.NoRefresh}
-	fmt.Fprintf(&b, "%-12s", "workload")
-	for _, t := range techs {
-		fmt.Fprintf(&b, " %14s", t)
+	type polRow struct {
+		wl   []string
+		base *runner.SimJob
+		runs []*runner.SimJob
 	}
-	b.WriteString("\n")
-	savings := map[sim.Technique][]float64{}
+	var polRows []polRow
 	for _, wl := range wls {
 		cfg := h.config(1, 50, sim.Baseline)
-		base, err := h.baseline(cfg, wl)
-		if err != nil {
-			return "", err
-		}
-		fmt.Fprintf(&b, "%-12s", workloadName(wl))
+		pr := polRow{wl: wl, base: h.sweep.Baseline(cfg, wl)}
 		for _, t := range techs {
 			tcfg := cfg
 			tcfg.Technique = t
-			r, err := sim.Run(tcfg, wl)
-			if err != nil {
-				return "", err
-			}
-			s := energy.SavingPercent(base.Energy.Total(), r.Energy.Total())
-			savings[t] = append(savings[t], s)
-			fmt.Fprintf(&b, " %14.1f", s)
+			pr.runs = append(pr.runs, h.sweep.Sim(tcfg, wl))
 		}
-		b.WriteString("\n")
-		fmt.Fprintf(os.Stderr, "  ablation %s done\n", workloadName(wl))
+		polRows = append(polRows, pr)
 	}
-	fmt.Fprintf(&b, "%-12s", "MEAN")
-	for _, t := range techs {
-		fmt.Fprintf(&b, " %14.1f", stats.Mean(savings[t]))
-	}
-	b.WriteString("\n\n")
 
 	// Non-LRU guard ablation on the non-LRU workloads.
-	b.WriteString("Non-LRU guard ablation (energy saving %% / weighted speedup):\n")
-	fmt.Fprintf(&b, "%-12s %16s %16s\n", "workload", "guard on", "guard off")
+	type guardRow struct {
+		wl      string
+		on, off *runner.CompareJob
+	}
+	var guardRows []guardRow
 	for _, wl := range []string{"omnetpp", "xalancbmk", "gcc"} {
 		cfg := h.config(1, 50, sim.Esteem)
-		base, err := h.baseline(cfg, []string{wl})
-		if err != nil {
-			return "", err
-		}
-		on, err := sim.Run(cfg, []string{wl})
-		if err != nil {
-			return "", err
-		}
+		base := h.sweep.Baseline(cfg, []string{wl})
 		offCfg := cfg
 		offCfg.Esteem.DisableNonLRUGuard = true
-		off, err := sim.Run(offCfg, []string{wl})
-		if err != nil {
-			return "", err
-		}
-		cOn := metrics.Compare(wl, base, on)
-		cOff := metrics.Compare(wl, base, off)
-		fmt.Fprintf(&b, "%-12s %8.1f%%/%.3f %8.1f%%/%.3f\n", wl,
-			cOn.EnergySavingPct, cOn.WeightedSpeedup,
-			cOff.EnergySavingPct, cOff.WeightedSpeedup)
+		guardRows = append(guardRows, guardRow{
+			wl:  wl,
+			on:  h.sweep.Compare(wl, base, cfg, []string{wl}),
+			off: h.sweep.Compare(wl, base, offCfg, []string{wl}),
+		})
 	}
 
 	// Reconfiguration damping — the paper's named future-work
 	// extension (Section 7.2): limit per-interval way changes.
-	b.WriteString("\nReconfiguration damping (future-work extension; saving %% / ws / mpki-inc):\n")
-	fmt.Fprintf(&b, "%-12s %22s %22s\n", "workload", "unlimited (paper)", "MaxWayDelta=2")
+	type dampRow struct {
+		wl          string
+		plain, damp *runner.CompareJob
+	}
+	var dampRows []dampRow
 	for _, wl := range []string{"sphinx", "cactusADM", "wrf", "bzip2"} {
 		cfg := h.config(1, 50, sim.Esteem)
-		base, err := h.baseline(cfg, []string{wl})
-		if err != nil {
-			return "", err
-		}
-		plain, err := sim.Run(cfg, []string{wl})
-		if err != nil {
-			return "", err
-		}
+		base := h.sweep.Baseline(cfg, []string{wl})
 		dampCfg := cfg
 		dampCfg.Esteem.MaxWayDelta = 2
-		damp, err := sim.Run(dampCfg, []string{wl})
-		if err != nil {
-			return "", err
-		}
-		cp := metrics.Compare(wl, base, plain)
-		cd := metrics.Compare(wl, base, damp)
-		fmt.Fprintf(&b, "%-12s %7.1f/%.3f/%5.2f %10.1f/%.3f/%5.2f\n", wl,
-			cp.EnergySavingPct, cp.WeightedSpeedup, cp.MPKIIncrease,
-			cd.EnergySavingPct, cd.WeightedSpeedup, cd.MPKIIncrease)
+		dampRows = append(dampRows, dampRow{
+			wl:    wl,
+			plain: h.sweep.Compare(wl, base, cfg, []string{wl}),
+			damp:  h.sweep.Compare(wl, base, dampCfg, []string{wl}),
+		})
 	}
 
-	// Sorted technique list for reference.
-	var names []string
-	for _, t := range techs {
-		names = append(names, t.String())
+	return func() (string, error) {
+		var b strings.Builder
+		b.WriteString("Ablations (1-core, 50us retention; % energy saving vs baseline)\n\n")
+		fmt.Fprintf(&b, "%-12s", "workload")
+		for _, t := range techs {
+			fmt.Fprintf(&b, " %14s", t)
+		}
+		b.WriteString("\n")
+		savings := map[sim.Technique][]float64{}
+		for _, pr := range polRows {
+			fmt.Fprintf(&b, "%-12s", workloadName(pr.wl))
+			baseE := pr.base.Result().Energy.Total()
+			for i, t := range techs {
+				s := energy.SavingPercent(baseE, pr.runs[i].Result().Energy.Total())
+				savings[t] = append(savings[t], s)
+				fmt.Fprintf(&b, " %14.1f", s)
+			}
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "%-12s", "MEAN")
+		for _, t := range techs {
+			fmt.Fprintf(&b, " %14.1f", stats.Mean(savings[t]))
+		}
+		b.WriteString("\n\n")
+
+		b.WriteString("Non-LRU guard ablation (energy saving %% / weighted speedup):\n")
+		fmt.Fprintf(&b, "%-12s %16s %16s\n", "workload", "guard on", "guard off")
+		for _, gr := range guardRows {
+			cOn, cOff := gr.on.Comparison(), gr.off.Comparison()
+			fmt.Fprintf(&b, "%-12s %8.1f%%/%.3f %8.1f%%/%.3f\n", gr.wl,
+				cOn.EnergySavingPct, cOn.WeightedSpeedup,
+				cOff.EnergySavingPct, cOff.WeightedSpeedup)
+		}
+
+		b.WriteString("\nReconfiguration damping (future-work extension; saving %% / ws / mpki-inc):\n")
+		fmt.Fprintf(&b, "%-12s %22s %22s\n", "workload", "unlimited (paper)", "MaxWayDelta=2")
+		for _, dr := range dampRows {
+			cp, cd := dr.plain.Comparison(), dr.damp.Comparison()
+			fmt.Fprintf(&b, "%-12s %7.1f/%.3f/%5.2f %10.1f/%.3f/%5.2f\n", dr.wl,
+				cp.EnergySavingPct, cp.WeightedSpeedup, cp.MPKIIncrease,
+				cd.EnergySavingPct, cd.WeightedSpeedup, cd.MPKIIncrease)
+		}
+		return b.String(), nil
 	}
-	sort.Strings(names)
-	return b.String(), nil
 }
 
-// scale evaluates ESTEEM and RPV at 1, 2 and 4 cores (the 4-core
+// scale schedules ESTEEM and RPV at 1, 2 and 4 cores (the 4-core
 // point is a scalability extension beyond the paper; LLC capacity and
 // bandwidth scale with the core count as Section 6.1 does from 1 to
 // 2 cores).
-func (h *harness) scale() (string, error) {
-	var b strings.Builder
-	b.WriteString("Core-count scaling (50us retention; means over workload subsets)\n\n")
-	fmt.Fprintf(&b, "%6s %8s %16s %16s %12s %12s\n",
-		"cores", "L2", "RPV saving %", "ESTEEM saving %", "ESTEEM ws", "activ %")
+func (h *harness) scale() formatFunc {
 	workloadSets := map[int][][]string{
 		1: {{"gobmk"}, {"gcc"}, {"sphinx"}, {"lbm"}, {"mcf"}, {"gamess"}, {"dealII"}, {"omnetpp"}},
 		2: {{"gobmk", "nekbone"}, {"gcc", "gamess"}, {"leslie3d", "lbm"}, {"mcf", "lulesh"},
@@ -483,82 +513,91 @@ func (h *harness) scale() (string, error) {
 		quads = append(quads, []string{m[0], m[1], m[2], m[3]})
 	}
 	workloadSets[4] = quads
+	type pair struct {
+		rpv, est *runner.CompareJob
+	}
+	pairs := map[int][]pair{}
 	for _, cores := range []int{1, 2, 4} {
-		var rpvS, estS, ws, ar []float64
 		for _, wl := range workloadSets[cores] {
 			cfg := h.config(cores, 50, sim.Baseline)
-			base, err := h.baseline(cfg, wl)
-			if err != nil {
-				return "", err
-			}
-			for _, tech := range []sim.Technique{sim.RPV, sim.Esteem} {
-				tcfg := cfg
-				tcfg.Technique = tech
-				r, err := sim.Run(tcfg, wl)
-				if err != nil {
-					return "", err
-				}
-				c := metrics.Compare(workloadName(wl), base, r)
-				if tech == sim.RPV {
-					rpvS = append(rpvS, c.EnergySavingPct)
-				} else {
-					estS = append(estS, c.EnergySavingPct)
-					ws = append(ws, c.WeightedSpeedup)
-					ar = append(ar, c.ActiveRatioPct)
-				}
-			}
+			base := h.sweep.Baseline(cfg, wl)
+			rpvCfg, estCfg := cfg, cfg
+			rpvCfg.Technique = sim.RPV
+			estCfg.Technique = sim.Esteem
+			pairs[cores] = append(pairs[cores], pair{
+				rpv: h.sweep.Compare(workloadName(wl), base, rpvCfg, wl),
+				est: h.sweep.Compare(workloadName(wl), base, estCfg, wl),
+			})
 		}
-		cfg := sim.DefaultConfig(cores)
-		fmt.Fprintf(&b, "%6d %6dMB %16.2f %16.2f %12.3f %12.1f\n",
-			cores, cfg.L2SizeBytes>>20, stats.Mean(rpvS), stats.Mean(estS),
-			stats.GeoMean(ws), stats.Mean(ar))
-		fmt.Fprintf(os.Stderr, "  scale %d-core done\n", cores)
 	}
-	return b.String(), nil
+	return func() (string, error) {
+		var b strings.Builder
+		b.WriteString("Core-count scaling (50us retention; means over workload subsets)\n\n")
+		fmt.Fprintf(&b, "%6s %8s %16s %16s %12s %12s\n",
+			"cores", "L2", "RPV saving %", "ESTEEM saving %", "ESTEEM ws", "activ %")
+		for _, cores := range []int{1, 2, 4} {
+			var rpvS, estS, ws, ar []float64
+			for _, p := range pairs[cores] {
+				rpvS = append(rpvS, p.rpv.Comparison().EnergySavingPct)
+				c := p.est.Comparison()
+				estS = append(estS, c.EnergySavingPct)
+				ws = append(ws, c.WeightedSpeedup)
+				ar = append(ar, c.ActiveRatioPct)
+			}
+			cfg := sim.DefaultConfig(cores)
+			fmt.Fprintf(&b, "%6d %6dMB %16.2f %16.2f %12.3f %12.1f\n",
+				cores, cfg.L2SizeBytes>>20, stats.Mean(rpvS), stats.Mean(estS),
+				stats.GeoMean(ws), stats.Mean(ar))
+		}
+		return b.String(), nil
+	}
 }
 
-// temperature sweeps the operating temperature using the paper's
-// exponential retention model (Section 6.1: 40 µs at 105 °C per Barth
-// et al., 50 µs assumed at 60 °C), extending the Section 7.3
-// observation that lower retention periods magnify both the refresh
-// problem and ESTEEM's advantage.
-func (h *harness) temperature() (string, error) {
-	var b strings.Builder
-	b.WriteString("Temperature sweep (1-core; retention from the paper's exponential model)\n\n")
-	fmt.Fprintf(&b, "%6s %12s %16s %16s %14s\n",
-		"temp C", "retention us", "RPV saving %", "ESTEEM saving %", "base rfsh/L2 %")
+// temperature schedules the operating-temperature sweep using the
+// paper's exponential retention model (Section 6.1: 40 µs at 105 °C
+// per Barth et al., 50 µs assumed at 60 °C), extending the Section
+// 7.3 observation that lower retention periods magnify both the
+// refresh problem and ESTEEM's advantage.
+func (h *harness) temperature() formatFunc {
 	wls := [][]string{{"gobmk"}, {"gcc"}, {"sphinx"}, {"lbm"}}
-	for _, temp := range []float64{45, 60, 75, 90, 105} {
-		var rpvS, estS, share []float64
+	temps := []float64{45, 60, 75, 90, 105}
+	type cell struct {
+		base     *runner.SimJob
+		rpv, est *runner.SimJob
+	}
+	cells := map[float64][]cell{}
+	for _, temp := range temps {
 		for _, wl := range wls {
 			cfg := h.config(1, 50, sim.Baseline)
 			cfg.RetentionMicros = 0
 			cfg.TemperatureC = temp
-			base, err := sim.Run(cfg, wl)
-			if err != nil {
-				return "", err
-			}
-			share = append(share, 100*base.Energy.L2Refresh/base.Energy.L2())
-			for _, tech := range []sim.Technique{sim.RPV, sim.Esteem} {
-				tcfg := cfg
-				tcfg.Technique = tech
-				r, err := sim.Run(tcfg, wl)
-				if err != nil {
-					return "", err
-				}
-				s := energy.SavingPercent(base.Energy.Total(), r.Energy.Total())
-				if tech == sim.RPV {
-					rpvS = append(rpvS, s)
-				} else {
-					estS = append(estS, s)
-				}
-			}
+			c := cell{base: h.sweep.Baseline(cfg, wl)}
+			rpvCfg, estCfg := cfg, cfg
+			rpvCfg.Technique = sim.RPV
+			estCfg.Technique = sim.Esteem
+			c.rpv = h.sweep.Sim(rpvCfg, wl)
+			c.est = h.sweep.Sim(estCfg, wl)
+			cells[temp] = append(cells[temp], c)
 		}
-		ret := retention.Micros(temp)
-		fmt.Fprintf(&b, "%6.0f %12.1f %16.2f %16.2f %14.1f\n",
-			temp, ret, stats.Mean(rpvS), stats.Mean(estS), stats.Mean(share))
-		fmt.Fprintf(os.Stderr, "  temp %.0fC done\n", temp)
 	}
-	b.WriteString("\n(means over gobmk, gcc, sphinx, lbm)\n")
-	return b.String(), nil
+	return func() (string, error) {
+		var b strings.Builder
+		b.WriteString("Temperature sweep (1-core; retention from the paper's exponential model)\n\n")
+		fmt.Fprintf(&b, "%6s %12s %16s %16s %14s\n",
+			"temp C", "retention us", "RPV saving %", "ESTEEM saving %", "base rfsh/L2 %")
+		for _, temp := range temps {
+			var rpvS, estS, share []float64
+			for _, c := range cells[temp] {
+				base := c.base.Result()
+				share = append(share, 100*base.Energy.L2Refresh/base.Energy.L2())
+				rpvS = append(rpvS, energy.SavingPercent(base.Energy.Total(), c.rpv.Result().Energy.Total()))
+				estS = append(estS, energy.SavingPercent(base.Energy.Total(), c.est.Result().Energy.Total()))
+			}
+			ret := retention.Micros(temp)
+			fmt.Fprintf(&b, "%6.0f %12.1f %16.2f %16.2f %14.1f\n",
+				temp, ret, stats.Mean(rpvS), stats.Mean(estS), stats.Mean(share))
+		}
+		b.WriteString("\n(means over gobmk, gcc, sphinx, lbm)\n")
+		return b.String(), nil
+	}
 }

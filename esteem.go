@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -247,4 +248,50 @@ func RecordTrace(benchmark string, n int, seed uint64) ([]Ref, error) {
 		return nil, err
 	}
 	return trace.Record(g, n), nil
+}
+
+// Sweep is the parallel experiment-execution engine: it schedules
+// simulation jobs over a bounded worker pool, deduplicates baseline
+// runs, orders technique runs after the baselines they are normalised
+// against, and produces results that are byte-identical for every
+// worker count (each job's seed is derived from the base seed and its
+// workload at submission time, and results are read back in
+// submission order).
+//
+//	s := esteem.NewSweep(0) // GOMAXPROCS workers
+//	base := s.Baseline(cfg, []string{"gobmk"})
+//	tcfg := cfg
+//	tcfg.Technique = esteem.Esteem
+//	cmp := s.Compare("gobmk", base, tcfg, []string{"gobmk"})
+//	if err := s.Run(ctx); err != nil { ... }
+//	fmt.Println(cmp.Comparison().EnergySavingPct)
+type Sweep = runner.Sweep
+
+// SimJob is one scheduled simulation on a Sweep.
+type SimJob = runner.SimJob
+
+// CompareJob is a scheduled technique-vs-baseline comparison.
+type CompareJob = runner.CompareJob
+
+// SweepOption configures a Sweep (progress output, labels).
+type SweepOption = runner.Option
+
+// NewSweep builds a parallel sweep with the given worker count
+// (<= 0 selects GOMAXPROCS).
+func NewSweep(workers int, opts ...SweepOption) *Sweep {
+	return runner.NewSweep(workers, opts...)
+}
+
+// WithProgress makes a sweep print progress lines (done/total,
+// running, ETA) to w while it runs.
+func WithProgress(w io.Writer) SweepOption { return runner.WithProgress(w) }
+
+// WithSweepLabel names the sweep in progress output.
+func WithSweepLabel(name string) SweepOption { return runner.WithLabel(name) }
+
+// DeriveSeed mixes a base seed with string parts (e.g. workload
+// names) into a per-job seed, exactly as Sweep does for its jobs; use
+// it to reproduce one sweep job with a direct Run call.
+func DeriveSeed(base uint64, parts ...string) uint64 {
+	return runner.DeriveSeed(base, parts...)
 }

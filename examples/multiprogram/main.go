@@ -3,10 +3,16 @@
 // and ESTEEM against the baseline. This is the paper's Figure 4
 // setting, on a subset of mixes.
 //
+// All twelve simulations (4 mixes x baseline/RPV/ESTEEM) are
+// scheduled up front on a Sweep and execute in parallel; each mix's
+// baseline is shared by its two technique runs through the sweep's
+// dependency DAG.
+//
 //	go run ./examples/multiprogram
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,15 +35,29 @@ func main() {
 	cfg.MeasureInstr = 12_000_000
 	cfg.WarmupInstr = 6_000_000
 
+	s := esteem.NewSweep(0)
+	type pair struct{ rpv, est *esteem.CompareJob }
+	var jobs []pair
+	for _, mix := range mixes {
+		base := s.Baseline(cfg, mix)
+		rpvCfg, estCfg := cfg, cfg
+		rpvCfg.Technique = esteem.RPV
+		estCfg.Technique = esteem.Esteem
+		name := esteem.MixAcronym(mix[0], mix[1])
+		jobs = append(jobs, pair{
+			rpv: s.Compare(name, base, rpvCfg, mix),
+			est: s.Compare(name, base, estCfg, mix),
+		})
+	}
+	if err := s.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
 	var rpvs, ests []esteem.Comparison
 	fmt.Println("dual-core, 8MB shared eDRAM L2, 16 modules, 50us retention")
 	fmt.Printf("%-8s %18s %18s\n", "mix", "RPV (sv%/ws/fs)", "ESTEEM (sv%/ws/fs)")
-	for _, mix := range mixes {
-		cs, err := esteem.RunComparison(cfg, mix, []esteem.Technique{esteem.RPV, esteem.Esteem})
-		if err != nil {
-			log.Fatal(err)
-		}
-		rpv, est := cs[0], cs[1]
+	for i, mix := range mixes {
+		rpv, est := jobs[i].rpv.Comparison(), jobs[i].est.Comparison()
 		rpvs = append(rpvs, rpv)
 		ests = append(ests, est)
 		fmt.Printf("%-8s %6.1f/%.3f/%.3f %6.1f/%.3f/%.3f\n",

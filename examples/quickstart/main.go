@@ -3,10 +3,16 @@
 // paper's headline metrics — energy saving, speedup, refresh
 // reduction and cache active ratio.
 //
+// The two runs are scheduled on a Sweep: the ESTEEM run is ordered
+// after the baseline it is normalised against, and both execute on
+// the worker pool (in parallel when more than one CPU is available)
+// with results identical to back-to-back sequential runs.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,19 +27,16 @@ func main() {
 	cfg.MeasureInstr = 8_000_000
 	cfg.WarmupInstr = 2_000_000
 
-	cfg.Technique = esteem.Baseline
-	base, err := esteem.Run(cfg, []string{"gobmk"})
-	if err != nil {
-		log.Fatal(err)
-	}
-
+	s := esteem.NewSweep(0) // 0 = one worker per CPU
+	baseJob := s.Baseline(cfg, []string{"gobmk"})
 	cfg.Technique = esteem.Esteem
-	tech, err := esteem.Run(cfg, []string{"gobmk"})
-	if err != nil {
+	cmpJob := s.Compare("gobmk", baseJob, cfg, []string{"gobmk"})
+	if err := s.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 
-	c := esteem.Compare("gobmk", base, tech)
+	base, tech := baseJob.Result(), cmpJob.Result()
+	c := cmpJob.Comparison()
 	fmt.Println("gobmk, 1-core, 4MB eDRAM L2, 50us retention")
 	fmt.Printf("  baseline: IPC %.3f, %.1f refreshes/KI, energy %.4f J\n",
 		base.Cores[0].IPC, base.RPKI(), base.Energy.Total())

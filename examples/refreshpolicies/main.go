@@ -4,10 +4,14 @@
 // ESTEEM, an ESTEEM ablation without valid-only refresh, and the
 // unrealizable no-refresh lower bound.
 //
+// All 27 simulations (9 policies x 3 workloads) are independent, so
+// they are scheduled on a Sweep and fan out across the worker pool.
+//
 //	go run ./examples/refreshpolicies
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,28 +36,35 @@ func main() {
 	// cheap there, and ESTEEM also shuts capacity off).
 	workloads := []string{"gamess", "sphinx", "lbm"}
 
+	s := esteem.NewSweep(0)
+	jobs := map[string]map[esteem.Technique]*esteem.SimJob{}
+	for _, w := range workloads {
+		jobs[w] = map[esteem.Technique]*esteem.SimJob{}
+		for _, p := range policies {
+			cfg := esteem.DefaultConfig(1)
+			cfg.Technique = p
+			cfg.MeasureInstr = 12_000_000
+			cfg.WarmupInstr = 6_000_000
+			jobs[w][p] = s.Sim(cfg, []string{w})
+		}
+	}
+	if err := s.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	results := map[string]map[esteem.Technique]*esteem.Result{}
+	for _, w := range workloads {
+		results[w] = map[esteem.Technique]*esteem.Result{}
+		for _, p := range policies {
+			results[w][p] = jobs[w][p].Result()
+		}
+	}
+
 	fmt.Println("% energy saving vs baseline (1-core, 4MB L2, 50us retention)")
 	fmt.Printf("%-16s", "policy")
 	for _, w := range workloads {
 		fmt.Printf(" %10s", w)
 	}
 	fmt.Println()
-
-	results := map[string]map[esteem.Technique]*esteem.Result{}
-	for _, w := range workloads {
-		results[w] = map[esteem.Technique]*esteem.Result{}
-		for _, p := range policies {
-			cfg := esteem.DefaultConfig(1)
-			cfg.Technique = p
-			cfg.MeasureInstr = 12_000_000
-			cfg.WarmupInstr = 6_000_000
-			r, err := esteem.Run(cfg, []string{w})
-			if err != nil {
-				log.Fatal(err)
-			}
-			results[w][p] = r
-		}
-	}
 	for _, p := range policies {
 		fmt.Printf("%-16s", p)
 		for _, w := range workloads {

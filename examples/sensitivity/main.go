@@ -2,28 +2,38 @@
 // count) on one benchmark, mirroring the paper's Table 3 study, and
 // show the energy/performance trade-off each knob controls.
 //
+// Every variant is scheduled against one shared baseline run on a
+// Sweep: the baseline simulates once, the ten variants fan out across
+// the worker pool, and each comparison computes as soon as its
+// variant finishes.
+//
 //	go run ./examples/sensitivity
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	esteem "repro"
 )
 
+const bench = "sphinx"
+
 func main() {
-	const bench = "sphinx"
-	base := run(esteem.Baseline, func(*esteem.Config) {})
+	s := esteem.NewSweep(0)
+	base := s.Baseline(config(), []string{bench})
 
-	fmt.Printf("%s, 1-core, 4MB L2: ESTEEM parameter sweep (vs baseline)\n\n", bench)
-	fmt.Printf("%-16s %9s %7s %9s %8s\n", "variant", "%esaving", "ws", "mpki-inc", "activ%")
-
+	type variant struct {
+		label string
+		job   *esteem.CompareJob
+	}
+	var variants []variant
 	show := func(label string, mutate func(*esteem.Config)) {
-		r := run(esteem.Esteem, mutate)
-		c := esteem.Compare(bench, base, r)
-		fmt.Printf("%-16s %9.2f %7.3f %9.2f %8.1f\n",
-			label, c.EnergySavingPct, c.WeightedSpeedup, c.MPKIIncrease, c.ActiveRatioPct)
+		cfg := config()
+		cfg.Technique = esteem.Esteem
+		mutate(&cfg)
+		variants = append(variants, variant{label, s.Compare(bench, base, cfg, []string{bench})})
 	}
 
 	show("default", func(*esteem.Config) {})
@@ -42,20 +52,26 @@ func main() {
 	// The paper's named future work: damp per-interval swings.
 	show("maxdelta=2", func(c *esteem.Config) { c.Esteem.MaxWayDelta = 2 })
 
+	if err := s.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s, 1-core, 4MB L2: ESTEEM parameter sweep (vs baseline)\n\n", bench)
+	fmt.Printf("%-16s %9s %7s %9s %8s\n", "variant", "%esaving", "ws", "mpki-inc", "activ%")
+	for _, v := range variants {
+		c := v.job.Comparison()
+		fmt.Printf("%-16s %9.2f %7.3f %9.2f %8.1f\n",
+			v.label, c.EnergySavingPct, c.WeightedSpeedup, c.MPKIIncrease, c.ActiveRatioPct)
+	}
+
 	// Equation 1: the counter overhead of the default configuration.
 	fmt.Printf("\nEquation 1 overhead (4MB, 16-way, 16 modules): %.3f%% of L2 capacity\n",
 		esteem.OverheadPercent(4096, 16, 16, 512, 40))
 }
 
-func run(tech esteem.Technique, mutate func(*esteem.Config)) *esteem.Result {
+func config() esteem.Config {
 	cfg := esteem.DefaultConfig(1)
-	cfg.Technique = tech
 	cfg.MeasureInstr = 16_000_000
 	cfg.WarmupInstr = 8_000_000
-	mutate(&cfg)
-	r, err := esteem.Run(cfg, []string{"sphinx"})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return r
+	return cfg
 }

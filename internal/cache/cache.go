@@ -152,11 +152,25 @@ type Cache struct {
 	numSets    int
 	setsPerMod int
 	lineShift  uint
+	tagShift   uint
 	setMask    uint64
+
+	// Per-set lookups precomputed at construction so the access hot
+	// path avoids div/mod per reference.
+	setModule []int32
+	setBank   []int32
+	setLeader []bool
 
 	// activeWays[m] is the number of powered-on ways in module m;
 	// ways [0, activeWays[m]) are active in follower sets.
 	activeWays []int
+	// followersPerMod[m] is the number of non-leader sets in module m
+	// (leader sets never reconfigure, so they are constant).
+	followersPerMod []int
+	// activeLines is the configured powered-on line count, maintained
+	// incrementally by SetActiveWays so ActiveFraction is O(1) instead
+	// of rescanning every set each interval.
+	activeLines int
 
 	// validByBank[b] counts valid lines whose set maps to bank b.
 	// Because disabled ways are flushed, every valid line is in an
@@ -181,27 +195,45 @@ func New(p Params) (*Cache, error) {
 		return nil, err
 	}
 	c := &Cache{
-		p:           p,
-		numSets:     numSets,
-		setsPerMod:  numSets / p.Modules,
-		lineShift:   uint(bits.TrailingZeros(uint(p.LineBytes))),
-		setMask:     uint64(numSets - 1),
-		activeWays:  make([]int, p.Modules),
-		validByBank: make([]int, p.Banks),
-		hitPos:      make([][]uint64, p.Modules),
+		p:               p,
+		numSets:         numSets,
+		setsPerMod:      numSets / p.Modules,
+		lineShift:       uint(bits.TrailingZeros(uint(p.LineBytes))),
+		setMask:         uint64(numSets - 1),
+		setModule:       make([]int32, numSets),
+		setBank:         make([]int32, numSets),
+		setLeader:       make([]bool, numSets),
+		activeWays:      make([]int, p.Modules),
+		followersPerMod: make([]int, p.Modules),
+		validByBank:     make([]int, p.Banks),
+		hitPos:          make([][]uint64, p.Modules),
 	}
+	c.tagShift = c.lineShift + uint(bits.TrailingZeros(uint(numSets)))
+	// One backing array per field instead of one allocation per set:
+	// sweeps construct thousands of caches, and per-set slices were
+	// >95% of a simulation job's allocations.
+	lineBacking := make([]line, numSets*p.Assoc)
+	orderBacking := make([]uint8, numSets*p.Assoc)
 	c.sets = make([]set, numSets)
 	for i := range c.sets {
-		c.sets[i].lines = make([]line, p.Assoc)
-		c.sets[i].order = make([]uint8, p.Assoc)
+		c.sets[i].lines = lineBacking[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
+		c.sets[i].order = orderBacking[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
 		for w := range c.sets[i].order {
 			c.sets[i].order[w] = uint8(w)
 		}
+		c.setModule[i] = int32(i / c.setsPerMod)
+		c.setBank[i] = int32(i % p.Banks)
+		c.setLeader[i] = p.SamplingRatio > 0 && i%p.SamplingRatio == 0
+		if !c.setLeader[i] {
+			c.followersPerMod[i/c.setsPerMod]++
+		}
 	}
+	hitBacking := make([]uint64, p.Modules*p.Assoc)
 	for m := range c.activeWays {
 		c.activeWays[m] = p.Assoc
-		c.hitPos[m] = make([]uint64, p.Assoc)
+		c.hitPos[m] = hitBacking[m*p.Assoc : (m+1)*p.Assoc : (m+1)*p.Assoc]
 	}
+	c.activeLines = numSets * p.Assoc
 	return c, nil
 }
 
@@ -237,7 +269,7 @@ func (c *Cache) SetIndex(a Addr) int {
 
 // tagOf extracts the tag for an address.
 func (c *Cache) tagOf(a Addr) uint64 {
-	return uint64(a) >> c.lineShift >> uint(bits.TrailingZeros(uint(c.numSets)))
+	return uint64(a) >> c.tagShift
 }
 
 // lineAddr reconstructs the base address of the line with the given
@@ -247,15 +279,13 @@ func (c *Cache) lineAddr(setIdx int, tag uint64) Addr {
 }
 
 // ModuleOf returns the module of a set index.
-func (c *Cache) ModuleOf(setIdx int) int { return setIdx / c.setsPerMod }
+func (c *Cache) ModuleOf(setIdx int) int { return int(c.setModule[setIdx]) }
 
 // BankOf returns the bank a set maps to (low-order interleaving).
-func (c *Cache) BankOf(setIdx int) int { return setIdx % c.p.Banks }
+func (c *Cache) BankOf(setIdx int) int { return int(c.setBank[setIdx]) }
 
 // IsLeader reports whether a set is a leader (profiling) set.
-func (c *Cache) IsLeader(setIdx int) bool {
-	return c.p.SamplingRatio > 0 && setIdx%c.p.SamplingRatio == 0
-}
+func (c *Cache) IsLeader(setIdx int) bool { return c.setLeader[setIdx] }
 
 // NumLeaderSets returns the number of leader sets.
 func (c *Cache) NumLeaderSets() int {
@@ -267,10 +297,10 @@ func (c *Cache) NumLeaderSets() int {
 
 // waysFor returns how many ways are active for a given set.
 func (c *Cache) waysFor(setIdx int) int {
-	if c.IsLeader(setIdx) {
+	if c.setLeader[setIdx] {
 		return c.p.Assoc
 	}
-	return c.activeWays[c.ModuleOf(setIdx)]
+	return c.activeWays[c.setModule[setIdx]]
 }
 
 // Access performs a read (write=false) or write (write=true) to addr
@@ -422,6 +452,7 @@ func (c *Cache) SetActiveWays(m, n int) (invalidated, writebacks int) {
 	}
 	old := c.activeWays[m]
 	c.activeWays[m] = n
+	c.activeLines += (n - old) * c.followersPerMod[m]
 	if n >= old {
 		return 0, 0
 	}
@@ -462,19 +493,7 @@ func (c *Cache) ActiveWays(m int) int { return c.activeWays[m] }
 // requires ("F_A for ESTEEM duly takes into account the active area
 // due to leader and follower sets").
 func (c *Cache) ActiveFraction() float64 {
-	activeLines := 0
-	for m := 0; m < c.p.Modules; m++ {
-		lo, hi := m*c.setsPerMod, (m+1)*c.setsPerMod
-		leaders := 0
-		for setIdx := lo; setIdx < hi; setIdx++ {
-			if c.IsLeader(setIdx) {
-				leaders++
-			}
-		}
-		followers := c.setsPerMod - leaders
-		activeLines += leaders*c.p.Assoc + followers*c.activeWays[m]
-	}
-	return float64(activeLines) / float64(c.numSets*c.p.Assoc)
+	return float64(c.activeLines) / float64(c.numSets*c.p.Assoc)
 }
 
 // ValidByBank returns the number of valid lines mapped to bank b.

@@ -158,6 +158,19 @@ func (r *RPV) RefreshEvent(bank, event int) int {
 type RPD struct {
 	*polyphase
 	invalidated uint64
+	// RPD's phase event splits tracked frames by dirtiness: dirty ones
+	// are refreshed in place (a count), clean ones are all eagerly
+	// invalidated. Dirtiness only changes at touches and invalidations
+	// (both observed here; OnTouch fires after the cache updates the
+	// dirty bit), so the policy tracks it itself: dirty frames are an
+	// incremental counter per (bank, phase) and clean frames sit in an
+	// intrusive doubly-linked list the event drains. Per-frame effects
+	// are order-independent, so results match the frame scan this
+	// replaces.
+	dirtyCount []int   // bank*phases+phase -> dirty tracked frames
+	dirty      []bool  // frame -> tracked as dirty
+	head       []int32 // bank*phases+phase -> first clean frame, or -1
+	next, prev []int32 // frame -> clean-list neighbours, or -1
 }
 
 // NewRPD builds an RPD policy and installs it as the cache's observer.
@@ -166,9 +179,84 @@ func NewRPD(c *cache.Cache, clock *edram.Clock, phases int, retentionCycles uint
 	if err != nil {
 		return nil, err
 	}
-	r := &RPD{polyphase: pp}
+	r := &RPD{
+		polyphase:  pp,
+		dirtyCount: make([]int, pp.banks*phases),
+		dirty:      make([]bool, len(pp.phase)),
+		head:       make([]int32, pp.banks*phases),
+		next:       make([]int32, len(pp.phase)),
+		prev:       make([]int32, len(pp.phase)),
+	}
+	for i := range r.head {
+		r.head[i] = -1
+	}
 	c.SetObserver(r)
 	return r, nil
+}
+
+// listOf returns the list index for a set's bank and a phase.
+func (r *RPD) listOf(set int, ph int8) int {
+	return (set%r.banks)*r.phases + int(ph)
+}
+
+// push links frame i at the head of list l.
+func (r *RPD) push(i int32, l int) {
+	r.prev[i] = -1
+	r.next[i] = r.head[l]
+	if r.head[l] >= 0 {
+		r.prev[r.head[l]] = i
+	}
+	r.head[l] = i
+}
+
+// unlink removes frame i from list l.
+func (r *RPD) unlink(i int32, l int) {
+	if r.prev[i] >= 0 {
+		r.next[r.prev[i]] = r.next[i]
+	} else {
+		r.head[l] = r.next[i]
+	}
+	if r.next[i] >= 0 {
+		r.prev[r.next[i]] = r.prev[i]
+	}
+}
+
+// OnTouch implements cache.Observer: re-files the frame under the
+// touch phase on its current dirty side, shadowing the embedded
+// polyphase method.
+func (r *RPD) OnTouch(set, way int) {
+	i := int32(set*r.assoc + way)
+	if old := r.phase[i]; old != untracked {
+		if r.dirty[i] {
+			r.dirtyCount[r.listOf(set, old)]--
+		} else {
+			r.unlink(i, r.listOf(set, old))
+		}
+	}
+	r.polyphase.OnTouch(set, way)
+	_, d := r.c.LineState(set, way) // the cache set the bit before notifying
+	r.dirty[i] = d
+	l := r.listOf(set, r.phase[i])
+	if d {
+		r.dirtyCount[l]++
+	} else {
+		r.push(i, l)
+	}
+}
+
+// OnInvalidate implements cache.Observer: removes the frame from its
+// dirty counter or clean list before untracking it.
+func (r *RPD) OnInvalidate(set, way int) {
+	i := int32(set*r.assoc + way)
+	if old := r.phase[i]; old != untracked {
+		if r.dirty[i] {
+			r.dirtyCount[r.listOf(set, old)]--
+			r.dirty[i] = false
+		} else {
+			r.unlink(i, r.listOf(set, old))
+		}
+	}
+	r.polyphase.OnInvalidate(set, way)
 }
 
 // Name implements edram.Policy.
@@ -181,23 +269,15 @@ func (r *RPD) EventsPerWindow() int { return r.phases }
 // invalidates clean ones (avoiding their refresh at the cost of a
 // future miss).
 func (r *RPD) RefreshEvent(bank, event int) int {
-	n := 0
-	ph := int8(event)
-	for set := bank; set < r.c.NumSets(); set += r.banks {
-		base := set * r.assoc
-		for w := 0; w < r.assoc; w++ {
-			if r.phase[base+w] != ph {
-				continue
-			}
-			if _, dirty := r.c.LineState(set, w); dirty {
-				n++
-			} else {
-				// InvalidateLine fires OnInvalidate, untracking the
-				// frame.
-				r.c.InvalidateLine(set, w)
-				r.invalidated++
-			}
-		}
+	l := bank*r.phases + event
+	// Dirty frames are refreshed in place; retention renews from this
+	// same phase, so the incremental count is unchanged.
+	n := r.dirtyCount[l]
+	for i := r.head[l]; i >= 0; {
+		nx := r.next[i] // capture: InvalidateLine unlinks i via OnInvalidate
+		r.c.InvalidateLine(int(i)/r.assoc, int(i)%r.assoc)
+		r.invalidated++
+		i = nx
 	}
 	return n
 }

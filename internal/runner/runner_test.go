@@ -1,0 +1,254 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsAllTasks checks that every independent task runs
+// exactly once, at several worker counts.
+func TestPoolRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		var ran atomic.Int64
+		const n = 50
+		tasks := make([]*Task, n)
+		for i := 0; i < n; i++ {
+			tasks[i] = p.Task(fmt.Sprintf("t%d", i), func(context.Context) error {
+				ran.Add(1)
+				return nil
+			})
+		}
+		if err := p.Run(context.Background()); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := ran.Load(); got != n {
+			t.Errorf("workers=%d: ran %d tasks, want %d", workers, got, n)
+		}
+		for _, task := range tasks {
+			if !task.Done() {
+				t.Errorf("workers=%d: task %s not done", workers, task.Label())
+			}
+		}
+	}
+}
+
+// TestPoolDependencyOrder checks that a dependent task never starts
+// before all of its dependencies have finished, under heavy
+// parallelism.
+func TestPoolDependencyOrder(t *testing.T) {
+	p := NewPool(8)
+	const chains = 16
+	var mu sync.Mutex
+	finished := map[string]bool{}
+	mark := func(name string) {
+		mu.Lock()
+		finished[name] = true
+		mu.Unlock()
+	}
+	check := func(name string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return finished[name]
+	}
+	for i := 0; i < chains; i++ {
+		a := fmt.Sprintf("a%d", i)
+		b := fmt.Sprintf("b%d", i)
+		ta := p.Task(a, func(context.Context) error {
+			time.Sleep(time.Millisecond)
+			mark(a)
+			return nil
+		})
+		tb := p.Task(b, func(context.Context) error {
+			if !check(a) {
+				return fmt.Errorf("task %s started before dependency %s finished", b, a)
+			}
+			mark(b)
+			return nil
+		}, ta)
+		// Diamond: c depends on both a and b.
+		c := fmt.Sprintf("c%d", i)
+		p.Task(c, func(context.Context) error {
+			if !check(a) || !check(b) {
+				return fmt.Errorf("task %s started before its dependencies", c)
+			}
+			return nil
+		}, ta, tb)
+	}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolErrorCancels checks that the first error skips queued work
+// and is returned.
+func TestPoolErrorCancels(t *testing.T) {
+	p := NewPool(2)
+	boom := errors.New("boom")
+	var after atomic.Int64
+	bad := p.Task("bad", func(context.Context) error { return boom })
+	dep := p.Task("dep", func(context.Context) error {
+		after.Add(1)
+		return nil
+	}, bad)
+	err := p.Run(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+	if after.Load() != 0 {
+		t.Errorf("dependent of failed task ran")
+	}
+	if dep.Err() == nil {
+		t.Errorf("dependent of failed task reports nil error")
+	}
+}
+
+// TestPoolPanicCaptured checks that a panicking job is converted to
+// an error (with its label and stack) instead of crashing the sweep,
+// and that independent jobs are unaffected by cancellation accounting.
+func TestPoolPanicCaptured(t *testing.T) {
+	p := NewPool(4)
+	p.Task("explosive", func(context.Context) error {
+		panic("one bad config")
+	})
+	err := p.Run(context.Background())
+	if err == nil {
+		t.Fatal("panic not reported as error")
+	}
+	if !strings.Contains(err.Error(), "explosive") || !strings.Contains(err.Error(), "one bad config") {
+		t.Errorf("panic error %q lacks task label or panic value", err)
+	}
+	if !strings.Contains(err.Error(), "goroutine") {
+		t.Errorf("panic error lacks a stack trace")
+	}
+}
+
+// TestPoolIncrementalRun checks that a second Run only executes newly
+// submitted tasks and that completed tasks satisfy new dependencies.
+func TestPoolIncrementalRun(t *testing.T) {
+	p := NewPool(4)
+	var first atomic.Int64
+	a := p.Task("a", func(context.Context) error {
+		first.Add(1)
+		return nil
+	})
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	b := p.Task("b", func(context.Context) error {
+		if first.Load() != 1 {
+			return fmt.Errorf("dependency did not run exactly once (ran %d)", first.Load())
+		}
+		return nil
+	}, a)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if first.Load() != 1 {
+		t.Errorf("completed task re-ran on second Run: %d executions", first.Load())
+	}
+	if !b.Done() {
+		t.Errorf("new task with satisfied dependency did not run")
+	}
+}
+
+// TestPoolRetryAfterFailure checks that skipped tasks run on a later
+// Run once the failure is gone (the failing task is terminal-failed
+// and retried too).
+func TestPoolRetryAfterFailure(t *testing.T) {
+	p := NewPool(2)
+	var attempts atomic.Int64
+	flaky := p.Task("flaky", func(context.Context) error {
+		if attempts.Add(1) == 1 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	dep := p.Task("dep", func(context.Context) error { return nil }, flaky)
+	if err := p.Run(context.Background()); err == nil {
+		t.Fatal("first Run should fail")
+	}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if !flaky.Done() || !dep.Done() {
+		t.Errorf("retry did not complete the DAG: flaky=%v dep=%v", flaky.Done(), dep.Done())
+	}
+}
+
+// TestPoolContextCancel checks that an already-cancelled context
+// stops the run.
+func TestPoolContextCancel(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		p.Task("t", func(context.Context) error {
+			ran.Add(1)
+			return nil
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Run(ctx); err == nil {
+		t.Fatal("Run with cancelled context returned nil")
+	}
+}
+
+// TestPoolBoundedConcurrency checks that no more than the configured
+// worker count is ever in flight.
+func TestPoolBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var inFlight, peak atomic.Int64
+	for i := 0; i < 24; i++ {
+		p.Task("t", func(context.Context) error {
+			n := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return nil
+		})
+	}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+// TestDeriveSeedProperties checks determinism, part sensitivity and
+// separator behaviour of the per-job seed derivation.
+func TestDeriveSeedProperties(t *testing.T) {
+	if DeriveSeed(1, "gcc") != DeriveSeed(1, "gcc") {
+		t.Error("DeriveSeed is not deterministic")
+	}
+	if DeriveSeed(1, "gcc") == DeriveSeed(2, "gcc") {
+		t.Error("DeriveSeed ignores the base seed")
+	}
+	if DeriveSeed(1, "gcc") == DeriveSeed(1, "lbm") {
+		t.Error("DeriveSeed ignores the parts")
+	}
+	if DeriveSeed(1, "ab", "c") == DeriveSeed(1, "a", "bc") {
+		t.Error("DeriveSeed concatenates parts without separation")
+	}
+	seen := map[uint64]bool{}
+	for _, wl := range []string{"gcc", "lbm", "mcf", "gobmk", "sphinx"} {
+		s := DeriveSeed(7, wl)
+		if seen[s] {
+			t.Errorf("derived seed collision for %s", wl)
+		}
+		seen[s] = true
+	}
+}

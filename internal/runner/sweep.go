@@ -1,0 +1,284 @@
+// Sweep: the simulation-aware layer over the generic Pool. It
+// schedules sim.Run jobs, deduplicates baseline runs behind a typed
+// key (replacing the fmt.Sprintf string keys of the old sequential
+// harness, which were both allocation-heavy and collision-prone), and
+// wires the paper's baseline-vs-technique comparisons as DAG edges:
+// a technique job depends on its baseline job and computes its
+// metrics.Comparison as soon as both results exist.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Key identifies one simulation run for deduplication and seed
+// derivation: the configuration fields that influence a baseline
+// run's behaviour, plus the workload. Two runs with equal keys are
+// interchangeable. It is a comparable struct, so it can key a map
+// directly — unlike the stringly-typed fmt.Sprintf keys it replaces,
+// it cannot collide across fields and costs no allocation per lookup.
+type Key struct {
+	Cores                   int
+	L1SizeBytes, L1Assoc    int
+	L2SizeBytes, L2Assoc    int
+	LineBytes, Banks        int
+	L2LatencyCycles         uint64
+	RetentionMicros         float64
+	TemperatureC            float64
+	RetentionSigma          float64
+	MemLatencyCycles        uint64
+	MemBandwidthBytesPerSec float64
+	WriteBufferEntries      int
+	FreqHz                  float64
+	IntervalCycles          uint64
+	WarmupInstr             uint64
+	MeasureInstr            uint64
+	Seed                    uint64
+	// Workload is the "+"-joined benchmark list (one name per core).
+	Workload string
+}
+
+// BaselineKey derives the dedup key for the baseline run matching
+// cfg on the given workload. Technique-specific parameters (module
+// count, sampling ratio, ESTEEM/Refrint/Smart-Refresh knobs) are
+// deliberately excluded: they do not change baseline behaviour, so
+// sensitivity rows that sweep them share one baseline run each.
+func BaselineKey(cfg sim.Config, workload []string) Key {
+	return Key{
+		Cores:                   cfg.Cores,
+		L1SizeBytes:             cfg.L1SizeBytes,
+		L1Assoc:                 cfg.L1Assoc,
+		L2SizeBytes:             cfg.L2SizeBytes,
+		L2Assoc:                 cfg.L2Assoc,
+		LineBytes:               cfg.LineBytes,
+		Banks:                   cfg.Banks,
+		L2LatencyCycles:         cfg.L2LatencyCycles,
+		RetentionMicros:         cfg.RetentionMicros,
+		TemperatureC:            cfg.TemperatureC,
+		RetentionSigma:          cfg.RetentionSigma,
+		MemLatencyCycles:        cfg.MemLatencyCycles,
+		MemBandwidthBytesPerSec: cfg.MemBandwidthBytesPerSec,
+		WriteBufferEntries:      cfg.WriteBufferEntries,
+		FreqHz:                  cfg.FreqHz,
+		IntervalCycles:          cfg.IntervalCycles,
+		WarmupInstr:             cfg.WarmupInstr,
+		MeasureInstr:            cfg.MeasureInstr,
+		Seed:                    cfg.Seed,
+		Workload:                strings.Join(workload, "+"),
+	}
+}
+
+// DeriveSeed mixes a base experiment seed with string parts (e.g. the
+// workload names) into a per-job seed using splitmix64's finalizer
+// over an FNV-1a hash of the parts. The derivation depends only on
+// its inputs — never on scheduling order — so a parallel sweep seeds
+// every job exactly as a sequential one does. Jobs that must share a
+// reference stream (a technique run and the baseline it is normalised
+// against) derive from identical parts and therefore agree.
+func DeriveSeed(base uint64, parts ...string) uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= 1099511628211
+		}
+		h ^= 0x2545F4914F6CDD1D // separator so ("ab","c") != ("a","bc")
+		h *= 1099511628211
+	}
+	z := base + h*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// SimJob is one scheduled simulation. Its Result is valid once the
+// owning sweep's Run has returned without error (or once Err reports
+// nil for this job).
+type SimJob struct {
+	task *Task
+	cfg  sim.Config
+	wl   []string
+	res  *sim.Result
+}
+
+// Config returns the job's (seed-derived) configuration.
+func (j *SimJob) Config() sim.Config { return j.cfg }
+
+// Workload returns the job's benchmark list.
+func (j *SimJob) Workload() []string { return j.wl }
+
+// Result returns the simulation result; nil until the job has run.
+func (j *SimJob) Result() *sim.Result { return j.res }
+
+// Err returns the job's terminal error (see Task.Err).
+func (j *SimJob) Err() error { return j.task.Err() }
+
+// CompareJob runs a technique simulation and, once its baseline
+// dependency has completed, computes the paper's comparison metrics.
+type CompareJob struct {
+	task     *Task
+	base     *SimJob
+	tech     *SimJob
+	workload string
+	cmp      metrics.Comparison
+}
+
+// Comparison returns the baseline-normalised metrics; valid once the
+// sweep has run.
+func (j *CompareJob) Comparison() metrics.Comparison { return j.cmp }
+
+// Result returns the technique run's raw result.
+func (j *CompareJob) Result() *sim.Result { return j.tech.res }
+
+// Baseline returns the baseline job the comparison normalises
+// against.
+func (j *CompareJob) Baseline() *SimJob { return j.base }
+
+// Err returns the job's terminal error.
+func (j *CompareJob) Err() error { return j.task.Err() }
+
+// Sweep schedules simulation jobs on a pool and deduplicates baseline
+// runs. A sweep may span several experiments: baselines completed by
+// an earlier Run satisfy later experiments without re-running.
+type Sweep struct {
+	pool      *Pool
+	baselines map[Key]*SimJob
+
+	// Cumulative throughput accounting across every Run (satisfies
+	// "how many configurations per hour" bookkeeping; see Stats).
+	sims  atomic.Uint64
+	instr atomic.Uint64
+}
+
+// NewSweep builds a sweep over a fresh pool with the given worker
+// count (<= 0 selects GOMAXPROCS).
+func NewSweep(workers int, opts ...Option) *Sweep {
+	return &Sweep{
+		pool:      NewPool(workers, opts...),
+		baselines: make(map[Key]*SimJob),
+	}
+}
+
+// Pool returns the underlying pool (e.g. to schedule non-simulation
+// tasks into the same run).
+func (s *Sweep) Pool() *Pool { return s.pool }
+
+// Workers returns the sweep's worker count.
+func (s *Sweep) Workers() int { return s.pool.Workers() }
+
+// deriveCfg applies per-job seed derivation: the effective seed mixes
+// the configured base seed with the workload, so every job's stream
+// is fixed at submission time and decorrelated across workloads,
+// while a technique run and its baseline (same workload, same base
+// seed) still replay identical references.
+func deriveCfg(cfg sim.Config, wl []string) sim.Config {
+	cfg.Seed = DeriveSeed(cfg.Seed, wl...)
+	return cfg
+}
+
+// jobLabel names a job for progress and error output.
+func jobLabel(cfg sim.Config, wl []string) string {
+	return fmt.Sprintf("%s/%s/%dc", cfg.Technique, strings.Join(wl, "+"), cfg.Cores)
+}
+
+// Sim schedules one simulation of cfg over the named benchmarks,
+// after the given dependencies (if any). The job's seed is derived
+// from (cfg.Seed, workload) at submission time.
+func (s *Sweep) Sim(cfg sim.Config, wl []string, deps ...*Task) *SimJob {
+	dcfg := deriveCfg(cfg, wl)
+	j := &SimJob{cfg: dcfg, wl: append([]string(nil), wl...)}
+	j.task = s.pool.Task(jobLabel(dcfg, wl), func(context.Context) error {
+		r, err := sim.Run(j.cfg, j.wl)
+		if err != nil {
+			return err
+		}
+		j.res = r
+		s.sims.Add(1)
+		s.instr.Add(r.TotalInstructions())
+		return nil
+	}, deps...)
+	return j
+}
+
+// SimSources schedules one simulation over explicit workload sources.
+// No seed derivation is applied (the sources carry their own state),
+// and source-driven jobs are never deduplicated.
+func (s *Sweep) SimSources(label string, cfg sim.Config, sources []trace.Source, deps ...*Task) *SimJob {
+	j := &SimJob{cfg: cfg}
+	j.task = s.pool.Task(label, func(context.Context) error {
+		r, err := sim.RunSources(j.cfg, sources)
+		if err != nil {
+			return err
+		}
+		j.res = r
+		s.sims.Add(1)
+		s.instr.Add(r.TotalInstructions())
+		return nil
+	}, deps...)
+	return j
+}
+
+// Baseline schedules (or reuses) the baseline run matching cfg on the
+// given workload. Requests with equal BaselineKeys share one job —
+// and one simulation — regardless of which experiment asks first.
+func (s *Sweep) Baseline(cfg sim.Config, wl []string) *SimJob {
+	bcfg := cfg
+	bcfg.Technique = sim.Baseline
+	bcfg.LogIntervals = false
+	key := BaselineKey(bcfg, wl)
+	if j, ok := s.baselines[key]; ok {
+		return j
+	}
+	j := s.Sim(bcfg, wl)
+	s.baselines[key] = j
+	return j
+}
+
+// Compare schedules a technique run of cfg against base: the
+// technique simulation executes in parallel with everything else,
+// and the comparison itself is computed once the baseline dependency
+// has completed (the DAG edge that replaces the old harness's
+// sequential baseline-first ordering). workload names the comparison
+// row (benchmark name or mix acronym).
+func (s *Sweep) Compare(workload string, base *SimJob, cfg sim.Config, wl []string) *CompareJob {
+	c := &CompareJob{base: base, workload: workload}
+	dcfg := deriveCfg(cfg, wl)
+	tech := &SimJob{cfg: dcfg, wl: append([]string(nil), wl...)}
+	c.tech = tech
+	// One task runs the technique simulation and then normalises
+	// against the (already complete, by the DAG edge) baseline.
+	c.task = s.pool.Task(jobLabel(dcfg, wl), func(context.Context) error {
+		r, err := sim.Run(tech.cfg, tech.wl)
+		if err != nil {
+			return err
+		}
+		tech.res = r
+		s.sims.Add(1)
+		s.instr.Add(r.TotalInstructions())
+		if base.res == nil {
+			return fmt.Errorf("runner: baseline result missing for %q", workload)
+		}
+		c.cmp = metrics.Compare(workload, base.res, r)
+		return nil
+	}, base.task)
+	tech.task = c.task
+	return c
+}
+
+// Run executes every scheduled, not-yet-completed job.
+func (s *Sweep) Run(ctx context.Context) error {
+	return s.pool.Run(ctx)
+}
+
+// Stats reports cumulative throughput: simulations completed and
+// total simulated (measured) instructions across all Runs so far.
+func (s *Sweep) Stats() (sims, instructions uint64) {
+	return s.sims.Load(), s.instr.Load()
+}

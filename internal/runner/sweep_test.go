@@ -1,0 +1,186 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// miniCfg is a short run configuration: big enough to cross several
+// intervals and refresh windows, small enough for the race detector.
+func miniCfg(tech sim.Technique) sim.Config {
+	cfg := sim.DefaultConfig(1)
+	cfg.Technique = tech
+	cfg.MeasureInstr = 120_000
+	cfg.WarmupInstr = 30_000
+	cfg.IntervalCycles = 50_000
+	return cfg
+}
+
+// miniSweep schedules a fig3-style mini-sweep (baseline + RPV +
+// ESTEEM per workload) on a sweep with the given worker count and
+// returns the per-job results and comparisons in submission order.
+func miniSweep(t *testing.T, workers int) ([]*sim.Result, []metrics.Comparison) {
+	t.Helper()
+	workloads := [][]string{{"gamess"}, {"gcc"}, {"lbm"}, {"omnetpp"}}
+	s := NewSweep(workers)
+	var bases []*SimJob
+	var cmps []*CompareJob
+	for _, wl := range workloads {
+		cfg := miniCfg(sim.Baseline)
+		base := s.Baseline(cfg, wl)
+		bases = append(bases, base)
+		for _, tech := range []sim.Technique{sim.RPV, sim.Esteem} {
+			tcfg := cfg
+			tcfg.Technique = tech
+			cmps = append(cmps, s.Compare(wl[0], base, tcfg, wl))
+		}
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var results []*sim.Result
+	for _, b := range bases {
+		results = append(results, b.Result())
+	}
+	var cs []metrics.Comparison
+	for _, c := range cmps {
+		results = append(results, c.Result())
+		cs = append(cs, c.Comparison())
+	}
+	return results, cs
+}
+
+// resultFingerprint extracts the observable counters the determinism
+// guarantee covers: hits, misses, energy, cycles, refreshes, traffic.
+func resultFingerprint(r *sim.Result) map[string]float64 {
+	return map[string]float64{
+		"l2hits":    float64(r.L2.Hits),
+		"l2misses":  float64(r.L2.Misses),
+		"l2wb":      float64(r.L2.Writebacks),
+		"cycles":    float64(r.Cores[0].Cycles),
+		"instr":     float64(r.Cores[0].Instructions),
+		"refreshes": float64(r.Refreshes),
+		"mmreads":   float64(r.MM.Reads),
+		"mmwb":      float64(r.MM.Writebacks),
+		"energy":    r.Energy.Total(),
+		"active":    r.ActiveRatio,
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the determinism
+// regression test: a fig3-style mini-sweep run with 1 worker and with
+// 8 workers must produce identical sim.Results (hits, misses, energy,
+// cycles) and identical comparisons, job for job.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	seq, seqCmp := miniSweep(t, 1)
+	par, parCmp := miniSweep(t, 8)
+	if len(seq) != len(par) {
+		t.Fatalf("job count mismatch: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		sf, pf := resultFingerprint(seq[i]), resultFingerprint(par[i])
+		if !reflect.DeepEqual(sf, pf) {
+			t.Errorf("job %d differs between -jobs 1 and -jobs 8:\n  seq: %v\n  par: %v", i, sf, pf)
+		}
+	}
+	if !reflect.DeepEqual(seqCmp, parCmp) {
+		t.Errorf("comparisons differ between -jobs 1 and -jobs 8:\n  seq: %v\n  par: %v", seqCmp, parCmp)
+	}
+}
+
+// TestSweepBaselineDedup checks that equal baseline requests share
+// one job while differing configurations get their own, and that the
+// typed key separates fields a string key could conflate.
+func TestSweepBaselineDedup(t *testing.T) {
+	s := NewSweep(4)
+	cfg := miniCfg(sim.Baseline)
+	a := s.Baseline(cfg, []string{"gcc"})
+	b := s.Baseline(cfg, []string{"gcc"})
+	if a != b {
+		t.Error("identical baseline requests not deduplicated")
+	}
+	// Technique-only fields must not split the baseline cache.
+	ecfg := cfg
+	ecfg.Technique = sim.Esteem
+	ecfg.SamplingRatio = 32
+	ecfg.Esteem.Alpha = 0.99
+	if s.Baseline(ecfg, []string{"gcc"}) != a {
+		t.Error("technique-specific fields split the baseline cache")
+	}
+	// Baseline-relevant fields must split it.
+	rcfg := cfg
+	rcfg.RetentionMicros = 40
+	if s.Baseline(rcfg, []string{"gcc"}) == a {
+		t.Error("retention change did not split the baseline cache")
+	}
+	if s.Baseline(cfg, []string{"lbm"}) == a {
+		t.Error("workload change did not split the baseline cache")
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sims, instr := s.Stats()
+	if sims != 3 {
+		t.Errorf("Stats sims = %d, want 3 (dedup failed?)", sims)
+	}
+	if instr == 0 {
+		t.Error("Stats instructions = 0")
+	}
+}
+
+// TestSweepSeedDerivation checks that the derived per-job seed
+// depends on the workload (decorrelation) but pairs baseline and
+// technique runs (same workload, same base seed -> same stream).
+func TestSweepSeedDerivation(t *testing.T) {
+	s := NewSweep(2)
+	cfg := miniCfg(sim.Baseline)
+	base := s.Baseline(cfg, []string{"gcc"})
+	ecfg := cfg
+	ecfg.Technique = sim.Esteem
+	cmp := s.Compare("gcc", base, ecfg, []string{"gcc"})
+	other := s.Baseline(cfg, []string{"lbm"})
+	if base.Config().Seed == cfg.Seed {
+		t.Error("job seed not derived from workload")
+	}
+	if got := cmp.tech.Config().Seed; got != base.Config().Seed {
+		t.Errorf("technique seed %d != baseline seed %d for same workload", got, base.Config().Seed)
+	}
+	if other.Config().Seed == base.Config().Seed {
+		t.Error("different workloads share a derived seed")
+	}
+}
+
+// TestSweepCompareMatchesDirect checks that a runner comparison
+// equals the one computed by running the simulations directly.
+func TestSweepCompareMatchesDirect(t *testing.T) {
+	s := NewSweep(4)
+	cfg := miniCfg(sim.Baseline)
+	wl := []string{"gobmk"}
+	base := s.Baseline(cfg, wl)
+	ecfg := cfg
+	ecfg.Technique = sim.Esteem
+	cmp := s.Compare("gobmk", base, ecfg, wl)
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	dcfg := cfg
+	dcfg.Seed = DeriveSeed(cfg.Seed, "gobmk")
+	dbase, err := sim.Run(dcfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg.Technique = sim.Esteem
+	dtech, err := sim.Run(dcfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := metrics.Compare("gobmk", dbase, dtech)
+	if got := cmp.Comparison(); !reflect.DeepEqual(got, want) {
+		t.Errorf("runner comparison %+v != direct comparison %+v", got, want)
+	}
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSim assembles a warmed simulator so BenchmarkSimStep times the
+// steady-state per-reference path (core retire, L1, L2, refresh
+// engine, memory) rather than construction or cold caches.
+func benchSim(b *testing.B, cores int) *Simulator {
+	b.Helper()
+	cfg := DefaultConfig(cores)
+	cfg.Technique = Esteem
+	cfg.MeasureInstr = 1_000_000
+	cfg.WarmupInstr = 100_000
+	cfg.IntervalCycles = 250_000
+	wl := []string{"gcc", "gobmk", "lbm", "mcf"}[:cores]
+	s, err := New(cfg, wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200_000; i++ {
+		s.step()
+	}
+	return s
+}
+
+// BenchmarkSimStep measures one simulator step (the innermost hot
+// loop of every experiment) at 1, 2 and 4 cores, reporting allocs/op.
+func BenchmarkSimStep(b *testing.B) {
+	for _, cores := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			s := benchSim(b, cores)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.step()
+			}
+		})
+	}
+}
+
+// BenchmarkSimRunShort measures a whole short run (construction +
+// warmup + measurement), the unit of work a sweep schedules per job.
+func BenchmarkSimRunShort(b *testing.B) {
+	cfg := DefaultConfig(1)
+	cfg.Technique = Esteem
+	cfg.MeasureInstr = 200_000
+	cfg.WarmupInstr = 50_000
+	cfg.IntervalCycles = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, []string{"gcc"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -332,6 +332,13 @@ type Simulator struct {
 	ctl       *core.Controller // nil unless Technique == Esteem*
 	rpd       *refrint.RPD     // nil unless Technique == RPD
 
+	// order is a binary min-heap of core indices keyed by
+	// (clock, index): order[0] is always the next core to step and the
+	// frontier. Only the stepped core's clock changes per step, so one
+	// sift-down keeps the heap valid — replacing the O(cores) scans of
+	// pickCore/frontier while preserving the lowest-index tie-break.
+	order []int32
+
 	measuring     bool
 	lastBoundary  uint64
 	nextBoundary  uint64
@@ -518,6 +525,13 @@ func NewFromSources(cfg Config, sources []trace.Source) (*Simulator, error) {
 		s.ctl = ctl
 	}
 
+	// All clocks start at zero and indices ascend, so the identity
+	// permutation is already a valid (clock, index) min-heap.
+	s.order = make([]int32, len(s.cores))
+	for i := range s.order {
+		s.order[i] = int32(i)
+	}
+
 	return s, nil
 }
 
@@ -536,34 +550,50 @@ func (o *offsetSource) Next() trace.Ref {
 }
 
 // frontier returns the minimum core clock — the simulation's wall
-// time.
+// time. O(1): the heap root is the earliest core.
 func (s *Simulator) frontier() uint64 {
-	f := s.cores[0].Clock()
-	for _, c := range s.cores[1:] {
-		if c.Clock() < f {
-			f = c.Clock()
-		}
-	}
-	return f
+	return s.cores[s.order[0]].Clock()
 }
 
-// pickCore returns the core with the smallest clock among those
-// matching done==false, or any core if all match; nil when no core
-// qualifies.
-func (s *Simulator) pickCore() *cpu.Core {
-	var best *cpu.Core
-	for _, c := range s.cores {
-		if best == nil || c.Clock() < best.Clock() {
-			best = c
+// coreLess orders core indices by (clock, index); the index tie-break
+// matches the linear scan this heap replaced, so multi-core
+// interleavings are unchanged.
+func (s *Simulator) coreLess(a, b int32) bool {
+	ca, cb := s.cores[a].Clock(), s.cores[b].Clock()
+	return ca < cb || (ca == cb && a < b)
+}
+
+// fixFront restores the heap after the root core's clock advanced.
+func (s *Simulator) fixFront() {
+	o := s.order
+	n := len(o)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
 		}
+		m := l
+		if r := l + 1; r < n && s.coreLess(o[r], o[l]) {
+			m = r
+		}
+		if !s.coreLess(o[m], o[i]) {
+			return
+		}
+		o[i], o[m] = o[m], o[i]
+		i = m
 	}
-	return best
 }
 
 // step executes one memory reference on the earliest core, charging
 // all hierarchy latencies.
 func (s *Simulator) step() {
-	c := s.pickCore()
+	s.stepCore(s.cores[s.order[0]])
+	s.fixFront()
+}
+
+// stepCore executes one memory reference on core c.
+func (s *Simulator) stepCore(c *cpu.Core) {
 	ref := c.NextRef()
 	now := c.Clock()
 	s.clk.Cycle = now
@@ -680,18 +710,26 @@ func (s *Simulator) Run() (*Result, error) {
 	// machinery runs (so ESTEEM enters the run adapted) but nothing
 	// is recorded.
 	s.nextBoundary = s.cfg.IntervalCycles
-	for {
-		done := true
-		for _, c := range s.cores {
-			if c.Instructions() < s.cfg.WarmupInstr {
-				done = false
-				break
-			}
+	// Track per-core completion incrementally: only the stepped core's
+	// instruction count changes, so the all-cores rescan per step is
+	// replaced by one check of the core that just ran.
+	warm := make([]bool, len(s.cores))
+	pending := 0
+	for i, c := range s.cores {
+		if c.Instructions() >= s.cfg.WarmupInstr {
+			warm[i] = true
+		} else {
+			pending++
 		}
-		if done {
-			break
+	}
+	for pending > 0 {
+		c := s.cores[s.order[0]]
+		s.stepCore(c)
+		s.fixFront()
+		if !warm[c.ID()] && c.Instructions() >= s.cfg.WarmupInstr {
+			warm[c.ID()] = true
+			pending--
 		}
-		s.step()
 		if f := s.frontier(); f >= s.nextBoundary {
 			s.processBoundary(f)
 			for s.nextBoundary <= f {
@@ -713,18 +751,23 @@ func (s *Simulator) Run() (*Result, error) {
 		c.BeginMeasurement(s.cfg.MeasureInstr)
 	}
 
-	for {
-		done := true
-		for _, c := range s.cores {
-			if !c.MeasurementDone() {
-				done = false
-				break
-			}
+	finished := make([]bool, len(s.cores))
+	pending = 0
+	for i, c := range s.cores {
+		if c.MeasurementDone() {
+			finished[i] = true
+		} else {
+			pending++
 		}
-		if done {
-			break
+	}
+	for pending > 0 {
+		c := s.cores[s.order[0]]
+		s.stepCore(c)
+		s.fixFront()
+		if !finished[c.ID()] && c.MeasurementDone() {
+			finished[c.ID()] = true
+			pending--
 		}
-		s.step()
 		if fr := s.frontier(); fr >= s.nextBoundary {
 			s.processBoundary(fr)
 			for s.nextBoundary <= fr {

@@ -76,6 +76,9 @@ func (p *Policy) OnInvalidate(set, way int) {
 // RefreshEvent implements edram.Policy: decrement every tracked line
 // in the bank; lines reaching zero are refreshed and reloaded.
 func (p *Policy) RefreshEvent(bank, event int) int {
+	if p.c.ValidByBank(bank) == 0 {
+		return 0 // empty bank: nothing tracked, skip the frame walk
+	}
 	n := 0
 	for set := bank; set < p.c.NumSets(); set += p.banks {
 		base := set * p.assoc

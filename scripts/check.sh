@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — the repository's verification gate. Run before every
+# commit (or via `make check`): build, vet, tests, and the race
+# detector over the full module. The race pass matters since the
+# internal/runner engine executes simulations on parallel workers; its
+# tests drive pools at up to 8 workers.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "== OK =="
