@@ -1,9 +1,25 @@
 # Convenience targets; `make check` is the CI/verification gate.
 
-.PHONY: check build vet test race bench results quick-results
+.PHONY: check ci lint golden golden-update build vet test race bench results quick-results
 
 check:
 	./scripts/check.sh
+
+# Everything CI runs: lint, the full check gate, and the golden-output
+# drift gate.
+ci: lint check golden
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	go vet ./...
+
+# Golden-output gate: quick-run JSON must match results/golden/.
+golden:
+	./scripts/golden.sh
+
+# Regenerate the golden outputs after an intentional behavioral change.
+golden-update:
+	./scripts/golden.sh update
 
 build:
 	go build ./...

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/retention"
 	"repro/internal/runner"
@@ -58,8 +59,16 @@ type harness struct {
 	sweep *runner.Sweep
 }
 
-// formatFunc renders one experiment's output after the sweep has run.
-type formatFunc func() (string, error)
+// formatFunc renders one experiment's output after the sweep has run:
+// the human-readable text plus a machine-readable payload written as
+// canonical JSON next to it (nil for experiments without one).
+type formatFunc func() (string, any, error)
+
+// fatal prints err and exits.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiments to run (comma-separated): table2,fig2,fig3,fig4,fig5,fig6,table3,ablation,temp,scale,all")
@@ -70,6 +79,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	quick := flag.Bool("quick", false, "use a workload subset and shorter runs")
 	jobs := flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS); any value yields identical results")
+	telemetry := flag.Bool("telemetry", true, "write per-run artifacts (interval telemetry + manifests) under <out>/runs")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	traceFile := flag.String("trace", "", "write a runtime/trace capture to this file")
 	flag.Parse()
 
 	h := &harness{
@@ -82,8 +95,36 @@ func main() {
 		h.warmup /= 4
 	}
 	if err := os.MkdirAll(h.outDir, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
+	}
+
+	// Profiling hooks.
+	if *pprofAddr != "" {
+		obs.ServePprof(*pprofAddr, func(err error) { fmt.Fprintln(os.Stderr, err) })
+		fmt.Fprintf(os.Stderr, "== pprof: http://%s/debug/pprof ==\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+	if *traceFile != "" {
+		stop, err := obs.StartTrace(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+
+	// Per-run telemetry artifacts.
+	if *telemetry {
+		sink, err := obs.NewDirSink(filepath.Join(h.outDir, "runs"))
+		if err != nil {
+			fatal(err)
+		}
+		h.sweep.SetSink(sink)
 	}
 
 	want := map[string]bool{}
@@ -128,17 +169,19 @@ func main() {
 	}
 
 	// Phase 2: one parallel run over the whole job DAG.
+	manifest := obs.NewManifest("esteem-bench -exp "+*exp, *seed, os.Args[1:])
 	t0 := time.Now()
 	if err := h.sweep.Run(context.Background()); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	wall := time.Since(t0)
 
 	// Phase 3: format and write in submission order (worker-count
-	// independent).
+	// independent). Each experiment yields a text table and, when it
+	// has one, a canonical-JSON payload — the files the golden gate
+	// (scripts/golden.sh) compares.
 	for _, s := range selected {
-		text, err := s.format()
+		text, data, err := s.format()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", s.name, err)
 			os.Exit(1)
@@ -146,10 +189,22 @@ func main() {
 		fmt.Println(text)
 		path := filepath.Join(h.outDir, s.name+".txt")
 		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "== %s -> %s ==\n", s.name, path)
+		if data == nil {
+			continue
+		}
+		b, err := obs.MarshalCanonical(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		jsonPath := filepath.Join(h.outDir, s.name+".json")
+		if err := os.WriteFile(jsonPath, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "== %s -> %s ==\n", s.name, jsonPath)
 	}
 
 	// Throughput summary.
@@ -158,6 +213,19 @@ func main() {
 	fmt.Fprintf(os.Stderr, "== %d simulations, %.0fM simulated instructions in %.1fs wall (%d workers): %.2f sims/s, %.1fM instr/s ==\n",
 		sims, float64(instrDone)/1e6, secs, h.sweep.Workers(),
 		float64(sims)/secs, float64(instrDone)/1e6/secs)
+
+	// Sweep-level manifest (provenance of the whole invocation).
+	if *telemetry {
+		manifest.WallMillis = float64(wall.Microseconds()) / 1e3
+		manifest.SimulatedInstructions = instrDone
+		b, err := obs.MarshalCanonical(manifest)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(h.outDir, "manifest.json"), b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // config builds the scaled run configuration for an experiment.
@@ -207,18 +275,25 @@ func workloadName(wl []string) string {
 // table2 prints the paper's Table 2 as produced by the energy model.
 // It runs no simulations.
 func (h *harness) table2() formatFunc {
-	return func() (string, error) {
+	type row struct {
+		SizeMB int     `json:"size_mb"`
+		EDynNJ float64 `json:"edyn_nj_per_access"`
+		PLeakW float64 `json:"pleak_watts"`
+	}
+	return func() (string, any, error) {
 		var b strings.Builder
+		var rows []row
 		b.WriteString("Table 2: Energy values for 16-way eDRAM cache (32 nm, CACTI 5.3 values embedded)\n")
 		fmt.Fprintf(&b, "%8s %22s %18s\n", "size", "E_dyn (nJ/access)", "P_leak (Watts)")
 		for _, mb := range []int{2, 4, 8, 16, 32} {
 			dyn, leak, err := energy.L2Energy(mb << 20)
 			if err != nil {
-				return "", err
+				return "", nil, err
 			}
 			fmt.Fprintf(&b, "%5d MB %22.3f %18.3f\n", mb, dyn*1e9, leak)
+			rows = append(rows, row{SizeMB: mb, EDynNJ: dyn * 1e9, PLeakW: leak})
 		}
-		return b.String(), nil
+		return b.String(), rows, nil
 	}
 }
 
@@ -228,7 +303,19 @@ func (h *harness) fig2() formatFunc {
 	cfg := h.config(1, 50, sim.Esteem)
 	cfg.LogIntervals = true
 	job := h.sweep.Sim(cfg, []string{"h264ref"})
-	return func() (string, error) {
+	type ivRow struct {
+		Index          int     `json:"index"`
+		ActiveRatioPct float64 `json:"active_ratio_pct"`
+		Ways           []int   `json:"ways"`
+	}
+	type payload struct {
+		Workload       string  `json:"workload"`
+		Intervals      []ivRow `json:"intervals"`
+		ActiveRatioPct float64 `json:"active_ratio_pct"`
+		EnergyJ        float64 `json:"energy_j"`
+		IPC            float64 `json:"ipc"`
+	}
+	return func() (string, any, error) {
 		r := job.Result()
 		var b strings.Builder
 		b.WriteString("Fig 2: ESTEEM reconfiguration over intervals, h264ref (1-core, 4MB L2, 50us)\n")
@@ -249,7 +336,20 @@ func (h *harness) fig2() formatFunc {
 		b.WriteString(plot.Series("active ratio %", ratios))
 		fmt.Fprintf(&b, "\nrun active ratio: %.1f%%  energy: %.4f J  IPC: %.3f\n",
 			r.ActiveRatio*100, r.Energy.Total(), r.Cores[0].IPC)
-		return b.String(), nil
+		data := payload{
+			Workload:       "h264ref",
+			ActiveRatioPct: r.ActiveRatio * 100,
+			EnergyJ:        r.Energy.Total(),
+			IPC:            r.Cores[0].IPC,
+		}
+		for i, iv := range r.Intervals {
+			data.Intervals = append(data.Intervals, ivRow{
+				Index:          i,
+				ActiveRatioPct: iv.ActiveRatio * 100,
+				Ways:           iv.ActiveWays,
+			})
+		}
+		return b.String(), data, nil
 	}
 }
 
@@ -270,7 +370,13 @@ func (h *harness) figure(name string, cores int, retention float64) formatFunc {
 			rows = append(rows, row{tech, h.sweep.Compare(workloadName(wl), base, tcfg, wl)})
 		}
 	}
-	return func() (string, error) {
+	type payload struct {
+		Cores           int                        `json:"cores"`
+		RetentionMicros float64                    `json:"retention_us"`
+		Comparisons     []metrics.Comparison       `json:"comparisons"`
+		Summaries       map[string]metrics.Summary `json:"summaries"`
+	}
+	return func() (string, any, error) {
 		groups := map[string][]metrics.Comparison{}
 		var csv []metrics.Comparison
 		for _, rw := range rows {
@@ -281,7 +387,7 @@ func (h *harness) figure(name string, cores int, retention float64) formatFunc {
 		title := fmt.Sprintf("%s: %d-core results at %.0fus retention (vs baseline all-line periodic refresh)",
 			name, cores, retention)
 		if err := os.WriteFile(filepath.Join(h.outDir, name+".csv"), []byte(metrics.FormatCSV(csv)), 0o644); err != nil {
-			return "", err
+			return "", nil, err
 		}
 		out := metrics.FormatTable(title, groups)
 		// Bar chart of ESTEEM's per-workload savings (the paper's bars).
@@ -291,7 +397,16 @@ func (h *harness) figure(name string, cores int, retention float64) formatFunc {
 		}
 		sortBars(bars)
 		out += "\n" + plot.BarChart("ESTEEM % energy saving per workload", "%", bars, 50)
-		return out, nil
+		data := payload{
+			Cores:           cores,
+			RetentionMicros: retention,
+			Comparisons:     csv,
+			Summaries:       map[string]metrics.Summary{},
+		}
+		for tech, cs := range groups {
+			data.Summaries[tech] = metrics.Summarize(cs)
+		}
+		return out, data, nil
 	}
 }
 
@@ -326,8 +441,14 @@ func (h *harness) table3() formatFunc {
 			cells[cores] = append(cells[cores], c)
 		}
 	}
-	return func() (string, error) {
+	type row struct {
+		Cores   int             `json:"cores"`
+		Label   string          `json:"label"`
+		Summary metrics.Summary `json:"summary"`
+	}
+	return func() (string, any, error) {
 		var b strings.Builder
+		var rows []row
 		b.WriteString("Table 3: Parameter sensitivity of ESTEEM (means over workloads; 50us retention)\n")
 		b.WriteString("Interval rows are scaled 5x from the paper's cycles (paper 5M/10M/15M -> 1M/2M/3M).\n\n")
 		for _, cores := range []int{1, 2} {
@@ -343,10 +464,11 @@ func (h *harness) table3() formatFunc {
 				fmt.Fprintf(&b, "%-22s %10.2f %8.3f %10.1f %9.2f %8.1f\n",
 					c.label, s.EnergySavingPct, s.WeightedSpeedup, s.RPKIDecrease,
 					s.MPKIIncrease, s.ActiveRatioPct)
+				rows = append(rows, row{Cores: cores, Label: c.label, Summary: s})
 			}
 			b.WriteString("\n")
 		}
-		return b.String(), nil
+		return b.String(), rows, nil
 	}
 }
 
@@ -452,8 +574,29 @@ func (h *harness) ablation() formatFunc {
 		})
 	}
 
-	return func() (string, error) {
+	type policyCell struct {
+		Workload  string  `json:"workload"`
+		Technique string  `json:"technique"`
+		SavingPct float64 `json:"energy_saving_pct"`
+	}
+	type guardCell struct {
+		Workload string             `json:"workload"`
+		On       metrics.Comparison `json:"guard_on"`
+		Off      metrics.Comparison `json:"guard_off"`
+	}
+	type dampCell struct {
+		Workload string             `json:"workload"`
+		Plain    metrics.Comparison `json:"unlimited"`
+		Damped   metrics.Comparison `json:"max_way_delta_2"`
+	}
+	type payload struct {
+		Policies []policyCell `json:"refresh_policies"`
+		Guard    []guardCell  `json:"non_lru_guard"`
+		Damping  []dampCell   `json:"reconfig_damping"`
+	}
+	return func() (string, any, error) {
 		var b strings.Builder
+		var data payload
 		b.WriteString("Ablations (1-core, 50us retention; % energy saving vs baseline)\n\n")
 		fmt.Fprintf(&b, "%-12s", "workload")
 		for _, t := range techs {
@@ -468,6 +611,9 @@ func (h *harness) ablation() formatFunc {
 				s := energy.SavingPercent(baseE, pr.runs[i].Result().Energy.Total())
 				savings[t] = append(savings[t], s)
 				fmt.Fprintf(&b, " %14.1f", s)
+				data.Policies = append(data.Policies, policyCell{
+					Workload: workloadName(pr.wl), Technique: t.String(), SavingPct: s,
+				})
 			}
 			b.WriteString("\n")
 		}
@@ -484,6 +630,7 @@ func (h *harness) ablation() formatFunc {
 			fmt.Fprintf(&b, "%-12s %8.1f%%/%.3f %8.1f%%/%.3f\n", gr.wl,
 				cOn.EnergySavingPct, cOn.WeightedSpeedup,
 				cOff.EnergySavingPct, cOff.WeightedSpeedup)
+			data.Guard = append(data.Guard, guardCell{Workload: gr.wl, On: cOn, Off: cOff})
 		}
 
 		b.WriteString("\nReconfiguration damping (future-work extension; saving %% / ws / mpki-inc):\n")
@@ -493,8 +640,9 @@ func (h *harness) ablation() formatFunc {
 			fmt.Fprintf(&b, "%-12s %7.1f/%.3f/%5.2f %10.1f/%.3f/%5.2f\n", dr.wl,
 				cp.EnergySavingPct, cp.WeightedSpeedup, cp.MPKIIncrease,
 				cd.EnergySavingPct, cd.WeightedSpeedup, cd.MPKIIncrease)
+			data.Damping = append(data.Damping, dampCell{Workload: dr.wl, Plain: cp, Damped: cd})
 		}
-		return b.String(), nil
+		return b.String(), data, nil
 	}
 }
 
@@ -530,8 +678,17 @@ func (h *harness) scale() formatFunc {
 			})
 		}
 	}
-	return func() (string, error) {
+	type row struct {
+		Cores          int     `json:"cores"`
+		L2MB           int     `json:"l2_mb"`
+		RPVSavingPct   float64 `json:"rpv_saving_pct"`
+		EsteemSaving   float64 `json:"esteem_saving_pct"`
+		EsteemWS       float64 `json:"esteem_weighted_speedup"`
+		ActiveRatioPct float64 `json:"active_ratio_pct"`
+	}
+	return func() (string, any, error) {
 		var b strings.Builder
+		var rows []row
 		b.WriteString("Core-count scaling (50us retention; means over workload subsets)\n\n")
 		fmt.Fprintf(&b, "%6s %8s %16s %16s %12s %12s\n",
 			"cores", "L2", "RPV saving %", "ESTEEM saving %", "ESTEEM ws", "activ %")
@@ -548,8 +705,13 @@ func (h *harness) scale() formatFunc {
 			fmt.Fprintf(&b, "%6d %6dMB %16.2f %16.2f %12.3f %12.1f\n",
 				cores, cfg.L2SizeBytes>>20, stats.Mean(rpvS), stats.Mean(estS),
 				stats.GeoMean(ws), stats.Mean(ar))
+			rows = append(rows, row{
+				Cores: cores, L2MB: cfg.L2SizeBytes >> 20,
+				RPVSavingPct: stats.Mean(rpvS), EsteemSaving: stats.Mean(estS),
+				EsteemWS: stats.GeoMean(ws), ActiveRatioPct: stats.Mean(ar),
+			})
 		}
-		return b.String(), nil
+		return b.String(), rows, nil
 	}
 }
 
@@ -580,8 +742,16 @@ func (h *harness) temperature() formatFunc {
 			cells[temp] = append(cells[temp], c)
 		}
 	}
-	return func() (string, error) {
+	type row struct {
+		TempC           float64 `json:"temp_c"`
+		RetentionMicros float64 `json:"retention_us"`
+		RPVSavingPct    float64 `json:"rpv_saving_pct"`
+		EsteemSaving    float64 `json:"esteem_saving_pct"`
+		RefreshSharePct float64 `json:"base_refresh_share_pct"`
+	}
+	return func() (string, any, error) {
 		var b strings.Builder
+		var rows []row
 		b.WriteString("Temperature sweep (1-core; retention from the paper's exponential model)\n\n")
 		fmt.Fprintf(&b, "%6s %12s %16s %16s %14s\n",
 			"temp C", "retention us", "RPV saving %", "ESTEEM saving %", "base rfsh/L2 %")
@@ -596,8 +766,13 @@ func (h *harness) temperature() formatFunc {
 			ret := retention.Micros(temp)
 			fmt.Fprintf(&b, "%6.0f %12.1f %16.2f %16.2f %14.1f\n",
 				temp, ret, stats.Mean(rpvS), stats.Mean(estS), stats.Mean(share))
+			rows = append(rows, row{
+				TempC: temp, RetentionMicros: ret,
+				RPVSavingPct: stats.Mean(rpvS), EsteemSaving: stats.Mean(estS),
+				RefreshSharePct: stats.Mean(share),
+			})
 		}
 		b.WriteString("\n(means over gobmk, gcc, sphinx, lbm)\n")
-		return b.String(), nil
+		return b.String(), rows, nil
 	}
 }

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -294,4 +295,53 @@ func WithSweepLabel(name string) SweepOption { return runner.WithLabel(name) }
 // it to reproduce one sweep job with a direct Run call.
 func DeriveSeed(base uint64, parts ...string) uint64 {
 	return runner.DeriveSeed(base, parts...)
+}
+
+// Observability. The obs layer streams per-interval telemetry out of a
+// running simulation and persists machine-readable run artifacts; it
+// is zero-overhead when no observer is attached (attaching one never
+// changes simulation results — tested as an invariant).
+
+// Observer receives one Interval record at every interval boundary of
+// an observed run.
+type Observer = obs.Observer
+
+// Interval is one interval's telemetry: active ways, hit/miss/
+// writeback counts, refresh and bank-busy cycles, memory-queue
+// occupancy, policy counters, and the interval's energy breakdown.
+type Interval = obs.Interval
+
+// Collector is an Observer that retains every interval in memory.
+type Collector = obs.Collector
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// Manifest records a run's provenance (seed, config hash, toolchain,
+// wall time) for reproducibility.
+type Manifest = obs.Manifest
+
+// RunArtifact is the complete machine-readable record of one run:
+// manifest, end-of-run summary, and the interval stream.
+type RunArtifact = obs.RunArtifact
+
+// RunSummary is the machine-readable end-of-run aggregate.
+type RunSummary = obs.RunSummary
+
+// Sink persists run artifacts; DirSink writes canonical JSON files.
+type Sink = obs.Sink
+
+// NewDirSink returns a Sink writing one canonical-JSON artifact per
+// run into dir (created if needed).
+func NewDirSink(dir string) (*obs.DirSink, error) { return obs.NewDirSink(dir) }
+
+// RunObserved is Run with an observer attached: o (which may be a
+// *Collector) receives every interval boundary, warmup included.
+func RunObserved(cfg Config, benchmarks []string, o Observer) (*Result, error) {
+	return sim.RunObserved(cfg, benchmarks, o)
+}
+
+// RunSourcesObserved is RunSources with an observer attached.
+func RunSourcesObserved(cfg Config, sources []Source, o Observer) (*Result, error) {
+	return sim.RunSourcesObserved(cfg, sources, o)
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 )
 
 // Clock is the simulated cycle counter shared between the simulator
@@ -71,6 +72,21 @@ type Policy interface {
 	RefreshEvent(bank, event int) int
 }
 
+// PolicyTelemetry is implemented by refresh policies that maintain
+// per-interval counters beyond the line counts the engine already
+// sees — refreshes skipped because a line was recently touched
+// (Smart-Refresh), clean lines eagerly invalidated instead of
+// refreshed (Refrint RPD). The simulator's telemetry layer reads and
+// resets these at every interval boundary when an observer is
+// attached.
+type PolicyTelemetry interface {
+	// IntervalPolicyStats returns the counters accumulated since the
+	// last ResetPolicyStats.
+	IntervalPolicyStats() obs.PolicyStats
+	// ResetPolicyStats clears the interval counters.
+	ResetPolicyStats()
+}
+
 // Engine schedules refresh events and tracks the resulting bank
 // occupancy and refresh counts.
 type Engine struct {
@@ -85,10 +101,11 @@ type Engine struct {
 	// refresh work.
 	busyUntil []uint64
 
-	totalRefreshed    uint64
-	intervalRefreshed uint64
-	totalBusyCycles   uint64
-	events            uint64
+	totalRefreshed     uint64
+	intervalRefreshed  uint64
+	totalBusyCycles    uint64
+	intervalBusyCycles uint64
+	events             uint64
 }
 
 // NewEngine builds a refresh engine. The first refresh event fires at
@@ -135,6 +152,7 @@ func (e *Engine) AdvanceTo(cycle uint64) {
 			e.totalRefreshed += n
 			e.intervalRefreshed += n
 			e.totalBusyCycles += n
+			e.intervalBusyCycles += n
 		}
 		e.events++
 		e.eventIdx = (e.eventIdx + 1) % e.policy.EventsPerWindow()
@@ -161,11 +179,18 @@ func (e *Engine) TotalRefreshed() uint64 { return e.totalRefreshed }
 // ResetInterval; this is N_R in the paper's energy model.
 func (e *Engine) IntervalRefreshed() uint64 { return e.intervalRefreshed }
 
-// ResetInterval clears the interval refresh counter.
-func (e *Engine) ResetInterval() { e.intervalRefreshed = 0 }
+// ResetInterval clears the interval refresh and busy counters.
+func (e *Engine) ResetInterval() {
+	e.intervalRefreshed = 0
+	e.intervalBusyCycles = 0
+}
 
 // TotalBusyCycles returns the cumulative bank-cycles spent refreshing.
 func (e *Engine) TotalBusyCycles() uint64 { return e.totalBusyCycles }
+
+// IntervalBusyCycles returns the bank-cycles spent refreshing since
+// the last ResetInterval.
+func (e *Engine) IntervalBusyCycles() uint64 { return e.intervalBusyCycles }
 
 // Events returns the number of refresh events processed.
 func (e *Engine) Events() uint64 { return e.events }

@@ -80,6 +80,9 @@ type Memory struct {
 	// wbFinish holds the completion cycles of in-flight writebacks
 	// (bounded by WriteBufferEntries when set).
 	wbFinish []float64
+	// wbPeakInterval is the deepest the write buffer got since the
+	// last ResetInterval (telemetry: memory-queue occupancy).
+	wbPeakInterval int
 }
 
 // New builds a memory channel.
@@ -160,6 +163,9 @@ func (m *Memory) Writeback(cycle uint64) uint64 {
 	m.occupy(cycle)
 	if m.p.WriteBufferEntries > 0 {
 		m.wbFinish = append(m.wbFinish, m.nextFree)
+		if len(m.wbFinish) > m.wbPeakInterval {
+			m.wbPeakInterval = len(m.wbFinish)
+		}
 	}
 	m.total.Writebacks++
 	m.interval.Writebacks++
@@ -185,5 +191,12 @@ func (m *Memory) TotalCounters() Counters { return m.total }
 // IntervalCounters returns traffic since the last ResetInterval.
 func (m *Memory) IntervalCounters() Counters { return m.interval }
 
+// IntervalWriteBufPeak returns the deepest write-buffer occupancy
+// observed since the last ResetInterval (0 with an unbounded buffer).
+func (m *Memory) IntervalWriteBufPeak() int { return m.wbPeakInterval }
+
 // ResetInterval clears the interval counters.
-func (m *Memory) ResetInterval() { m.interval = Counters{} }
+func (m *Memory) ResetInterval() {
+	m.interval = Counters{}
+	m.wbPeakInterval = len(m.wbFinish)
+}

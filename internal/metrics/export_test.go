@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// exportFixture is a comparison set with enough spread (negative
+// deltas, sub-percent values, multi-core mixes) to exercise the
+// formatters' precision.
+func exportFixture() []Comparison {
+	return []Comparison{
+		{
+			Workload: "gobmk", Technique: "esteem",
+			EnergySavingPct: 27.1342, WeightedSpeedup: 0.99873, FairSpeedup: 0.99871,
+			RPKIDecrease: 151.25, MPKIIncrease: 0.0421, ActiveRatioPct: 31.5,
+		},
+		{
+			Workload: "GkNe", Technique: "esteem",
+			EnergySavingPct: -1.75, WeightedSpeedup: 1.0012, FairSpeedup: 1.0008,
+			RPKIDecrease: 88.5, MPKIIncrease: -0.03, ActiveRatioPct: 55.25,
+		},
+	}
+}
+
+// TestCSVJSONAgreement pins the CSV exporter to the canonical-JSON
+// exporter: both must encode the same field values for the same
+// comparisons (CSV at its documented 4-decimal precision).
+func TestCSVJSONAgreement(t *testing.T) {
+	cs := exportFixture()
+
+	// Decode the JSON export into generic maps keyed by the snake_case
+	// tags.
+	jb, err := obs.MarshalCanonical(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromJSON []map[string]any
+	if err := json.Unmarshal(jb, &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode the CSV export against its header row.
+	lines := strings.Split(strings.TrimSpace(FormatCSV(cs)), "\n")
+	if len(lines) != len(cs)+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), len(cs)+1)
+	}
+	header := strings.Split(lines[0], ",")
+
+	for i, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(header) {
+			t.Fatalf("row %d has %d fields, header has %d", i, len(fields), len(header))
+		}
+		for col, key := range header {
+			jv, ok := fromJSON[i][key]
+			if !ok {
+				t.Fatalf("JSON export lacks key %q (CSV header and JSON tags diverged)", key)
+			}
+			switch v := jv.(type) {
+			case string:
+				if fields[col] != v {
+					t.Errorf("row %d %s: CSV %q != JSON %q", i, key, fields[col], v)
+				}
+			case float64:
+				got, err := strconv.ParseFloat(fields[col], 64)
+				if err != nil {
+					t.Fatalf("row %d %s: unparsable CSV number %q", i, key, fields[col])
+				}
+				// CSV prints %.4f; allow half an ulp at that precision.
+				if diff := got - v; diff > 0.00005 || diff < -0.00005 {
+					t.Errorf("row %d %s: CSV %v != JSON %v", i, key, got, v)
+				}
+			default:
+				t.Fatalf("row %d %s: unexpected JSON type %T", i, key, jv)
+			}
+		}
+	}
+}
+
+// TestFormatTableMatchesSummarize checks that the table's MEAN row is
+// the Summarize aggregate (not a per-column re-average).
+func TestFormatTableMatchesSummarize(t *testing.T) {
+	cs := exportFixture()
+	s := Summarize(cs)
+	out := FormatTable("t", map[string][]Comparison{"esteem": cs})
+	var meanLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "MEAN") {
+			meanLine = line
+		}
+	}
+	if meanLine == "" {
+		t.Fatal("no MEAN row in table output")
+	}
+	fields := strings.Fields(meanLine)
+	// MEAN %esaving ws fs rpki-dec mpki-inc activ%
+	if len(fields) != 7 {
+		t.Fatalf("MEAN row has %d fields: %q", len(fields), meanLine)
+	}
+	want := []float64{s.EnergySavingPct, s.WeightedSpeedup, s.FairSpeedup,
+		s.RPKIDecrease, s.MPKIIncrease, s.ActiveRatioPct}
+	tol := []float64{0.005, 0.0005, 0.0005, 0.05, 0.005, 0.05}
+	for i, w := range want {
+		got, err := strconv.ParseFloat(fields[i+1], 64)
+		if err != nil {
+			t.Fatalf("MEAN field %d unparsable: %q", i, fields[i+1])
+		}
+		if d := got - w; d > tol[i] || d < -tol[i] {
+			t.Errorf("MEAN field %d = %v, Summarize says %v", i, got, w)
+		}
+	}
+}
+
+// TestComparisonJSONRoundTrip pins the snake_case JSON tags: a
+// Comparison must survive MarshalCanonical + Unmarshal unchanged
+// (fixture values stay within the 12-significant-digit canon).
+func TestComparisonJSONRoundTrip(t *testing.T) {
+	cs := exportFixture()
+	b, err := obs.MarshalCanonical(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Comparison
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(cs) {
+		t.Fatalf("round trip lost rows: %d -> %d", len(cs), len(back))
+	}
+	for i := range cs {
+		if cs[i] != back[i] {
+			t.Errorf("row %d changed in round trip:\n  in  %+v\n  out %+v", i, cs[i], back[i])
+		}
+	}
+}

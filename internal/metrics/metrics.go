@@ -28,21 +28,21 @@ import (
 type Comparison struct {
 	// Workload names the benchmark (single-core) or mix acronym
 	// (dual-core).
-	Workload string
+	Workload string `json:"workload"`
 	// Technique is the technique's display name.
-	Technique string
+	Technique string `json:"technique"`
 	// EnergySavingPct is the % memory-subsystem energy saving.
-	EnergySavingPct float64
+	EnergySavingPct float64 `json:"energy_saving_pct"`
 	// WeightedSpeedup is Equation 9.
-	WeightedSpeedup float64
+	WeightedSpeedup float64 `json:"weighted_speedup"`
 	// FairSpeedup is the harmonic-mean speedup.
-	FairSpeedup float64
+	FairSpeedup float64 `json:"fair_speedup"`
 	// RPKIDecrease is RPKI(base) - RPKI(technique).
-	RPKIDecrease float64
+	RPKIDecrease float64 `json:"rpki_decrease"`
 	// MPKIIncrease is MPKI(technique) - MPKI(base).
-	MPKIIncrease float64
+	MPKIIncrease float64 `json:"mpki_increase"`
 	// ActiveRatioPct is the technique's time-averaged F_A in percent.
-	ActiveRatioPct float64
+	ActiveRatioPct float64 `json:"active_ratio_pct"`
 }
 
 // Compare derives a Comparison from a baseline run and a technique
@@ -75,14 +75,14 @@ func Compare(workload string, base, tech *sim.Result) Comparison {
 // Summary aggregates comparisons across workloads per the paper's
 // rules.
 type Summary struct {
-	Technique       string
-	Workloads       int
-	EnergySavingPct float64 // arithmetic mean
-	WeightedSpeedup float64 // geometric mean
-	FairSpeedup     float64 // geometric mean
-	RPKIDecrease    float64 // arithmetic mean
-	MPKIIncrease    float64 // arithmetic mean
-	ActiveRatioPct  float64 // arithmetic mean
+	Technique       string  `json:"technique"`
+	Workloads       int     `json:"workloads"`
+	EnergySavingPct float64 `json:"energy_saving_pct"` // arithmetic mean
+	WeightedSpeedup float64 `json:"weighted_speedup"`  // geometric mean
+	FairSpeedup     float64 `json:"fair_speedup"`      // geometric mean
+	RPKIDecrease    float64 `json:"rpki_decrease"`     // arithmetic mean
+	MPKIIncrease    float64 `json:"mpki_increase"`     // arithmetic mean
+	ActiveRatioPct  float64 `json:"active_ratio_pct"`  // arithmetic mean
 }
 
 // Summarize aggregates a slice of comparisons (all for the same

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Manifest identifies one simulation run (or a whole sweep) for
+// reproducibility: what ran, with which seed and configuration, on
+// which toolchain, and how long it took. Timing fields are the only
+// non-deterministic content; golden comparisons must exclude them
+// (see Deterministic).
+type Manifest struct {
+	// Label is the run's display name (technique/workload/cores for
+	// simulation jobs, the command name for sweeps).
+	Label string `json:"label"`
+	// Technique and Workload describe a simulation run; empty for
+	// sweep-level manifests.
+	Technique string   `json:"technique,omitempty"`
+	Workload  []string `json:"workload,omitempty"`
+	Cores     int      `json:"cores,omitempty"`
+	// Seed is the effective (derived) seed of the run.
+	Seed uint64 `json:"seed"`
+	// ConfigHash fingerprints the full configuration; two runs with
+	// equal hashes ran identical configs.
+	ConfigHash string `json:"config_hash"`
+
+	// Toolchain provenance.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	// Timing (non-deterministic; zeroed by Deterministic).
+	StartedAt  string  `json:"started_at,omitempty"`
+	WallMillis float64 `json:"wall_ms,omitempty"`
+
+	// Run accounting.
+	SimulatedInstructions uint64 `json:"simulated_instructions,omitempty"`
+	Intervals             int    `json:"intervals,omitempty"`
+}
+
+// NewManifest builds a manifest stamped with the current toolchain
+// and start time.
+func NewManifest(label string, seed uint64, config any) Manifest {
+	return Manifest{
+		Label:      label,
+		Seed:       seed,
+		ConfigHash: ConfigHash(config),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		StartedAt:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Deterministic returns a copy with the non-deterministic timing
+// fields zeroed, for byte-comparable artifacts.
+func (m Manifest) Deterministic() Manifest {
+	m.StartedAt = ""
+	m.WallMillis = 0
+	return m
+}
+
+// ConfigHash fingerprints an arbitrary configuration value as 16 hex
+// digits of FNV-1a over its %+v rendering. It is stable for a given
+// struct layout and value; changing any field (or the layout) changes
+// the hash, which is exactly the sensitivity a run manifest wants.
+func ConfigHash(v any) string {
+	s := fmt.Sprintf("%+v", v)
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%016x", h)
+}

@@ -1,0 +1,124 @@
+// Package obs is the simulator's observability layer: structured
+// per-interval telemetry, per-run manifests, machine-readable
+// exporters and profiling hooks.
+//
+// The design contract is zero overhead when disabled: producers (the
+// simulator, the refresh engine, the refresh policies, the memory
+// channel) emit nothing unless an Observer is attached, and attaching
+// one must not perturb the simulation — observers only read counters
+// the simulation already maintains (internal/sim's regression tests
+// assert result equality with and without telemetry).
+//
+// The package is a leaf: it imports only the standard library, so
+// every layer of the stack (cache, edram, mem, sim, runner, cmd) can
+// depend on it without cycles.
+package obs
+
+// Energy is one evaluated energy breakdown in joules (the paper's
+// Equations 2–8), flattened for export.
+type Energy struct {
+	L2LeakJ    float64 `json:"l2_leak_j"`
+	L2DynJ     float64 `json:"l2_dyn_j"`
+	L2RefreshJ float64 `json:"l2_refresh_j"`
+	MMLeakJ    float64 `json:"mm_leak_j"`
+	MMDynJ     float64 `json:"mm_dyn_j"`
+	AlgoJ      float64 `json:"algo_j"`
+	TotalJ     float64 `json:"total_j"`
+}
+
+// PolicyStats carries refresh-policy-specific interval counters that
+// the generic refresh engine cannot see.
+type PolicyStats struct {
+	// SkippedRefreshes counts engine refreshes avoided because the
+	// line was recently touched (Smart-Refresh).
+	SkippedRefreshes uint64 `json:"skipped_refreshes,omitempty"`
+	// Invalidations counts clean lines eagerly dropped instead of
+	// refreshed (Refrint RPD).
+	Invalidations uint64 `json:"invalidations,omitempty"`
+}
+
+// Interval is one closed telemetry interval: everything the paper's
+// Fig. 2-style time-series plots need, plus the traffic and occupancy
+// counters behind them.
+type Interval struct {
+	// Index counts emitted intervals from 0 (warmup included).
+	Index int `json:"index"`
+	// Measuring reports whether the interval fell inside the measured
+	// window (false during warmup).
+	Measuring bool `json:"measuring"`
+	// EndCycle is the frontier cycle that closed the interval; Cycles
+	// is its length.
+	EndCycle uint64 `json:"end_cycle"`
+	Cycles   uint64 `json:"cycles"`
+
+	// ActiveRatio is F_A over the interval; ActiveWays is the
+	// per-module configuration chosen for the next interval (nil for
+	// non-ESTEEM techniques).
+	ActiveRatio float64 `json:"active_ratio"`
+	ActiveWays  []int   `json:"active_ways,omitempty"`
+
+	// L2 traffic.
+	L2Hits       uint64 `json:"l2_hits"`
+	L2Misses     uint64 `json:"l2_misses"`
+	L2Writebacks uint64 `json:"l2_writebacks"`
+	L2Fills      uint64 `json:"l2_fills"`
+
+	// Refresh activity: line refreshes performed (N_R), bank-cycles
+	// the refresh pipelines were busy, and policy-specific extras.
+	Refreshes      uint64      `json:"refreshes"`
+	BankBusyCycles uint64      `json:"bank_busy_cycles"`
+	Policy         PolicyStats `json:"policy"`
+
+	// Main-memory traffic and queue occupancy.
+	MMReads               uint64  `json:"mm_reads"`
+	MMWritebacks          uint64  `json:"mm_writebacks"`
+	MMQueueStallCycles    uint64  `json:"mm_queue_stall_cycles"`
+	MMWriteBufStallCycles uint64  `json:"mm_writebuf_stall_cycles"`
+	MMWriteBufPeak        int     `json:"mm_writebuf_peak"`
+	MMChannelBusyCycles   float64 `json:"mm_channel_busy_cycles"`
+
+	// ESTEEM reconfiguration activity.
+	LinesTransitioned  uint64 `json:"lines_transitioned"`
+	ReconfigWritebacks uint64 `json:"reconfig_writebacks"`
+
+	// Energy is Equations 2–8 evaluated over this interval alone.
+	Energy Energy `json:"energy"`
+}
+
+// Observer receives closed intervals as the simulation runs. An
+// implementation must not retain the ActiveWays slice beyond the call
+// unless it copies it (the simulator hands over a fresh copy, so the
+// built-in Collector simply stores it).
+type Observer interface {
+	ObserveInterval(Interval)
+}
+
+// Collector is the standard in-memory Observer: it appends every
+// interval for later export.
+type Collector struct {
+	ivs []Interval
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// ObserveInterval implements Observer.
+func (c *Collector) ObserveInterval(iv Interval) { c.ivs = append(c.ivs, iv) }
+
+// Intervals returns the collected records in emission order. The
+// slice aliases the collector's storage.
+func (c *Collector) Intervals() []Interval { return c.ivs }
+
+// Measured returns only the intervals inside the measured window.
+func (c *Collector) Measured() []Interval {
+	var out []Interval
+	for _, iv := range c.ivs {
+		if iv.Measuring {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// Reset discards collected intervals, keeping the storage.
+func (c *Collector) Reset() { c.ivs = c.ivs[:0] }

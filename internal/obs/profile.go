@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// ServePprof starts an HTTP server exposing net/http/pprof's
+// /debug/pprof endpoints on addr (e.g. "localhost:6060") in a
+// background goroutine. It returns once the listener is requested;
+// listen errors are reported through errf (which may be nil).
+func ServePprof(addr string, errf func(error)) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil && errf != nil {
+			errf(fmt.Errorf("obs: pprof server: %w", err))
+		}
+	}()
+}
+
+// StartCPUProfile begins a CPU profile into path and returns a stop
+// function that ends the profile and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// StartTrace begins a runtime/trace capture into path and returns a
+// stop function that ends the trace and closes the file.
+func StartTrace(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := trace.Start(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		trace.Stop()
+		return f.Close()
+	}, nil
+}

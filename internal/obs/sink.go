@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CoreSummary is one core's end-of-run statistics in a run artifact.
+type CoreSummary struct {
+	Benchmark    string  `json:"benchmark"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	StallL2Hit   uint64  `json:"stall_l2_hit"`
+	StallRefresh uint64  `json:"stall_refresh"`
+	StallMemory  uint64  `json:"stall_memory"`
+	L1Hits       uint64  `json:"l1_hits"`
+	L1Misses     uint64  `json:"l1_misses"`
+}
+
+// RunSummary is the end-of-run aggregate of one simulation, the
+// machine-readable counterpart of the text tables.
+type RunSummary struct {
+	Instructions       uint64        `json:"instructions"`
+	Cycles             uint64        `json:"cycles"`
+	Energy             Energy        `json:"energy"`
+	ActiveRatio        float64       `json:"active_ratio"`
+	MPKI               float64       `json:"mpki"`
+	RPKI               float64       `json:"rpki"`
+	L2Hits             uint64        `json:"l2_hits"`
+	L2Misses           uint64        `json:"l2_misses"`
+	L2Writebacks       uint64        `json:"l2_writebacks"`
+	L2Fills            uint64        `json:"l2_fills"`
+	MMReads            uint64        `json:"mm_reads"`
+	MMWritebacks       uint64        `json:"mm_writebacks"`
+	Refreshes          uint64        `json:"refreshes"`
+	RefreshStallCycles uint64        `json:"refresh_stall_cycles"`
+	ReconfigWritebacks uint64        `json:"reconfig_writebacks"`
+	Cores              []CoreSummary `json:"cores"`
+}
+
+// RunArtifact is the complete machine-readable record of one
+// simulation run: who ran (manifest), what came out (summary), and
+// how it evolved (intervals, when collected).
+type RunArtifact struct {
+	SchemaVersion int        `json:"schema_version"`
+	Manifest      Manifest   `json:"manifest"`
+	Summary       RunSummary `json:"summary"`
+	Intervals     []Interval `json:"intervals,omitempty"`
+}
+
+// SchemaVersion is bumped whenever RunArtifact's layout changes
+// incompatibly, so downstream tooling can gate on it.
+const SchemaVersion = 1
+
+// Sink persists run artifacts. Implementations must tolerate
+// concurrent WriteRun calls for distinct sequence numbers (the
+// parallel runner writes from its workers).
+type Sink interface {
+	WriteRun(seq int, a RunArtifact) error
+}
+
+// DirSink writes one canonical-JSON file per run into a directory,
+// named by the run's scheduling sequence number plus a sanitized
+// label — deterministic for a given sweep regardless of worker count.
+type DirSink struct {
+	dir string
+}
+
+// NewDirSink creates the directory (if needed) and returns a sink
+// writing into it.
+func NewDirSink(dir string) (*DirSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirSink{dir: dir}, nil
+}
+
+// Dir returns the sink's directory.
+func (s *DirSink) Dir() string { return s.dir }
+
+// WriteRun implements Sink. Distinct seq values map to distinct
+// files, so concurrent writers never collide.
+func (s *DirSink) WriteRun(seq int, a RunArtifact) error {
+	b, err := MarshalCanonical(a)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%04d-%s.json", seq, SanitizeLabel(a.Manifest.Label))
+	return os.WriteFile(filepath.Join(s.dir, name), b, 0o644)
+}
+
+// SanitizeLabel maps a run label to a filesystem-safe token.
+func SanitizeLabel(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, label)
+}

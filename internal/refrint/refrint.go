@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/edram"
+	"repro/internal/obs"
 )
 
 // untracked marks a line frame with no live phase assignment.
@@ -157,7 +158,8 @@ func (r *RPV) RefreshEvent(bank, event int) int {
 // RPD is the Refrint polyphase-dirty policy.
 type RPD struct {
 	*polyphase
-	invalidated uint64
+	invalidated         uint64
+	intervalInvalidated uint64
 	// RPD's phase event splits tracked frames by dirtiness: dirty ones
 	// are refreshed in place (a count), clean ones are all eagerly
 	// invalidated. Dirtiness only changes at touches and invalidations
@@ -277,6 +279,7 @@ func (r *RPD) RefreshEvent(bank, event int) int {
 		nx := r.next[i] // capture: InvalidateLine unlinks i via OnInvalidate
 		r.c.InvalidateLine(int(i)/r.assoc, int(i)%r.assoc)
 		r.invalidated++
+		r.intervalInvalidated++
 		i = nx
 	}
 	return n
@@ -284,6 +287,14 @@ func (r *RPD) RefreshEvent(bank, event int) int {
 
 // Invalidated returns how many clean lines RPD has eagerly dropped.
 func (r *RPD) Invalidated() uint64 { return r.invalidated }
+
+// IntervalPolicyStats implements edram.PolicyTelemetry.
+func (r *RPD) IntervalPolicyStats() obs.PolicyStats {
+	return obs.PolicyStats{Invalidations: r.intervalInvalidated}
+}
+
+// ResetPolicyStats implements edram.PolicyTelemetry.
+func (r *RPD) ResetPolicyStats() { r.intervalInvalidated = 0 }
 
 // PeriodicValid refreshes all valid lines once per retention window.
 // It is a named alias of the generic valid-only policy so reports can

@@ -23,8 +23,8 @@
 package runner
 
 import (
-	"context"
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -67,6 +67,11 @@ type Task struct {
 
 // Label returns the task's display label.
 func (t *Task) Label() string { return t.label }
+
+// ID returns the task's submission sequence number, fixed at Pool.Task
+// time. It is stable across runs and worker counts, which makes it a
+// deterministic key for per-task artifacts.
+func (t *Task) ID() int { return t.id }
 
 // Err returns the task's terminal error: nil when it completed, the
 // job's error (or captured panic) when it failed, and a skip error

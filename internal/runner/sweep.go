@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -150,6 +151,10 @@ func (j *CompareJob) Err() error { return j.task.Err() }
 type Sweep struct {
 	pool      *Pool
 	baselines map[Key]*SimJob
+	// sink, when set, receives one RunArtifact per simulation job (see
+	// telemetry.go). Keyed by task id, so the artifact set is identical
+	// for any worker count.
+	sink obs.Sink
 
 	// Cumulative throughput accounting across every Run (satisfies
 	// "how many configurations per hour" bookkeeping; see Stats).
@@ -195,7 +200,7 @@ func (s *Sweep) Sim(cfg sim.Config, wl []string, deps ...*Task) *SimJob {
 	dcfg := deriveCfg(cfg, wl)
 	j := &SimJob{cfg: dcfg, wl: append([]string(nil), wl...)}
 	j.task = s.pool.Task(jobLabel(dcfg, wl), func(context.Context) error {
-		r, err := sim.Run(j.cfg, j.wl)
+		r, err := s.runSim(j.task.id, j.task.label, j.cfg, j.wl, nil)
 		if err != nil {
 			return err
 		}
@@ -213,7 +218,7 @@ func (s *Sweep) Sim(cfg sim.Config, wl []string, deps ...*Task) *SimJob {
 func (s *Sweep) SimSources(label string, cfg sim.Config, sources []trace.Source, deps ...*Task) *SimJob {
 	j := &SimJob{cfg: cfg}
 	j.task = s.pool.Task(label, func(context.Context) error {
-		r, err := sim.RunSources(j.cfg, sources)
+		r, err := s.runSim(j.task.id, label, j.cfg, nil, sources)
 		if err != nil {
 			return err
 		}
@@ -255,7 +260,7 @@ func (s *Sweep) Compare(workload string, base *SimJob, cfg sim.Config, wl []stri
 	// One task runs the technique simulation and then normalises
 	// against the (already complete, by the DAG edge) baseline.
 	c.task = s.pool.Task(jobLabel(dcfg, wl), func(context.Context) error {
-		r, err := sim.Run(tech.cfg, tech.wl)
+		r, err := s.runSim(c.task.id, c.task.label, tech.cfg, tech.wl, nil)
 		if err != nil {
 			return err
 		}

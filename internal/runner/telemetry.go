@@ -1,0 +1,101 @@
+// Telemetry: the sweep's run-artifact layer. With a sink attached,
+// every simulation job additionally runs with an interval collector
+// and persists an obs.RunArtifact (manifest + end-of-run summary +
+// per-interval telemetry) when it completes. Artifact file names are
+// keyed by the job's submission id, so the artifact set of a sweep is
+// deterministic for any worker count; only the manifest's timing
+// fields (start time, wall time) vary between runs.
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// SetSink attaches a run-artifact sink to the sweep. Must be called
+// before Run. A nil sink disables artifact writing (the default); no
+// collector is attached and jobs run exactly as without telemetry.
+func (s *Sweep) SetSink(sink obs.Sink) { s.sink = sink }
+
+// runSim executes one simulation for a scheduled job: plainly when no
+// sink is attached, with an interval collector plus artifact
+// persistence otherwise. Exactly one of wl/sources is used (sources
+// wins when non-nil, matching SimSources semantics).
+func (s *Sweep) runSim(seq int, label string, cfg sim.Config, wl []string, sources []trace.Source) (*sim.Result, error) {
+	run := func(o obs.Observer) (*sim.Result, error) {
+		if sources != nil {
+			return sim.RunSourcesObserved(cfg, sources, o)
+		}
+		return sim.RunObserved(cfg, wl, o)
+	}
+	if s.sink == nil {
+		return run(nil)
+	}
+
+	man := obs.NewManifest(label, cfg.Seed, cfg)
+	col := obs.NewCollector()
+	start := time.Now()
+	r, err := run(col)
+	if err != nil {
+		return nil, err
+	}
+	man.Technique = r.Technique.String()
+	man.Cores = cfg.Cores
+	for _, c := range r.Cores {
+		man.Workload = append(man.Workload, c.Benchmark)
+	}
+	man.WallMillis = float64(time.Since(start).Microseconds()) / 1e3
+	man.SimulatedInstructions = r.TotalInstructions()
+	man.Intervals = len(col.Intervals())
+	art := obs.RunArtifact{
+		SchemaVersion: obs.SchemaVersion,
+		Manifest:      man,
+		Summary:       Summarize(r),
+		Intervals:     col.Intervals(),
+	}
+	if err := s.sink.WriteRun(seq, art); err != nil {
+		return nil, fmt.Errorf("runner: writing artifact for %q: %w", label, err)
+	}
+	return r, nil
+}
+
+// Summarize flattens a simulation result into the machine-readable
+// run summary embedded in artifacts (and reused by cmd/esteem-bench's
+// JSON outputs).
+func Summarize(r *sim.Result) obs.RunSummary {
+	sum := obs.RunSummary{
+		Instructions:       r.TotalInstructions(),
+		Cycles:             r.Activity.Cycles,
+		Energy:             sim.EnergyRecord(r.Energy),
+		ActiveRatio:        r.ActiveRatio,
+		MPKI:               r.MPKI(),
+		RPKI:               r.RPKI(),
+		L2Hits:             r.L2.Hits,
+		L2Misses:           r.L2.Misses,
+		L2Writebacks:       r.L2.Writebacks,
+		L2Fills:            r.L2.Fills,
+		MMReads:            r.MM.Reads,
+		MMWritebacks:       r.MM.Writebacks,
+		Refreshes:          r.Refreshes,
+		RefreshStallCycles: r.RefreshStallCycles,
+		ReconfigWritebacks: r.ReconfigWritebacks,
+	}
+	for _, c := range r.Cores {
+		sum.Cores = append(sum.Cores, obs.CoreSummary{
+			Benchmark:    c.Benchmark,
+			Instructions: c.Instructions,
+			Cycles:       c.Cycles,
+			IPC:          c.IPC,
+			StallL2Hit:   c.StallL2Hit,
+			StallRefresh: c.StallRefresh,
+			StallMemory:  c.StallMemory,
+			L1Hits:       c.L1Hits,
+			L1Misses:     c.L1Misses,
+		})
+	}
+	return sum
+}

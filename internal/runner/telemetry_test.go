@@ -1,0 +1,186 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// artifactSweep runs a fig3-style mini-sweep with a DirSink attached
+// and returns the artifact directory's file names plus each artifact
+// decoded with its timing fields zeroed.
+func artifactSweep(t *testing.T, workers int) ([]string, map[string]obs.RunArtifact) {
+	t.Helper()
+	dir := t.TempDir()
+	sink, err := obs.NewDirSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSweep(workers)
+	s.SetSink(sink)
+	for _, wl := range [][]string{{"gamess"}, {"gcc"}} {
+		cfg := miniCfg(sim.Baseline)
+		base := s.Baseline(cfg, wl)
+		ecfg := cfg
+		ecfg.Technique = sim.Esteem
+		s.Compare(wl[0], base, ecfg, wl)
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	arts := make(map[string]obs.RunArtifact)
+	for _, e := range ents {
+		names = append(names, e.Name())
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a obs.RunArtifact
+		if err := json.Unmarshal(b, &a); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		a.Manifest = a.Manifest.Deterministic()
+		arts[e.Name()] = a
+	}
+	sort.Strings(names)
+	return names, arts
+}
+
+// TestSweepArtifactsDeterministicAcrossWorkerCounts asserts that a
+// sink-equipped sweep produces the same artifact files — same names,
+// same contents up to the manifest's timing fields — whether it runs
+// on 1 worker or 4.
+func TestSweepArtifactsDeterministicAcrossWorkerCounts(t *testing.T) {
+	seqNames, seqArts := artifactSweep(t, 1)
+	parNames, parArts := artifactSweep(t, 4)
+	if !reflect.DeepEqual(seqNames, parNames) {
+		t.Fatalf("artifact file sets differ:\n  1 worker:  %v\n  4 workers: %v", seqNames, parNames)
+	}
+	// 2 workloads x (baseline + esteem) = 4 artifacts.
+	if len(seqNames) != 4 {
+		t.Fatalf("expected 4 artifacts, got %d: %v", len(seqNames), seqNames)
+	}
+	for _, name := range seqNames {
+		if !reflect.DeepEqual(seqArts[name], parArts[name]) {
+			t.Errorf("%s differs between worker counts:\n  1 worker:  %+v\n  4 workers: %+v",
+				name, seqArts[name], parArts[name])
+		}
+	}
+}
+
+// TestSweepArtifactContents sanity-checks one artifact end to end:
+// schema version, manifest provenance, summary consistency with the
+// job's own Result, and a non-empty interval stream whose counters sum
+// to the run totals.
+func TestSweepArtifactContents(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := obs.NewDirSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSweep(2)
+	s.SetSink(sink)
+	cfg := miniCfg(sim.Esteem)
+	job := s.Sim(cfg, []string{"gobmk"})
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("expected 1 artifact, got %d", len(ents))
+	}
+	b, err := os.ReadFile(filepath.Join(dir, ents[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a obs.RunArtifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		t.Fatal(err)
+	}
+	r := job.Result()
+	if a.SchemaVersion != obs.SchemaVersion {
+		t.Errorf("schema version %d, want %d", a.SchemaVersion, obs.SchemaVersion)
+	}
+	if a.Manifest.Technique != r.Technique.String() {
+		t.Errorf("manifest technique %q, want %q", a.Manifest.Technique, r.Technique.String())
+	}
+	if !reflect.DeepEqual(a.Manifest.Workload, []string{"gobmk"}) {
+		t.Errorf("manifest workload %v", a.Manifest.Workload)
+	}
+	if a.Manifest.Seed != job.Config().Seed {
+		t.Errorf("manifest seed %d, want derived seed %d", a.Manifest.Seed, job.Config().Seed)
+	}
+	if a.Manifest.GoVersion == "" || a.Manifest.ConfigHash == "" || a.Manifest.StartedAt == "" {
+		t.Errorf("manifest provenance incomplete: %+v", a.Manifest)
+	}
+	if a.Manifest.SimulatedInstructions != r.TotalInstructions() {
+		t.Errorf("manifest instructions %d, want %d", a.Manifest.SimulatedInstructions, r.TotalInstructions())
+	}
+	// The artifact's floats were canonicalized (12 significant digits)
+	// on disk, so round-trip the expectation the same way.
+	wb, err := obs.MarshalCanonical(Summarize(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want obs.RunSummary
+	if err := json.Unmarshal(wb, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Summary, want) {
+		t.Errorf("summary does not match the job result:\n  got  %+v\n  want %+v", a.Summary, want)
+	}
+	if len(a.Intervals) == 0 || a.Manifest.Intervals != len(a.Intervals) {
+		t.Fatalf("interval stream inconsistent: manifest says %d, artifact has %d",
+			a.Manifest.Intervals, len(a.Intervals))
+	}
+	var hits uint64
+	for _, iv := range a.Intervals {
+		if iv.Measuring {
+			hits += iv.L2Hits
+		}
+	}
+	if hits != r.L2.Hits {
+		t.Errorf("measured interval hits sum to %d, run total %d", hits, r.L2.Hits)
+	}
+}
+
+// TestSweepSinkDoesNotPerturbResults asserts the artifact layer's core
+// contract at the runner level: attaching a sink changes no simulation
+// outcome.
+func TestSweepSinkDoesNotPerturbResults(t *testing.T) {
+	run := func(sink obs.Sink) map[string]float64 {
+		s := NewSweep(4)
+		if sink != nil {
+			s.SetSink(sink)
+		}
+		job := s.Sim(miniCfg(sim.SmartRefresh), []string{"lbm"})
+		if err := s.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return resultFingerprint(job.Result())
+	}
+	sink, err := obs.NewDirSink(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := run(nil)
+	observed := run(sink)
+	if !reflect.DeepEqual(plain, observed) {
+		t.Errorf("sink perturbed results:\n  plain    %v\n  observed %v", plain, observed)
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// runPair runs the same configuration twice, once without telemetry
+// and once with a collector attached, and returns both results plus
+// the collected intervals.
+func runPair(t *testing.T, cfg Config, wl []string) (plain, observed *Result, ivs []obs.Interval) {
+	t.Helper()
+	plain, err := Run(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector()
+	observed, err = RunObserved(cfg, wl, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plain, observed, col.Intervals()
+}
+
+// TestObserverDoesNotPerturb is the telemetry layer's core contract:
+// attaching an observer must produce a byte-identical sim.Result.
+func TestObserverDoesNotPerturb(t *testing.T) {
+	for _, tech := range []Technique{Baseline, RPV, RPD, Esteem, SmartRefresh} {
+		t.Run(tech.String(), func(t *testing.T) {
+			cfg := testConfig(1, tech)
+			plain, observed, ivs := runPair(t, cfg, []string{"gobmk"})
+			if !reflect.DeepEqual(plain, observed) {
+				t.Fatalf("telemetry perturbed the simulation:\nplain    %+v\nobserved %+v", plain, observed)
+			}
+			if len(ivs) == 0 {
+				t.Fatal("observer received no intervals")
+			}
+		})
+	}
+
+	// Also with interval logging on (both paths share the ways
+	// snapshot) and on a dual-core system.
+	cfg := testConfig(2, Esteem)
+	cfg.LogIntervals = true
+	plain, observed, _ := runPair(t, cfg, []string{"gobmk", "mcf"})
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatal("telemetry perturbed a LogIntervals dual-core run")
+	}
+}
+
+// TestObserverIntervalsMatchResult cross-checks the telemetry stream
+// against the run's own aggregates: measured intervals must sum to
+// the measured counters, and with LogIntervals the stream must align
+// record-for-record with Result.Intervals.
+func TestObserverIntervalsMatchResult(t *testing.T) {
+	cfg := testConfig(1, Esteem)
+	cfg.LogIntervals = true
+	col := obs.NewCollector()
+	r, err := RunObserved(cfg, []string{"h264ref"}, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := col.Measured()
+	if len(measured) != len(r.Intervals) {
+		t.Fatalf("collector has %d measured intervals, Result has %d", len(measured), len(r.Intervals))
+	}
+	var hits, misses, refreshes, cycles uint64
+	for i, iv := range measured {
+		lr := r.Intervals[i]
+		if iv.EndCycle != lr.EndCycle || iv.ActiveRatio != lr.ActiveRatio {
+			t.Fatalf("interval %d mismatch: obs (end=%d, F_A=%v) vs log (end=%d, F_A=%v)",
+				i, iv.EndCycle, iv.ActiveRatio, lr.EndCycle, lr.ActiveRatio)
+		}
+		if !reflect.DeepEqual(iv.ActiveWays, lr.ActiveWays) {
+			t.Fatalf("interval %d ways mismatch: %v vs %v", i, iv.ActiveWays, lr.ActiveWays)
+		}
+		if iv.L2Hits != lr.Activity.L2Hits || iv.Refreshes != lr.Activity.Refreshes {
+			t.Fatalf("interval %d counters mismatch: %+v vs %+v", i, iv, lr.Activity)
+		}
+		hits += iv.L2Hits
+		misses += iv.L2Misses
+		refreshes += iv.Refreshes
+		cycles += iv.Cycles
+	}
+	if hits != r.Activity.L2Hits || misses != r.Activity.L2Misses ||
+		refreshes != r.Activity.Refreshes || cycles != r.Activity.Cycles {
+		t.Fatalf("measured intervals do not sum to run totals: hits %d/%d misses %d/%d refreshes %d/%d cycles %d/%d",
+			hits, r.Activity.L2Hits, misses, r.Activity.L2Misses,
+			refreshes, r.Activity.Refreshes, cycles, r.Activity.Cycles)
+	}
+	// Per-interval energy must sum to (approximately) the run total;
+	// leakage is cycle-weighted so the sum is exact up to float order.
+	var tot float64
+	for _, iv := range measured {
+		tot += iv.Energy.TotalJ
+	}
+	if rel := (tot - r.Energy.Total()) / r.Energy.Total(); rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("interval energies sum to %g, run total %g (rel %g)", tot, r.Energy.Total(), rel)
+	}
+	// Warmup intervals must be present and flagged.
+	if got := len(col.Intervals()); got <= len(measured) {
+		t.Fatalf("expected warmup intervals before the %d measured ones, got %d total", len(measured), got)
+	}
+	if col.Intervals()[0].Measuring {
+		t.Fatal("first (warmup) interval flagged as measuring")
+	}
+}
+
+// TestObserverPolicyStats exercises the policy-specific telemetry:
+// Smart-Refresh reports skipped refreshes, RPD reports eager
+// invalidations.
+func TestObserverPolicyStats(t *testing.T) {
+	cfg := testConfig(1, SmartRefresh)
+	col := obs.NewCollector()
+	if _, err := RunObserved(cfg, []string{"gobmk"}, col); err != nil {
+		t.Fatal(err)
+	}
+	var skipped uint64
+	for _, iv := range col.Intervals() {
+		skipped += iv.Policy.SkippedRefreshes
+		if iv.Policy.Invalidations != 0 {
+			t.Fatal("Smart-Refresh reported RPD invalidations")
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("Smart-Refresh run reported no skipped refreshes")
+	}
+
+	cfg = testConfig(1, RPD)
+	col = obs.NewCollector()
+	r, err := RunObserved(cfg, []string{"gobmk"}, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inval uint64
+	for _, iv := range col.Intervals() {
+		inval += iv.Policy.Invalidations
+	}
+	if inval == 0 {
+		t.Fatal("RPD run reported no invalidations")
+	}
+	_ = r
+}
+
+// TestObserverBankBusyMatchesRefreshes checks the engine-side
+// telemetry: with a 1-line-per-cycle pipeline, busy cycles equal
+// lines refreshed.
+func TestObserverBankBusyMatchesRefreshes(t *testing.T) {
+	cfg := testConfig(1, Baseline)
+	col := obs.NewCollector()
+	if _, err := RunObserved(cfg, []string{"gobmk"}, col); err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range col.Intervals() {
+		if iv.BankBusyCycles != iv.Refreshes {
+			t.Fatalf("interval %d: %d busy cycles for %d refreshes", iv.Index, iv.BankBusyCycles, iv.Refreshes)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/edram"
 	"repro/internal/energy"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/refrint"
 	"repro/internal/retention"
 	"repro/internal/smartref"
@@ -347,6 +348,16 @@ type Simulator struct {
 	mmMeasured    mem.Counters
 	intervals     []IntervalRecord
 	reconfigWB    uint64
+
+	// model is the energy model for this configuration, built at
+	// construction so per-interval telemetry can evaluate it.
+	model energy.Model
+	// obsv, when non-nil, receives one obs.Interval per boundary
+	// (warmup included, flagged). Attaching an observer must not
+	// change the simulation: observers only read counters the run
+	// already maintains (asserted by TestObserverDoesNotPerturb).
+	obsv   obs.Observer
+	obsIdx int
 }
 
 // New assembles a simulator for the given benchmarks (one per core).
@@ -525,6 +536,15 @@ func NewFromSources(cfg Config, sources []trace.Source) (*Simulator, error) {
 		s.ctl = ctl
 	}
 
+	// Energy model (Equations 2–8 constants). Built here rather than
+	// at result time so interval telemetry can evaluate energy as the
+	// run progresses.
+	model, err := buildModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.model = model
+
 	// All clocks start at zero and indices ascend, so the identity
 	// permutation is already a valid (clock, index) min-heap.
 	s.order = make([]int32, len(s.cores))
@@ -534,6 +554,32 @@ func NewFromSources(cfg Config, sources []trace.Source) (*Simulator, error) {
 
 	return s, nil
 }
+
+// buildModel evaluates the energy-model constants for cfg, including
+// the ECC dynamic-energy surcharge when that technique is selected.
+func buildModel(cfg Config) (energy.Model, error) {
+	model, err := energy.NewModel(cfg.L2SizeBytes, cfg.FreqHz)
+	if err != nil {
+		return energy.Model{}, err
+	}
+	if cfg.Technique == ECCExtended {
+		// ECC decode costs extra dynamic energy on every access and
+		// refresh.
+		frac := cfg.ECCDynOverheadFrac
+		if frac == 0 {
+			frac = 0.10
+		}
+		model.L2DynJ *= 1 + frac
+	}
+	return model, nil
+}
+
+// SetObserver attaches a telemetry observer that receives one
+// obs.Interval per interval boundary (warmup intervals are flagged
+// Measuring=false). Call before Run. A nil observer disables
+// telemetry; disabled telemetry has zero cost on the simulation hot
+// path, and an attached observer never perturbs simulated behaviour.
+func (s *Simulator) SetObserver(o obs.Observer) { s.obsv = o }
 
 // offsetSource relocates a workload's address space by a fixed
 // offset (one distinct 16 TiB region per core).
@@ -655,6 +701,14 @@ func (s *Simulator) processBoundary(frontier uint64) {
 	s.eng.AdvanceTo(frontier)
 	ic := s.l2.IntervalCounters()
 	im := s.mm.IntervalCounters()
+	// Telemetry-only snapshots, taken before the resets below wipe
+	// them. Guarded so the disabled path does no extra work.
+	var wbPeak int
+	var engBusy uint64
+	if s.obsv != nil {
+		wbPeak = s.mm.IntervalWriteBufPeak()
+		engBusy = s.eng.IntervalBusyCycles()
+	}
 	act := energy.Activity{
 		Cycles:         frontier - s.lastBoundary,
 		L2Hits:         ic.Hits,
@@ -665,6 +719,7 @@ func (s *Simulator) processBoundary(frontier uint64) {
 	}
 
 	var waysSnapshot []int
+	var reconfigWB int
 	if s.ctl != nil {
 		dec := s.ctl.EndInterval() // also resets L2 interval counters
 		act.LinesTransitioned = uint64(dec.LinesTransitioned)
@@ -673,8 +728,9 @@ func (s *Simulator) processBoundary(frontier uint64) {
 		for i := 0; i < dec.Writebacks; i++ {
 			s.mm.Writeback(frontier)
 		}
+		reconfigWB = dec.Writebacks
 		s.reconfigWB += uint64(dec.Writebacks)
-		if s.cfg.LogIntervals {
+		if s.cfg.LogIntervals || s.obsv != nil {
 			waysSnapshot = append([]int(nil), dec.ActiveWays...)
 		}
 	} else {
@@ -682,6 +738,39 @@ func (s *Simulator) processBoundary(frontier uint64) {
 	}
 	s.eng.ResetInterval()
 	s.mm.ResetInterval()
+
+	if s.obsv != nil {
+		var pstats obs.PolicyStats
+		if pt, ok := s.eng.Policy().(edram.PolicyTelemetry); ok {
+			pstats = pt.IntervalPolicyStats()
+			pt.ResetPolicyStats()
+		}
+		s.obsv.ObserveInterval(obs.Interval{
+			Index:                 s.obsIdx,
+			Measuring:             s.measuring,
+			EndCycle:              frontier,
+			Cycles:                act.Cycles,
+			ActiveRatio:           act.ActiveFraction,
+			ActiveWays:            waysSnapshot,
+			L2Hits:                ic.Hits,
+			L2Misses:              ic.Misses,
+			L2Writebacks:          ic.Writebacks,
+			L2Fills:               ic.Fills,
+			Refreshes:             act.Refreshes,
+			BankBusyCycles:        engBusy,
+			Policy:                pstats,
+			MMReads:               im.Reads,
+			MMWritebacks:          im.Writebacks,
+			MMQueueStallCycles:    im.QueueStallCycles,
+			MMWriteBufStallCycles: im.WriteBufferStallCycles,
+			MMWriteBufPeak:        wbPeak,
+			MMChannelBusyCycles:   float64(im.Accesses()) * s.mm.TransferCycles(),
+			LinesTransitioned:     act.LinesTransitioned,
+			ReconfigWritebacks:    uint64(reconfigWB),
+			Energy:                EnergyRecord(s.model.Eval(act)),
+		})
+		s.obsIdx++
+	}
 
 	if s.measuring {
 		s.totalActivity.Add(act)
@@ -744,6 +833,13 @@ func (s *Simulator) Run() (*Result, error) {
 	s.l2.ResetInterval()
 	s.eng.ResetInterval()
 	s.mm.ResetInterval()
+	if s.obsv != nil {
+		// Keep the policy's telemetry counters aligned with the other
+		// interval counters across the warmup/measurement seam.
+		if pt, ok := s.eng.Policy().(edram.PolicyTelemetry); ok {
+			pt.ResetPolicyStats()
+		}
+	}
 	s.lastBoundary = f
 	s.nextBoundary = f + s.cfg.IntervalCycles
 	s.measuring = true
@@ -785,19 +881,7 @@ func (s *Simulator) Run() (*Result, error) {
 
 // buildResult evaluates the energy model and packages the outcome.
 func (s *Simulator) buildResult() (*Result, error) {
-	model, err := energy.NewModel(s.cfg.L2SizeBytes, s.cfg.FreqHz)
-	if err != nil {
-		return nil, err
-	}
-	if s.cfg.Technique == ECCExtended {
-		// ECC decode costs extra dynamic energy on every access and
-		// refresh.
-		frac := s.cfg.ECCDynOverheadFrac
-		if frac == 0 {
-			frac = 0.10
-		}
-		model.L2DynJ *= 1 + frac
-	}
+	model := s.model
 	res := &Result{
 		Config:             s.cfg,
 		Technique:          s.cfg.Technique,
@@ -844,4 +928,39 @@ func RunSources(cfg Config, sources []trace.Source) (*Result, error) {
 		return nil, err
 	}
 	return s.Run()
+}
+
+// RunObserved is Run with a telemetry observer attached: o receives
+// one obs.Interval per interval boundary while the run executes.
+func RunObserved(cfg Config, benchmarks []string, o obs.Observer) (*Result, error) {
+	s, err := New(cfg, benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	s.SetObserver(o)
+	return s.Run()
+}
+
+// RunSourcesObserved is RunSources with a telemetry observer.
+func RunSourcesObserved(cfg Config, sources []trace.Source, o obs.Observer) (*Result, error) {
+	s, err := NewFromSources(cfg, sources)
+	if err != nil {
+		return nil, err
+	}
+	s.SetObserver(o)
+	return s.Run()
+}
+
+// EnergyRecord flattens an evaluated energy breakdown into the
+// telemetry export form.
+func EnergyRecord(b energy.Breakdown) obs.Energy {
+	return obs.Energy{
+		L2LeakJ:    b.L2Leak,
+		L2DynJ:     b.L2Dyn,
+		L2RefreshJ: b.L2Refresh,
+		MMLeakJ:    b.MMLeak,
+		MMDynJ:     b.MMDyn,
+		AlgoJ:      b.Algo,
+		TotalJ:     b.Total(),
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 )
 
 // Policy is the Smart-Refresh refresh policy. It implements
@@ -35,6 +36,11 @@ type Policy struct {
 	// counter[set*assoc+way] is the remaining sub-periods before the
 	// line needs an engine refresh; 0 means untracked/invalid.
 	counter []uint8
+	// intervalSkipped counts engine refreshes avoided (tracked lines
+	// whose counter had not yet expired at an event) since the last
+	// ResetPolicyStats — the technique's benefit, surfaced as
+	// telemetry.
+	intervalSkipped uint64
 }
 
 // New builds a Smart-Refresh policy with the given number of
@@ -92,12 +98,22 @@ func (p *Policy) RefreshEvent(bank, event int) int {
 				// Engine refresh renews the full window.
 				n++
 				cnt = uint8(p.periods)
+			} else {
+				p.intervalSkipped++
 			}
 			p.counter[base+w] = cnt
 		}
 	}
 	return n
 }
+
+// IntervalPolicyStats implements edram.PolicyTelemetry.
+func (p *Policy) IntervalPolicyStats() obs.PolicyStats {
+	return obs.PolicyStats{SkippedRefreshes: p.intervalSkipped}
+}
+
+// ResetPolicyStats implements edram.PolicyTelemetry.
+func (p *Policy) ResetPolicyStats() { p.intervalSkipped = 0 }
 
 // TrackedLines returns the number of lines carrying a live counter
 // (must equal the cache's valid-line count; tested as an invariant).

@@ -14,9 +14,9 @@ echo "== go vet ./... =="
 go vet ./...
 
 echo "== go test ./... =="
-go test ./...
+go test ./... -count=1
 
 echo "== go test -race ./... =="
-go test -race ./...
+go test -race ./... -count=1
 
 echo "== OK =="
