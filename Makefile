@@ -1,13 +1,24 @@
 # Convenience targets; `make check` is the CI/verification gate.
 
-.PHONY: check ci lint golden golden-update build vet test race bench results quick-results
+.PHONY: check ci lint golden golden-update verify fuzz-smoke build vet test race bench results quick-results
 
 check:
 	./scripts/check.sh
 
-# Everything CI runs: lint, the full check gate, and the golden-output
-# drift gate.
-ci: lint check golden
+# Everything CI runs: lint, the full check gate, the golden-output
+# drift gate, and the differential-verification gate.
+ci: lint check golden verify
+
+# Differential verification: oracle reference models vs the optimized
+# implementations, plus the simulator rebuilt with runtime invariant
+# checks (`-tags verify`). See DESIGN.md "Verification strategy".
+verify:
+	./scripts/verify.sh
+
+# Short fuzzing pass over every native fuzz target (FUZZTIME=20s each
+# by default); the nightly workflow runs the long-budget version.
+fuzz-smoke:
+	./scripts/fuzz-smoke.sh
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -1,0 +1,87 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodParams is a baseline valid configuration each case mutates.
+func goodParams() Params {
+	return Params{
+		Name: "p", SizeBytes: 64 * 4 * 64, Assoc: 4, LineBytes: 64,
+		Modules: 2, SamplingRatio: 8, Banks: 2,
+	}
+}
+
+// TestParamsValidateErrorPaths drives every rejection branch of
+// Params.validate, checking both that construction fails and that the
+// error identifies the offending parameter.
+func TestParamsValidateErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Params)
+		errPart string
+	}{
+		{"zero size", func(p *Params) { p.SizeBytes = 0 }, "must be positive"},
+		{"negative size", func(p *Params) { p.SizeBytes = -4096 }, "must be positive"},
+		{"zero assoc", func(p *Params) { p.Assoc = 0 }, "must be positive"},
+		{"negative assoc", func(p *Params) { p.Assoc = -1 }, "must be positive"},
+		{"zero line", func(p *Params) { p.LineBytes = 0 }, "must be positive"},
+		{"negative line", func(p *Params) { p.LineBytes = -64 }, "must be positive"},
+		{"size not divisible", func(p *Params) { p.SizeBytes = 64*4*64 + 1 }, "not divisible by line*assoc"},
+		{"non-pow2 sets", func(p *Params) { p.SizeBytes = 48 * 4 * 64; p.Modules = 1 }, "not a power of two"},
+		{"non-pow2 line", func(p *Params) { p.LineBytes = 48; p.SizeBytes = 64 * 4 * 48 }, "line size 48 is not a power of two"},
+		{"zero modules", func(p *Params) { p.Modules = 0 }, "modules must be >= 1"},
+		{"negative modules", func(p *Params) { p.Modules = -2 }, "modules must be >= 1"},
+		{"modules not dividing sets", func(p *Params) { p.Modules = 3 }, "not divisible into 3 modules"},
+		{"modules exceeding sets", func(p *Params) { p.Modules = 128 }, "not divisible into 128 modules"},
+		{"negative sampling", func(p *Params) { p.SamplingRatio = -1 }, "negative sampling ratio"},
+		{"zero banks", func(p *Params) { p.Banks = 0 }, "banks must be >= 1"},
+		{"negative banks", func(p *Params) { p.Banks = -4 }, "banks must be >= 1"},
+		{"assoc too wide", func(p *Params) { p.Assoc = 65; p.SizeBytes = 64 * 65 * 64 }, "associativity 65 > 64 unsupported"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := goodParams()
+			tc.mutate(&p)
+			c, err := New(p)
+			if err == nil {
+				t.Fatalf("New accepted %+v", p)
+			}
+			if c != nil {
+				t.Fatal("New returned a cache alongside an error")
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("error %q does not mention %q", err, tc.errPart)
+			}
+			if !strings.Contains(err.Error(), p.Name) {
+				t.Fatalf("error %q does not name the cache %q", err, p.Name)
+			}
+		})
+	}
+}
+
+// TestParamsValidateAcceptsEdges exercises boundary values that must
+// be accepted: direct-mapped, single-module, leaderless, max
+// associativity, single-bank.
+func TestParamsValidateAcceptsEdges(t *testing.T) {
+	cases := []Params{
+		{Name: "direct", SizeBytes: 128 * 64, Assoc: 1, LineBytes: 64, Modules: 1, Banks: 1},
+		{Name: "maxways", SizeBytes: 16 * 64 * 64, Assoc: 64, LineBytes: 64, Modules: 1, Banks: 1},
+		{Name: "leaderless", SizeBytes: 64 * 4 * 64, Assoc: 4, LineBytes: 64, Modules: 4, SamplingRatio: 0, Banks: 4},
+		{Name: "module-per-set", SizeBytes: 16 * 2 * 64, Assoc: 2, LineBytes: 64, Modules: 16, SamplingRatio: 1, Banks: 2},
+		{Name: "tiny-lines", SizeBytes: 64 * 4 * 16, Assoc: 4, LineBytes: 16, Modules: 2, SamplingRatio: 2, Banks: 2},
+	}
+	for _, p := range cases {
+		t.Run(p.Name, func(t *testing.T) {
+			c, err := New(p)
+			if err != nil {
+				t.Fatalf("rejected valid params: %v", err)
+			}
+			if got := c.NumSets() * p.Assoc * p.LineBytes; got != p.SizeBytes {
+				t.Fatalf("geometry mismatch: %d sets × %d ways × %d B = %d, want %d",
+					c.NumSets(), p.Assoc, p.LineBytes, got, p.SizeBytes)
+			}
+		})
+	}
+}

@@ -1,0 +1,35 @@
+package cache
+
+// LineSnapshot is one frame's externally visible state, for
+// differential verification against reference models.
+type LineSnapshot struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+}
+
+// SetSnapshot captures one set: the recency stack (way indices, MRU
+// first) and every frame's state, way-indexed.
+type SetSnapshot struct {
+	Order []int
+	Lines []LineSnapshot
+}
+
+// SnapshotSet copies the full state of one set. It is a cold-path
+// debugging/verification API: the differential harness in
+// internal/verify calls it after every operation to compare tag
+// arrays, LRU order and valid/dirty bits against the oracle model.
+func (c *Cache) SnapshotSet(setIdx int) SetSnapshot {
+	s := &c.sets[setIdx]
+	snap := SetSnapshot{
+		Order: make([]int, len(s.order)),
+		Lines: make([]LineSnapshot, len(s.lines)),
+	}
+	for i, w := range s.order {
+		snap.Order[i] = int(w)
+	}
+	for w, ln := range s.lines {
+		snap.Lines[w] = LineSnapshot{Tag: ln.tag, Valid: ln.valid, Dirty: ln.dirty}
+	}
+	return snap
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzManifestJSON checks that canonical marshalling is a fixed point:
+// any JSON the fuzzer coaxes into a RunArtifact must canonicalize to
+// bytes that re-decode and re-canonicalize to themselves. This is the
+// property the golden-output CI gate and the cross-worker determinism
+// tests rely on.
+func FuzzManifestJSON(f *testing.F) {
+	seed, err := MarshalCanonical(RunArtifact{
+		SchemaVersion: SchemaVersion,
+		Manifest:      NewManifest("fuzz", 1, map[string]float64{"retention_us": 50}),
+		Summary:       RunSummary{Instructions: 12345, MPKI: 1.5},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(seed))
+	f.Add(`{"schema_version":1,"manifest":{"label":"x"},"summary":{"mpki":0.1234567890123456789}}`)
+	f.Add(`{"summary":{"energy":{"total_j":1e308}},"intervals":[{"index":0,"end_cycle":5}]}`)
+	f.Add(`{"summary":{"active_ratio":-0.0}}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		var a RunArtifact
+		if err := json.Unmarshal([]byte(s), &a); err != nil {
+			t.Skip("not a RunArtifact")
+		}
+		b1, err := MarshalCanonical(a)
+		if err != nil {
+			// Values unrepresentable in JSON (NaN/Inf) cannot come from
+			// json.Unmarshal, so canonical marshalling must succeed.
+			t.Fatalf("MarshalCanonical failed on decoded artifact: %v", err)
+		}
+		var a2 RunArtifact
+		if err := json.Unmarshal(b1, &a2); err != nil {
+			t.Fatalf("canonical output does not re-decode: %v\n%s", err, b1)
+		}
+		b2, err := MarshalCanonical(a2)
+		if err != nil {
+			t.Fatalf("re-canonicalize failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:  %s\nsecond: %s", b1, b2)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -81,15 +82,40 @@ func NewDirSink(dir string) (*DirSink, error) {
 // Dir returns the sink's directory.
 func (s *DirSink) Dir() string { return s.dir }
 
-// WriteRun implements Sink. Distinct seq values map to distinct
-// files, so concurrent writers never collide.
-func (s *DirSink) WriteRun(seq int, a RunArtifact) error {
+// EncodeRun writes the canonical JSON of a run artifact to w. A write
+// error — including a short write, which io.Writer implementations
+// may report with a nil error — is surfaced rather than leaving a
+// silently truncated artifact.
+func EncodeRun(w io.Writer, a RunArtifact) error {
 	b, err := MarshalCanonical(a)
 	if err != nil {
 		return err
 	}
+	n, err := w.Write(b)
+	if err != nil {
+		return err
+	}
+	if n < len(b) {
+		return io.ErrShortWrite
+	}
+	return nil
+}
+
+// WriteRun implements Sink. Distinct seq values map to distinct
+// files, so concurrent writers never collide. Encode and close errors
+// both propagate: a partially written artifact must not look
+// persisted.
+func (s *DirSink) WriteRun(seq int, a RunArtifact) error {
 	name := fmt.Sprintf("%04d-%s.json", seq, SanitizeLabel(a.Manifest.Label))
-	return os.WriteFile(filepath.Join(s.dir, name), b, 0o644)
+	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := EncodeRun(f, a); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // SanitizeLabel maps a run label to a filesystem-safe token.

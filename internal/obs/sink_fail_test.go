@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleArtifact() RunArtifact {
+	return RunArtifact{
+		SchemaVersion: SchemaVersion,
+		Manifest:      NewManifest("fail-test", 7, map[string]int{"x": 1}),
+		Summary:       RunSummary{Instructions: 1000, Cycles: 2000},
+		Intervals:     sampleIntervals(),
+	}
+}
+
+// failAfterWriter fails with errInjected once n bytes have been
+// accepted.
+type failAfterWriter struct {
+	n       int
+	written int
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		accepted := w.n - w.written
+		if accepted < 0 {
+			accepted = 0
+		}
+		w.written += accepted
+		return accepted, errInjected
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// shortWriter accepts half of every write and reports no error — the
+// misbehaviour io.Writer contracts forbid but sinks must still catch.
+type shortWriter struct{ io.Writer }
+
+func (w shortWriter) Write(p []byte) (int, error) {
+	n, err := w.Writer.Write(p[:len(p)/2])
+	return n, err
+}
+
+func TestEncodeRunSurfacesWriteError(t *testing.T) {
+	a := sampleArtifact()
+	// A writer that fails immediately and one that fails mid-stream.
+	for _, limit := range []int{0, 10, 100} {
+		w := &failAfterWriter{n: limit}
+		err := EncodeRun(w, a)
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("limit %d: EncodeRun returned %v, want injected error", limit, err)
+		}
+	}
+}
+
+func TestEncodeRunSurfacesShortWrite(t *testing.T) {
+	var buf bytes.Buffer
+	err := EncodeRun(shortWriter{&buf}, sampleArtifact())
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("EncodeRun returned %v, want io.ErrShortWrite", err)
+	}
+}
+
+func TestEncodeRunMatchesMarshalCanonical(t *testing.T) {
+	a := sampleArtifact()
+	var buf bytes.Buffer
+	if err := EncodeRun(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	want, err := MarshalCanonical(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("EncodeRun bytes differ from MarshalCanonical")
+	}
+}
+
+// TestNewDirSinkUnwritablePath routes the sink directory through an
+// existing regular file, which MkdirAll must reject regardless of
+// privileges (chmod-based denial is invisible to root, under which CI
+// containers run).
+func TestNewDirSinkUnwritablePath(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDirSink(filepath.Join(blocker, "runs")); err == nil {
+		t.Fatal("NewDirSink created a directory under a regular file")
+	}
+}
+
+// TestWriteRunDirectoryVanished covers the sink's window between
+// creation and write: if the directory is gone, WriteRun must report
+// it, not drop the artifact.
+func TestWriteRunDirectoryVanished(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirSink(filepath.Join(dir, "runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(s.Dir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteRun(0, sampleArtifact()); err == nil {
+		t.Fatal("WriteRun succeeded into a removed directory")
+	}
+}
+
+// TestWriteRunFileBytesUnchanged pins WriteRun's on-disk bytes to
+// MarshalCanonical exactly: the golden CI gate diffs these files
+// byte-for-byte, so the writer-based path must not change them.
+func TestWriteRunFileBytesUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sampleArtifact()
+	if err := s.WriteRun(3, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "0003-fail-test.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MarshalCanonical(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("WriteRun file bytes differ from MarshalCanonical")
+	}
+}

@@ -1,0 +1,414 @@
+// Package oracle holds deliberately naive reference models of the
+// optimised structures in internal/cache, internal/edram,
+// internal/refrint, internal/smartref and internal/energy. Each model
+// re-derives the paper's semantics from scratch — linear scans,
+// per-call recomputation, no incremental counters, no precomputed
+// tables — so the differential harness in internal/verify can replay
+// identical schedules through an oracle and the production
+// implementation and assert state equivalence after every operation.
+//
+// The models are intentionally slow (O(S·A) where the production code
+// is O(1)); they exist only for verification and must never be used on
+// a simulation hot path.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Line is one cache frame's state in the reference model.
+type Line struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+}
+
+// Cache is the reference set-associative LRU cache. It reuses
+// cache.Params, cache.Counters and cache.AccessResult as its interface
+// types so differential tests compare values directly, but shares no
+// code with the production implementation: indices are derived with
+// division instead of shifts, per-set occupancy is recomputed by full
+// scans, and the recency stack is an explicit way list walked linearly.
+type Cache struct {
+	p       cache.Params
+	numSets int
+	// lines[set][way] is the frame state.
+	lines [][]Line
+	// order[set] lists way indices from MRU to LRU. All ways —
+	// including disabled ones — stay in the list, as in the production
+	// cache.
+	order [][]int
+	// active[m] is the powered-on way count of module m.
+	active []int
+	// hitPos[m][pos] counts leader-set hits at each recency position
+	// since the last ResetInterval.
+	hitPos [][]uint64
+
+	total    cache.Counters
+	interval cache.Counters
+
+	observer cache.Observer
+}
+
+// NewCache validates p by constructing a production cache (the two
+// must accept exactly the same parameter space) and builds the
+// reference model.
+func NewCache(p cache.Params) (*Cache, error) {
+	if _, err := cache.New(p); err != nil {
+		return nil, err
+	}
+	numSets := p.SizeBytes / (p.LineBytes * p.Assoc)
+	c := &Cache{
+		p:       p,
+		numSets: numSets,
+		lines:   make([][]Line, numSets),
+		order:   make([][]int, numSets),
+		active:  make([]int, p.Modules),
+		hitPos:  make([][]uint64, p.Modules),
+	}
+	for s := range c.lines {
+		c.lines[s] = make([]Line, p.Assoc)
+		c.order[s] = make([]int, p.Assoc)
+		for w := range c.order[s] {
+			c.order[s][w] = w
+		}
+	}
+	for m := range c.active {
+		c.active[m] = p.Assoc
+		c.hitPos[m] = make([]uint64, p.Assoc)
+	}
+	return c, nil
+}
+
+// MustNewCache is NewCache but panics on error.
+func MustNewCache(p cache.Params) *Cache {
+	c, err := NewCache(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SetObserver installs a line lifecycle observer (reference refresh
+// policies use it exactly as the production ones do).
+func (c *Cache) SetObserver(o cache.Observer) { c.observer = o }
+
+// Params returns the construction parameters.
+func (c *Cache) Params() cache.Params { return c.p }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// SetIndex maps an address to its set using plain integer division
+// (the production cache uses shift/mask; for power-of-two geometry the
+// two must agree).
+func (c *Cache) SetIndex(a cache.Addr) int {
+	return int((uint64(a) / uint64(c.p.LineBytes)) % uint64(c.numSets))
+}
+
+// tagOf extracts the tag by division.
+func (c *Cache) tagOf(a cache.Addr) uint64 {
+	return uint64(a) / uint64(c.p.LineBytes) / uint64(c.numSets)
+}
+
+// lineAddr reconstructs a line's base address from (set, tag).
+func (c *Cache) lineAddr(set int, tag uint64) cache.Addr {
+	return cache.Addr((tag*uint64(c.numSets) + uint64(set)) * uint64(c.p.LineBytes))
+}
+
+// ModuleOf recomputes a set's module by division.
+func (c *Cache) ModuleOf(set int) int { return set / (c.numSets / c.p.Modules) }
+
+// BankOf recomputes a set's bank.
+func (c *Cache) BankOf(set int) int { return set % c.p.Banks }
+
+// IsLeader recomputes leadership from the sampling ratio.
+func (c *Cache) IsLeader(set int) bool {
+	return c.p.SamplingRatio > 0 && set%c.p.SamplingRatio == 0
+}
+
+// waysFor returns the number of active ways for a set.
+func (c *Cache) waysFor(set int) int {
+	if c.IsLeader(set) {
+		return c.p.Assoc
+	}
+	return c.active[c.ModuleOf(set)]
+}
+
+// ActiveWays returns the configured way count of module m.
+func (c *Cache) ActiveWays(m int) int { return c.active[m] }
+
+// Access performs one read or write, mirroring the production cache's
+// semantics: probe the recency stack skipping disabled ways; on a miss
+// prefer the lowest-numbered invalid active way, else evict the LRU
+// active way.
+func (c *Cache) Access(addr cache.Addr, write bool) cache.AccessResult {
+	set := c.SetIndex(addr)
+	tag := c.tagOf(addr)
+	nActive := c.waysFor(set)
+	res := cache.AccessResult{
+		Set:    set,
+		Bank:   c.BankOf(set),
+		Module: c.ModuleOf(set),
+		Leader: c.IsLeader(set),
+		LRUPos: -1,
+	}
+
+	for pos, w := range c.order[set] {
+		if w >= nActive {
+			continue
+		}
+		ln := &c.lines[set][w]
+		if ln.Valid && ln.Tag == tag {
+			res.Hit = true
+			res.Way = w
+			res.LRUPos = pos
+			if write {
+				ln.Dirty = true
+			}
+			c.promote(set, pos)
+			c.total.Hits++
+			c.interval.Hits++
+			if res.Leader {
+				c.hitPos[res.Module][pos]++
+			}
+			if c.observer != nil {
+				c.observer.OnTouch(set, w)
+			}
+			return res
+		}
+	}
+
+	c.total.Misses++
+	c.interval.Misses++
+	victimPos := -1
+	// Lowest-numbered invalid active way, if any.
+	for w := 0; w < nActive; w++ {
+		if !c.lines[set][w].Valid {
+			for pos, ow := range c.order[set] {
+				if ow == w {
+					victimPos = pos
+				}
+			}
+			break
+		}
+	}
+	if victimPos < 0 {
+		// LRU active way.
+		for pos := c.p.Assoc - 1; pos >= 0; pos-- {
+			if c.order[set][pos] < nActive {
+				victimPos = pos
+				break
+			}
+		}
+	}
+	if victimPos < 0 {
+		panic(fmt.Sprintf("oracle: set %d has zero active ways", set))
+	}
+	w := c.order[set][victimPos]
+	ln := &c.lines[set][w]
+	if ln.Valid {
+		if ln.Dirty {
+			res.WritebackVictim = true
+			res.VictimAddr = c.lineAddr(set, ln.Tag)
+			c.total.Writebacks++
+			c.interval.Writebacks++
+		}
+		if c.observer != nil {
+			c.observer.OnInvalidate(set, w)
+		}
+	}
+	ln.Tag = tag
+	ln.Valid = true
+	ln.Dirty = write
+	c.total.Fills++
+	c.interval.Fills++
+	res.Way = w
+	c.promote(set, victimPos)
+	if c.observer != nil {
+		c.observer.OnTouch(set, w)
+	}
+	return res
+}
+
+// promote moves the way at stack position pos to MRU by rebuilding the
+// list (the production cache shifts in place).
+func (c *Cache) promote(set, pos int) {
+	w := c.order[set][pos]
+	rebuilt := make([]int, 0, c.p.Assoc)
+	rebuilt = append(rebuilt, w)
+	for i, ow := range c.order[set] {
+		if i != pos {
+			rebuilt = append(rebuilt, ow)
+		}
+	}
+	c.order[set] = rebuilt
+}
+
+// Probe reports presence in an active way without touching state.
+func (c *Cache) Probe(addr cache.Addr) bool {
+	set := c.SetIndex(addr)
+	tag := c.tagOf(addr)
+	nActive := c.waysFor(set)
+	for _, w := range c.order[set] {
+		if w >= nActive {
+			continue
+		}
+		if c.lines[set][w].Valid && c.lines[set][w].Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// SetActiveWays reconfigures module m to n active ways, flushing the
+// disabled ways of every follower set on a shrink.
+func (c *Cache) SetActiveWays(m, n int) (invalidated, writebacks int) {
+	if m < 0 || m >= c.p.Modules {
+		panic(fmt.Sprintf("oracle: module %d out of range", m))
+	}
+	if n < 1 || n > c.p.Assoc {
+		panic(fmt.Sprintf("oracle: active ways %d out of range [1,%d]", n, c.p.Assoc))
+	}
+	old := c.active[m]
+	c.active[m] = n
+	if n >= old {
+		return 0, 0
+	}
+	spm := c.numSets / c.p.Modules
+	for set := m * spm; set < (m+1)*spm; set++ {
+		if c.IsLeader(set) {
+			continue
+		}
+		for w := n; w < old; w++ {
+			ln := &c.lines[set][w]
+			if !ln.Valid {
+				continue
+			}
+			if ln.Dirty {
+				writebacks++
+				c.total.Writebacks++
+				c.interval.Writebacks++
+			}
+			ln.Valid = false
+			ln.Dirty = false
+			invalidated++
+			if c.observer != nil {
+				c.observer.OnInvalidate(set, w)
+			}
+		}
+	}
+	return invalidated, writebacks
+}
+
+// ActiveFraction recomputes F_A by walking every set.
+func (c *Cache) ActiveFraction() float64 {
+	activeLines := 0
+	for set := 0; set < c.numSets; set++ {
+		activeLines += c.waysFor(set)
+	}
+	return float64(activeLines) / float64(c.numSets*c.p.Assoc)
+}
+
+// ValidByBank recomputes the valid-line count of bank b by scanning
+// every frame.
+func (c *Cache) ValidByBank(b int) int {
+	n := 0
+	for set := 0; set < c.numSets; set++ {
+		if c.BankOf(set) != b {
+			continue
+		}
+		for w := range c.lines[set] {
+			if c.lines[set][w].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ValidLines recomputes the total valid-line count by scanning.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for b := 0; b < c.p.Banks; b++ {
+		n += c.ValidByBank(b)
+	}
+	return n
+}
+
+// LineState reports a frame's valid/dirty state.
+func (c *Cache) LineState(set, way int) (valid, dirty bool) {
+	ln := &c.lines[set][way]
+	return ln.Valid, ln.Dirty
+}
+
+// Order returns the recency stack (MRU first) of a set. The slice
+// aliases internal state.
+func (c *Cache) Order(set int) []int { return c.order[set] }
+
+// Lines returns the frames of a set. The slice aliases internal state.
+func (c *Cache) Lines(set int) []Line { return c.lines[set] }
+
+// HitPositions returns the leader-set histogram of module m.
+func (c *Cache) HitPositions(m int) []uint64 { return c.hitPos[m] }
+
+// TotalCounters returns statistics since construction.
+func (c *Cache) TotalCounters() cache.Counters { return c.total }
+
+// IntervalCounters returns statistics since the last ResetInterval.
+func (c *Cache) IntervalCounters() cache.Counters { return c.interval }
+
+// ResetInterval clears interval counters and histograms.
+func (c *Cache) ResetInterval() {
+	c.interval = cache.Counters{}
+	for m := range c.hitPos {
+		for i := range c.hitPos[m] {
+			c.hitPos[m][i] = 0
+		}
+	}
+}
+
+// InvalidateAll drops every line, counting dirty writebacks.
+func (c *Cache) InvalidateAll() (writebacks int) {
+	for set := 0; set < c.numSets; set++ {
+		for w := range c.lines[set] {
+			ln := &c.lines[set][w]
+			if !ln.Valid {
+				continue
+			}
+			if ln.Dirty {
+				writebacks++
+				c.total.Writebacks++
+				c.interval.Writebacks++
+			}
+			ln.Valid = false
+			ln.Dirty = false
+			if c.observer != nil {
+				c.observer.OnInvalidate(set, w)
+			}
+		}
+	}
+	return writebacks
+}
+
+// InvalidateLine invalidates one frame if valid, reporting whether it
+// was dirty.
+func (c *Cache) InvalidateLine(set, way int) (wasValid, wasDirty bool) {
+	ln := &c.lines[set][way]
+	if !ln.Valid {
+		return false, false
+	}
+	wasDirty = ln.Dirty
+	if wasDirty {
+		c.total.Writebacks++
+		c.interval.Writebacks++
+	}
+	ln.Valid = false
+	ln.Dirty = false
+	if c.observer != nil {
+		c.observer.OnInvalidate(set, way)
+	}
+	return true, wasDirty
+}

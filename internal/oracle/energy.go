@@ -1,0 +1,61 @@
+package oracle
+
+import "repro/internal/energy"
+
+// EnergyBreakdown re-evaluates the paper's Equations (2)–(8) from the
+// raw activity counts, written out term by term and independently of
+// energy.Model.Eval. The verify harness compares the two within a
+// floating-point tolerance.
+func EnergyBreakdown(m energy.Model, a energy.Activity) energy.Breakdown {
+	seconds := float64(a.Cycles) / m.FreqHz
+
+	// Equation (4): LE_L2 = P_L2_leak * F_A * T.
+	l2Leak := m.L2LeakW * a.ActiveFraction * seconds
+
+	// Equation (5): DE_L2 = E_L2_dyn * (2*M_L2 + H_L2). A miss costs
+	// two accesses (probe + fill), a hit one.
+	accessEquivalents := 2*float64(a.L2Misses) + float64(a.L2Hits)
+	l2Dyn := m.L2DynJ * accessEquivalents
+
+	// Equation (6): RE_L2 = N_R * E_L2_dyn (refreshing a line costs one
+	// access).
+	l2Refresh := m.L2DynJ * float64(a.Refreshes)
+
+	// Equation (7): E_MM = P_MM_leak * T + E_MM_dyn * A_MM.
+	mmLeak := m.MMLeakWatt * seconds
+	mmDyn := m.MMDynJPerAccess * float64(a.MMAccesses)
+
+	// Equation (8): E_Algo = E_chi * N_L.
+	algo := m.TransJ * float64(a.LinesTransitioned)
+
+	return energy.Breakdown{
+		L2Leak:    l2Leak,
+		L2Dyn:     l2Dyn,
+		L2Refresh: l2Refresh,
+		MMLeak:    mmLeak,
+		MMDyn:     mmDyn,
+		Algo:      algo,
+	}
+}
+
+// AccumulateActivity folds interval activities into a run total in one
+// from-scratch pass: plain sums for the counters and a single
+// cycle-weighted mean for F_A — independent of the incremental
+// pairwise reweighting that energy.Activity.Add performs.
+func AccumulateActivity(ivs []energy.Activity) energy.Activity {
+	var out energy.Activity
+	var weighted float64
+	for _, iv := range ivs {
+		out.Cycles += iv.Cycles
+		out.L2Hits += iv.L2Hits
+		out.L2Misses += iv.L2Misses
+		out.Refreshes += iv.Refreshes
+		out.MMAccesses += iv.MMAccesses
+		out.LinesTransitioned += iv.LinesTransitioned
+		weighted += iv.ActiveFraction * float64(iv.Cycles)
+	}
+	if out.Cycles > 0 {
+		out.ActiveFraction = weighted / float64(out.Cycles)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/edram"
+	"repro/internal/energy"
+)
+
+func refParams() cache.Params {
+	return cache.Params{
+		Name: "ref", SizeBytes: 64 * 4 * 64, Assoc: 4, LineBytes: 64,
+		Modules: 2, SamplingRatio: 8, Banks: 2,
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c := MustNewCache(refParams())
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	r := c.Access(0x1000, false)
+	if !r.Hit || r.LRUPos != 0 {
+		t.Fatalf("expected MRU hit, got %+v", r)
+	}
+	if c.TotalCounters().Hits != 1 || c.TotalCounters().Misses != 1 {
+		t.Fatalf("counters: %+v", c.TotalCounters())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	p := refParams()
+	c := MustNewCache(p)
+	// Fill one set with A distinct tags, then one more: the first
+	// (LRU) must be evicted.
+	span := uint64(p.SizeBytes / p.Assoc)
+	for i := 0; i <= p.Assoc; i++ {
+		c.Access(cache.Addr(uint64(i)*span), false)
+	}
+	if c.Probe(0) {
+		t.Fatal("LRU victim still present")
+	}
+	if !c.Probe(cache.Addr(span)) {
+		t.Fatal("non-LRU line evicted")
+	}
+}
+
+func TestShrinkFlushesFollowers(t *testing.T) {
+	p := refParams()
+	c := MustNewCache(p)
+	// Dirty every frame.
+	span := uint64(p.SizeBytes / p.Assoc)
+	for s := 0; s < c.NumSets(); s++ {
+		for w := 0; w < p.Assoc; w++ {
+			c.Access(cache.Addr(uint64(s)*uint64(p.LineBytes)+uint64(w)*span), true)
+		}
+	}
+	inv, wb := c.SetActiveWays(0, 2)
+	if inv == 0 || inv != wb {
+		t.Fatalf("shrink: invalidated %d, writebacks %d", inv, wb)
+	}
+	// Leader sets keep all ways.
+	valid := 0
+	for w := 0; w < p.Assoc; w++ {
+		if v, _ := c.LineState(0, w); v {
+			valid++
+		}
+	}
+	if valid != p.Assoc {
+		t.Fatalf("leader set flushed: %d valid ways", valid)
+	}
+	// Follower sets in module 0 keep only ways [0,2).
+	if v, _ := c.LineState(1, 2); v {
+		t.Fatal("follower kept a line in a disabled way")
+	}
+}
+
+func TestEngineMatchesSpacingSemantics(t *testing.T) {
+	c := MustNewCache(refParams())
+	e, err := NewEngine(edram.Params{RetentionCycles: 1000, Banks: 2}, &ValidOnlyRef{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, false) // one valid line in bank 0
+	e.AdvanceTo(999)
+	if e.TotalRefreshed() != 0 {
+		t.Fatal("event fired before first window")
+	}
+	e.AdvanceTo(1000)
+	if e.TotalRefreshed() != 1 {
+		t.Fatalf("refreshed %d, want 1", e.TotalRefreshed())
+	}
+	if e.Events() != 1 {
+		t.Fatalf("events %d, want 1", e.Events())
+	}
+}
+
+func TestEnergyBreakdownMatchesModel(t *testing.T) {
+	m, err := energy.NewModel(4<<20, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := energy.Activity{
+		Cycles: 1_000_000, L2Hits: 5000, L2Misses: 700, Refreshes: 1234,
+		ActiveFraction: 0.625, MMAccesses: 900, LinesTransitioned: 4096,
+	}
+	got := EnergyBreakdown(m, a)
+	want := m.Eval(a)
+	if got != want {
+		t.Fatalf("oracle %+v != model %+v", got, want)
+	}
+}
+
+func TestAccumulateActivitySanity(t *testing.T) {
+	ivs := []energy.Activity{
+		{Cycles: 100, ActiveFraction: 1.0, L2Hits: 10},
+		{Cycles: 300, ActiveFraction: 0.5, L2Hits: 30},
+	}
+	got := AccumulateActivity(ivs)
+	if got.Cycles != 400 || got.L2Hits != 40 {
+		t.Fatalf("sums wrong: %+v", got)
+	}
+	if want := (1.0*100 + 0.5*300) / 400; got.ActiveFraction != want {
+		t.Fatalf("F_A %v, want %v", got.ActiveFraction, want)
+	}
+}

@@ -1,0 +1,323 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/edram"
+)
+
+// Engine is a naive re-implementation of edram.Engine's event
+// schedule: event k fires at cycle k*spacing with within-window index
+// (k-1) mod EventsPerWindow. It recomputes the schedule from the event
+// ordinal instead of maintaining nextEvent/eventIdx cursors.
+type Engine struct {
+	retention uint64
+	banks     int
+	policy    edram.Policy
+	spacing   uint64
+	processed uint64 // events fired so far
+
+	busyUntil []uint64
+
+	totalRefreshed     uint64
+	intervalRefreshed  uint64
+	totalBusyCycles    uint64
+	intervalBusyCycles uint64
+}
+
+// NewEngine mirrors edram.NewEngine's validation and initial state.
+func NewEngine(p edram.Params, policy edram.Policy) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ev := policy.EventsPerWindow()
+	if ev <= 0 || uint64(ev) > p.RetentionCycles {
+		return nil, fmt.Errorf("oracle: %d events do not fit in %d retention cycles", ev, p.RetentionCycles)
+	}
+	return &Engine{
+		retention: p.RetentionCycles,
+		banks:     p.Banks,
+		policy:    policy,
+		spacing:   p.RetentionCycles / uint64(ev),
+		busyUntil: make([]uint64, p.Banks),
+	}, nil
+}
+
+// AdvanceTo fires every event scheduled at or before cycle.
+func (e *Engine) AdvanceTo(cycle uint64) {
+	for (e.processed+1)*e.spacing <= cycle {
+		k := e.processed + 1
+		start := k * e.spacing
+		event := int((k - 1) % uint64(e.policy.EventsPerWindow()))
+		for b := 0; b < e.banks; b++ {
+			n := uint64(e.policy.RefreshEvent(b, event))
+			if n == 0 {
+				continue
+			}
+			if e.busyUntil[b] < start {
+				e.busyUntil[b] = start
+			}
+			e.busyUntil[b] += n
+			e.totalRefreshed += n
+			e.intervalRefreshed += n
+			e.totalBusyCycles += n
+			e.intervalBusyCycles += n
+		}
+		e.processed = k
+	}
+}
+
+// AccessDelay reports the refresh-induced wait of a demand access,
+// advancing the engine first.
+func (e *Engine) AccessDelay(bank int, cycle uint64) uint64 {
+	e.AdvanceTo(cycle)
+	if e.busyUntil[bank] > cycle {
+		return e.busyUntil[bank] - cycle
+	}
+	return 0
+}
+
+// TotalRefreshed returns lifetime line refreshes.
+func (e *Engine) TotalRefreshed() uint64 { return e.totalRefreshed }
+
+// IntervalRefreshed returns refreshes since ResetInterval.
+func (e *Engine) IntervalRefreshed() uint64 { return e.intervalRefreshed }
+
+// TotalBusyCycles returns lifetime bank-cycles spent refreshing.
+func (e *Engine) TotalBusyCycles() uint64 { return e.totalBusyCycles }
+
+// IntervalBusyCycles returns busy cycles since ResetInterval.
+func (e *Engine) IntervalBusyCycles() uint64 { return e.intervalBusyCycles }
+
+// Events returns the number of events processed.
+func (e *Engine) Events() uint64 { return e.processed }
+
+// ResetInterval clears the interval counters.
+func (e *Engine) ResetInterval() {
+	e.intervalRefreshed = 0
+	e.intervalBusyCycles = 0
+}
+
+// RefreshAllRef is the reference baseline policy: every frame of the
+// bank, counted by walking the sets rather than by closed form.
+type RefreshAllRef struct{ C *Cache }
+
+// Name implements edram.Policy.
+func (p *RefreshAllRef) Name() string { return "oracle-baseline" }
+
+// EventsPerWindow implements edram.Policy.
+func (p *RefreshAllRef) EventsPerWindow() int { return 1 }
+
+// RefreshEvent counts every frame in the bank by scanning.
+func (p *RefreshAllRef) RefreshEvent(bank, event int) int {
+	n := 0
+	for set := 0; set < p.C.NumSets(); set++ {
+		if p.C.BankOf(set) == bank {
+			n += p.C.Params().Assoc
+		}
+	}
+	return n
+}
+
+// ValidOnlyRef is the reference valid-lines-only policy: the bank's
+// valid lines, recounted from the frame array at every event.
+type ValidOnlyRef struct{ C *Cache }
+
+// Name implements edram.Policy.
+func (p *ValidOnlyRef) Name() string { return "oracle-valid-only" }
+
+// EventsPerWindow implements edram.Policy.
+func (p *ValidOnlyRef) EventsPerWindow() int { return 1 }
+
+// RefreshEvent implements edram.Policy by full scan.
+func (p *ValidOnlyRef) RefreshEvent(bank, event int) int {
+	return p.C.ValidByBank(bank)
+}
+
+// untracked marks a frame with no live phase.
+const untracked = int8(-1)
+
+// PolyphaseRef is the reference Refrint bookkeeper: a flat per-line
+// phase array with no incremental counts or clean lists; every refresh
+// event walks every frame of the cache. Dirty == false gives RPV
+// semantics, Dirty == true gives RPD (clean frames at their phase are
+// eagerly invalidated).
+type PolyphaseRef struct {
+	C         *Cache
+	clock     *edram.Clock
+	phases    int
+	retention uint64
+	dirtyMode bool
+	phase     []int8
+	// Invalidations counts clean frames eagerly dropped (RPD only).
+	Invalidations uint64
+}
+
+// NewPolyphaseRef builds the reference bookkeeper and installs it as
+// the oracle cache's observer.
+func NewPolyphaseRef(c *Cache, clock *edram.Clock, phases int, retentionCycles uint64, dirtyMode bool) (*PolyphaseRef, error) {
+	if phases < 1 || phases > 127 {
+		return nil, fmt.Errorf("oracle: phase count %d out of [1,127]", phases)
+	}
+	if retentionCycles < uint64(phases) {
+		return nil, fmt.Errorf("oracle: %d phases do not fit in %d retention cycles", phases, retentionCycles)
+	}
+	p := &PolyphaseRef{
+		C:         c,
+		clock:     clock,
+		phases:    phases,
+		retention: retentionCycles,
+		dirtyMode: dirtyMode,
+		phase:     make([]int8, c.NumSets()*c.Params().Assoc),
+	}
+	for i := range p.phase {
+		p.phase[i] = untracked
+	}
+	c.SetObserver(p)
+	return p, nil
+}
+
+// currentPhase recomputes the phase of the current cycle.
+func (p *PolyphaseRef) currentPhase() int8 {
+	phaseLen := p.retention / uint64(p.phases)
+	ph := (p.clock.Cycle % p.retention) / phaseLen
+	if ph >= uint64(p.phases) {
+		ph = uint64(p.phases) - 1
+	}
+	return int8(ph)
+}
+
+// OnTouch implements cache.Observer.
+func (p *PolyphaseRef) OnTouch(set, way int) {
+	p.phase[set*p.C.Params().Assoc+way] = p.currentPhase()
+}
+
+// OnInvalidate implements cache.Observer.
+func (p *PolyphaseRef) OnInvalidate(set, way int) {
+	p.phase[set*p.C.Params().Assoc+way] = untracked
+}
+
+// Name implements edram.Policy.
+func (p *PolyphaseRef) Name() string {
+	if p.dirtyMode {
+		return fmt.Sprintf("oracle-rpd%d", p.phases)
+	}
+	return fmt.Sprintf("oracle-rpv%d", p.phases)
+}
+
+// EventsPerWindow implements edram.Policy.
+func (p *PolyphaseRef) EventsPerWindow() int { return p.phases }
+
+// RefreshEvent walks every frame of the bank. RPV counts tracked
+// frames at the event's phase; RPD refreshes the dirty ones and
+// eagerly invalidates the clean ones.
+func (p *PolyphaseRef) RefreshEvent(bank, event int) int {
+	assoc := p.C.Params().Assoc
+	n := 0
+	type frame struct{ set, way int }
+	var toDrop []frame
+	for set := 0; set < p.C.NumSets(); set++ {
+		if p.C.BankOf(set) != bank {
+			continue
+		}
+		for w := 0; w < assoc; w++ {
+			if p.phase[set*assoc+w] != int8(event) {
+				continue
+			}
+			if !p.dirtyMode {
+				n++
+				continue
+			}
+			if _, dirty := p.C.LineState(set, w); dirty {
+				n++
+			} else {
+				toDrop = append(toDrop, frame{set, w})
+			}
+		}
+	}
+	for _, f := range toDrop {
+		p.C.InvalidateLine(f.set, f.way)
+		p.Invalidations++
+	}
+	return n
+}
+
+// TrackedLines counts frames carrying a live phase.
+func (p *PolyphaseRef) TrackedLines() int {
+	n := 0
+	for _, ph := range p.phase {
+		if ph != untracked {
+			n++
+		}
+	}
+	return n
+}
+
+// SmartRefreshRef is the reference Smart-Refresh bookkeeper: per-line
+// down-counters walked frame by frame with no empty-bank fast path.
+type SmartRefreshRef struct {
+	C       *Cache
+	periods int
+	counter []uint8
+	// Skipped counts engine refreshes avoided because a line's counter
+	// had not yet expired.
+	Skipped uint64
+}
+
+// NewSmartRefreshRef builds the reference policy and installs it as
+// the oracle cache's observer.
+func NewSmartRefreshRef(c *Cache, periods int) (*SmartRefreshRef, error) {
+	if periods < 1 || periods > 255 {
+		return nil, fmt.Errorf("oracle: periods %d out of [1,255]", periods)
+	}
+	p := &SmartRefreshRef{
+		C:       c,
+		periods: periods,
+		counter: make([]uint8, c.NumSets()*c.Params().Assoc),
+	}
+	c.SetObserver(p)
+	return p, nil
+}
+
+// Name implements edram.Policy.
+func (p *SmartRefreshRef) Name() string { return fmt.Sprintf("oracle-smart-refresh%d", p.periods) }
+
+// EventsPerWindow implements edram.Policy.
+func (p *SmartRefreshRef) EventsPerWindow() int { return p.periods }
+
+// OnTouch implements cache.Observer.
+func (p *SmartRefreshRef) OnTouch(set, way int) {
+	p.counter[set*p.C.Params().Assoc+way] = uint8(p.periods)
+}
+
+// OnInvalidate implements cache.Observer.
+func (p *SmartRefreshRef) OnInvalidate(set, way int) {
+	p.counter[set*p.C.Params().Assoc+way] = 0
+}
+
+// RefreshEvent decrements every tracked frame of the bank; frames
+// reaching zero are refreshed and reloaded.
+func (p *SmartRefreshRef) RefreshEvent(bank, event int) int {
+	assoc := p.C.Params().Assoc
+	n := 0
+	for set := 0; set < p.C.NumSets(); set++ {
+		if p.C.BankOf(set) != bank {
+			continue
+		}
+		for w := 0; w < assoc; w++ {
+			cnt := p.counter[set*assoc+w]
+			if cnt == 0 {
+				continue
+			}
+			cnt--
+			if cnt == 0 {
+				n++
+				cnt = uint8(p.periods)
+			} else {
+				p.Skipped++
+			}
+			p.counter[set*assoc+w] = cnt
+		}
+	}
+	return n
+}

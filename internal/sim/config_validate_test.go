@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigValidateErrorPaths covers every rejection branch of
+// Config.Validate with the offending field named in the error.
+func TestConfigValidateErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		errPart string
+	}{
+		{"zero cores", func(c *Config) { c.Cores = 0 }, "cores"},
+		{"negative cores", func(c *Config) { c.Cores = -1 }, "cores"},
+		{"zero measure", func(c *Config) { c.MeasureInstr = 0 }, "MeasureInstr"},
+		{"zero interval", func(c *Config) { c.IntervalCycles = 0 }, "IntervalCycles"},
+		{"no retention source", func(c *Config) { c.RetentionMicros = 0; c.TemperatureC = 0 }, "retention"},
+		{"negative retention", func(c *Config) { c.RetentionMicros = -1; c.TemperatureC = 0 }, "retention"},
+		{"negative sigma", func(c *Config) { c.RetentionSigma = -0.5 }, "sigma"},
+		{"zero frequency", func(c *Config) { c.FreqHz = 0 }, "frequency"},
+		{"negative frequency", func(c *Config) { c.FreqHz = -1e9 }, "frequency"},
+		{"technique below range", func(c *Config) { c.Technique = Technique(-1) }, "technique"},
+		{"technique above range", func(c *Config) { c.Technique = maxTechnique + 1 }, "technique"},
+		{"negative ECC factor", func(c *Config) { c.ECCRetentionFactor = -2 }, "ECC"},
+		{"negative ECC overhead", func(c *Config) { c.ECCDynOverheadFrac = -0.1 }, "ECC"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DefaultConfig(1)
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", c)
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("error %q does not mention %q", err, tc.errPart)
+			}
+		})
+	}
+}
+
+// TestConfigValidateAcceptsAlternatives: configurations reachable only
+// through the non-default knobs must pass — temperature-derived
+// retention (with and without process variation) and every technique.
+func TestConfigValidateAcceptsAlternatives(t *testing.T) {
+	temp := DefaultConfig(1)
+	temp.RetentionMicros = 0
+	temp.TemperatureC = 85
+	if err := temp.Validate(); err != nil {
+		t.Fatalf("temperature-derived retention rejected: %v", err)
+	}
+	temp.RetentionSigma = 0.25
+	if err := temp.Validate(); err != nil {
+		t.Fatalf("retention sigma rejected: %v", err)
+	}
+	for tech := Baseline; tech <= maxTechnique; tech++ {
+		c := DefaultConfig(1)
+		c.Technique = tech
+		if err := c.Validate(); err != nil {
+			t.Fatalf("technique %v rejected: %v", tech, err)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+//go:build !verify
+
+package sim
+
+// invariantsEnabled gates the simulator's runtime self-checks. In
+// default builds it is a false constant, so every check site compiles
+// to nothing and the hot path is untouched (asserted by the benchmark
+// suite). Build with `-tags verify` to compile the checks in.
+const invariantsEnabled = false
+
+// invariantState is empty in default builds.
+type invariantState struct{}
+
+func (s *Simulator) checkStepInvariants()                    {}
+func (s *Simulator) checkBoundaryInvariants(frontier uint64) {}

@@ -1,0 +1,99 @@
+//go:build verify
+
+package sim
+
+import "fmt"
+
+// invariantsEnabled: this build carries the `verify` tag, so the
+// simulator self-checks its core data structures while it runs. The
+// checks panic on violation — they guard conditions no workload should
+// ever produce, and a panic pinpoints the first broken step.
+const invariantsEnabled = true
+
+// invariantState holds cross-step bookkeeping for the checks.
+type invariantState struct {
+	// lastFrontier enforces that simulated wall time never moves
+	// backwards.
+	lastFrontier uint64
+	// seen is scratch for the heap permutation check, sized lazily.
+	seen []bool
+}
+
+// checkStepInvariants runs after every core step (cheap, O(cores)):
+// the scheduler heap must remain a permutation of the core indices
+// with the min-heap property intact, and the frontier must be
+// monotone.
+func (s *Simulator) checkStepInvariants() {
+	n := len(s.order)
+	if s.inv.seen == nil {
+		s.inv.seen = make([]bool, n)
+	}
+	seen := s.inv.seen
+	for i := range seen {
+		seen[i] = false
+	}
+	for _, idx := range s.order {
+		if int(idx) < 0 || int(idx) >= n {
+			panic(fmt.Sprintf("sim invariant: heap entry %d out of range [0,%d)", idx, n))
+		}
+		if seen[idx] {
+			panic(fmt.Sprintf("sim invariant: core %d appears twice in scheduler heap", idx))
+		}
+		seen[idx] = true
+	}
+	for i := range s.order {
+		for _, child := range []int{2*i + 1, 2*i + 2} {
+			if child < n && s.coreLess(s.order[child], s.order[i]) {
+				panic(fmt.Sprintf("sim invariant: heap property violated at %d (child %d)", i, child))
+			}
+		}
+	}
+	f := s.frontier()
+	if f < s.inv.lastFrontier {
+		panic(fmt.Sprintf("sim invariant: frontier moved backwards %d -> %d", s.inv.lastFrontier, f))
+	}
+	s.inv.lastFrontier = f
+}
+
+// checkBoundaryInvariants runs at interval boundaries (expensive, full
+// cache scans): the L2's incremental occupancy accounting must agree
+// with a from-scratch recount, disabled follower ways must hold no
+// valid lines, and allocate-on-miss bookkeeping must balance.
+func (s *Simulator) checkBoundaryInvariants(frontier uint64) {
+	c := s.l2
+	p := c.Params()
+	validByBank := make([]int, p.Banks)
+	validTotal := 0
+	for set := 0; set < c.NumSets(); set++ {
+		snap := c.SnapshotSet(set)
+		ways := p.Assoc
+		if !c.IsLeader(set) {
+			ways = c.ActiveWays(c.ModuleOf(set))
+		}
+		for w, ln := range snap.Lines {
+			if !ln.Valid {
+				continue
+			}
+			if w >= ways {
+				panic(fmt.Sprintf("sim invariant: set %d way %d valid but only %d ways active", set, w, ways))
+			}
+			validByBank[c.BankOf(set)]++
+			validTotal++
+		}
+	}
+	for b := 0; b < p.Banks; b++ {
+		if got := c.ValidByBank(b); got != validByBank[b] {
+			panic(fmt.Sprintf("sim invariant: bank %d incremental valid count %d, recount %d", b, got, validByBank[b]))
+		}
+	}
+	if got := c.ValidLines(); got != validTotal {
+		panic(fmt.Sprintf("sim invariant: incremental valid total %d, recount %d", got, validTotal))
+	}
+	// Allocate-on-miss: every L2 miss fills exactly one frame.
+	if tc := c.TotalCounters(); tc.Fills != tc.Misses {
+		panic(fmt.Sprintf("sim invariant: L2 fills %d != misses %d", tc.Fills, tc.Misses))
+	}
+	if frontier < s.lastBoundary {
+		panic(fmt.Sprintf("sim invariant: boundary at %d before previous boundary %d", frontier, s.lastBoundary))
+	}
+}

@@ -1,0 +1,40 @@
+//go:build verify
+
+package sim
+
+import "testing"
+
+// TestInvariantsUnderAllTechniques runs every technique with the
+// runtime self-checks compiled in; any heap, occupancy or accounting
+// violation panics inside Run. This test only exists under the
+// `verify` build tag (make verify / scripts/verify.sh).
+func TestInvariantsUnderAllTechniques(t *testing.T) {
+	if !invariantsEnabled {
+		t.Fatal("verify tag set but invariants disabled")
+	}
+	techs := []Technique{Baseline, RPV, RPD, Esteem, EsteemAllLineRefresh, ECCExtended, SmartRefresh}
+	for _, tech := range techs {
+		t.Run(tech.String(), func(t *testing.T) {
+			cfg := DefaultConfig(1)
+			cfg.Technique = tech
+			cfg.WarmupInstr = 100_000
+			cfg.MeasureInstr = 400_000
+			cfg.IntervalCycles = 100_000
+			if _, err := Run(cfg, []string{"gcc"}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestInvariantsMultiCore exercises the scheduler heap checks with a
+// real multi-core interleaving.
+func TestInvariantsMultiCore(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.WarmupInstr = 50_000
+	cfg.MeasureInstr = 200_000
+	cfg.IntervalCycles = 100_000
+	if _, err := Run(cfg, []string{"gcc", "mcf"}); err != nil {
+		t.Fatal(err)
+	}
+}

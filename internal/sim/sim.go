@@ -358,6 +358,12 @@ type Simulator struct {
 	// already maintains (asserted by TestObserverDoesNotPerturb).
 	obsv   obs.Observer
 	obsIdx int
+
+	// inv carries the state of the runtime self-checks compiled in
+	// under the `verify` build tag; in default builds it is an empty
+	// struct and every check site is dead code (invariantsEnabled is a
+	// false constant).
+	inv invariantState
 }
 
 // New assembles a simulator for the given benchmarks (one per core).
@@ -636,6 +642,9 @@ func (s *Simulator) fixFront() {
 func (s *Simulator) step() {
 	s.stepCore(s.cores[s.order[0]])
 	s.fixFront()
+	if invariantsEnabled {
+		s.checkStepInvariants()
+	}
 }
 
 // stepCore executes one memory reference on core c.
@@ -815,11 +824,17 @@ func (s *Simulator) Run() (*Result, error) {
 		c := s.cores[s.order[0]]
 		s.stepCore(c)
 		s.fixFront()
+		if invariantsEnabled {
+			s.checkStepInvariants()
+		}
 		if !warm[c.ID()] && c.Instructions() >= s.cfg.WarmupInstr {
 			warm[c.ID()] = true
 			pending--
 		}
 		if f := s.frontier(); f >= s.nextBoundary {
+			if invariantsEnabled {
+				s.checkBoundaryInvariants(f)
+			}
 			s.processBoundary(f)
 			for s.nextBoundary <= f {
 				s.nextBoundary += s.cfg.IntervalCycles
@@ -860,11 +875,17 @@ func (s *Simulator) Run() (*Result, error) {
 		c := s.cores[s.order[0]]
 		s.stepCore(c)
 		s.fixFront()
+		if invariantsEnabled {
+			s.checkStepInvariants()
+		}
 		if !finished[c.ID()] && c.MeasurementDone() {
 			finished[c.ID()] = true
 			pending--
 		}
 		if fr := s.frontier(); fr >= s.nextBoundary {
+			if invariantsEnabled {
+				s.checkBoundaryInvariants(fr)
+			}
 			s.processBoundary(fr)
 			for s.nextBoundary <= fr {
 				s.nextBoundary += s.cfg.IntervalCycles
@@ -873,6 +894,9 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 	// Flush the final partial interval.
 	if fr := s.frontier(); fr > s.lastBoundary {
+		if invariantsEnabled {
+			s.checkBoundaryInvariants(fr)
+		}
 		s.processBoundary(fr)
 	}
 

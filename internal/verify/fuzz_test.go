@@ -1,0 +1,110 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// fuzzGeometry picks a cache shape from the differential matrix so the
+// fuzzer explores every geometry class from one byte of input.
+func fuzzGeometry(sel byte) int { return int(sel) % len(Geometries) }
+
+// FuzzCacheAccess decodes arbitrary bytes into an operation schedule
+// and replays it through the production cache and the oracle with full
+// state comparison after every op. The first byte selects a geometry;
+// the rest is the schedule.
+func FuzzCacheAccess(f *testing.F) {
+	f.Add([]byte("0read-write-probe-seed-corpus!!!"))
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 1, 44, 0, 0, 0, 2, 44, 0, 0, 0})
+	f.Add([]byte{4, 3, 7, 0, 0, 0, 3, 1, 1, 0, 0, 7, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 || len(data) > 4096 {
+			return
+		}
+		p := Geometries[fuzzGeometry(data[0])]
+		d, err := NewCacheDiff(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := DecodeOps(data[1:], p, 0)
+		if err := d.Replay(ops); err != nil {
+			t.Fatalf("geometry %s: %v", p.Name, err)
+		}
+	})
+}
+
+// FuzzReconfigure stresses the selective-way reconfiguration path: the
+// schedule alternates fuzzer-chosen SetActiveWays calls with accesses,
+// so shrink-flush, leader exemption and grow transitions are hammered
+// against the oracle far more densely than RandomOps' 6% rate.
+func FuzzReconfigure(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte("shrink-then-grow-then-shrink-again"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 4096 {
+			return
+		}
+		p := Geometries[fuzzGeometry(data[0])]
+		d, err := NewCacheDiff(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		numSets := p.SizeBytes / (p.LineBytes * p.Assoc)
+		lineSpan := uint64(2 * numSets * p.Assoc)
+		data = data[1:]
+		for i := 0; i+2 < len(data); i += 3 {
+			a, b, c := data[i], data[i+1], data[i+2]
+			recfg := Op{
+				Kind:   OpReconfigure,
+				Module: int(a) % p.Modules,
+				Ways:   1 + int(b)%p.Assoc,
+			}
+			if err := d.Apply(recfg); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.CheckState(); err != nil {
+				t.Fatalf("after reconfigure m=%d n=%d: %v", recfg.Module, recfg.Ways, err)
+			}
+			acc := Op{
+				Kind: OpWrite,
+				Addr: cache.Addr(uint64(c) % lineSpan * uint64(p.LineBytes)),
+			}
+			if c%2 == 0 {
+				acc.Kind = OpRead
+			}
+			if err := d.Apply(acc); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.CheckState(); err != nil {
+				t.Fatalf("after access %#x: %v", uint64(acc.Addr), err)
+			}
+		}
+	})
+}
+
+// FuzzRefreshWindow replays fuzzer schedules through the full
+// cache+policy+engine stacks for a fuzzer-chosen refresh policy, phase
+// count and retention window.
+func FuzzRefreshWindow(f *testing.F) {
+	f.Add([]byte("2refresh-window-seed-corpus-entry"))
+	f.Add([]byte{0, 1, 2, 7, 1, 2, 3, 4, 7, 255, 255, 0, 0, 0, 0})
+	f.Add([]byte{4, 3, 5, 7, 0, 0, 0, 0, 7, 1, 1, 1, 1, 0, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 || len(data) > 2048 {
+			return
+		}
+		policy := RefreshPolicies[int(data[0])%len(RefreshPolicies)]
+		p := Geometries[fuzzGeometry(data[1])]
+		phases := 1 + int(data[2])%8
+		retention := uint64(phases) * (50 + 97*uint64(data[2]))
+		d, err := NewRefreshDiff(p, policy, phases, retention)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := DecodeOps(data[3:], p, retention)
+		if err := d.Replay(ops); err != nil {
+			t.Fatalf("%s/%s phases=%d retention=%d: %v", p.Name, policy, phases, retention, err)
+		}
+	})
+}

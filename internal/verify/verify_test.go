@@ -1,0 +1,211 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/energy"
+	"repro/internal/oracle"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// shortConfig is a tractably small single-core run used by the
+// sim-level differential and property tests.
+func shortConfig(tech sim.Technique) sim.Config {
+	cfg := sim.DefaultConfig(1)
+	cfg.Technique = tech
+	cfg.WarmupInstr = 100_000
+	cfg.MeasureInstr = 500_000
+	cfg.IntervalCycles = 150_000
+	return cfg
+}
+
+func newModel(l2Size int) (energy.Model, error) {
+	return energy.NewModel(l2Size, 2e9)
+}
+
+// randomActivity draws activity counts spanning several orders of
+// magnitude so the energy comparison exercises mixed-scale sums.
+func randomActivity(rng *xrand.RNG) energy.Activity {
+	return energy.Activity{
+		Cycles:            1 + rng.Uint64n(1<<40),
+		L2Hits:            rng.Uint64n(1 << 30),
+		L2Misses:          rng.Uint64n(1 << 26),
+		Refreshes:         rng.Uint64n(1 << 28),
+		ActiveFraction:    float64(rng.Uint64n(10001)) / 10000,
+		MMAccesses:        rng.Uint64n(1 << 26),
+		LinesTransitioned: rng.Uint64n(1 << 22),
+	}
+}
+
+// breakdownClose compares two energy terms within a relative tolerance
+// that admits only float summation-order noise.
+func breakdownClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+// Geometries is the differential test matrix: small but varied cache
+// shapes covering direct-mapped through 16-way, single through
+// 16-module, leaderless through all-leader, and non-power-of-two bank
+// counts.
+var Geometries = []cache.Params{
+	{Name: "g0", SizeBytes: 64 * 4 * 64, Assoc: 4, LineBytes: 64, Modules: 2, SamplingRatio: 8, Banks: 2},
+	{Name: "g1", SizeBytes: 32 * 8 * 64, Assoc: 8, LineBytes: 64, Modules: 4, SamplingRatio: 4, Banks: 4},
+	{Name: "g2", SizeBytes: 128 * 2 * 32, Assoc: 2, LineBytes: 32, Modules: 8, SamplingRatio: 16, Banks: 2},
+	{Name: "g3", SizeBytes: 64 * 16 * 64, Assoc: 16, LineBytes: 64, Modules: 4, SamplingRatio: 64, Banks: 4},
+	{Name: "g4", SizeBytes: 256 * 4 * 64, Assoc: 4, LineBytes: 64, Modules: 1, SamplingRatio: 0, Banks: 1},
+	{Name: "g5", SizeBytes: 16 * 16 * 128, Assoc: 16, LineBytes: 128, Modules: 16, SamplingRatio: 2, Banks: 4},
+	{Name: "g6", SizeBytes: 512 * 1 * 64, Assoc: 1, LineBytes: 64, Modules: 8, SamplingRatio: 32, Banks: 2},
+	{Name: "g7", SizeBytes: 64 * 8 * 256, Assoc: 8, LineBytes: 256, Modules: 8, SamplingRatio: 8, Banks: 3},
+	{Name: "g8", SizeBytes: 128 * 8 * 64, Assoc: 8, LineBytes: 64, Modules: 2, SamplingRatio: 1, Banks: 8},
+}
+
+// opsPerConfig is the schedule length of the differential suite (the
+// acceptance floor is 10k randomized operations per configuration).
+const opsPerConfig = 10_000
+
+// TestDifferentialCache replays randomized schedules through the
+// production cache and the oracle, asserting full state equivalence
+// after every operation, across every geometry.
+func TestDifferentialCache(t *testing.T) {
+	for gi, p := range Geometries {
+		t.Run(p.Name, func(t *testing.T) {
+			d, err := NewCacheDiff(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := xrand.New(0xD1F0 + uint64(gi))
+			ops := RandomOps(rng, p, opsPerConfig, 0)
+			if err := d.Replay(ops); err != nil {
+				t.Fatalf("geometry %s diverged: %v", p.Name, err)
+			}
+		})
+	}
+}
+
+// TestDifferentialCacheSecondSeed re-runs a spread of geometries under
+// a different seed, so the suite is not hostage to one schedule.
+func TestDifferentialCacheSecondSeed(t *testing.T) {
+	for gi, p := range Geometries {
+		if gi%2 != 0 {
+			continue
+		}
+		t.Run(p.Name, func(t *testing.T) {
+			d, err := NewCacheDiff(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := xrand.New(0xBEEF00 + uint64(gi)*977)
+			if err := d.Replay(RandomOps(rng, p, opsPerConfig, 0)); err != nil {
+				t.Fatalf("geometry %s diverged: %v", p.Name, err)
+			}
+		})
+	}
+}
+
+// refreshGeometries is the subset used for full-stack refresh
+// differential runs (the per-event oracle walks are O(S·A), so the
+// shapes stay small).
+var refreshGeometries = []cache.Params{
+	{Name: "r0", SizeBytes: 64 * 4 * 64, Assoc: 4, LineBytes: 64, Modules: 2, SamplingRatio: 8, Banks: 2},
+	{Name: "r1", SizeBytes: 32 * 8 * 64, Assoc: 8, LineBytes: 64, Modules: 4, SamplingRatio: 4, Banks: 4},
+	{Name: "r2", SizeBytes: 64 * 8 * 256, Assoc: 8, LineBytes: 256, Modules: 8, SamplingRatio: 8, Banks: 3},
+}
+
+// TestDifferentialRefresh replays randomized access/reconfigure/
+// advance schedules through the production refresh stack (cache +
+// policy + engine) and the oracle stack (reference cache + per-line
+// bookkeeper + naive engine) for every refresh policy.
+func TestDifferentialRefresh(t *testing.T) {
+	const retention = 10_000
+	const phases = 4
+	for gi, p := range refreshGeometries {
+		for pi, policy := range RefreshPolicies {
+			t.Run(fmt.Sprintf("%s/%s", p.Name, policy), func(t *testing.T) {
+				d, err := NewRefreshDiff(p, policy, phases, retention)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := xrand.New(0x5EED + uint64(gi)*131 + uint64(pi)*17)
+				ops := RandomOps(rng, p, 4000, retention)
+				if err := d.Replay(ops); err != nil {
+					t.Fatalf("%s/%s diverged: %v", p.Name, policy, err)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialEnergyModel compares the oracle's from-scratch
+// Equations (2)–(8) evaluation against energy.Model.Eval over
+// randomized activity records.
+func TestDifferentialEnergyModel(t *testing.T) {
+	rng := xrand.New(0xE4E26)
+	sizes := []int{2 << 20, 3 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20}
+	for _, size := range sizes {
+		m, err := newModel(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			a := randomActivity(rng)
+			got := oracle.EnergyBreakdown(m, a)
+			want := m.Eval(a)
+			if !breakdownClose(got.L2Leak, want.L2Leak) ||
+				!breakdownClose(got.L2Dyn, want.L2Dyn) ||
+				!breakdownClose(got.L2Refresh, want.L2Refresh) ||
+				!breakdownClose(got.MMLeak, want.MMLeak) ||
+				!breakdownClose(got.MMDyn, want.MMDyn) ||
+				!breakdownClose(got.Algo, want.Algo) ||
+				!breakdownClose(got.Total(), want.Total()) {
+				t.Fatalf("size %d MB activity %+v: oracle %+v, model %+v", size>>20, a, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialEnergyFromIntervals runs a real simulation with
+// interval logging and recomputes the run's total activity and energy
+// from the raw per-interval records, independently of the simulator's
+// incremental accumulation.
+func TestDifferentialEnergyFromIntervals(t *testing.T) {
+	for _, tech := range []sim.Technique{sim.Baseline, sim.Esteem, sim.RPV, sim.SmartRefresh} {
+		cfg := shortConfig(tech)
+		cfg.LogIntervals = true
+		res, err := sim.Run(cfg, []string{"gcc"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Intervals) == 0 {
+			t.Fatalf("%v: no intervals logged", tech)
+		}
+		acts := make([]energy.Activity, 0, len(res.Intervals))
+		for _, iv := range res.Intervals {
+			acts = append(acts, iv.Activity)
+		}
+		total := oracle.AccumulateActivity(acts)
+		if total.Cycles != res.Activity.Cycles ||
+			total.L2Hits != res.Activity.L2Hits ||
+			total.L2Misses != res.Activity.L2Misses ||
+			total.Refreshes != res.Activity.Refreshes ||
+			total.MMAccesses != res.Activity.MMAccesses ||
+			total.LinesTransitioned != res.Activity.LinesTransitioned {
+			t.Fatalf("%v: interval sums %+v != run activity %+v", tech, total, res.Activity)
+		}
+		if !breakdownClose(total.ActiveFraction, res.Activity.ActiveFraction) {
+			t.Fatalf("%v: F_A from intervals %v != run %v", tech, total.ActiveFraction, res.Activity.ActiveFraction)
+		}
+		got := oracle.EnergyBreakdown(res.Model, total)
+		if !breakdownClose(got.Total(), res.Energy.Total()) {
+			t.Fatalf("%v: recomputed energy %v != reported %v", tech, got.Total(), res.Energy.Total())
+		}
+	}
+}

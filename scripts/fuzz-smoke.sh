@@ -1,0 +1,27 @@
+#!/bin/sh
+# fuzz-smoke.sh — run every native fuzz target for a short, CI-sized
+# budget (default 20s each; override with FUZZTIME=...). Targets are
+# auto-discovered, so new Fuzz* functions join the smoke automatically.
+# A long-budget variant runs nightly (.github/workflows/nightly-fuzz.yml).
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-20s}"
+
+fail=0
+for pkg in $(go list ./...); do
+    targets=$(go test "$pkg" -list '^Fuzz' 2>/dev/null | grep '^Fuzz' || true)
+    [ -z "$targets" ] && continue
+    for t in $targets; do
+        echo "== $pkg $t (fuzztime $FUZZTIME) =="
+        if ! go test "$pkg" -run '^$' -fuzz "^${t}\$" -fuzztime "$FUZZTIME"; then
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "== FUZZ FAILURES (crashers written to the package testdata/fuzz dirs) =="
+    exit 1
+fi
+echo "== OK =="

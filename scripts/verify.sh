@@ -1,0 +1,27 @@
+#!/bin/sh
+# verify.sh — the differential-verification gate (`make verify`):
+#
+#   1. oracle self-tests + the differential suite in internal/verify
+#      (randomized schedules replayed through the optimized
+#      implementations and the naive reference models, with full state
+#      comparison after every operation, across all geometries and
+#      refresh policies), including every fuzz target's checked-in
+#      seed corpus;
+#   2. the whole module rebuilt and the simulator tests rerun with the
+#      `verify` build tag, which compiles in the runtime invariant
+#      checks (scheduler-heap integrity, occupancy recounts,
+#      allocate-on-miss conservation) that are dead code in default
+#      builds.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== oracle + differential suite =="
+go test ./internal/oracle/ ./internal/verify/ -count=1
+
+echo "== build with -tags verify (invariant hooks compiled in) =="
+go build -tags verify ./...
+
+echo "== simulator tests with runtime invariants enabled =="
+go test -tags verify ./internal/sim/ -count=1
+
+echo "== OK =="
