@@ -1,13 +1,14 @@
 # Convenience targets; `make check` is the CI/verification gate.
 
-.PHONY: check ci lint golden golden-update verify fuzz-smoke build vet test race bench results quick-results
+.PHONY: check ci lint golden golden-update verify fuzz-smoke build vet test race bench results quick-results serve serve-smoke
 
 check:
 	./scripts/check.sh
 
 # Everything CI runs: lint, the full check gate, the golden-output
-# drift gate, and the differential-verification gate.
-ci: lint check golden verify
+# drift gate, the differential-verification gate, and the service
+# smoke test.
+ci: lint check golden verify serve-smoke
 
 # Differential verification: oracle reference models vs the optimized
 # implementations, plus the simulator rebuilt with runtime invariant
@@ -59,3 +60,13 @@ results:
 
 quick-results:
 	go run ./cmd/esteem-bench -quick -jobs $(JOBS)
+
+# Run the simulation service with a persistent result store (see
+# README "Running as a service").
+serve:
+	go run ./cmd/esteem-serve -cache results/castore
+
+# End-to-end service smoke test: submit/stream/fetch over HTTP, plus
+# cmp-proven byte-identity of cached and restart-served results.
+serve-smoke:
+	./scripts/serve-smoke.sh

@@ -35,6 +35,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/castore"
+	"repro/internal/cliflags"
 	"repro/internal/energy"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -73,22 +75,37 @@ func fatal(err error) {
 func main() {
 	exp := flag.String("exp", "all", "experiments to run (comma-separated): table2,fig2,fig3,fig4,fig5,fig6,table3,ablation,temp,scale,all")
 	out := flag.String("out", "results", "output directory")
-	instr := flag.Uint64("instr", 20_000_000, "measured instructions per core (paper: 400M)")
-	warmup := flag.Uint64("warmup", 10_000_000, "fast-forward instructions per core (paper: 10B)")
-	interval := flag.Uint64("interval", 2_000_000, "ESTEEM interval in cycles (paper: 10M)")
-	seed := flag.Uint64("seed", 1, "experiment seed")
+	budget := cliflags.RegisterBudget(flag.CommandLine, 2_000_000, 20_000_000, 10_000_000, 1)
 	quick := flag.Bool("quick", false, "use a workload subset and shorter runs")
 	jobs := flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS); any value yields identical results")
 	telemetry := flag.Bool("telemetry", true, "write per-run artifacts (interval telemetry + manifests) under <out>/runs")
+	cacheDir := flag.String("cache", "", "content-addressed result store directory: completed runs are reused across invocations")
+	cacheStats := flag.Bool("cache-stats", false, "print a cache hit/miss summary line after the run (requires -cache)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	traceFile := flag.String("trace", "", "write a runtime/trace capture to this file")
+	version := cliflags.VersionFlag(flag.CommandLine)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(cliflags.PrintVersion("esteem-bench"))
+		return
+	}
 	h := &harness{
-		instr: *instr, warmup: *warmup, interval: *interval, seed: *seed,
+		instr: *budget.Instr, warmup: *budget.Warmup, interval: *budget.Interval, seed: *budget.Seed,
 		outDir: *out, quick: *quick,
 		sweep: runner.NewSweep(*jobs, runner.WithProgress(os.Stderr), runner.WithLabel("esteem-bench")),
+	}
+	var store *castore.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = castore.Open(*cacheDir, 1024)
+		if err != nil {
+			fatal(err)
+		}
+		h.sweep.SetCache(store)
+	} else if *cacheStats {
+		fatal(fmt.Errorf("-cache-stats requires -cache"))
 	}
 	if *quick {
 		h.instr /= 4
@@ -169,7 +186,7 @@ func main() {
 	}
 
 	// Phase 2: one parallel run over the whole job DAG.
-	manifest := obs.NewManifest("esteem-bench -exp "+*exp, *seed, os.Args[1:])
+	manifest := obs.NewManifest("esteem-bench -exp "+*exp, *budget.Seed, os.Args[1:])
 	t0 := time.Now()
 	if err := h.sweep.Run(context.Background()); err != nil {
 		fatal(err)
@@ -213,6 +230,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "== %d simulations, %.0fM simulated instructions in %.1fs wall (%d workers): %.2f sims/s, %.1fM instr/s ==\n",
 		sims, float64(instrDone)/1e6, secs, h.sweep.Workers(),
 		float64(sims)/secs, float64(instrDone)/1e6/secs)
+	if *cacheStats {
+		fmt.Fprintf(os.Stderr, "== cache %s: %s ==\n", store.Dir(), store.Stats().Summary())
+	}
 
 	// Sweep-level manifest (provenance of the whole invocation).
 	if *telemetry {

@@ -1,0 +1,288 @@
+// Command esteem-client talks to an esteem-serve daemon: it submits
+// sweep jobs, polls or streams their progress, and fetches results as
+// run artifacts.
+//
+// Workloads are written as "a+b,c": "+" joins the benchmarks of one
+// multi-core workload, "," separates workloads. Every workload of a
+// job must match the configured core count.
+//
+// Examples:
+//
+//	esteem-client submit -bench gcc -technique esteem -wait
+//	esteem-client submit -bench gobmk+nekbone,gcc+gamess -technique baseline,esteem
+//	esteem-client status  <job-id>
+//	esteem-client watch   <job-id>
+//	esteem-client result  <job-id> -o artifact.json
+//	esteem-client artifact <key>
+//	esteem-client version
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: esteem-client <submit|status|watch|result|artifact|version> [flags]")
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "submit":
+		return cmdSubmit(rest)
+	case "status":
+		return cmdGetJSON(rest, "status", func(id string) string { return "/v1/jobs/" + id })
+	case "watch":
+		return cmdWatch(rest)
+	case "result":
+		return cmdFetch(rest, "result", func(id string) string { return "/v1/jobs/" + id + "/result" })
+	case "artifact":
+		return cmdFetch(rest, "artifact", func(key string) string { return "/v1/artifacts/" + key })
+	case "version":
+		return cmdVersion(rest)
+	case "-version", "--version":
+		fmt.Println(cliflags.PrintVersion("esteem-client"))
+		return nil
+	default:
+		return usage()
+	}
+}
+
+// serverFlag registers the shared -server flag.
+func serverFlag(fs *flag.FlagSet) *string {
+	return fs.String("server", "http://127.0.0.1:8344", "esteem-serve base URL")
+}
+
+// get issues a GET and fails on non-2xx statuses.
+func get(server, path string) (*http.Response, error) {
+	resp, err := http.Get(strings.TrimRight(server, "/") + path)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return resp, nil
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	server := serverFlag(fs)
+	bench := fs.String("bench", "gcc", `workloads: "+" joins cores, "," separates workloads (e.g. gobmk+nekbone,gcc+gamess)`)
+	techs := fs.String("technique", "esteem", "comma-separated technique names: "+cliflags.TechniqueNames())
+	retention := fs.Float64("retention", 50, "eDRAM retention period in microseconds")
+	budget := cliflags.RegisterBudget(fs, 2_000_000, 20_000_000, 10_000_000, 1)
+	overrides := fs.String("config", "", "extra sim.Config overrides as inline JSON (applied last)")
+	wait := fs.Bool("wait", false, "poll until the job finishes; exit non-zero on failure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var benchmarks [][]string
+	cores := 0
+	for _, wl := range strings.Split(*bench, ",") {
+		names := strings.Split(strings.TrimSpace(wl), "+")
+		if cores == 0 {
+			cores = len(names)
+		} else if len(names) != cores {
+			return fmt.Errorf("workload %q has %d benchmarks, first workload has %d", wl, len(names), cores)
+		}
+		benchmarks = append(benchmarks, names)
+	}
+	var techniques []string
+	for _, t := range strings.Split(*techs, ",") {
+		techniques = append(techniques, strings.TrimSpace(t))
+	}
+
+	config := map[string]any{
+		"Cores":           cores,
+		"RetentionMicros": *retention,
+		"IntervalCycles":  *budget.Interval,
+		"MeasureInstr":    *budget.Instr,
+		"WarmupInstr":     *budget.Warmup,
+		"Seed":            *budget.Seed,
+	}
+	if *overrides != "" {
+		var extra map[string]any
+		if err := json.Unmarshal([]byte(*overrides), &extra); err != nil {
+			return fmt.Errorf("-config: %v", err)
+		}
+		for k, v := range extra {
+			config[k] = v
+		}
+	}
+	rawCfg, err := json.Marshal(config)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(serve.JobSpec{
+		Config:     rawCfg,
+		Benchmarks: benchmarks,
+		Techniques: techniques,
+	})
+	if err != nil {
+		return err
+	}
+
+	resp, err := http.Post(strings.TrimRight(*server, "/")+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+	}
+	var view struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(payload, &view); err != nil {
+		return err
+	}
+	if !*wait {
+		fmt.Println(strings.TrimSpace(string(payload)))
+		return nil
+	}
+
+	fmt.Fprintf(os.Stderr, "job %s submitted, waiting...\n", view.ID)
+	for {
+		resp, err := get(*server, "/v1/jobs/"+view.ID)
+		if err != nil {
+			return err
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		var v struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(payload, &v); err != nil {
+			return err
+		}
+		switch serve.State(v.State) {
+		case serve.StateDone:
+			fmt.Println(strings.TrimSpace(string(payload)))
+			return nil
+		case serve.StateFailed, serve.StateCanceled:
+			return fmt.Errorf("job %s %s: %s", view.ID, v.State, v.Error)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func cmdGetJSON(args []string, name string, path func(string) string) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	server := serverFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: esteem-client %s [-server URL] <job-id>", name)
+	}
+	resp, err := get(*server, path(fs.Arg(0)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	server := serverFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: esteem-client watch [-server URL] <job-id>")
+	}
+	resp, err := get(*server, "/v1/jobs/"+fs.Arg(0)+"/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") {
+			fmt.Println(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	return sc.Err()
+}
+
+func cmdFetch(args []string, name string, path func(string) string) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	server := serverFlag(fs)
+	out := fs.String("o", "", "write the response to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: esteem-client %s [-server URL] [-o FILE] <id>", name)
+	}
+	resp, err := get(*server, path(fs.Arg(0)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+func cmdVersion(args []string) error {
+	fs := flag.NewFlagSet("version", flag.ExitOnError)
+	server := serverFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println(cliflags.PrintVersion("esteem-client"))
+	resp, err := get(*server, "/v1/version")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server unreachable: %v\n", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}

@@ -1,0 +1,114 @@
+// Command esteem-serve runs the simulation service: an HTTP daemon
+// accepting sweep jobs (POST /v1/jobs), streaming their progress over
+// server-sent events, and serving results as content-addressed run
+// artifacts that are byte-identical whether computed fresh, replayed
+// from cache, or served after a restart.
+//
+// Examples:
+//
+//	esteem-serve -addr 127.0.0.1:8344 -cache results/castore
+//	esteem-serve -addr 127.0.0.1:0 -addr-file /tmp/esteem.addr
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, queued and
+// in-flight jobs finish within -drain-timeout, and the rest are
+// cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/castore"
+	"repro/internal/cliflags"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8344", "listen address (port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	cacheDir := flag.String("cache", "", "content-addressed result store directory (empty = in-memory only)")
+	memEntries := flag.Int("mem-entries", 256, "in-memory cache entries (LRU over the disk layer)")
+	workers := flag.Int("workers", 2, "concurrent jobs")
+	simJobs := flag.Int("sim-jobs", 0, "parallel simulations per job (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 16, "admission queue depth (full queue rejects with 429)")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job execution timeout")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for queued and in-flight jobs")
+	version := cliflags.VersionFlag(flag.CommandLine)
+	flag.Parse()
+
+	if *version {
+		fmt.Println(cliflags.PrintVersion("esteem-serve"))
+		return nil
+	}
+
+	store, err := castore.Open(*cacheDir, *memEntries)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{
+		Store:      store,
+		Workers:    *workers,
+		SimWorkers: *simJobs,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "esteem-serve listening on http://%s\n", bound)
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "esteem-serve result store: %s\n", store.Dir())
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "esteem-serve draining...")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "esteem-serve: http shutdown: %v\n", err)
+	}
+	if err := srv.Drain(shutdownCtx); err != nil {
+		return fmt.Errorf("esteem-serve: drain cut short: %w", err)
+	}
+	st := store.Stats()
+	fmt.Fprintf(os.Stderr, "esteem-serve: store: %s\n", st.Summary())
+	return nil
+}

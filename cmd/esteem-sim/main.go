@@ -18,46 +18,31 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
-// techniqueByName maps CLI names to techniques.
-var techniqueByName = map[string]sim.Technique{
-	"baseline":       sim.Baseline,
-	"rpv":            sim.RPV,
-	"rpd":            sim.RPD,
-	"periodic-valid": sim.PeriodicValid,
-	"esteem":         sim.Esteem,
-	"esteem-allline": sim.EsteemAllLineRefresh,
-	"no-refresh":     sim.NoRefresh,
-	"smart-refresh":  sim.SmartRefresh,
-	"ecc-extended":   sim.ECCExtended,
-}
-
 func main() {
 	var (
 		bench        = flag.String("bench", "gobmk", "comma-separated benchmark names, one per core")
-		techName     = flag.String("technique", "esteem", "baseline|rpv|rpd|periodic-valid|esteem|esteem-allline|no-refresh|smart-refresh|ecc-extended")
-		cores        = flag.Int("cores", 1, "number of cores")
-		l2MB         = flag.Int("l2mb", 0, "L2 size in MB (0 = paper default for core count)")
-		l2Assoc      = flag.Int("l2assoc", 16, "L2 associativity")
-		retention    = flag.Float64("retention", 50, "eDRAM retention period in microseconds")
-		tempC        = flag.Float64("temp", 0, "operating temperature C (overrides -retention via the paper's model)")
-		sigma        = flag.Float64("sigma", 0, "log-normal retention process-variation sigma (derates the period)")
+		techName     = flag.String("technique", "esteem", cliflags.TechniqueNames())
+		shape        = cliflags.RegisterShape(flag.CommandLine)
 		modules      = flag.Int("modules", 0, "reconfiguration modules (0 = paper default)")
 		sampling     = flag.Int("rs", 64, "leader-set sampling ratio Rs")
 		alpha        = flag.Float64("alpha", 0.97, "ESTEEM hit-coverage threshold")
 		amin         = flag.Int("amin", 3, "ESTEEM minimum active ways")
-		interval     = flag.Uint64("interval", 2_000_000, "interval length in cycles")
-		instr        = flag.Uint64("instr", 20_000_000, "measured instructions per core")
-		warmup       = flag.Uint64("warmup", 10_000_000, "fast-forward instructions per core")
-		seed         = flag.Uint64("seed", 1, "workload seed")
+		budget       = cliflags.RegisterBudget(flag.CommandLine, 2_000_000, 20_000_000, 10_000_000, 1)
 		logIntervals = flag.Bool("log-intervals", false, "print per-interval reconfiguration log")
 		list         = flag.Bool("list", false, "list benchmarks and dual-core mixes, then exit")
+		version      = cliflags.VersionFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(cliflags.PrintVersion("esteem-sim"))
+		return
+	}
 	if *list {
 		fmt.Println("single-core benchmarks:")
 		for _, p := range trace.Profiles() {
@@ -70,30 +55,19 @@ func main() {
 		return
 	}
 
-	tech, ok := techniqueByName[*techName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown technique %q\n", *techName)
+	tech, err := cliflags.ParseTechnique(*techName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg := sim.DefaultConfig(*cores)
-	cfg.Technique = tech
-	if *l2MB > 0 {
-		cfg.L2SizeBytes = *l2MB << 20
-	}
-	cfg.L2Assoc = *l2Assoc
-	cfg.RetentionMicros = *retention
-	cfg.TemperatureC = *tempC
-	cfg.RetentionSigma = *sigma
+	cfg := shape.Config(tech)
 	if *modules > 0 {
 		cfg.Modules = *modules
 	}
 	cfg.SamplingRatio = *sampling
 	cfg.Esteem.Alpha = *alpha
 	cfg.Esteem.AMin = *amin
-	cfg.IntervalCycles = *interval
-	cfg.MeasureInstr = *instr
-	cfg.WarmupInstr = *warmup
-	cfg.Seed = *seed
+	budget.Apply(&cfg)
 	cfg.LogIntervals = *logIntervals
 
 	benchmarks := strings.Split(*bench, ",")

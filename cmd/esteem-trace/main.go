@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/trace"
 )
 
@@ -69,8 +70,13 @@ func main() {
 	depth := flag.Int("depth", 64, "stack-distance profile depth (lines)")
 	record := flag.String("record", "", "record -refs references to this trace file and exit")
 	replay := flag.String("replay", "", "summarize a recorded trace file and exit")
+	version := cliflags.VersionFlag(flag.CommandLine)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(cliflags.PrintVersion("esteem-trace"))
+		return
+	}
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {

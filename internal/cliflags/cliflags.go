@@ -1,0 +1,185 @@
+// Package cliflags centralises the configuration surface shared by
+// the repository's command-line binaries: the technique-name registry,
+// the instruction-budget and cache-shape flag groups (so esteem-sim,
+// esteem-bench and the service binaries agree on names, defaults and
+// help text), and build-information reporting for -version flags and
+// the service's /v1/version endpoint.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// techniqueByName maps CLI names to techniques. One registry for
+// every frontend: a name accepted by esteem-sim is accepted by the
+// service's job API and by esteem-client.
+var techniqueByName = map[string]sim.Technique{
+	"baseline":       sim.Baseline,
+	"rpv":            sim.RPV,
+	"rpd":            sim.RPD,
+	"periodic-valid": sim.PeriodicValid,
+	"esteem":         sim.Esteem,
+	"esteem-allline": sim.EsteemAllLineRefresh,
+	"no-refresh":     sim.NoRefresh,
+	"smart-refresh":  sim.SmartRefresh,
+	"ecc-extended":   sim.ECCExtended,
+}
+
+// ParseTechnique resolves a CLI technique name. The error lists every
+// accepted name.
+func ParseTechnique(name string) (sim.Technique, error) {
+	t, ok := techniqueByName[name]
+	if !ok {
+		return 0, fmt.Errorf("unknown technique %q (want %s)", name, TechniqueNames())
+	}
+	return t, nil
+}
+
+// TechniqueNames returns the accepted technique names joined with "|"
+// in sorted order, for flag help text and error messages.
+func TechniqueNames() string {
+	names := make([]string, 0, len(techniqueByName))
+	for n := range techniqueByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
+}
+
+// Budget groups the instruction-budget flags every simulation
+// frontend exposes: interval length, measured and warmup instruction
+// counts, and the experiment seed.
+type Budget struct {
+	Interval *uint64
+	Instr    *uint64
+	Warmup   *uint64
+	Seed     *uint64
+}
+
+// RegisterBudget registers the budget flag group on fs with the given
+// defaults and returns the bound values.
+func RegisterBudget(fs *flag.FlagSet, interval, instr, warmup, seed uint64) *Budget {
+	return &Budget{
+		Interval: fs.Uint64("interval", interval, "interval length in cycles"),
+		Instr:    fs.Uint64("instr", instr, "measured instructions per core"),
+		Warmup:   fs.Uint64("warmup", warmup, "fast-forward instructions per core"),
+		Seed:     fs.Uint64("seed", seed, "workload seed"),
+	}
+}
+
+// Apply copies the parsed budget into cfg.
+func (b *Budget) Apply(cfg *sim.Config) {
+	cfg.IntervalCycles = *b.Interval
+	cfg.MeasureInstr = *b.Instr
+	cfg.WarmupInstr = *b.Warmup
+	cfg.Seed = *b.Seed
+}
+
+// Shape groups the cache-shape and retention flags: core count, L2
+// geometry, and the paper's retention/temperature/process-variation
+// knobs.
+type Shape struct {
+	Cores     *int
+	L2MB      *int
+	L2Assoc   *int
+	Retention *float64
+	TempC     *float64
+	Sigma     *float64
+}
+
+// RegisterShape registers the shape flag group on fs and returns the
+// bound values.
+func RegisterShape(fs *flag.FlagSet) *Shape {
+	return &Shape{
+		Cores:     fs.Int("cores", 1, "number of cores"),
+		L2MB:      fs.Int("l2mb", 0, "L2 size in MB (0 = paper default for core count)"),
+		L2Assoc:   fs.Int("l2assoc", 16, "L2 associativity"),
+		Retention: fs.Float64("retention", 50, "eDRAM retention period in microseconds"),
+		TempC:     fs.Float64("temp", 0, "operating temperature C (overrides -retention via the paper's model)"),
+		Sigma:     fs.Float64("sigma", 0, "log-normal retention process-variation sigma (derates the period)"),
+	}
+}
+
+// Config builds the default configuration for the parsed shape under
+// the given technique.
+func (s *Shape) Config(tech sim.Technique) sim.Config {
+	cfg := sim.DefaultConfig(*s.Cores)
+	cfg.Technique = tech
+	if *s.L2MB > 0 {
+		cfg.L2SizeBytes = *s.L2MB << 20
+	}
+	cfg.L2Assoc = *s.L2Assoc
+	cfg.RetentionMicros = *s.Retention
+	cfg.TemperatureC = *s.TempC
+	cfg.RetentionSigma = *s.Sigma
+	return cfg
+}
+
+// BuildInfo is the build provenance reported by -version flags and
+// the service's /v1/version endpoint.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// ReadBuildInfo extracts the binary's build provenance from
+// runtime/debug.ReadBuildInfo. It degrades gracefully: binaries built
+// outside a module or VCS checkout report "devel" with no revision.
+func ReadBuildInfo() BuildInfo {
+	info := BuildInfo{Version: "devel", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		info.Version = v
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.BuildTime = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the build info as a one-line -version output.
+func (b BuildInfo) String() string {
+	out := b.Version
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " " + rev
+		if b.Modified {
+			out += "+dirty"
+		}
+	}
+	return out + " (" + b.GoVersion + ")"
+}
+
+// VersionFlag registers -version on fs and returns the bound value;
+// frontends print PrintVersion and exit when it is set.
+func VersionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print build information and exit")
+}
+
+// PrintVersion formats the standard -version line for a named binary.
+func PrintVersion(name string) string {
+	return name + " " + ReadBuildInfo().String()
+}

@@ -1,0 +1,94 @@
+package cliflags
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParseTechniqueAllNames(t *testing.T) {
+	for name, want := range techniqueByName {
+		got, err := ParseTechnique(name)
+		if err != nil {
+			t.Fatalf("ParseTechnique(%q): %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("ParseTechnique(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := ParseTechnique("nope"); err == nil {
+		t.Fatal("unknown technique accepted")
+	} else if !strings.Contains(err.Error(), "baseline|") {
+		t.Fatalf("error does not list names: %v", err)
+	}
+}
+
+func TestTechniqueNamesSortedAndComplete(t *testing.T) {
+	names := strings.Split(TechniqueNames(), "|")
+	if len(names) != len(techniqueByName) {
+		t.Fatalf("TechniqueNames lists %d names, registry has %d", len(names), len(techniqueByName))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestBudgetRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	b := RegisterBudget(fs, 2_000_000, 20_000_000, 10_000_000, 1)
+	if err := fs.Parse([]string{"-instr", "5000", "-warmup", "100", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(1)
+	b.Apply(&cfg)
+	if cfg.IntervalCycles != 2_000_000 || cfg.MeasureInstr != 5000 ||
+		cfg.WarmupInstr != 100 || cfg.Seed != 7 {
+		t.Fatalf("applied budget = %+v", cfg)
+	}
+}
+
+func TestShapeConfig(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	s := RegisterShape(fs)
+	if err := fs.Parse([]string{"-cores", "2", "-l2mb", "16", "-l2assoc", "8", "-retention", "40"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config(sim.RPV)
+	if cfg.Cores != 2 || cfg.L2SizeBytes != 16<<20 || cfg.L2Assoc != 8 ||
+		cfg.RetentionMicros != 40 || cfg.Technique != sim.RPV {
+		t.Fatalf("shape config = %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("shape config invalid: %v", err)
+	}
+}
+
+func TestShapeConfigDefaultL2(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	s := RegisterShape(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.DefaultConfig(1).L2SizeBytes
+	if got := s.Config(sim.Baseline).L2SizeBytes; got != want {
+		t.Fatalf("default L2 size = %d, want paper default %d", got, want)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	info := ReadBuildInfo()
+	if info.GoVersion == "" {
+		t.Fatal("empty go version")
+	}
+	if info.Version == "" {
+		t.Fatal("empty version")
+	}
+	line := PrintVersion("esteem-sim")
+	if !strings.HasPrefix(line, "esteem-sim ") || !strings.Contains(line, info.GoVersion) {
+		t.Fatalf("version line %q", line)
+	}
+}

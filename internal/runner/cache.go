@@ -1,0 +1,182 @@
+// Cache: the sweep's content-addressed result layer. With a store
+// attached (SetCache), every workload-driven simulation job first
+// consults the store under a key derived from its effective
+// configuration and workload; hits skip the simulation entirely and
+// reconstruct the result from the stored artifact, misses run the
+// simulation once — coalesced across concurrent identical jobs by the
+// store's single-flight layer — and persist a deterministic artifact
+// (timing fields zeroed) whose bytes are identical for every run of
+// the same job.
+//
+// Source-driven jobs (SimSources) are never cached: external sources
+// carry hidden state the key cannot capture.
+package runner
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/castore"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// SetCache attaches a content-addressed result store to the sweep.
+// Must be called before Run. With a cache attached, jobs always run
+// with an interval collector so stored artifacts carry full
+// telemetry, and any sink attached with SetSink receives the same
+// deterministic artifacts the store holds (on hits and misses alike),
+// so a sweep's artifact set is identical whether it was served cold
+// or warm.
+func (s *Sweep) SetCache(store *castore.Store) { s.cache = store }
+
+// CacheKey returns the content address Sweep.Sim would consult for
+// (cfg, wl): the store key of the configuration after per-job seed
+// derivation. Serving layers use it to locate a job's artifact
+// without re-running the sweep.
+func CacheKey(cfg sim.Config, wl []string) (string, error) {
+	return castore.Key(deriveCfg(cfg, wl), wl)
+}
+
+// simArtifact runs one simulation with a collector attached and
+// packages the deterministic run artifact (manifest timing zeroed)
+// whose canonical bytes are what the content-addressed store
+// persists.
+func (s *Sweep) simArtifact(label string, cfg sim.Config, wl []string) (*sim.Result, obs.RunArtifact, error) {
+	man := obs.NewManifest(label, cfg.Seed, cfg)
+	col := obs.NewCollector()
+	r, err := sim.RunObserved(cfg, wl, col)
+	if err != nil {
+		return nil, obs.RunArtifact{}, err
+	}
+	man.Technique = r.Technique.String()
+	man.Cores = cfg.Cores
+	for _, c := range r.Cores {
+		man.Workload = append(man.Workload, c.Benchmark)
+	}
+	man.SimulatedInstructions = r.TotalInstructions()
+	man.Intervals = len(col.Intervals())
+	art := obs.RunArtifact{
+		SchemaVersion: obs.SchemaVersion,
+		Manifest:      man.Deterministic(),
+		Summary:       Summarize(r),
+		Intervals:     col.Intervals(),
+	}
+	return r, art, nil
+}
+
+// runSimCached is the cache-aware path of runSim: cfg is the derived
+// (effective) configuration. On a miss the simulation runs under the
+// store's single-flight lock and its live result is returned; on a
+// hit (or a coalesced flight) the result is reconstructed from the
+// artifact bytes.
+func (s *Sweep) runSimCached(ctx context.Context, seq int, label string, cfg sim.Config, wl []string) (*sim.Result, error) {
+	key, err := castore.Key(cfg, wl)
+	if err != nil {
+		return nil, err
+	}
+	var live *sim.Result
+	data, _, err := s.cache.GetOrCompute(ctx, key, func(context.Context) ([]byte, error) {
+		r, art, err := s.simArtifact(label, cfg, wl)
+		if err != nil {
+			return nil, err
+		}
+		live = r
+		s.sims.Add(1)
+		s.instr.Add(r.TotalInstructions())
+		b, err := obs.MarshalCanonical(art)
+		if err != nil {
+			return nil, fmt.Errorf("runner: encoding artifact for %q: %w", label, err)
+		}
+		return b, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	art, err := obs.ParseRun(data)
+	if err != nil {
+		return nil, fmt.Errorf("runner: cached artifact for %q: %w", label, err)
+	}
+	if s.sink != nil {
+		if err := s.sink.WriteRun(seq, art); err != nil {
+			return nil, fmt.Errorf("runner: writing artifact for %q: %w", label, err)
+		}
+	}
+	if live != nil {
+		return live, nil
+	}
+	return ResultFromArtifact(cfg, art), nil
+}
+
+// ResultFromArtifact reconstructs a sim.Result from a stored run
+// artifact. The reconstruction covers every field the repository's
+// frontends and metrics consume — per-core IPC and stall breakdowns,
+// traffic counters, the evaluated energy breakdown, refresh totals,
+// the active ratio and (when the run logged them) measured-window
+// interval records. Fields the artifact does not carry (the energy
+// model constants, main-memory stall counters) stay zero; floats
+// round-trip through canonical JSON and may differ from the live run
+// in the 13th significant digit.
+func ResultFromArtifact(cfg sim.Config, a obs.RunArtifact) *sim.Result {
+	sum := a.Summary
+	r := &sim.Result{
+		Config:             cfg,
+		Technique:          cfg.Technique,
+		ActiveRatio:        sum.ActiveRatio,
+		Refreshes:          sum.Refreshes,
+		RefreshStallCycles: sum.RefreshStallCycles,
+		ReconfigWritebacks: sum.ReconfigWritebacks,
+	}
+	r.Activity.Cycles = sum.Cycles
+	r.Activity.L2Hits = sum.L2Hits
+	r.Activity.L2Misses = sum.L2Misses
+	r.Activity.Refreshes = sum.Refreshes
+	r.Activity.ActiveFraction = sum.ActiveRatio
+	r.Activity.MMAccesses = sum.MMReads + sum.MMWritebacks
+	r.Energy.L2Leak = sum.Energy.L2LeakJ
+	r.Energy.L2Dyn = sum.Energy.L2DynJ
+	r.Energy.L2Refresh = sum.Energy.L2RefreshJ
+	r.Energy.MMLeak = sum.Energy.MMLeakJ
+	r.Energy.MMDyn = sum.Energy.MMDynJ
+	r.Energy.Algo = sum.Energy.AlgoJ
+	r.L2.Hits = sum.L2Hits
+	r.L2.Misses = sum.L2Misses
+	r.L2.Writebacks = sum.L2Writebacks
+	r.L2.Fills = sum.L2Fills
+	r.MM.Reads = sum.MMReads
+	r.MM.Writebacks = sum.MMWritebacks
+	for _, c := range sum.Cores {
+		r.Cores = append(r.Cores, sim.CoreResult{
+			Benchmark:    c.Benchmark,
+			Instructions: c.Instructions,
+			Cycles:       c.Cycles,
+			IPC:          c.IPC,
+			StallL2Hit:   c.StallL2Hit,
+			StallRefresh: c.StallRefresh,
+			StallMemory:  c.StallMemory,
+			L1Hits:       c.L1Hits,
+			L1Misses:     c.L1Misses,
+		})
+	}
+	if cfg.LogIntervals {
+		for _, iv := range a.Intervals {
+			if !iv.Measuring {
+				continue
+			}
+			rec := sim.IntervalRecord{
+				EndCycle:    iv.EndCycle,
+				ActiveRatio: iv.ActiveRatio,
+				ActiveWays:  append([]int(nil), iv.ActiveWays...),
+			}
+			rec.Activity.Cycles = iv.Cycles
+			rec.Activity.L2Hits = iv.L2Hits
+			rec.Activity.L2Misses = iv.L2Misses
+			rec.Activity.Refreshes = iv.Refreshes
+			rec.Activity.ActiveFraction = iv.ActiveRatio
+			rec.Activity.MMAccesses = iv.MMReads + iv.MMWritebacks
+			rec.Activity.LinesTransitioned = iv.LinesTransitioned
+			r.Intervals = append(r.Intervals, rec)
+		}
+	}
+	return r
+}

@@ -1,0 +1,274 @@
+package runner
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/castore"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// cachedSweep runs one mini simulation through a sweep wired to the
+// given store and returns the result.
+func cachedSweep(t *testing.T, store *castore.Store, tech sim.Technique, wl []string) *sim.Result {
+	t.Helper()
+	s := NewSweep(2)
+	s.SetCache(store)
+	j := s.Sim(miniCfg(tech), wl)
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return j.Result()
+}
+
+// closeEnough compares floats that round-tripped through canonical
+// JSON (12 significant digits).
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= scale*1e-9
+}
+
+func TestSweepCacheHitMatchesColdRun(t *testing.T) {
+	store, err := castore.Open(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := cachedSweep(t, store, sim.Esteem, []string{"gcc"})
+	if got := store.Stats(); got.Computes != 1 {
+		t.Fatalf("cold run: stats %+v, want 1 compute", got)
+	}
+	warm := cachedSweep(t, store, sim.Esteem, []string{"gcc"})
+	st := store.Stats()
+	if st.Computes != 1 {
+		t.Fatalf("warm run recomputed: stats %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("warm run did not hit the cache: stats %+v", st)
+	}
+
+	// The reconstructed result must agree on everything the frontends
+	// and metrics read.
+	if warm.Technique != cold.Technique ||
+		warm.Refreshes != cold.Refreshes ||
+		warm.L2 != cold.L2 ||
+		warm.MM.Reads != cold.MM.Reads ||
+		warm.MM.Writebacks != cold.MM.Writebacks ||
+		warm.RefreshStallCycles != cold.RefreshStallCycles ||
+		warm.ReconfigWritebacks != cold.ReconfigWritebacks {
+		t.Fatalf("counter mismatch:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	if !closeEnough(warm.Energy.Total(), cold.Energy.Total()) {
+		t.Fatalf("energy mismatch: cold %.15g warm %.15g", cold.Energy.Total(), warm.Energy.Total())
+	}
+	if !closeEnough(warm.ActiveRatio, cold.ActiveRatio) {
+		t.Fatalf("active ratio mismatch: cold %v warm %v", cold.ActiveRatio, warm.ActiveRatio)
+	}
+	if len(warm.Cores) != len(cold.Cores) {
+		t.Fatalf("core count mismatch")
+	}
+	for i := range warm.Cores {
+		w, c := warm.Cores[i], cold.Cores[i]
+		if w.Benchmark != c.Benchmark || w.Instructions != c.Instructions ||
+			w.Cycles != c.Cycles || !closeEnough(w.IPC, c.IPC) ||
+			w.StallRefresh != c.StallRefresh || w.L1Misses != c.L1Misses {
+			t.Fatalf("core %d mismatch:\ncold %+v\nwarm %+v", i, c, w)
+		}
+	}
+	if warm.MPKI() != cold.MPKI() {
+		t.Fatalf("MPKI mismatch: cold %v warm %v", cold.MPKI(), warm.MPKI())
+	}
+}
+
+func TestSweepCacheIntervalsSurviveReconstruction(t *testing.T) {
+	store, err := castore.Open(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *sim.Result {
+		s := NewSweep(1)
+		s.SetCache(store)
+		cfg := miniCfg(sim.Esteem)
+		cfg.LogIntervals = true
+		j := s.Sim(cfg, []string{"h264ref"})
+		if err := s.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return j.Result()
+	}
+	cold := run()
+	warm := run()
+	if store.Stats().Computes != 1 {
+		t.Fatalf("second logged run recomputed: %+v", store.Stats())
+	}
+	if len(cold.Intervals) == 0 {
+		t.Fatal("cold run logged no intervals")
+	}
+	if len(warm.Intervals) != len(cold.Intervals) {
+		t.Fatalf("interval count: cold %d warm %d", len(cold.Intervals), len(warm.Intervals))
+	}
+	for i := range warm.Intervals {
+		w, c := warm.Intervals[i], cold.Intervals[i]
+		if w.EndCycle != c.EndCycle || !closeEnough(w.ActiveRatio, c.ActiveRatio) {
+			t.Fatalf("interval %d mismatch: cold %+v warm %+v", i, c, w)
+		}
+		if len(w.ActiveWays) != len(c.ActiveWays) {
+			t.Fatalf("interval %d ways: cold %v warm %v", i, c.ActiveWays, w.ActiveWays)
+		}
+		for m := range w.ActiveWays {
+			if w.ActiveWays[m] != c.ActiveWays[m] {
+				t.Fatalf("interval %d ways: cold %v warm %v", i, c.ActiveWays, w.ActiveWays)
+			}
+		}
+	}
+}
+
+func TestSweepCacheStoredBytesAreDeterministic(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	var bytes [2][]byte
+	for i, dir := range []string{dir1, dir2} {
+		store, err := castore.Open(dir, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedSweep(t, store, sim.RPV, []string{"lbm"})
+		key, err := CacheKey(miniCfg(sim.RPV), []string{"lbm"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, ok, err := store.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("stored artifact missing: ok %v err %v", ok, err)
+		}
+		bytes[i] = data
+	}
+	if string(bytes[0]) != string(bytes[1]) {
+		t.Fatal("two cold runs of the same job stored different bytes")
+	}
+	// The stored artifact must be a valid, deterministic run artifact.
+	a, err := obs.ParseRun(bytes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Manifest.StartedAt != "" || a.Manifest.WallMillis != 0 {
+		t.Fatalf("stored manifest carries timing: %+v", a.Manifest)
+	}
+}
+
+func TestSweepCacheKeySeparatesTechniques(t *testing.T) {
+	kA, err := CacheKey(miniCfg(sim.Esteem), []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kB, err := CacheKey(miniCfg(sim.RPV), []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kC, err := CacheKey(miniCfg(sim.Esteem), []string{"lbm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kA == kB || kA == kC {
+		t.Fatalf("keys collide: %s %s %s", kA, kB, kC)
+	}
+}
+
+func TestSweepCacheSinkReceivesArtifactsOnHits(t *testing.T) {
+	store, err := castore.Open(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedSweep(t, store, sim.Esteem, []string{"gamess"})
+
+	sink := &memorySink{}
+	s := NewSweep(1)
+	s.SetCache(store)
+	s.SetSink(sink)
+	s.Sim(miniCfg(sim.Esteem), []string{"gamess"})
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.artifacts) != 1 {
+		t.Fatalf("sink got %d artifacts on a cache hit, want 1", len(sink.artifacts))
+	}
+	if sink.artifacts[0].Manifest.Technique != "esteem" {
+		t.Fatalf("sink artifact manifest: %+v", sink.artifacts[0].Manifest)
+	}
+}
+
+// memorySink collects artifacts in memory.
+type memorySink struct {
+	mu        sync.Mutex
+	artifacts []obs.RunArtifact
+}
+
+func (m *memorySink) WriteRun(seq int, a obs.RunArtifact) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.artifacts = append(m.artifacts, a)
+	return nil
+}
+
+func TestPoolTaskHookEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []TaskEvent
+	p := NewPool(2, WithTaskHook(func(ev TaskEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		events = append(events, ev)
+	}))
+	a := p.Task("a", func(context.Context) error { return nil })
+	p.Task("b", func(context.Context) error { return nil }, a)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	byTask := map[int][]TaskEventType{}
+	for _, ev := range events {
+		byTask[ev.TaskID] = append(byTask[ev.TaskID], ev.Type)
+		if ev.Total != 2 {
+			t.Fatalf("event %+v has Total %d, want 2", ev, ev.Total)
+		}
+	}
+	for id, seq := range byTask {
+		if len(seq) != 2 || seq[0] != TaskStarted || seq[1] != TaskDone {
+			t.Fatalf("task %d events = %v, want [started done]", id, seq)
+		}
+	}
+	if len(byTask) != 2 {
+		t.Fatalf("events for %d tasks, want 2", len(byTask))
+	}
+}
+
+func TestPoolTaskHookFailureAndSkip(t *testing.T) {
+	var mu sync.Mutex
+	types := map[int][]TaskEventType{}
+	p := NewPool(1, WithTaskHook(func(ev TaskEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		types[ev.TaskID] = append(types[ev.TaskID], ev.Type)
+	}))
+	bad := p.Task("bad", func(context.Context) error { return context.DeadlineExceeded })
+	dep := p.Task("dep", func(context.Context) error { return nil }, bad)
+	if err := p.Run(context.Background()); err == nil {
+		t.Fatal("run succeeded, want error")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	badSeq := types[bad.ID()]
+	if len(badSeq) != 2 || badSeq[1] != TaskFailed {
+		t.Fatalf("bad task events = %v, want terminal failed", badSeq)
+	}
+	depSeq := types[dep.ID()]
+	if len(depSeq) == 0 || depSeq[len(depSeq)-1] != TaskSkipped {
+		t.Fatalf("dependent task events = %v, want terminal skipped", depSeq)
+	}
+}

@@ -90,6 +90,52 @@ func (t *Task) Err() error {
 // Done reports whether the task has completed successfully.
 func (t *Task) Done() bool { return t.state == stateDone }
 
+// TaskEventType classifies a task lifecycle event.
+type TaskEventType int
+
+const (
+	// TaskStarted: a worker picked the task up.
+	TaskStarted TaskEventType = iota
+	// TaskDone: the task completed successfully.
+	TaskDone
+	// TaskFailed: the task returned an error or panicked.
+	TaskFailed
+	// TaskSkipped: the task never ran (cancelled run or failed
+	// dependency).
+	TaskSkipped
+)
+
+// String names the event type (used verbatim in serving-layer SSE
+// payloads).
+func (t TaskEventType) String() string {
+	switch t {
+	case TaskStarted:
+		return "started"
+	case TaskDone:
+		return "done"
+	case TaskFailed:
+		return "failed"
+	case TaskSkipped:
+		return "skipped"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// TaskEvent is one per-task progress notification delivered to a
+// WithTaskHook observer. Finished counts tasks that have reached a
+// terminal state (done, failed or skipped) including this one; Total
+// is the number of tasks in the current Run.
+type TaskEvent struct {
+	Type   TaskEventType
+	TaskID int
+	Label  string
+	// Err is set for TaskFailed and TaskSkipped events.
+	Err      error
+	Finished int
+	Total    int
+}
+
 // Pool schedules tasks over a bounded set of worker goroutines.
 // Run may be called repeatedly: each call executes the tasks
 // submitted since the last call (plus any that were skipped), so a
@@ -101,6 +147,7 @@ type Pool struct {
 	progress io.Writer
 	tick     time.Duration
 	label    string
+	hook     func(TaskEvent)
 }
 
 // Option configures a Pool.
@@ -120,6 +167,17 @@ func WithProgressInterval(d time.Duration) Option {
 			p.tick = d
 		}
 	}
+}
+
+// WithTaskHook registers a per-task progress callback: fn receives
+// one TaskStarted event when a worker picks a task up and exactly one
+// terminal event (TaskDone, TaskFailed or TaskSkipped) per scheduled
+// task per Run. fn is called from worker goroutines — concurrently,
+// and never with the pool's lock held, so it may block briefly (e.g.
+// to fan events out to SSE subscribers) without stalling scheduling
+// decisions; a slow hook still delays the worker that calls it.
+func WithTaskHook(fn func(TaskEvent)) Option {
+	return func(p *Pool) { p.hook = fn }
 }
 
 // WithLabel names the pool in progress output (default "runner").
@@ -239,12 +297,49 @@ func (p *Pool) Run(ctx context.Context) error {
 	}
 	heap.Init(&ready)
 
+	total := len(pending)
+
+	// evq queues TaskEvents produced while holding mu; workers deliver
+	// them to the hook after unlocking (the hook must never run under
+	// the pool lock). Guarded by mu.
+	var evq []TaskEvent
+	queueEvent := func(t *Task, typ TaskEventType, err error) {
+		if p.hook == nil {
+			return
+		}
+		evq = append(evq, TaskEvent{
+			Type: typ, TaskID: t.id, Label: t.label, Err: err,
+			Finished: finished, Total: total,
+		})
+	}
+	// drainEvents delivers queued events; caller must NOT hold mu.
+	drainEvents := func() {
+		if p.hook == nil {
+			return
+		}
+		mu.Lock()
+		evs := evq
+		evq = nil
+		mu.Unlock()
+		for _, ev := range evs {
+			p.hook(ev)
+		}
+	}
+
 	// settle marks t terminal, propagates to dependents and wakes
 	// workers. Caller holds mu.
 	settle := func(t *Task, st taskState, err error) {
 		t.state = st
 		t.err = err
 		finished++
+		switch st {
+		case stateDone:
+			queueEvent(t, TaskDone, nil)
+		case stateFailed:
+			queueEvent(t, TaskFailed, err)
+		case stateSkipped:
+			queueEvent(t, TaskSkipped, err)
+		}
 		if st == stateDone {
 			for _, dep := range t.dependent {
 				dep.waits--
@@ -267,6 +362,7 @@ func (p *Pool) Run(ctx context.Context) error {
 					dd.state = stateSkipped
 					dd.err = cause
 					finished++
+					queueEvent(dd, TaskSkipped, cause)
 					skip(dd, cause)
 				}
 			}
@@ -312,16 +408,24 @@ func (p *Pool) Run(ctx context.Context) error {
 							t.state = stateSkipped
 							t.err = cause
 							finished++
+							queueEvent(t, TaskSkipped, cause)
 						}
 					}
 					ready = ready[:0]
 					cond.Broadcast()
+					mu.Unlock()
+					drainEvents()
+					mu.Lock()
 					return
 				}
 				t := heap.Pop(&ready).(*Task)
 				t.state = stateRunning
 				running++
+				startEv := TaskEvent{Type: TaskStarted, TaskID: t.id, Label: t.label, Finished: finished, Total: total}
 				mu.Unlock()
+				if p.hook != nil {
+					p.hook(startEv)
+				}
 				err := run(t)
 				mu.Lock()
 				running--
@@ -330,6 +434,9 @@ func (p *Pool) Run(ctx context.Context) error {
 				} else {
 					settle(t, stateDone, nil)
 				}
+				mu.Unlock()
+				drainEvents()
+				mu.Lock()
 			}
 		}()
 	}
@@ -365,6 +472,7 @@ func (p *Pool) Run(ctx context.Context) error {
 	}
 
 	wg.Wait()
+	drainEvents() // anything queued after the last worker's drain
 	close(stopProgress)
 	progressWG.Wait()
 

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/castore"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -155,6 +156,10 @@ type Sweep struct {
 	// telemetry.go). Keyed by task id, so the artifact set is identical
 	// for any worker count.
 	sink obs.Sink
+	// cache, when set, is the content-addressed result store consulted
+	// before (and populated after) every workload-driven simulation
+	// (see cache.go).
+	cache *castore.Store
 
 	// Cumulative throughput accounting across every Run (satisfies
 	// "how many configurations per hour" bookkeeping; see Stats).
@@ -199,14 +204,12 @@ func jobLabel(cfg sim.Config, wl []string) string {
 func (s *Sweep) Sim(cfg sim.Config, wl []string, deps ...*Task) *SimJob {
 	dcfg := deriveCfg(cfg, wl)
 	j := &SimJob{cfg: dcfg, wl: append([]string(nil), wl...)}
-	j.task = s.pool.Task(jobLabel(dcfg, wl), func(context.Context) error {
-		r, err := s.runSim(j.task.id, j.task.label, j.cfg, j.wl, nil)
+	j.task = s.pool.Task(jobLabel(dcfg, wl), func(ctx context.Context) error {
+		r, err := s.runSim(ctx, j.task.id, j.task.label, j.cfg, j.wl, nil)
 		if err != nil {
 			return err
 		}
 		j.res = r
-		s.sims.Add(1)
-		s.instr.Add(r.TotalInstructions())
 		return nil
 	}, deps...)
 	return j
@@ -217,14 +220,12 @@ func (s *Sweep) Sim(cfg sim.Config, wl []string, deps ...*Task) *SimJob {
 // and source-driven jobs are never deduplicated.
 func (s *Sweep) SimSources(label string, cfg sim.Config, sources []trace.Source, deps ...*Task) *SimJob {
 	j := &SimJob{cfg: cfg}
-	j.task = s.pool.Task(label, func(context.Context) error {
-		r, err := s.runSim(j.task.id, label, j.cfg, nil, sources)
+	j.task = s.pool.Task(label, func(ctx context.Context) error {
+		r, err := s.runSim(ctx, j.task.id, label, j.cfg, nil, sources)
 		if err != nil {
 			return err
 		}
 		j.res = r
-		s.sims.Add(1)
-		s.instr.Add(r.TotalInstructions())
 		return nil
 	}, deps...)
 	return j
@@ -259,14 +260,12 @@ func (s *Sweep) Compare(workload string, base *SimJob, cfg sim.Config, wl []stri
 	c.tech = tech
 	// One task runs the technique simulation and then normalises
 	// against the (already complete, by the DAG edge) baseline.
-	c.task = s.pool.Task(jobLabel(dcfg, wl), func(context.Context) error {
-		r, err := s.runSim(c.task.id, c.task.label, tech.cfg, tech.wl, nil)
+	c.task = s.pool.Task(jobLabel(dcfg, wl), func(ctx context.Context) error {
+		r, err := s.runSim(ctx, c.task.id, c.task.label, tech.cfg, tech.wl, nil)
 		if err != nil {
 			return err
 		}
 		tech.res = r
-		s.sims.Add(1)
-		s.instr.Add(r.TotalInstructions())
 		if base.res == nil {
 			return fmt.Errorf("runner: baseline result missing for %q", workload)
 		}
@@ -282,8 +281,10 @@ func (s *Sweep) Run(ctx context.Context) error {
 	return s.pool.Run(ctx)
 }
 
-// Stats reports cumulative throughput: simulations completed and
-// total simulated (measured) instructions across all Runs so far.
+// Stats reports cumulative throughput: simulations actually executed
+// (content-addressed cache hits excluded — see the store's own Stats
+// for those) and total simulated (measured) instructions across all
+// Runs so far.
 func (s *Sweep) Stats() (sims, instructions uint64) {
 	return s.sims.Load(), s.instr.Load()
 }

@@ -8,6 +8,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,9 +24,19 @@ func (s *Sweep) SetSink(sink obs.Sink) { s.sink = sink }
 
 // runSim executes one simulation for a scheduled job: plainly when no
 // sink is attached, with an interval collector plus artifact
-// persistence otherwise. Exactly one of wl/sources is used (sources
-// wins when non-nil, matching SimSources semantics).
-func (s *Sweep) runSim(seq int, label string, cfg sim.Config, wl []string, sources []trace.Source) (*sim.Result, error) {
+// persistence otherwise, and through the content-addressed result
+// store when a cache is attached (cache.go). Exactly one of
+// wl/sources is used (sources wins when non-nil, matching SimSources
+// semantics); source-driven jobs bypass the cache. The context is the
+// pool's run context: a cancelled sweep stops before starting the
+// simulation (and, on the cached path, abandons coalesced waits).
+func (s *Sweep) runSim(ctx context.Context, seq int, label string, cfg sim.Config, wl []string, sources []trace.Source) (*sim.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.cache != nil && sources == nil {
+		return s.runSimCached(ctx, seq, label, cfg, wl)
+	}
 	run := func(o obs.Observer) (*sim.Result, error) {
 		if sources != nil {
 			return sim.RunSourcesObserved(cfg, sources, o)
@@ -33,7 +44,13 @@ func (s *Sweep) runSim(seq int, label string, cfg sim.Config, wl []string, sourc
 		return sim.RunObserved(cfg, wl, o)
 	}
 	if s.sink == nil {
-		return run(nil)
+		r, err := run(nil)
+		if err != nil {
+			return nil, err
+		}
+		s.sims.Add(1)
+		s.instr.Add(r.TotalInstructions())
+		return r, nil
 	}
 
 	man := obs.NewManifest(label, cfg.Seed, cfg)
@@ -43,6 +60,8 @@ func (s *Sweep) runSim(seq int, label string, cfg sim.Config, wl []string, sourc
 	if err != nil {
 		return nil, err
 	}
+	s.sims.Add(1)
+	s.instr.Add(r.TotalInstructions())
 	man.Technique = r.Technique.String()
 	man.Cores = cfg.Cores
 	for _, c := range r.Cores {

@@ -1,0 +1,252 @@
+// Job state and the per-job event log backing the SSE stream.
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Unit is one simulation of a job: a (technique, workload) pair from
+// the spec's cross product, with the content address its artifact
+// lives under. Keys are computed at submission time — they depend
+// only on the effective configuration, never on execution.
+type Unit struct {
+	Label     string   `json:"label"`
+	Technique string   `json:"technique"`
+	Workload  []string `json:"workload"`
+	Key       string   `json:"key"`
+
+	cfg sim.Config
+}
+
+// Job tracks one submitted sweep.
+type Job struct {
+	ID      string
+	Spec    JobSpec
+	Units   []Unit
+	Created time.Time
+
+	mu    sync.Mutex
+	state State
+	err   error
+
+	log *eventLog
+}
+
+func newJob(id string, spec JobSpec, units []Unit) *Job {
+	j := &Job{
+		ID:      id,
+		Spec:    spec,
+		Units:   units,
+		Created: time.Now().UTC(),
+		state:   StateQueued,
+		log:     newEventLog(),
+	}
+	j.log.publish("state", Event{State: string(StateQueued)})
+	return j
+}
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's terminal error, if any.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+func (j *Job) setState(s State) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+	j.log.publish("state", Event{State: string(s)})
+}
+
+// finish records the terminal state and closes the event log.
+func (j *Job) finish(s State, err error) {
+	j.mu.Lock()
+	j.state = s
+	j.err = err
+	j.mu.Unlock()
+	ev := Event{State: string(s)}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	j.log.publish("state", ev)
+	j.log.close()
+}
+
+// taskEvent adapts runner task lifecycle events into the job's event
+// log. It runs on sweep worker goroutines.
+func (j *Job) taskEvent(ev runner.TaskEvent) {
+	e := Event{
+		Task:     ev.Type.String(),
+		Label:    ev.Label,
+		Finished: ev.Finished,
+		Total:    ev.Total,
+	}
+	if ev.Err != nil {
+		e.Error = ev.Err.Error()
+	}
+	j.log.publish("task", e)
+}
+
+// jobView is the JSON shape of GET /v1/jobs/{id}.
+type jobView struct {
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	Error     string `json:"error,omitempty"`
+	CreatedAt string `json:"created_at"`
+	Units     []Unit `json:"units"`
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+	ResultURL string `json:"result_url"`
+}
+
+func (j *Job) view() jobView {
+	j.mu.Lock()
+	state, err := j.state, j.err
+	j.mu.Unlock()
+	v := jobView{
+		ID:        j.ID,
+		State:     state,
+		CreatedAt: j.Created.Format(time.RFC3339),
+		Units:     j.Units,
+		StatusURL: "/v1/jobs/" + j.ID,
+		EventsURL: "/v1/jobs/" + j.ID + "/events",
+		ResultURL: "/v1/jobs/" + j.ID + "/result",
+	}
+	if err != nil {
+		v.Error = err.Error()
+	}
+	return v
+}
+
+// resultEnvelope is the JSON shape of GET /v1/jobs/{id}/result for
+// multi-unit jobs: every unit with the artifact URL its result is
+// served from.
+type resultEnvelope struct {
+	ID    string       `json:"id"`
+	Units []resultUnit `json:"units"`
+}
+
+type resultUnit struct {
+	Unit
+	ArtifactURL string `json:"artifact_url"`
+}
+
+func (j *Job) resultEnvelope() resultEnvelope {
+	env := resultEnvelope{ID: j.ID}
+	for _, u := range j.Units {
+		env.Units = append(env.Units, resultUnit{Unit: u, ArtifactURL: "/v1/artifacts/" + u.Key})
+	}
+	return env
+}
+
+// unitLabel names a unit the way the runner labels its jobs.
+func unitLabel(tech sim.Technique, wl []string) string {
+	return fmt.Sprintf("%s/%s", tech, strings.Join(wl, "+"))
+}
+
+// Event is one entry of a job's SSE stream: either a job state
+// transition (State set) or a runner task lifecycle event (Task set).
+type Event struct {
+	Seq      int    `json:"seq"`
+	Event    string `json:"-"`
+	State    string `json:"state,omitempty"`
+	Task     string `json:"task,omitempty"`
+	Label    string `json:"label,omitempty"`
+	Finished int    `json:"finished,omitempty"`
+	Total    int    `json:"total,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// eventLog is an append-only event sequence with replay: subscribers
+// read by index and wait on a broadcast channel for more, so no
+// subscriber can miss or be flooded by events regardless of its
+// consumption rate.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	wake   chan struct{}
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// publish appends an event and wakes every waiter.
+func (l *eventLog) publish(kind string, ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	ev.Seq = len(l.events)
+	ev.Event = kind
+	l.events = append(l.events, ev)
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// close marks the log complete and wakes every waiter.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// since returns the events from index from onward, a channel that
+// closes when the log changes, and whether the log is complete.
+func (l *eventLog) since(from int) ([]Event, <-chan struct{}, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	if from < len(l.events) {
+		out = append(out, l.events[from:]...)
+	}
+	return out, l.wake, l.closed
+}
+
+func (l *eventLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// bytesReader adapts a byte slice for json.Decoder.
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

@@ -1,0 +1,502 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/castore"
+	"repro/internal/obs"
+)
+
+// tinySpec is a fast single-unit job specification: one benchmark,
+// one technique, a few tens of thousands of instructions.
+func tinySpec(seed uint64) string {
+	return fmt.Sprintf(`{
+		"config": {"MeasureInstr": 30000, "WarmupInstr": 5000, "IntervalCycles": 20000, "Seed": %d},
+		"benchmarks": [["gcc"]],
+		"techniques": ["esteem"]
+	}`, seed)
+}
+
+// newTestServer builds a server over a fresh disk store.
+func newTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	store, err := castore.Open(t.TempDir(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Store: store, Workers: 2, SimWorkers: 2, QueueDepth: 8, JobTimeout: time.Minute}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// do runs one request against the handler and returns the recorder.
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// submit posts a spec and returns the decoded job view.
+func submit(t *testing.T, s *Server, spec string) jobView {
+	t.Helper()
+	w := do(t, s, "POST", "/v1/jobs", spec)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", w.Code, w.Body)
+	}
+	var v jobView
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" || len(v.Units) == 0 {
+		t.Fatalf("submit view: %+v", v)
+	}
+	return v
+}
+
+// waitDone polls a job until it reaches a terminal state.
+func waitDone(t *testing.T, s *Server, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		w := do(t, s, "GET", "/v1/jobs/"+id, "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("status: %d %s", w.Code, w.Body)
+		}
+		var v jobView
+		if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.State.Terminal() {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+	return jobView{}
+}
+
+func TestSubmitRunFetchRoundTrip(t *testing.T) {
+	s := newTestServer(t, nil)
+	v := submit(t, s, tinySpec(1))
+	got := waitDone(t, s, v.ID)
+	if got.State != StateDone {
+		t.Fatalf("job state %s, error %q", got.State, got.Error)
+	}
+
+	res := do(t, s, "GET", "/v1/jobs/"+v.ID+"/result", "")
+	if res.Code != http.StatusOK {
+		t.Fatalf("result: %d %s", res.Code, res.Body)
+	}
+	art, err := obs.ParseRun(res.Body.Bytes())
+	if err != nil {
+		t.Fatalf("result is not a run artifact: %v", err)
+	}
+	if art.Manifest.Technique != "esteem" {
+		t.Fatalf("artifact manifest %+v", art.Manifest)
+	}
+	if etag := res.Header().Get("ETag"); etag != `"`+v.Units[0].Key+`"` {
+		t.Fatalf("result ETag %q, unit key %q", etag, v.Units[0].Key)
+	}
+
+	// The artifact endpoint serves the same bytes by content address.
+	byKey := do(t, s, "GET", "/v1/artifacts/"+v.Units[0].Key, "")
+	if byKey.Code != http.StatusOK {
+		t.Fatalf("artifact: %d %s", byKey.Code, byKey.Body)
+	}
+	if !bytes.Equal(byKey.Body.Bytes(), res.Body.Bytes()) {
+		t.Fatal("artifact bytes differ from result bytes")
+	}
+}
+
+func TestSubmitErrorPaths(t *testing.T) {
+	s := newTestServer(t, nil)
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed JSON", `{"benchmarks": [`},
+		{"trailing data", `{"benchmarks": [["gcc"]], "techniques": ["esteem"]} garbage`},
+		{"unknown spec field", `{"benchmarks": [["gcc"]], "techniques": ["esteem"], "bogus": 1}`},
+		{"unknown config field", `{"config": {"Bogus": 1}, "benchmarks": [["gcc"]], "techniques": ["esteem"]}`},
+		{"no benchmarks", `{"benchmarks": [], "techniques": ["esteem"]}`},
+		{"no techniques", `{"benchmarks": [["gcc"]], "techniques": []}`},
+		{"unknown technique", `{"benchmarks": [["gcc"]], "techniques": ["quantum"]}`},
+		{"unknown benchmark", `{"benchmarks": [["fortnite"]], "techniques": ["esteem"]}`},
+		{"workload arity", `{"benchmarks": [["gcc", "lbm"]], "techniques": ["esteem"]}`},
+		{"invalid config", `{"config": {"MeasureInstr": 0}, "benchmarks": [["gcc"]], "techniques": ["esteem"]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := do(t, s, "POST", "/v1/jobs", tc.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("got %d %s, want 400", w.Code, w.Body)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("error body %s", w.Body)
+			}
+		})
+	}
+}
+
+func TestSubmitBodyTooLarge(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 64 })
+	w := do(t, s, "POST", "/v1/jobs", tinySpec(1))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("got %d, want 400 for oversized body", w.Code)
+	}
+}
+
+func TestUnknownJob(t *testing.T) {
+	s := newTestServer(t, nil)
+	for _, path := range []string{
+		"/v1/jobs/deadbeefdeadbeef",
+		"/v1/jobs/deadbeefdeadbeef/events",
+		"/v1/jobs/deadbeefdeadbeef/result",
+	} {
+		if w := do(t, s, "GET", path, ""); w.Code != http.StatusNotFound {
+			t.Fatalf("%s: got %d, want 404", path, w.Code)
+		}
+	}
+}
+
+func TestArtifactKeyValidation(t *testing.T) {
+	s := newTestServer(t, nil)
+	if w := do(t, s, "GET", "/v1/artifacts/not-a-key", ""); w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed key: got %d, want 400", w.Code)
+	}
+	missing := strings.Repeat("ab", 32)
+	if w := do(t, s, "GET", "/v1/artifacts/"+missing, ""); w.Code != http.StatusNotFound {
+		t.Fatalf("missing key: got %d, want 404", w.Code)
+	}
+}
+
+func TestQueueFullRejectsWith429(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 1
+		c.RetryAfter = 7 * time.Second
+	})
+	s.testGate = make(chan struct{})
+
+	// First job is dequeued and held at the gate; second fills the
+	// queue; third must be rejected.
+	submit(t, s, tinySpec(1))
+	waitQueueEmpty(t, s)
+	submit(t, s, tinySpec(2))
+	w := do(t, s, "POST", "/v1/jobs", tinySpec(3))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("got %d %s, want 429", w.Code, w.Body)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After %q, want 7", ra)
+	}
+	close(s.testGate)
+}
+
+// waitQueueEmpty waits until a worker has dequeued the pending job
+// (and is held at the test gate).
+func waitQueueEmpty(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		n := len(s.queue)
+		s.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("workers never picked up the job")
+}
+
+func TestResultBeforeCompletionConflicts(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Workers = 1 })
+	s.testGate = make(chan struct{})
+	v := submit(t, s, tinySpec(1))
+	if w := do(t, s, "GET", "/v1/jobs/"+v.ID+"/result", ""); w.Code != http.StatusConflict {
+		t.Fatalf("got %d, want 409 while running", w.Code)
+	}
+	close(s.testGate)
+	waitDone(t, s, v.ID)
+}
+
+func TestEventsStreamReplaysAndCompletes(t *testing.T) {
+	s := newTestServer(t, nil)
+	v := submit(t, s, tinySpec(1))
+	waitDone(t, s, v.ID)
+
+	// After completion the stream replays the full history and ends.
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{"event: state", "event: task", `"state":"running"`, `"state":"done"`, `"task":"done"`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("stream missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestEventsClientDisconnectMidStream(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Workers = 1 })
+	s.testGate = make(chan struct{})
+	v := submit(t, s, tinySpec(1))
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/v1/jobs/"+v.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the replayed "queued" event, then drop the connection while
+	// the job is still gated.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The job must still run to completion for other clients.
+	close(s.testGate)
+	if got := waitDone(t, s, v.ID); got.State != StateDone {
+		t.Fatalf("job state %s after client disconnect", got.State)
+	}
+}
+
+func TestDrainRejectsNewWorkAndFinishesInFlight(t *testing.T) {
+	s := newTestServer(t, nil)
+	v := submit(t, s, tinySpec(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := waitDone(t, s, v.ID); got.State != StateDone {
+		t.Fatalf("in-flight job state %s after drain", got.State)
+	}
+	if w := do(t, s, "POST", "/v1/jobs", tinySpec(2)); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: got %d, want 503", w.Code)
+	}
+	if w := do(t, s, "GET", "/healthz", ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain healthz: got %d, want 503", w.Code)
+	}
+}
+
+func TestConcurrentSubmitSingleFlight(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Workers = 4; c.SimWorkers = 1 })
+
+	const clients = 8
+	var wg sync.WaitGroup
+	ids := make([]string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := do(t, s, "POST", "/v1/jobs", tinySpec(99))
+			if w.Code != http.StatusAccepted {
+				t.Errorf("client %d: %d %s", i, w.Code, w.Body)
+				return
+			}
+			var v jobView
+			if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = v.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var bodies [][]byte
+	for _, id := range ids {
+		if got := waitDone(t, s, id); got.State != StateDone {
+			t.Fatalf("job %s state %s: %s", id, got.State, got.Error)
+		}
+		w := do(t, s, "GET", "/v1/jobs/"+id+"/result", "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("result %s: %d %s", id, w.Code, w.Body)
+		}
+		bodies = append(bodies, w.Body.Bytes())
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("client %d received different bytes", i)
+		}
+	}
+	// The paper-shaped guarantee: eight identical submissions, exactly
+	// one simulation.
+	if st := s.Store().Stats(); st.Computes != 1 {
+		t.Fatalf("store stats %+v, want exactly 1 compute", st)
+	}
+}
+
+func TestResultSurvivesRestartByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := castore.Open(dir, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(Config{Store: store1, Workers: 1, SimWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := submit(t, s1, tinySpec(5))
+	waitDone(t, s1, v.ID)
+	cold := do(t, s1, "GET", "/v1/jobs/"+v.ID+"/result", "")
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold result: %d", cold.Code)
+	}
+	s1.Close()
+
+	// A fresh process over the same directory serves the same bytes
+	// without executing anything.
+	store2, err := castore.Open(dir, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{Store: store2, Workers: 1, SimWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v2 := submit(t, s2, tinySpec(5))
+	waitDone(t, s2, v2.ID)
+	warm := do(t, s2, "GET", "/v1/jobs/"+v2.ID+"/result", "")
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm result: %d", warm.Code)
+	}
+	if !bytes.Equal(cold.Body.Bytes(), warm.Body.Bytes()) {
+		t.Fatal("restart changed result bytes")
+	}
+	if st := store2.Stats(); st.Computes != 0 {
+		t.Fatalf("restart re-ran the simulation: %+v", st)
+	}
+}
+
+func TestMultiUnitJobEnvelope(t *testing.T) {
+	s := newTestServer(t, nil)
+	spec := `{
+		"config": {"MeasureInstr": 30000, "WarmupInstr": 5000, "IntervalCycles": 20000},
+		"benchmarks": [["gcc"], ["lbm"]],
+		"techniques": ["baseline", "esteem"]
+	}`
+	v := submit(t, s, spec)
+	if len(v.Units) != 4 {
+		t.Fatalf("%d units, want 4", len(v.Units))
+	}
+	waitDone(t, s, v.ID)
+	w := do(t, s, "GET", "/v1/jobs/"+v.ID+"/result", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("result: %d %s", w.Code, w.Body)
+	}
+	var env resultEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Units) != 4 {
+		t.Fatalf("envelope units %d", len(env.Units))
+	}
+	for _, u := range env.Units {
+		a := do(t, s, "GET", u.ArtifactURL, "")
+		if a.Code != http.StatusOK {
+			t.Fatalf("artifact %s: %d", u.ArtifactURL, a.Code)
+		}
+		if _, err := obs.ParseRun(a.Body.Bytes()); err != nil {
+			t.Fatalf("artifact %s: %v", u.ArtifactURL, err)
+		}
+	}
+}
+
+func TestVersionHealthzMetrics(t *testing.T) {
+	s := newTestServer(t, nil)
+	v := submit(t, s, tinySpec(1))
+	waitDone(t, s, v.ID)
+
+	w := do(t, s, "GET", "/v1/version", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"esteem-serve"`) {
+		t.Fatalf("version: %d %s", w.Code, w.Body)
+	}
+	w = do(t, s, "GET", "/healthz", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body)
+	}
+	w = do(t, s, "GET", "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	for _, metric := range []string{
+		"esteem_serve_queue_depth",
+		"esteem_serve_in_flight_jobs",
+		"esteem_serve_jobs_accepted_total 1",
+		"esteem_serve_jobs_completed_total 1",
+		"esteem_serve_cache_computes_total 1",
+		"esteem_serve_sims_executed_total 1",
+		"esteem_serve_sims_per_second",
+	} {
+		if !strings.Contains(w.Body.String(), metric) {
+			t.Fatalf("metrics missing %q:\n%s", metric, w.Body)
+		}
+	}
+}
+
+func TestConditionalArtifactFetch(t *testing.T) {
+	s := newTestServer(t, nil)
+	v := submit(t, s, tinySpec(1))
+	waitDone(t, s, v.ID)
+	key := v.Units[0].Key
+
+	req := httptest.NewRequest("GET", "/v1/artifacts/"+key, nil)
+	req.Header.Set("If-None-Match", `"`+key+`"`)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusNotModified {
+		t.Fatalf("conditional fetch: %d, want 304", w.Code)
+	}
+}

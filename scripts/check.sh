@@ -1,9 +1,13 @@
 #!/bin/sh
 # check.sh — the repository's verification gate. Run before every
 # commit (or via `make check`): build, vet, tests, and the race
-# detector over the full module. The race pass matters since the
-# internal/runner engine executes simulations on parallel workers; its
-# tests drive pools at up to 8 workers.
+# detector over the full module (including the service stack:
+# internal/castore, internal/serve, internal/cliflags and the
+# esteem-serve/esteem-client binaries). The race pass matters since
+# the internal/runner engine executes simulations on parallel workers
+# and internal/serve drives concurrent jobs through one shared
+# content-addressed store; scripts/serve-smoke.sh covers the service
+# end to end over a real socket.
 set -eu
 cd "$(dirname "$0")/.."
 

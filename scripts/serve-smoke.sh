@@ -1,0 +1,96 @@
+#!/bin/sh
+# serve-smoke.sh — end-to-end smoke test of the simulation service.
+#
+# Builds esteem-serve and esteem-client, boots a daemon on a free
+# port, and drives the full client workflow against it: submit, poll,
+# stream events, fetch the result. Then proves the content-addressed
+# store's headline guarantees with cmp(1):
+#
+#   1. a cache-hit resubmission returns byte-identical result bytes
+#      and executes zero simulations;
+#   2. a daemon restarted over the same store directory serves the
+#      same bytes from disk, again executing nothing;
+#   3. SIGTERM drains gracefully (the daemon exits 0).
+set -eu
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building service binaries =="
+go build -o "$WORK/" ./cmd/esteem-serve ./cmd/esteem-client
+
+start_daemon() {
+    rm -f "$WORK/addr"
+    "$WORK/esteem-serve" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
+        -cache "$WORK/store" -job-timeout 2m >"$WORK/serve.log" 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 1 50); do
+        [ -s "$WORK/addr" ] && break
+        sleep 0.1
+    done
+    [ -s "$WORK/addr" ] || { echo "daemon never wrote its address"; cat "$WORK/serve.log"; exit 1; }
+    SERVER="http://$(cat "$WORK/addr")"
+    echo "== daemon up at $SERVER =="
+}
+
+stop_daemon() {
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID" || { echo "daemon exited non-zero on SIGTERM"; cat "$WORK/serve.log"; exit 1; }
+    SERVE_PID=""
+}
+
+# submit_job VAR: submits the canonical tiny job and stores its id.
+SUBMIT_ARGS="-bench gcc -technique esteem -instr 200000 -warmup 50000 -interval 100000 -seed 1 -wait"
+submit_job() {
+    "$WORK/esteem-client" submit -server "$SERVER" $SUBMIT_ARGS 2>/dev/null |
+        sed -n 's/^  "id": "\([0-9a-f]*\)",$/\1/p'
+}
+
+metric() {
+    curl -sf "$SERVER/metrics" | awk -v m="$1" '$1 == m {print $2}'
+}
+
+start_daemon
+
+echo "== cold submit =="
+COLD_ID="$(submit_job)"
+[ -n "$COLD_ID" ] || { echo "submit returned no job id"; exit 1; }
+"$WORK/esteem-client" result -server "$SERVER" -o "$WORK/cold.json" "$COLD_ID"
+
+echo "== event stream =="
+"$WORK/esteem-client" watch -server "$SERVER" "$COLD_ID" | tee "$WORK/events.log"
+grep -q '"state":"done"' "$WORK/events.log" || { echo "event stream missing terminal state"; exit 1; }
+grep -q '"task":"done"' "$WORK/events.log" || { echo "event stream missing task events"; exit 1; }
+
+echo "== warm submit (cache hit) =="
+WARM_ID="$(submit_job)"
+"$WORK/esteem-client" result -server "$SERVER" -o "$WORK/warm.json" "$WARM_ID"
+cmp "$WORK/cold.json" "$WORK/warm.json" || { echo "warm result differs from cold result"; exit 1; }
+COMPUTES="$(metric esteem_serve_cache_computes_total)"
+[ "$COMPUTES" = "1" ] || { echo "expected exactly 1 compute, got $COMPUTES"; exit 1; }
+echo "byte-identical, $COMPUTES simulation executed"
+
+echo "== health and version =="
+curl -sf "$SERVER/healthz" | grep -q '"ok"' || { echo "healthz not ok"; exit 1; }
+curl -sf "$SERVER/v1/version" | grep -q '"esteem-serve"' || { echo "version endpoint broken"; exit 1; }
+
+echo "== graceful drain =="
+stop_daemon
+
+echo "== restart over the same store =="
+start_daemon
+RESTART_ID="$(submit_job)"
+"$WORK/esteem-client" result -server "$SERVER" -o "$WORK/restart.json" "$RESTART_ID"
+cmp "$WORK/cold.json" "$WORK/restart.json" || { echo "restarted daemon served different bytes"; exit 1; }
+COMPUTES="$(metric esteem_serve_cache_computes_total)"
+[ "$COMPUTES" = "0" ] || { echo "restart re-ran the simulation ($COMPUTES computes)"; exit 1; }
+echo "restart served from disk, 0 simulations executed"
+stop_daemon
+
+echo "== serve smoke OK =="
