@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the CI/verification gate.
 
-.PHONY: check ci lint golden golden-update verify fuzz-smoke build vet test race bench results quick-results serve serve-smoke
+.PHONY: check ci lint golden golden-update verify fuzz-smoke build vet test race bench results quick-results serve serve-smoke trace-smoke
 
 check:
 	./scripts/check.sh
@@ -8,7 +8,7 @@ check:
 # Everything CI runs: lint, the full check gate, the golden-output
 # drift gate, the differential-verification gate, and the service
 # smoke test.
-ci: lint check golden verify serve-smoke
+ci: lint check golden verify serve-smoke trace-smoke
 
 # Differential verification: oracle reference models vs the optimized
 # implementations, plus the simulator rebuilt with runtime invariant
@@ -70,3 +70,9 @@ serve:
 # cmp-proven byte-identity of cached and restart-served results.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# End-to-end tracing smoke test: bench and serve both export
+# Perfetto-loadable span traces; the serve tree is validated for
+# well-formedness and >= 95% wall-clock coverage.
+trace-smoke:
+	./scripts/trace-smoke.sh

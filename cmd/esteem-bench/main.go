@@ -46,6 +46,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/tracez"
 )
 
 type harness struct {
@@ -135,13 +136,20 @@ func main() {
 		defer stop()
 	}
 
-	// Per-run telemetry artifacts.
+	// Per-run telemetry artifacts, plus a span trace of the whole
+	// sweep exported as a Chrome trace-event file next to them.
+	var rootSpan *tracez.Span
+	var tracer *tracez.Tracer
 	if *telemetry {
 		sink, err := obs.NewDirSink(filepath.Join(h.outDir, "runs"))
 		if err != nil {
 			fatal(err)
 		}
 		h.sweep.SetSink(sink)
+		// A full sweep emits a span per task plus a span per simulator
+		// interval, so the ring is sized well beyond the serve default.
+		tracer = tracez.New(tracez.Config{RingSize: 1 << 18})
+		rootSpan = tracer.Root("esteem-bench")
 	}
 
 	want := map[string]bool{}
@@ -188,10 +196,11 @@ func main() {
 	// Phase 2: one parallel run over the whole job DAG.
 	manifest := obs.NewManifest("esteem-bench -exp "+*exp, *budget.Seed, os.Args[1:])
 	t0 := time.Now()
-	if err := h.sweep.Run(context.Background()); err != nil {
+	if err := h.sweep.Run(tracez.ContextWith(context.Background(), rootSpan)); err != nil {
 		fatal(err)
 	}
 	wall := time.Since(t0)
+	rootSpan.End()
 
 	// Phase 3: format and write in submission order (worker-count
 	// independent). Each experiment yields a text table and, when it
@@ -245,7 +254,29 @@ func main() {
 		if err := os.WriteFile(filepath.Join(h.outDir, "manifest.json"), b, 0o644); err != nil {
 			fatal(err)
 		}
+		writeChromeTrace(tracer, rootSpan, filepath.Join(h.outDir, "trace.json"))
 	}
+}
+
+// writeChromeTrace exports the sweep's span tree as a Chrome
+// trace-event file (loadable at https://ui.perfetto.dev). A trace
+// whose spans overflowed the ring is reported, not fatal: the run's
+// results are unaffected.
+func writeChromeTrace(tracer *tracez.Tracer, root *tracez.Span, path string) {
+	tree, err := tracez.BuildTree(tracer.Spans(root.TraceID()))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "== trace: not written: %v ==\n", err)
+		return
+	}
+	data, err := tracez.ChromeTrace(tree)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "== trace: not written: %v ==\n", err)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "== trace (%d spans) -> %s ==\n", tree.Spans, path)
 }
 
 // config builds the scaled run configuration for an experiment.

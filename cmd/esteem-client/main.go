@@ -12,24 +12,34 @@
 //	esteem-client submit -bench gobmk+nekbone,gcc+gamess -technique baseline,esteem
 //	esteem-client status  <job-id>
 //	esteem-client watch   <job-id>
+//	esteem-client trace   <job-id> -format chrome -o trace.json
 //	esteem-client result  <job-id> -o artifact.json
 //	esteem-client artifact <key>
 //	esteem-client version
+//
+// Every submission stamps a W3C traceparent header, so the server's
+// span tree joins the client's trace; "trace" fetches that tree after
+// the job completes, validates it, and can convert it to a Chrome
+// trace-event file loadable in Perfetto (https://ui.perfetto.dev).
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/cliflags"
 	"repro/internal/serve"
+	"repro/internal/tracez"
 )
 
 func main() {
@@ -40,7 +50,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: esteem-client <submit|status|watch|result|artifact|version> [flags]")
+	return fmt.Errorf("usage: esteem-client <submit|status|watch|trace|result|artifact|version> [flags]")
 }
 
 func run(args []string) error {
@@ -55,6 +65,8 @@ func run(args []string) error {
 		return cmdGetJSON(rest, "status", func(id string) string { return "/v1/jobs/" + id })
 	case "watch":
 		return cmdWatch(rest)
+	case "trace":
+		return cmdTrace(rest)
 	case "result":
 		return cmdFetch(rest, "result", func(id string) string { return "/v1/jobs/" + id + "/result" })
 	case "artifact":
@@ -97,6 +109,7 @@ func cmdSubmit(args []string) error {
 	budget := cliflags.RegisterBudget(fs, 2_000_000, 20_000_000, 10_000_000, 1)
 	overrides := fs.String("config", "", "extra sim.Config overrides as inline JSON (applied last)")
 	wait := fs.Bool("wait", false, "poll until the job finishes; exit non-zero on failure")
+	retries := fs.Int("retries", 5, "attempts when the server responds 429 (queue full); honors Retry-After")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,7 +160,11 @@ func cmdSubmit(args []string) error {
 		return err
 	}
 
-	resp, err := http.Post(strings.TrimRight(*server, "/")+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	// The submission's root span: the server extracts the traceparent
+	// header and joins this trace, so the job's exported span tree
+	// carries the client's trace ID end to end.
+	root := tracez.New(tracez.Config{}).Root("submit")
+	resp, err := postJob(strings.TrimRight(*server, "/"), body, tracez.Traceparent(root), *retries)
 	if err != nil {
 		return err
 	}
@@ -160,8 +177,9 @@ func cmdSubmit(args []string) error {
 		return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(payload)))
 	}
 	var view struct {
-		ID    string `json:"id"`
-		State string `json:"state"`
+		ID      string `json:"id"`
+		State   string `json:"state"`
+		TraceID string `json:"trace_id"`
 	}
 	if err := json.Unmarshal(payload, &view); err != nil {
 		return err
@@ -171,7 +189,7 @@ func cmdSubmit(args []string) error {
 		return nil
 	}
 
-	fmt.Fprintf(os.Stderr, "job %s submitted, waiting...\n", view.ID)
+	fmt.Fprintf(os.Stderr, "job %s submitted (trace %s), waiting...\n", view.ID, view.TraceID)
 	for {
 		resp, err := get(*server, "/v1/jobs/"+view.ID)
 		if err != nil {
@@ -200,6 +218,43 @@ func cmdSubmit(args []string) error {
 	}
 }
 
+// postJob submits the job body, retrying 429 (queue full) responses
+// up to attempts times with a jittered backoff that honors the
+// server's Retry-After hint. Any other response is returned as-is.
+func postJob(server string, body []byte, traceparent string, attempts int) (*http.Response, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, server+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= attempts {
+			return resp, nil
+		}
+		delay := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			delay = time.Duration(secs) * time.Second
+		}
+		// Jitter ±25% so simultaneous clients don't retry in lockstep.
+		delay += time.Duration((rand.Float64() - 0.5) * 0.5 * float64(delay))
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		fmt.Fprintf(os.Stderr, "submit: queue full (429), retrying in %s (attempt %d/%d)\n",
+			delay.Round(time.Millisecond), attempt, attempts)
+		time.Sleep(delay)
+	}
+}
+
 func cmdGetJSON(args []string, name string, path func(string) string) error {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	server := serverFlag(fs)
@@ -221,25 +276,149 @@ func cmdGetJSON(args []string, name string, path func(string) string) error {
 func cmdWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	server := serverFlag(fs)
+	reconnects := fs.Int("reconnects", 8, "consecutive failed reconnect attempts before giving up")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: esteem-client watch [-server URL] <job-id>")
 	}
-	resp, err := get(*server, "/v1/jobs/"+fs.Arg(0)+"/events")
+	// A dropped stream reconnects with Last-Event-ID, so the server
+	// replays exactly the events this client has not yet printed. The
+	// backoff doubles per consecutive failure (jittered, capped) and
+	// resets whenever a connection delivers an event.
+	lastID := -1
+	failures := 0
+	var lastErr error
+	for {
+		terminal, progressed, err := streamEvents(*server, fs.Arg(0), &lastID)
+		if terminal {
+			return nil
+		}
+		if progressed {
+			failures = 0
+		}
+		if err != nil {
+			lastErr = err
+		}
+		failures++
+		if failures > *reconnects {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("stream ended without a terminal job state")
+			}
+			return fmt.Errorf("watch: giving up after %d reconnect attempts: %v", *reconnects, lastErr)
+		}
+		delay := time.Duration(1<<uint(failures-1)) * 500 * time.Millisecond
+		if delay > 15*time.Second {
+			delay = 15 * time.Second
+		}
+		delay += time.Duration(rand.Float64() * 0.25 * float64(delay))
+		fmt.Fprintf(os.Stderr, "watch: stream dropped (%v), reconnecting in %s\n", err, delay.Round(time.Millisecond))
+		time.Sleep(delay)
+	}
+}
+
+// streamEvents follows one SSE connection, printing every data
+// payload. It reports whether a terminal job state was observed (the
+// watch is complete), whether any event arrived on this connection,
+// and the error that ended the stream.
+func streamEvents(server, id string, lastID *int) (terminal, progressed bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, strings.TrimRight(server, "/")+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return false, false, err
+	}
+	if *lastID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(*lastID))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return false, false, fmt.Errorf("GET /v1/jobs/%s/events: %s: %s", id, resp.Status, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			if n, err := strconv.Atoi(strings.TrimPrefix(line, "id: ")); err == nil {
+				*lastID = n
+			}
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			fmt.Println(data)
+			progressed = true
+			var ev struct {
+				State string `json:"state"`
+			}
+			if json.Unmarshal([]byte(data), &ev) == nil && serve.State(ev.State).Terminal() {
+				terminal = true
+			}
+		}
+	}
+	if terminal {
+		return true, progressed, nil
+	}
+	return false, progressed, sc.Err()
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	server := serverFlag(fs)
+	out := fs.String("o", "", "write the trace to this file instead of stdout")
+	format := fs.String("format", "tree", "output format: tree (canonical span tree) or chrome (Perfetto-loadable)")
+	minCov := fs.Float64("min-coverage", 0, "fail unless the root's children cover at least this fraction of its wall-clock (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: esteem-client trace [-server URL] [-format tree|chrome] [-o FILE] <job-id>")
+	}
+	resp, err := get(*server, "/v1/jobs/"+fs.Arg(0)+"/trace")
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		line := sc.Text()
-		if strings.HasPrefix(line, "data: ") {
-			fmt.Println(strings.TrimPrefix(line, "data: "))
-		}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
 	}
-	return sc.Err()
+	tree, err := tracez.ParseTree(raw)
+	if err != nil {
+		return fmt.Errorf("trace: %v", err)
+	}
+	if err := tree.Validate(); err != nil {
+		return fmt.Errorf("trace: invalid span tree: %v", err)
+	}
+	cov := tree.Coverage()
+	fmt.Fprintf(os.Stderr, "trace %s: %d spans, root %q %.3f ms, phase coverage %.1f%%\n",
+		tree.TraceID, tree.Spans, tree.Root.Name, float64(tree.Root.DurUS)/1e3, cov*100)
+	if *minCov > 0 && cov < *minCov {
+		return fmt.Errorf("trace: coverage %.3f below required %.3f", cov, *minCov)
+	}
+	var data []byte
+	switch *format {
+	case "tree":
+		data = raw
+	case "chrome":
+		if data, err = tracez.ChromeTrace(tree); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("trace: unknown -format %q (want tree or chrome)", *format)
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %s (%d bytes); open chrome traces at https://ui.perfetto.dev\n", *out, len(data))
+	return nil
 }
 
 func cmdFetch(args []string, name string, path func(string) string) error {

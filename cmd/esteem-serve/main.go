@@ -19,16 +19,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/castore"
 	"repro/internal/cliflags"
 	"repro/internal/serve"
+	"repro/internal/tracez"
 )
 
 func main() {
@@ -48,6 +51,10 @@ func run() error {
 	queue := flag.Int("queue", 16, "admission queue depth (full queue rejects with 429)")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job execution timeout")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for queued and in-flight jobs")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "json", "structured log format: json or text")
+	traceSample := flag.Float64("trace-sample", 1, "fraction of traces recorded (head-based; 1 = all)")
+	traceRing := flag.Int("trace-ring", 4096, "completed spans retained for /v1/jobs/{id}/trace")
 	version := cliflags.VersionFlag(flag.CommandLine)
 	flag.Parse()
 
@@ -56,6 +63,10 @@ func run() error {
 		return nil
 	}
 
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 	store, err := castore.Open(*cacheDir, *memEntries)
 	if err != nil {
 		return err
@@ -66,6 +77,8 @@ func run() error {
 		SimWorkers: *simJobs,
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
+		Tracer:     tracez.New(tracez.Config{SampleRatio: *traceSample, RingSize: *traceRing}),
+		Logger:     logger,
 	})
 	if err != nil {
 		return err
@@ -111,4 +124,31 @@ func run() error {
 	st := store.Stats()
 	fmt.Fprintf(os.Stderr, "esteem-serve: store: %s\n", st.Summary())
 	return nil
+}
+
+// buildLogger assembles the daemon's structured logger (stderr, so
+// log lines never mix with protocol output).
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want json or text)", format)
+	}
 }

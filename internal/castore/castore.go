@@ -30,11 +30,13 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/tracez"
 )
 
 // KeySchemaVersion is folded into every key so that incompatible
@@ -260,7 +262,14 @@ func (s *Store) Put(key string, data []byte) error {
 // the computation; cancellation of the computing caller's ctx is
 // compute's own business (it receives ctx).
 func (s *Store) GetOrCompute(ctx context.Context, key string, compute func(context.Context) ([]byte, error)) (data []byte, cached bool, err error) {
-	if data, ok, err := s.Get(key); err != nil {
+	// Tracing: a span per store phase (lookup, coalesced wait,
+	// persist), nil-safe and free when the context carries no span.
+	sp := tracez.FromContext(ctx)
+	lsp := sp.Child("store-get")
+	data, ok, err := s.Get(key)
+	lsp.SetAttr("hit", strconv.FormatBool(ok && err == nil))
+	lsp.End()
+	if err != nil {
 		return nil, false, err
 	} else if ok {
 		return data, true, nil
@@ -270,6 +279,8 @@ func (s *Store) GetOrCompute(ctx context.Context, key string, compute func(conte
 	if f, ok := s.flights[key]; ok {
 		s.mu.Unlock()
 		s.coalesced.Add(1)
+		wsp := sp.Child("store-coalesce")
+		defer wsp.End()
 		select {
 		case <-f.done:
 			return f.data, true, f.err
@@ -293,9 +304,12 @@ func (s *Store) GetOrCompute(ctx context.Context, key string, compute func(conte
 	s.computes.Add(1)
 	data, err = compute(ctx)
 	if err == nil {
+		psp := sp.Child("store-put")
+		psp.SetAttrInt("bytes", int64(len(data)))
 		if perr := s.Put(key, data); perr != nil {
 			err = perr
 		}
+		psp.End()
 	}
 	f.data, f.err = data, err
 	s.settle(key, f)

@@ -15,10 +15,12 @@ package runner
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"repro/internal/castore"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/tracez"
 )
 
 // SetCache attaches a content-addressed result store to the sweep.
@@ -41,11 +43,17 @@ func CacheKey(cfg sim.Config, wl []string) (string, error) {
 // simArtifact runs one simulation with a collector attached and
 // packages the deterministic run artifact (manifest timing zeroed)
 // whose canonical bytes are what the content-addressed store
-// persists.
-func (s *Sweep) simArtifact(label string, cfg sim.Config, wl []string) (*sim.Result, obs.RunArtifact, error) {
+// persists. sp, when non-nil, receives the simulator's phase spans.
+func (s *Sweep) simArtifact(sp *tracez.Span, label string, cfg sim.Config, wl []string) (*sim.Result, obs.RunArtifact, error) {
 	man := obs.NewManifest(label, cfg.Seed, cfg)
 	col := obs.NewCollector()
-	r, err := sim.RunObserved(cfg, wl, col)
+	sm, err := sim.New(cfg, wl)
+	if err != nil {
+		return nil, obs.RunArtifact{}, err
+	}
+	sm.SetObserver(col)
+	sm.SetTraceSpan(sp)
+	r, err := sm.Run()
 	if err != nil {
 		return nil, obs.RunArtifact{}, err
 	}
@@ -75,21 +83,28 @@ func (s *Sweep) runSimCached(ctx context.Context, seq int, label string, cfg sim
 	if err != nil {
 		return nil, err
 	}
+	csp := tracez.FromContext(ctx).Child("cache")
 	var live *sim.Result
-	data, _, err := s.cache.GetOrCompute(ctx, key, func(context.Context) ([]byte, error) {
-		r, art, err := s.simArtifact(label, cfg, wl)
+	data, _, err := s.cache.GetOrCompute(tracez.ContextWith(ctx, csp), key, func(context.Context) ([]byte, error) {
+		ssp := csp.Child("sim")
+		r, art, err := s.simArtifact(ssp, label, cfg, wl)
+		ssp.End()
 		if err != nil {
 			return nil, err
 		}
 		live = r
 		s.sims.Add(1)
 		s.instr.Add(r.TotalInstructions())
+		esp := csp.Child("encode")
 		b, err := obs.MarshalCanonical(art)
+		esp.End()
 		if err != nil {
 			return nil, fmt.Errorf("runner: encoding artifact for %q: %w", label, err)
 		}
 		return b, nil
 	})
+	csp.SetAttr("hit", strconv.FormatBool(err == nil && live == nil))
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +113,10 @@ func (s *Sweep) runSimCached(ctx context.Context, seq int, label string, cfg sim
 		return nil, fmt.Errorf("runner: cached artifact for %q: %w", label, err)
 	}
 	if s.sink != nil {
-		if err := s.sink.WriteRun(seq, art); err != nil {
+		wsp := tracez.FromContext(ctx).Child("artifact-write")
+		err := s.sink.WriteRun(seq, art)
+		wsp.End()
+		if err != nil {
 			return nil, fmt.Errorf("runner: writing artifact for %q: %w", label, err)
 		}
 	}

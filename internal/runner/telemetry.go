@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/tracez"
 )
 
 // SetSink attaches a run-artifact sink to the sweep. Must be called
@@ -34,14 +35,32 @@ func (s *Sweep) runSim(ctx context.Context, seq int, label string, cfg sim.Confi
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Per-task span: everything the task does (cache lookup, the
+	// simulation itself, artifact writes) nests under it. Free when
+	// the run context carries no span (the default).
+	tsp, ctx := tracez.StartChild(ctx, "task")
+	tsp.SetAttr("label", label)
+	tsp.SetAttrInt("seq", int64(seq))
+	defer tsp.End()
 	if s.cache != nil && sources == nil {
 		return s.runSimCached(ctx, seq, label, cfg, wl)
 	}
 	run := func(o obs.Observer) (*sim.Result, error) {
+		var sm *sim.Simulator
+		var err error
 		if sources != nil {
-			return sim.RunSourcesObserved(cfg, sources, o)
+			sm, err = sim.NewFromSources(cfg, sources)
+		} else {
+			sm, err = sim.New(cfg, wl)
 		}
-		return sim.RunObserved(cfg, wl, o)
+		if err != nil {
+			return nil, err
+		}
+		sm.SetObserver(o)
+		ssp := tsp.Child("sim")
+		defer ssp.End()
+		sm.SetTraceSpan(ssp)
+		return sm.Run()
 	}
 	if s.sink == nil {
 		r, err := run(nil)
@@ -76,8 +95,11 @@ func (s *Sweep) runSim(ctx context.Context, seq int, label string, cfg sim.Confi
 		Summary:       Summarize(r),
 		Intervals:     col.Intervals(),
 	}
-	if err := s.sink.WriteRun(seq, art); err != nil {
-		return nil, fmt.Errorf("runner: writing artifact for %q: %w", label, err)
+	wsp := tsp.Child("artifact-write")
+	werr := s.sink.WriteRun(seq, art)
+	wsp.End()
+	if werr != nil {
+		return nil, fmt.Errorf("runner: writing artifact for %q: %w", label, werr)
 	}
 	return r, nil
 }

@@ -1,0 +1,63 @@
+// Latency histograms for /metrics: a minimal fixed-bucket Prometheus
+// histogram (cumulative _bucket series, _sum, _count) with no labels
+// and no dependencies, matching the text exposition format the rest
+// of handleMetrics emits.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// latencyBuckets are the shared upper bounds (seconds) for every
+// serve-side latency histogram: 1ms to 60s, roughly geometric.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a concurrency-safe fixed-bucket histogram.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds; +Inf is implicit
+	counts []uint64  // len(bounds)+1; last is the overflow bucket
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// observe records one value (seconds).
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// write emits the histogram in Prometheus text format. Bucket counts
+// are cumulative, as the format requires.
+func (h *histogram) write(w io.Writer, name, help string) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}

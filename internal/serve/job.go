@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/tracez"
 )
 
 // State is a job's lifecycle phase.
@@ -49,6 +50,16 @@ type Job struct {
 	Units   []Unit
 	Created time.Time
 
+	// TraceID is the hex form of the job's trace (for views, logs and
+	// SSE events); traceID is the binary form the tracer is queried
+	// with; span is the trace's root ("job") and queueSpan its
+	// admission-queue child, both ended by finish at the latest.
+	TraceID   string
+	traceID   tracez.TraceID
+	span      *tracez.Span
+	queueSpan *tracez.Span
+	enqueued  time.Time
+
 	mu    sync.Mutex
 	state State
 	err   error
@@ -56,14 +67,19 @@ type Job struct {
 	log *eventLog
 }
 
-func newJob(id string, spec JobSpec, units []Unit) *Job {
+func newJob(id string, spec JobSpec, units []Unit, root *tracez.Span) *Job {
 	j := &Job{
-		ID:      id,
-		Spec:    spec,
-		Units:   units,
-		Created: time.Now().UTC(),
-		state:   StateQueued,
-		log:     newEventLog(),
+		ID:        id,
+		Spec:      spec,
+		Units:     units,
+		Created:   time.Now().UTC(),
+		TraceID:   root.TraceID().String(),
+		traceID:   root.TraceID(),
+		span:      root,
+		queueSpan: root.Child("queue"),
+		enqueued:  time.Now(),
+		state:     StateQueued,
+		log:       newEventLog(root.TraceID().String()),
 	}
 	j.log.publish("state", Event{State: string(StateQueued)})
 	return j
@@ -90,8 +106,18 @@ func (j *Job) setState(s State) {
 	j.log.publish("state", Event{State: string(s)})
 }
 
-// finish records the terminal state and closes the event log.
+// finish records the terminal state and closes the event log. The
+// job's spans end here at the latest (End is idempotent, so the queue
+// span may already be closed by the worker), before the state flips:
+// a client that observes a terminal state can rely on the trace being
+// fully recorded.
 func (j *Job) finish(s State, err error) {
+	j.queueSpan.End()
+	j.span.SetAttr("state", string(s))
+	if err != nil {
+		j.span.SetAttr("error", err.Error())
+	}
+	j.span.End()
 	j.mu.Lock()
 	j.state = s
 	j.err = err
@@ -125,9 +151,11 @@ type jobView struct {
 	State     State  `json:"state"`
 	Error     string `json:"error,omitempty"`
 	CreatedAt string `json:"created_at"`
+	TraceID   string `json:"trace_id"`
 	Units     []Unit `json:"units"`
 	StatusURL string `json:"status_url"`
 	EventsURL string `json:"events_url"`
+	TraceURL  string `json:"trace_url"`
 	ResultURL string `json:"result_url"`
 }
 
@@ -139,9 +167,11 @@ func (j *Job) view() jobView {
 		ID:        j.ID,
 		State:     state,
 		CreatedAt: j.Created.Format(time.RFC3339),
+		TraceID:   j.TraceID,
 		Units:     j.Units,
 		StatusURL: "/v1/jobs/" + j.ID,
 		EventsURL: "/v1/jobs/" + j.ID + "/events",
+		TraceURL:  "/v1/jobs/" + j.ID + "/trace",
 		ResultURL: "/v1/jobs/" + j.ID + "/result",
 	}
 	if err != nil {
@@ -178,9 +208,12 @@ func unitLabel(tech sim.Technique, wl []string) string {
 
 // Event is one entry of a job's SSE stream: either a job state
 // transition (State set) or a runner task lifecycle event (Task set).
+// Every event carries the job's trace ID so stream consumers can
+// correlate with logs and span exports.
 type Event struct {
 	Seq      int    `json:"seq"`
 	Event    string `json:"-"`
+	TraceID  string `json:"trace_id,omitempty"`
 	State    string `json:"state,omitempty"`
 	Task     string `json:"task,omitempty"`
 	Label    string `json:"label,omitempty"`
@@ -194,14 +227,16 @@ type Event struct {
 // subscriber can miss or be flooded by events regardless of its
 // consumption rate.
 type eventLog struct {
+	traceID string // stamped onto every published event
+
 	mu     sync.Mutex
 	events []Event
 	wake   chan struct{}
 	closed bool
 }
 
-func newEventLog() *eventLog {
-	return &eventLog{wake: make(chan struct{})}
+func newEventLog(traceID string) *eventLog {
+	return &eventLog{traceID: traceID, wake: make(chan struct{})}
 }
 
 // publish appends an event and wakes every waiter.
@@ -213,6 +248,7 @@ func (l *eventLog) publish(kind string, ev Event) {
 	}
 	ev.Seq = len(l.events)
 	ev.Event = kind
+	ev.TraceID = l.traceID
 	l.events = append(l.events, ev)
 	close(l.wake)
 	l.wake = make(chan struct{})

@@ -26,6 +26,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -37,6 +39,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/tracez"
 )
 
 // Config parameterises a Server. Zero values select the documented
@@ -62,6 +65,13 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds submission bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Tracer records per-job span trees. Nil selects a default tracer
+	// (crypto/rand IDs, sample everything, 4096-span ring); requests
+	// that carry a W3C traceparent header join the caller's trace.
+	Tracer *tracez.Tracer
+	// Logger receives structured request/job logs, each correlated
+	// with its trace via a trace_id attribute. Nil discards logs.
+	Logger *slog.Logger
 }
 
 func (c *Config) fill() error {
@@ -82,6 +92,12 @@ func (c *Config) fill() error {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Tracer == nil {
+		c.Tracer = tracez.New(tracez.Config{})
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return nil
 }
@@ -115,6 +131,13 @@ type Server struct {
 	failed     atomic.Uint64
 	simsTotal  atomic.Uint64
 	instrTotal atomic.Uint64
+
+	// Latency histograms exposed on /metrics: time jobs spend queued,
+	// and compute time split by whether the job was served entirely
+	// from the content-addressed store (hit) or ran simulations (miss).
+	queueWaitHist   *histogram
+	computeHitHist  *histogram
+	computeMissHist *histogram
 }
 
 // New builds a server and starts its job workers. Callers own the
@@ -126,17 +149,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		start:   time.Now(),
-		baseCtx: ctx,
-		cancel:  cancel,
-		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, cfg.QueueDepth),
+		cfg:             cfg,
+		start:           time.Now(),
+		baseCtx:         ctx,
+		cancel:          cancel,
+		jobs:            make(map[string]*Job),
+		queue:           make(chan *Job, cfg.QueueDepth),
+		queueWaitHist:   newHistogram(latencyBuckets),
+		computeHitHist:  newHistogram(latencyBuckets),
+		computeMissHist: newHistogram(latencyBuckets),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/artifacts/{key}", s.handleArtifact)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
@@ -149,8 +176,65 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the API mux wrapped in
+// an access-log middleware that emits one structured line per request,
+// trace-correlated when the handler resolved a trace ID.
+func (s *Server) Handler() http.Handler { return s.accessLog(s.mux) }
+
+// statusWriter captures the response status for the access log while
+// forwarding Flush, so SSE streaming works through the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status  int
+	traceID string
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// setLogTrace tags the in-flight request's access-log line (and the
+// response) with the trace ID a handler resolved.
+func setLogTrace(w http.ResponseWriter, traceID string) {
+	w.Header().Set("X-Trace-Id", traceID)
+	if sw, ok := w.(*statusWriter); ok {
+		sw.traceID = traceID
+	}
+}
+
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"dur_ms", float64(time.Since(start).Microseconds()) / 1e3,
+		}
+		if sw.traceID != "" {
+			attrs = append(attrs, "trace_id", sw.traceID)
+		}
+		s.cfg.Logger.Info("http", attrs...)
+	})
+}
 
 // Store returns the shared result store (for stats reporting).
 func (s *Server) Store() *castore.Store { return s.cfg.Store }
@@ -186,6 +270,10 @@ func (s *Server) runJob(j *Job) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
+	queueWait := time.Since(j.enqueued)
+	s.queueWaitHist.observe(queueWait.Seconds())
+	j.queueSpan.End()
+
 	ctx := s.baseCtx
 	if s.cfg.JobTimeout > 0 {
 		var cancel context.CancelFunc
@@ -198,7 +286,15 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 	j.setState(StateRunning)
+	s.cfg.Logger.Info("job running",
+		"job_id", j.ID, "trace_id", j.TraceID,
+		"queue_wait_ms", float64(queueWait.Microseconds())/1e3)
 
+	// The run span carries the whole sweep; runner tasks open their
+	// spans as its children through the context.
+	rsp := j.span.Child("run")
+	ctx = tracez.ContextWith(ctx, rsp)
+	computeStart := time.Now()
 	sweep := runner.NewSweep(s.cfg.SimWorkers, runner.WithTaskHook(j.taskEvent))
 	sweep.SetCache(s.cfg.Store)
 	for _, u := range j.Units {
@@ -206,6 +302,14 @@ func (s *Server) runJob(j *Job) {
 	}
 	err := sweep.Run(ctx)
 	sims, instr := sweep.Stats()
+	computeDur := time.Since(computeStart)
+	rsp.SetAttrInt("sims", int64(sims))
+	rsp.End()
+	if sims == 0 {
+		s.computeHitHist.observe(computeDur.Seconds())
+	} else {
+		s.computeMissHist.observe(computeDur.Seconds())
+	}
 	s.simsTotal.Add(sims)
 	s.instrTotal.Add(instr)
 	if err != nil {
@@ -215,10 +319,16 @@ func (s *Server) runJob(j *Job) {
 		}
 		j.finish(state, err)
 		s.failed.Add(1)
+		s.cfg.Logger.Error("job failed",
+			"job_id", j.ID, "trace_id", j.TraceID, "state", string(state), "err", err)
 		return
 	}
 	j.finish(StateDone, nil)
 	s.completed.Add(1)
+	s.cfg.Logger.Info("job done",
+		"job_id", j.ID, "trace_id", j.TraceID,
+		"sims", sims, "instructions", instr,
+		"compute_ms", float64(computeDur.Microseconds())/1e3)
 }
 
 // Drain performs a graceful shutdown: admission stops immediately,
@@ -386,11 +496,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	job := newJob(id, spec, units)
+	// The job's root span: joins the client's trace when the request
+	// carries a valid W3C traceparent header, otherwise starts fresh.
+	var root *tracez.Span
+	if tid, parent, ok := tracez.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		root = s.cfg.Tracer.RootFrom("job", tid, parent)
+	} else {
+		root = s.cfg.Tracer.Root("job")
+	}
+	root.SetAttr("job_id", id)
+	root.SetAttrInt("units", int64(len(units)))
+	job := newJob(id, spec, units, root)
+	setLogTrace(w, job.TraceID)
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		root.SetAttr("rejected", "draining")
+		root.End()
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -401,11 +524,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.mu.Unlock()
 		s.rejected.Add(1)
+		root.SetAttr("rejected", "queue-full")
+		root.End()
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
 		writeError(w, http.StatusTooManyRequests, "admission queue is full")
 		return
 	}
 	s.accepted.Add(1)
+	s.cfg.Logger.Info("job accepted",
+		"job_id", id, "trace_id", job.TraceID, "units", len(units))
 	w.Header().Set("Location", "/v1/jobs/"+id)
 	writeJSON(w, http.StatusAccepted, job.view())
 }
@@ -486,6 +613,54 @@ func (s *Server) serveArtifact(w http.ResponseWriter, r *http.Request, key strin
 	w.Write(data)
 }
 
+// ---- traces ----
+
+// handleTrace exports a completed job's span tree: the canonical tree
+// JSON by default, or a Chrome trace-event (Perfetto-loadable) file
+// with ?format=chrome. The tree is only complete once the job reaches
+// a terminal state; earlier requests get 409 + Retry-After.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	setLogTrace(w, j.TraceID)
+	if !j.State().Terminal() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job is not complete; trace is still being recorded")
+		return
+	}
+	spans := s.cfg.Tracer.Spans(j.traceID)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "trace not recorded (unsampled, or evicted from the span ring)")
+		return
+	}
+	tree, err := tracez.BuildTree(spans)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("trace incomplete: %v", err))
+		return
+	}
+	var data []byte
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "tree":
+		data, err = tracez.MarshalTree(tree)
+	case "chrome":
+		data, err = tracez.ChromeTrace(tree)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want tree or chrome)", format))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
 // ---- events ----
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -499,12 +674,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	setLogTrace(w, j.TraceID)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
+	// A reconnecting client resumes after the last event it saw: SSE
+	// ids are the event log's sequence numbers, so Last-Event-ID maps
+	// directly to a replay index.
 	idx := 0
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if n, err := strconv.Atoi(last); err == nil && n >= 0 {
+			idx = n + 1
+		}
+	}
 	for {
 		events, wake, closed := j.log.since(idx)
 		for _, ev := range events {
@@ -585,6 +769,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	c("esteem_serve_cache_misses_total", "Content-addressed store misses.", st.Misses)
 	c("esteem_serve_cache_computes_total", "Simulations computed under the store's single-flight lock.", st.Computes)
 	c("esteem_serve_cache_coalesced_total", "Requests coalesced onto an in-progress compute.", st.Coalesced)
+	ts := s.cfg.Tracer.Stats()
+	g("esteem_serve_trace_spans_buffered", "Completed spans retained in the tracer's ring.", ts.Buffered)
+	c("esteem_serve_trace_spans_dropped_total", "Spans evicted from the tracer's ring.", ts.Dropped)
+	c("esteem_serve_trace_unsampled_total", "Traces head-sampled out.", ts.Unsampled)
+	s.queueWaitHist.write(w, "esteem_serve_queue_wait_seconds",
+		"Time jobs spent in the admission queue.")
+	s.computeHitHist.write(w, "esteem_serve_job_cache_hit_seconds",
+		"Job compute time for jobs served entirely from the result store.")
+	s.computeMissHist.write(w, "esteem_serve_job_compute_seconds",
+		"Job compute time for jobs that executed at least one simulation.")
 }
 
 // ---- helpers ----

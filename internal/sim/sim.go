@@ -31,6 +31,7 @@ import (
 	"repro/internal/retention"
 	"repro/internal/smartref"
 	"repro/internal/trace"
+	"repro/internal/tracez"
 )
 
 // Technique selects the refresh/energy-management scheme under test.
@@ -359,6 +360,18 @@ type Simulator struct {
 	obsv   obs.Observer
 	obsIdx int
 
+	// tspan, when non-nil, is the parent span under which the run
+	// records wall-clock phase spans (warmup, measurement, each
+	// interval batch, refresh-window rollovers, energy finalization).
+	// Same discipline as obsv and the `verify` tag: a nil span is the
+	// default and costs one pointer check per boundary — nothing on
+	// the per-reference hot path, and zero allocations.
+	tspan     *tracez.Span
+	phaseSpan *tracez.Span // current phase ("warmup" or "measure")
+	ivalSpan  *tracez.Span // currently open interval batch
+	retCycles uint64       // retention period (refresh-window length)
+	windowIdx uint64       // last refresh window crossed (traced runs)
+
 	// inv carries the state of the runtime self-checks compiled in
 	// under the `verify` build tag; in default builds it is an empty
 	// struct and every check site is dead code (invariantsEnabled is a
@@ -519,6 +532,7 @@ func NewFromSources(cfg Config, sources []trace.Source) (*Simulator, error) {
 		return nil, err
 	}
 	s.eng = eng
+	s.retCycles = retentionCycles
 
 	// Main memory.
 	m, err := mem.New(mem.Params{
@@ -586,6 +600,15 @@ func buildModel(cfg Config) (energy.Model, error) {
 // telemetry; disabled telemetry has zero cost on the simulation hot
 // path, and an attached observer never perturbs simulated behaviour.
 func (s *Simulator) SetObserver(o obs.Observer) { s.obsv = o }
+
+// SetTraceSpan attaches a parent tracing span: the run records child
+// spans for warmup, measurement, every interval batch, refresh-window
+// rollovers and energy finalization under it, attributing the run's
+// wall-clock to simulated phases. Call before Run. A nil span (the
+// default) disables tracing entirely; the disabled path adds no
+// allocations and no per-reference work (asserted by
+// TestTracingDisabledNoAllocs and the SimRunShort benchmark).
+func (s *Simulator) SetTraceSpan(sp *tracez.Span) { s.tspan = sp }
 
 // offsetSource relocates a workload's address space by a fixed
 // offset (one distinct 16 TiB region per core).
@@ -799,7 +822,38 @@ func (s *Simulator) processBoundary(frontier uint64) {
 			})
 		}
 	}
+	if s.tspan != nil {
+		s.traceBoundary(frontier, act)
+	}
 	s.lastBoundary = frontier
+}
+
+// traceBoundary closes the wall-clock span of the interval batch that
+// just ended (annotated with its simulated counters), emits a
+// refresh-window marker when the retention window rolled over, and
+// opens the next interval span. Only called on traced runs.
+func (s *Simulator) traceBoundary(frontier uint64, act energy.Activity) {
+	if iv := s.ivalSpan; iv != nil {
+		iv.SetAttrInt("end_cycle", int64(frontier))
+		iv.SetAttrInt("sim_cycles", int64(act.Cycles))
+		iv.SetAttrInt("refreshes", int64(act.Refreshes))
+		iv.SetAttrFloat("active_ratio", act.ActiveFraction)
+		if !s.measuring {
+			iv.SetAttr("warmup", "true")
+		}
+		iv.End()
+	}
+	if s.retCycles > 0 {
+		if w := frontier / s.retCycles; w > s.windowIdx {
+			rw := s.phaseSpan.Child("refresh-window")
+			rw.SetAttrInt("window", int64(w))
+			rw.SetAttrInt("windows_completed", int64(w-s.windowIdx))
+			rw.SetAttrInt("end_cycle", int64(frontier))
+			rw.End()
+			s.windowIdx = w
+		}
+	}
+	s.ivalSpan = s.phaseSpan.Child("interval")
 }
 
 // Run executes warmup plus measurement and returns the result.
@@ -808,6 +862,10 @@ func (s *Simulator) Run() (*Result, error) {
 	// machinery runs (so ESTEEM enters the run adapted) but nothing
 	// is recorded.
 	s.nextBoundary = s.cfg.IntervalCycles
+	if s.tspan != nil {
+		s.phaseSpan = s.tspan.Child("warmup")
+		s.ivalSpan = s.phaseSpan.Child("interval")
+	}
 	// Track per-core completion incrementally: only the stepped core's
 	// instruction count changes, so the all-cores rescan per step is
 	// replaced by one check of the core that just ran.
@@ -843,6 +901,14 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 
 	// Measurement start: clear interval state and open the windows.
+	if s.tspan != nil {
+		// The open interval span covers the partial batch cut short by
+		// the warmup/measurement seam.
+		s.ivalSpan.End()
+		s.phaseSpan.End()
+		s.phaseSpan = s.tspan.Child("measure")
+		s.ivalSpan = s.phaseSpan.Child("interval")
+	}
 	f := s.frontier()
 	s.eng.AdvanceTo(f)
 	s.l2.ResetInterval()
@@ -898,6 +964,14 @@ func (s *Simulator) Run() (*Result, error) {
 			s.checkBoundaryInvariants(fr)
 		}
 		s.processBoundary(fr)
+	}
+	if s.tspan != nil {
+		// The interval span reopened after the final boundary never
+		// closes a batch; abandon it (unended spans are not recorded).
+		s.ivalSpan = nil
+		s.phaseSpan.End()
+		fin := s.tspan.Child("energy-finalize")
+		defer fin.End()
 	}
 
 	return s.buildResult()

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tracez"
+)
+
+// traceCfg is a short configuration that crosses several interval
+// boundaries and refresh windows, so every span kind shows up.
+func traceCfg() Config {
+	cfg := DefaultConfig(1)
+	cfg.Technique = Esteem
+	cfg.MeasureInstr = 200_000
+	cfg.WarmupInstr = 50_000
+	cfg.IntervalCycles = 100_000
+	return cfg
+}
+
+// TestTraceSpansCoverRun runs one traced simulation and checks the
+// exported tree: well-formed, and with the warmup/measure phases,
+// interval batches, refresh windows and energy finalization visible.
+func TestTraceSpansCoverRun(t *testing.T) {
+	tr := tracez.New(tracez.Config{Seed: 5})
+	root := tr.Root("sim")
+	s, err := New(traceCfg(), []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTraceSpan(root)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	tree, err := tracez.BuildTree(tr.Spans(root.TraceID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("span tree invalid: %v", err)
+	}
+	names := map[string]int{}
+	var walk func(n *tracez.Node)
+	walk = func(n *tracez.Node) {
+		names[n.Name]++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree.Root)
+	for _, want := range []string{"warmup", "measure", "interval", "refresh-window", "energy-finalize"} {
+		if names[want] == 0 {
+			t.Fatalf("trace missing %q spans; have %v", want, names)
+		}
+	}
+	if names["warmup"] != 1 || names["measure"] != 1 || names["energy-finalize"] != 1 {
+		t.Fatalf("phase spans duplicated: %v", names)
+	}
+	if names["interval"] < 2 {
+		t.Fatalf("expected several interval spans, got %d", names["interval"])
+	}
+}
+
+// TestTracingDoesNotPerturbResults runs the same configuration with
+// and without a trace span attached: the simulation outcome must be
+// identical — tracing only observes.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	plain, err := Run(traceCfg(), []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tracez.New(tracez.Config{Seed: 9})
+	root := tr.Root("sim")
+	s, err := New(traceCfg(), []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTraceSpan(root)
+	traced, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("traced run diverged from plain run:\nplain:  %+v\ntraced: %+v", plain, traced)
+	}
+}
+
+// TestDisabledTracingStepAllocsNothing pins the zero-overhead
+// contract on the hot path: with no trace span attached, steady-state
+// stepping (no interval boundary in range) performs zero allocations.
+func TestDisabledTracingStepAllocsNothing(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Technique = Baseline
+	cfg.MeasureInstr = 100_000_000
+	cfg.WarmupInstr = 0
+	cfg.IntervalCycles = 1 << 40 // no boundary during the test
+	s, err := New(cfg, []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50_000; i++ { // steady state
+		s.step()
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 100; i++ {
+			s.step()
+		}
+	}); avg != 0 {
+		t.Fatalf("untraced steady-state step allocates (%.2f allocs per 100 steps)", avg)
+	}
+}
+
+// BenchmarkSimRunShortTraced is BenchmarkSimRunShort with tracing
+// attached — compare the two to see the tracing tax on a full run
+// (expected: a few allocations per interval boundary, nothing per
+// step).
+func BenchmarkSimRunShortTraced(b *testing.B) {
+	cfg := traceCfg()
+	tr := tracez.New(tracez.Config{Seed: 3})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.Root("sim")
+		s, err := New(cfg, []string{"gcc"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetTraceSpan(root)
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		root.End()
+	}
+}

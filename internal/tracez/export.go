@@ -1,0 +1,279 @@
+// Exporters: the canonical span-tree JSON served by
+// GET /v1/jobs/{id}/trace, the Chrome trace-event JSON that Perfetto
+// (ui.perfetto.dev) and chrome://tracing load directly, and the
+// well-formedness checks the smoke tests gate on.
+package tracez
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Node is one span in an exported tree. Times are microseconds
+// relative to the tree root's start, so exports are stable across
+// machines and fake clocks alike.
+type Node struct {
+	Name     string  `json:"name"`
+	SpanID   string  `json:"span_id"`
+	ParentID string  `json:"parent_id,omitempty"`
+	StartUS  int64   `json:"start_us"`
+	DurUS    int64   `json:"dur_us"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	Children []*Node `json:"children,omitempty"`
+}
+
+// Tree is the exported form of one trace: the root span with every
+// descendant nested under it.
+type Tree struct {
+	TraceID string `json:"trace_id"`
+	// Spans counts every node in the tree.
+	Spans int   `json:"spans"`
+	Root  *Node `json:"root"`
+}
+
+// BuildTree assembles the completed spans of one trace into a Tree.
+// It requires exactly one root (parent absent or outside the span
+// set may only be the remote submitter's span id, shared by the root)
+// and every other span's parent present — the ring must not have
+// evicted part of the trace.
+func BuildTree(spans []SpanData) (*Tree, error) {
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("tracez: no spans")
+	}
+	byID := make(map[SpanID]*Node, len(spans))
+	order := make([]SpanID, 0, len(spans))
+	tid := spans[0].TraceID
+	for _, d := range spans {
+		if d.TraceID != tid {
+			return nil, fmt.Errorf("tracez: span %s belongs to trace %s, want %s", d.SpanID, d.TraceID, tid)
+		}
+		if _, dup := byID[d.SpanID]; dup {
+			return nil, fmt.Errorf("tracez: duplicate span id %s", d.SpanID)
+		}
+		byID[d.SpanID] = &Node{
+			Name:   d.Name,
+			SpanID: d.SpanID.String(),
+			Attrs:  d.Attrs,
+		}
+		order = append(order, d.SpanID)
+	}
+	// Find the root: the unique span whose parent is not in the set.
+	var root *Node
+	var rootStart time.Time
+	for _, d := range spans {
+		if _, ok := byID[d.Parent]; ok {
+			continue
+		}
+		if root != nil {
+			return nil, fmt.Errorf("tracez: multiple roots (%q and %q) — ring may have evicted part of the trace", root.Name, d.Name)
+		}
+		root = byID[d.SpanID]
+		rootStart = d.Start
+		if !d.Parent.IsZero() {
+			root.ParentID = d.Parent.String() // remote parent, kept for reference
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("tracez: no root span (parent cycle)")
+	}
+	// Second pass: timestamps relative to the root and parent links.
+	for _, d := range spans {
+		n := byID[d.SpanID]
+		n.StartUS = d.Start.Sub(rootStart).Microseconds()
+		n.DurUS = d.End.Sub(d.Start).Microseconds()
+		if n == root {
+			continue
+		}
+		p := byID[d.Parent]
+		n.ParentID = d.Parent.String()
+		p.Children = append(p.Children, n)
+	}
+	// Children sorted by start time (then id) for a stable export;
+	// the ring preserves completion order, not start order.
+	for _, id := range order {
+		n := byID[id]
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			if n.Children[i].StartUS != n.Children[j].StartUS {
+				return n.Children[i].StartUS < n.Children[j].StartUS
+			}
+			return n.Children[i].SpanID < n.Children[j].SpanID
+		})
+	}
+	return &Tree{TraceID: tid.String(), Spans: len(spans), Root: root}, nil
+}
+
+// Validate checks a tree's well-formedness: non-negative durations,
+// every child starting at or after its parent and ending at or before
+// it (within slack, for clock rounding to whole microseconds), and
+// parent links that match the nesting. It is the check the smoke
+// tests run against served traces.
+func (t *Tree) Validate() error {
+	if t == nil || t.Root == nil {
+		return fmt.Errorf("tracez: empty tree")
+	}
+	const slackUS = 1000 // 1ms: µs rounding plus scheduler skew on End ordering
+	count := 0
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		count++
+		if n.DurUS < 0 {
+			return fmt.Errorf("tracez: span %q (%s) has negative duration %dus", n.Name, n.SpanID, n.DurUS)
+		}
+		for _, c := range n.Children {
+			if c.ParentID != n.SpanID {
+				return fmt.Errorf("tracez: span %q (%s) nested under %q (%s) but declares parent %s",
+					c.Name, c.SpanID, n.Name, n.SpanID, c.ParentID)
+			}
+			if c.StartUS < n.StartUS-slackUS {
+				return fmt.Errorf("tracez: span %q starts %dus before its parent %q", c.Name, n.StartUS-c.StartUS, n.Name)
+			}
+			if c.StartUS+c.DurUS > n.StartUS+n.DurUS+slackUS {
+				return fmt.Errorf("tracez: span %q ends %dus after its parent %q", c.Name,
+					c.StartUS+c.DurUS-n.StartUS-n.DurUS, n.Name)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.Root); err != nil {
+		return err
+	}
+	if count != t.Spans {
+		return fmt.Errorf("tracez: tree declares %d spans but contains %d", t.Spans, count)
+	}
+	return nil
+}
+
+// Coverage reports what fraction of the root span's duration is
+// covered by the union of its direct children — the "do the phases
+// account for the wall-clock" number the acceptance gate checks.
+// A childless or zero-length root reports 1.
+func (t *Tree) Coverage() float64 {
+	if t == nil || t.Root == nil || t.Root.DurUS <= 0 || len(t.Root.Children) == 0 {
+		return 1
+	}
+	type iv struct{ s, e int64 }
+	ivs := make([]iv, 0, len(t.Root.Children))
+	for _, c := range t.Root.Children {
+		s, e := c.StartUS, c.StartUS+c.DurUS
+		if s < t.Root.StartUS {
+			s = t.Root.StartUS
+		}
+		if top := t.Root.StartUS + t.Root.DurUS; e > top {
+			e = top
+		}
+		if e > s {
+			ivs = append(ivs, iv{s, e})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+	var covered, end int64
+	end = -1 << 62
+	for _, v := range ivs {
+		if v.s > end {
+			covered += v.e - v.s
+			end = v.e
+		} else if v.e > end {
+			covered += v.e - end
+			end = v.e
+		}
+	}
+	return float64(covered) / float64(t.Root.DurUS)
+}
+
+// MarshalTree renders the tree as deterministic, two-space-indented
+// JSON (struct field order is fixed; children are sorted by start).
+func MarshalTree(t *Tree) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseTree decodes a tree produced by MarshalTree (the client's
+// fetch path).
+func ParseTree(data []byte) (*Tree, error) {
+	var t Tree
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("tracez: decoding tree: %w", err)
+	}
+	return &t, nil
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete span, "M" =
+// metadata). See the Trace Event Format spec; Perfetto loads this
+// JSON directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON-object form of a Chrome trace capture.
+type chromeFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// ChromeTrace renders the tree as Chrome trace-event JSON. The root
+// and each of its direct subtrees get their own track ("tid"), so
+// concurrent tasks render side by side instead of as a false stack;
+// within a subtree spans are strictly nested and stack naturally.
+func ChromeTrace(t *Tree) ([]byte, error) {
+	if t == nil || t.Root == nil {
+		return nil, fmt.Errorf("tracez: empty tree")
+	}
+	f := chromeFile{DisplayTimeUnit: "ms"}
+	name := func(tid int, label string) {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": label},
+		})
+	}
+	emit := func(n *Node, tid int) {
+		args := map[string]any{"span_id": n.SpanID, "trace_id": t.TraceID}
+		for _, a := range n.Attrs {
+			args[a.Key] = a.Value
+		}
+		dur := n.DurUS
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: n.Name, Cat: "esteem", Ph: "X", TS: n.StartUS, Dur: &dur, PID: 1, TID: tid,
+			Args: args,
+		})
+	}
+	name(0, t.Root.Name)
+	emit(t.Root, 0)
+	var walk func(n *Node, tid int)
+	walk = func(n *Node, tid int) {
+		emit(n, tid)
+		for _, c := range n.Children {
+			walk(c, tid)
+		}
+	}
+	lane := 0
+	for _, c := range t.Root.Children {
+		lane++
+		name(lane, c.Name)
+		walk(c, lane)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

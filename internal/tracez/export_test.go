@@ -1,0 +1,194 @@
+package tracez
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSample constructs a small deterministic trace:
+// root ─ queue, run ─ task ─ (cache ─ sim), with fake microsecond
+// timestamps.
+func buildSample(t *testing.T) (*Tracer, TraceID) {
+	t.Helper()
+	tr := New(Config{Seed: 99, Now: fakeClock(time.Millisecond)})
+	root := tr.Root("job")
+	queue := root.Child("queue")
+	queue.End()
+	run := root.Child("run")
+	task := run.Child("task")
+	task.SetAttr("label", "esteem/gcc/1c")
+	cache := task.Child("cache")
+	cache.SetAttr("hit", "false")
+	sim := cache.Child("sim")
+	sim.End()
+	cache.End()
+	task.End()
+	run.End()
+	root.SetAttr("state", "done")
+	root.End()
+	return tr, root.TraceID()
+}
+
+func TestBuildTreeAndValidate(t *testing.T) {
+	tr, tid := buildSample(t)
+	spans := tr.Spans(tid)
+	tree, err := BuildTree(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Spans != 6 {
+		t.Fatalf("tree has %d spans, want 6", tree.Spans)
+	}
+	if tree.Root.Name != "job" || len(tree.Root.Children) != 2 {
+		t.Fatalf("unexpected root: %+v", tree.Root)
+	}
+	// Children sorted by start: queue before run.
+	if tree.Root.Children[0].Name != "queue" || tree.Root.Children[1].Name != "run" {
+		t.Fatalf("children out of order: %s, %s", tree.Root.Children[0].Name, tree.Root.Children[1].Name)
+	}
+	// Round trip through the wire format.
+	data, err := MarshalTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTree(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("parsed tree invalid: %v", err)
+	}
+	data2, err := MarshalTree(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("tree JSON not stable across a round trip")
+	}
+}
+
+func TestBuildTreeRejectsOrphansAndForests(t *testing.T) {
+	tr, tid := buildSample(t)
+	spans := tr.Spans(tid)
+	// Drop an interior span ("run"): its children become orphans and
+	// the trace has two apparent roots.
+	var cut []SpanData
+	for _, d := range spans {
+		if d.Name == "run" {
+			continue
+		}
+		cut = append(cut, d)
+	}
+	if _, err := BuildTree(cut); err == nil {
+		t.Fatal("BuildTree accepted a trace with an evicted interior span")
+	}
+	if _, err := BuildTree(nil); err == nil {
+		t.Fatal("BuildTree accepted an empty trace")
+	}
+	// Mixed traces are rejected.
+	other := tr.Root("other")
+	other.End()
+	mixed := append(append([]SpanData(nil), spans...), tr.Spans(other.TraceID())...)
+	if _, err := BuildTree(mixed); err == nil {
+		t.Fatal("BuildTree accepted spans from two traces")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr, tid := buildSample(t)
+	tree, err := BuildTree(tr.Spans(tid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Root.Children[0].DurUS = -5
+	if err := tree.Validate(); err == nil || !strings.Contains(err.Error(), "negative duration") {
+		t.Fatalf("negative duration not caught: %v", err)
+	}
+	tree.Root.Children[0].DurUS = 1
+	tree.Root.Children[1].StartUS = tree.Root.StartUS + tree.Root.DurUS + 10_000
+	if err := tree.Validate(); err == nil {
+		t.Fatal("child escaping its parent not caught")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	root := &Node{Name: "job", StartUS: 0, DurUS: 1000}
+	tree := &Tree{TraceID: "t", Spans: 1, Root: root}
+	if c := tree.Coverage(); c != 1 {
+		t.Fatalf("childless coverage %v, want 1", c)
+	}
+	// Two children covering [0,400) and [300,900): union 900 of 1000.
+	root.Children = []*Node{
+		{Name: "a", SpanID: "a", ParentID: "", StartUS: 0, DurUS: 400},
+		{Name: "b", SpanID: "b", StartUS: 300, DurUS: 600},
+	}
+	if c := tree.Coverage(); c < 0.899 || c > 0.901 {
+		t.Fatalf("coverage %v, want 0.9", c)
+	}
+	// A child overhanging the root is clamped.
+	root.Children = append(root.Children, &Node{Name: "c", StartUS: 800, DurUS: 10_000})
+	if c := tree.Coverage(); c != 1 {
+		t.Fatalf("clamped coverage %v, want 1", c)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	tr, tid := buildSample(t)
+	tree, err := BuildTree(tr.Spans(tid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ChromeTrace(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	var complete, meta int
+	tids := map[int]bool{}
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("complete event %q without duration", ev.Name)
+			}
+			if ev.Args["trace_id"] != tree.TraceID {
+				t.Fatalf("event %q missing trace_id arg", ev.Name)
+			}
+			tids[ev.TID] = true
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if complete != tree.Spans {
+		t.Fatalf("%d complete events for %d spans", complete, tree.Spans)
+	}
+	// Root lane plus one lane per direct child.
+	if len(tids) != 1+len(tree.Root.Children) {
+		t.Fatalf("%d lanes, want %d", len(tids), 1+len(tree.Root.Children))
+	}
+	if meta != 1+len(tree.Root.Children) {
+		t.Fatalf("%d thread_name events, want %d", meta, 1+len(tree.Root.Children))
+	}
+}

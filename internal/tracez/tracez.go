@@ -1,0 +1,395 @@
+// Package tracez is the repository's dependency-free span tracer: a
+// minimal distributed-tracing layer built for one job — attributing a
+// request's wall-clock to phases as it crosses the serving stack
+// (client submit → serve admission queue → runner task → cache lookup
+// → simulation warmup/intervals → artifact write).
+//
+// Design contract, mirroring internal/obs:
+//
+//   - Zero overhead when disabled. Every Span method is nil-safe and a
+//     nil *Span is the disabled tracer: Child returns nil, End and
+//     SetAttr return immediately, and none of them allocate. Hot paths
+//     guard with a nil check (or simply call through — the nil path is
+//     a handful of instructions).
+//   - Determinism on demand. Trace and span IDs come from a splitmix64
+//     stream (the same generator as internal/xrand): production
+//     tracers seed it from crypto/rand, tests pass a fixed seed and
+//     get byte-identical IDs, sampling decisions and exports.
+//   - Bounded memory. Completed spans land in a fixed-size ring
+//     buffer; a runaway trace evicts the oldest spans instead of
+//     growing the heap.
+//   - Head-based sampling. The sampling decision is made once, when a
+//     trace's root span is created, and inherited by every child —
+//     either a whole request is traced or none of it is. SampleRatio 1
+//     (the default, and what tests use) records everything.
+//
+// The package is a leaf: it imports only the standard library, so any
+// layer of the stack (castore, runner, sim, serve, cmd) can depend on
+// it without cycles.
+package tracez
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one end-to-end request (W3C trace-id: 16 bytes).
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace (W3C parent-id: 8 bytes).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the 32-hex-digit form.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String returns the 16-hex-digit form.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseTraceID decodes a 32-hex-digit trace ID.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, false
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil || t.IsZero() {
+		return TraceID{}, false
+	}
+	return t, true
+}
+
+// Config parameterises a Tracer. The zero value selects the
+// production defaults: crypto/rand seeding, sample everything, a
+// 4096-span ring, wall clocks.
+type Config struct {
+	// Seed fixes the ID/sampling stream for deterministic tests;
+	// 0 seeds from crypto/rand (mixed with the current time as a
+	// fallback if the system source fails).
+	Seed uint64
+	// SampleRatio is the head-sampling probability in (0, 1]; 0
+	// selects 1 (record every trace).
+	SampleRatio float64
+	// RingSize bounds the completed-span buffer (default 4096).
+	RingSize int
+	// Now supplies timestamps (default time.Now, which carries a
+	// monotonic clock); tests inject fake clocks for stable exports.
+	Now func() time.Time
+}
+
+// Tracer creates spans and retains completed ones in a bounded ring.
+// All methods are safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	rng    uint64 // splitmix64 state (IDs and sampling)
+	ratio  float64
+	now    func() time.Time
+	ring   []SpanData // fixed capacity, oldest evicted first
+	head   int        // next write position
+	count  int        // live entries (<= len(ring))
+	drops  uint64     // spans evicted from the ring
+	unsamp uint64     // root spans head-sampled out
+}
+
+// New builds a tracer from cfg.
+func New(cfg Config) *Tracer {
+	seed := cfg.Seed
+	if seed == 0 {
+		var b [8]byte
+		if _, err := cryptorand.Read(b[:]); err == nil {
+			seed = binary.LittleEndian.Uint64(b[:])
+		}
+		seed ^= uint64(time.Now().UnixNano())
+		if seed == 0 {
+			seed = 0x9E3779B97F4A7C15
+		}
+	}
+	ratio := cfg.SampleRatio
+	if ratio <= 0 || ratio > 1 {
+		ratio = 1
+	}
+	size := cfg.RingSize
+	if size <= 0 {
+		size = 4096
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{rng: seed, ratio: ratio, now: now, ring: make([]SpanData, size)}
+}
+
+// next draws the next splitmix64 output. Caller holds t.mu.
+func (t *Tracer) next() uint64 {
+	t.rng += 0x9E3779B97F4A7C15
+	z := t.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// newIDs draws a fresh (trace, span) ID pair and a sampling decision.
+func (t *Tracer) newIDs(needTrace bool) (tid TraceID, sid SpanID, sampled bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if needTrace {
+		binary.BigEndian.PutUint64(tid[:8], t.next())
+		binary.BigEndian.PutUint64(tid[8:], t.next())
+	}
+	binary.BigEndian.PutUint64(sid[:], t.next())
+	sampled = t.ratio >= 1 || float64(t.next()>>11)/(1<<53) < t.ratio
+	if !sampled {
+		t.unsamp++
+	}
+	return tid, sid, sampled
+}
+
+// Root starts a new trace with a fresh trace ID. The returned span is
+// the trace's root; its sampling decision (made here, head-based)
+// governs the whole trace.
+func (t *Tracer) Root(name string) *Span {
+	tid, sid, sampled := t.newIDs(true)
+	return &Span{tracer: t, traceID: tid, id: sid, name: name, start: t.now(), sampled: sampled}
+}
+
+// RootFrom starts this process's root span as a child of a remote
+// parent (extracted from a traceparent header): the trace ID is
+// reused, so the caller's spans and ours export as one tree.
+func (t *Tracer) RootFrom(name string, tid TraceID, parent SpanID) *Span {
+	if tid.IsZero() {
+		return t.Root(name)
+	}
+	_, sid, sampled := t.newIDs(false)
+	return &Span{tracer: t, traceID: tid, id: sid, parent: parent, name: name, start: t.now(), sampled: sampled}
+}
+
+// record appends a completed span to the ring, evicting the oldest
+// entry when full.
+func (t *Tracer) record(d SpanData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == len(t.ring) {
+		t.drops++
+	} else {
+		t.count++
+	}
+	t.ring[t.head] = d
+	t.head = (t.head + 1) % len(t.ring)
+}
+
+// Spans returns the completed spans of one trace, oldest first. The
+// result is a snapshot: entries are copied out of the ring.
+func (t *Tracer) Spans(tid TraceID) []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanData
+	start := t.head - t.count
+	for i := 0; i < t.count; i++ {
+		idx := (start + i + len(t.ring)) % len(t.ring)
+		if t.ring[idx].TraceID == tid {
+			out = append(out, t.ring[idx])
+		}
+	}
+	return out
+}
+
+// Stats is a snapshot of the tracer's bookkeeping counters.
+type Stats struct {
+	// Buffered is the number of completed spans currently retained.
+	Buffered int
+	// Dropped counts spans evicted from the ring.
+	Dropped uint64
+	// Unsampled counts root spans head-sampled out.
+	Unsampled uint64
+}
+
+// Stats returns the tracer's counters.
+func (t *Tracer) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{Buffered: t.count, Dropped: t.drops, Unsampled: t.unsamp}
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanData is the immutable record of a completed span.
+type SpanData struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Parent  SpanID // zero for the trace root
+	Name    string
+	Start   time.Time
+	End     time.Time
+	Attrs   []Attr
+}
+
+// Span is one in-progress operation. A nil *Span is the disabled
+// tracer: every method is nil-safe and free. Spans are not safe for
+// concurrent mutation; each belongs to the goroutine that created it.
+type Span struct {
+	tracer  *Tracer
+	traceID TraceID
+	id      SpanID
+	parent  SpanID
+	name    string
+	start   time.Time
+	attrs   []Attr
+	sampled bool
+	ended   bool
+}
+
+// TraceID returns the span's trace ID (zero for nil spans).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.traceID
+}
+
+// ID returns the span's ID (zero for nil spans).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// Sampled reports whether the span's trace is being recorded.
+func (s *Span) Sampled() bool { return s != nil && s.sampled }
+
+// Child starts a sub-span. On a nil or unsampled receiver it returns
+// nil — the head-based decision propagates with no further cost.
+func (s *Span) Child(name string) *Span {
+	if s == nil || !s.sampled {
+		return nil
+	}
+	_, sid, _ := s.tracer.newIDs(false)
+	return &Span{tracer: s.tracer, traceID: s.traceID, id: sid, parent: s.id, name: name, start: s.tracer.now(), sampled: true}
+}
+
+// SetAttr annotates the span. Nil-safe; call before End.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetAttrInt annotates the span with an integer value. Nil-safe.
+func (s *Span) SetAttrInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(value, 10)})
+}
+
+// SetAttrFloat annotates the span with a float value. Nil-safe.
+func (s *Span) SetAttrFloat(key string, value float64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatFloat(value, 'g', 6, 64)})
+}
+
+// End completes the span and, if its trace is sampled, records it in
+// the tracer's ring. Nil-safe and idempotent: only the first End
+// records.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	if !s.sampled {
+		return
+	}
+	s.tracer.record(SpanData{
+		TraceID: s.traceID,
+		SpanID:  s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		Start:   s.start,
+		End:     s.tracer.now(),
+		Attrs:   s.attrs,
+	})
+}
+
+// ---- context propagation ----
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sp. A nil span returns ctx
+// unchanged, so disabled tracing adds no context nodes.
+func ContextWith(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// StartChild opens a child of the span carried by ctx and returns it
+// with a derived context. With no span in ctx it returns (nil, ctx):
+// the whole call is free when tracing is off.
+func StartChild(ctx context.Context, name string) (*Span, context.Context) {
+	sp := FromContext(ctx).Child(name)
+	if sp == nil {
+		return nil, ctx
+	}
+	return sp, context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// ---- W3C traceparent ----
+
+// Traceparent formats the span's W3C traceparent header value
+// (version 00; the sampled flag mirrors the span's decision). Returns
+// "" for a nil span.
+func Traceparent(s *Span) string {
+	if s == nil {
+		return ""
+	}
+	flags := "00"
+	if s.sampled {
+		flags = "01"
+	}
+	return fmt.Sprintf("00-%s-%s-%s", s.traceID, s.id, flags)
+}
+
+// ParseTraceparent extracts the trace and parent-span IDs from a W3C
+// traceparent header value. Malformed or all-zero values report
+// ok=false (the caller then starts a fresh trace).
+func ParseTraceparent(h string) (tid TraceID, parent SpanID, ok bool) {
+	// version "-" trace-id "-" parent-id "-" flags
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, SpanID{}, false
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(h[:2])); err != nil || ver[0] == 0xff {
+		return TraceID{}, SpanID{}, false // malformed or forbidden version
+	}
+	if _, err := hex.Decode(tid[:], []byte(h[3:35])); err != nil || tid.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(h[36:52])); err != nil || parent.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return tid, parent, true
+}

@@ -1,0 +1,280 @@
+package tracez
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a deterministic Now func advancing step per call.
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.Unix(1000, 0)
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+// TestDeterministicIDs: two tracers with the same seed produce
+// identical trace/span ID sequences and sampling decisions — the
+// property the serving tests rely on for reproducible exports.
+func TestDeterministicIDs(t *testing.T) {
+	mk := func() []string {
+		tr := New(Config{Seed: 42, Now: fakeClock(time.Millisecond)})
+		var ids []string
+		for i := 0; i < 5; i++ {
+			root := tr.Root("job")
+			child := root.Child("task")
+			ids = append(ids, root.TraceID().String(), root.ID().String(), child.ID().String())
+			child.End()
+			root.End()
+		}
+		return ids
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("id %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// And the sequence itself is pinned: a seed change must not silently
+	// alter every stored trace ID.
+	tr := New(Config{Seed: 42})
+	if got := tr.Root("x").TraceID().String(); got != a[0] {
+		t.Fatalf("seed-42 first trace ID drifted: %s vs %s", got, a[0])
+	}
+}
+
+// TestSamplerDeterminism: head sampling with a fixed seed makes the
+// same decisions every run, and the ratio is roughly honoured.
+func TestSamplerDeterminism(t *testing.T) {
+	decide := func() []bool {
+		tr := New(Config{Seed: 7, SampleRatio: 0.25, Now: fakeClock(time.Microsecond)})
+		var out []bool
+		for i := 0; i < 400; i++ {
+			out = append(out, tr.Root("r").Sampled())
+		}
+		return out
+	}
+	a, b := decide(), b2(decide)
+	sampled := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs", i)
+		}
+		if a[i] {
+			sampled++
+		}
+	}
+	if sampled < 50 || sampled > 150 {
+		t.Fatalf("ratio 0.25 sampled %d/400", sampled)
+	}
+}
+
+func b2(f func() []bool) []bool { return f() }
+
+// TestHeadSamplingPropagates: an unsampled root records nothing and
+// its children are nil (free), but the root still carries IDs for log
+// correlation.
+func TestHeadSamplingPropagates(t *testing.T) {
+	tr := New(Config{Seed: 1, SampleRatio: 0.0001, Now: fakeClock(time.Microsecond)})
+	var root *Span
+	for i := 0; i < 64; i++ {
+		if sp := tr.Root("r"); !sp.Sampled() {
+			root = sp
+			break
+		}
+	}
+	if root == nil {
+		t.Fatal("no unsampled root in 64 draws at ratio 1e-4")
+	}
+	if root.TraceID().IsZero() || root.ID().IsZero() {
+		t.Fatal("unsampled root lost its IDs")
+	}
+	if c := root.Child("child"); c != nil {
+		t.Fatal("unsampled root produced a live child")
+	}
+	root.End()
+	if got := tr.Spans(root.TraceID()); len(got) != 0 {
+		t.Fatalf("unsampled root recorded %d spans", len(got))
+	}
+	if st := tr.Stats(); st.Unsampled == 0 {
+		t.Fatal("unsampled counter not incremented")
+	}
+}
+
+// TestRingBound: the completed-span buffer evicts oldest-first at its
+// capacity instead of growing.
+func TestRingBound(t *testing.T) {
+	tr := New(Config{Seed: 3, RingSize: 8, Now: fakeClock(time.Microsecond)})
+	root := tr.Root("root")
+	for i := 0; i < 20; i++ {
+		root.Child("c").End()
+	}
+	root.End()
+	spans := tr.Spans(root.TraceID())
+	if len(spans) != 8 {
+		t.Fatalf("ring held %d spans, want 8", len(spans))
+	}
+	// The newest span (the root, ended last) must be present.
+	if spans[len(spans)-1].Name != "root" {
+		t.Fatalf("newest span is %q, want root", spans[len(spans)-1].Name)
+	}
+	if st := tr.Stats(); st.Dropped != 13 {
+		t.Fatalf("dropped %d, want 13", st.Dropped)
+	}
+}
+
+// TestEndIdempotent: a double End records once.
+func TestEndIdempotent(t *testing.T) {
+	tr := New(Config{Seed: 5, Now: fakeClock(time.Microsecond)})
+	root := tr.Root("r")
+	root.End()
+	root.End()
+	if got := len(tr.Spans(root.TraceID())); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+}
+
+// TestNilSpanFree: every operation on a nil span is a no-op with zero
+// allocations — the disabled-tracing guarantee the sim hot path
+// relies on.
+func TestNilSpanFree(t *testing.T) {
+	var sp *Span
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := sp.Child("x")
+		c.SetAttr("k", "v")
+		c.SetAttrInt("n", 7)
+		c.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-span ops allocate %.1f/op, want 0", allocs)
+	}
+	ctx := context.Background()
+	allocs = testing.AllocsPerRun(1000, func() {
+		if c2 := ContextWith(ctx, nil); c2 != ctx {
+			t.Fatal("ContextWith(nil) changed ctx")
+		}
+		s, c2 := StartChild(ctx, "x")
+		if s != nil || c2 != ctx {
+			t.Fatal("StartChild without span not free")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-context ops allocate %.1f/op, want 0", allocs)
+	}
+}
+
+// TestContextPropagation: StartChild nests under the context span.
+func TestContextPropagation(t *testing.T) {
+	tr := New(Config{Seed: 11, Now: fakeClock(time.Microsecond)})
+	root := tr.Root("root")
+	ctx := ContextWith(context.Background(), root)
+	child, ctx2 := StartChild(ctx, "child")
+	if child == nil {
+		t.Fatal("no child from traced context")
+	}
+	grand, _ := StartChild(ctx2, "grand")
+	grand.End()
+	child.End()
+	root.End()
+	spans := tr.Spans(root.TraceID())
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	tree, err := BuildTree(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.Name != "root" || tree.Root.Children[0].Name != "child" ||
+		tree.Root.Children[0].Children[0].Name != "grand" {
+		t.Fatalf("wrong nesting: %+v", tree.Root)
+	}
+}
+
+// TestTraceparentRoundTrip: format/parse of the W3C header.
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Config{Seed: 13, Now: fakeClock(time.Microsecond)})
+	root := tr.Root("r")
+	h := Traceparent(root)
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("bad traceparent %q", h)
+	}
+	tid, parent, ok := ParseTraceparent(h)
+	if !ok || tid != root.TraceID() || parent != root.ID() {
+		t.Fatalf("round trip failed: %q -> (%s, %s, %v)", h, tid, parent, ok)
+	}
+	child := tr.RootFrom("server", tid, parent)
+	if child.TraceID() != root.TraceID() {
+		t.Fatal("RootFrom dropped the trace ID")
+	}
+	for _, bad := range []string{
+		"", "00", "zz-00000000000000000000000000000001-0000000000000001-01",
+		"00-00000000000000000000000000000000-0000000000000001-01", // zero trace
+		"00-00000000000000000000000000000001-0000000000000000-01", // zero span
+		"ff-00000000000000000000000000000001-0000000000000001-01", // bad version
+		"00-0000000000000000000000000000000g-0000000000000001-01", // non-hex
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("accepted malformed traceparent %q", bad)
+		}
+	}
+	if Traceparent(nil) != "" {
+		t.Fatal("nil span produced a traceparent")
+	}
+}
+
+// TestConcurrentSpans: concurrent child creation and End is race-free
+// (run under -race) and loses nothing.
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Config{Seed: 17})
+	root := tr.Root("root")
+	done := make(chan struct{})
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				c := root.Child("c")
+				c.SetAttrInt("i", int64(i))
+				c.End()
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	root.End()
+	if got := len(tr.Spans(root.TraceID())); got != workers*per+1 {
+		t.Fatalf("got %d spans, want %d", got, workers*per+1)
+	}
+}
+
+// BenchmarkDisabledSpan measures the disabled-tracing path: the cost
+// the simulator pays per guard site when no tracer is attached.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := sp.Child("interval")
+		c.SetAttrInt("index", int64(i))
+		c.End()
+	}
+}
+
+// BenchmarkEnabledSpan measures one recorded child span end to end.
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New(Config{Seed: 1})
+	root := tr.Root("root")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := root.Child("interval")
+		c.End()
+	}
+}

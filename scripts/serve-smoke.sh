@@ -68,6 +68,26 @@ echo "== event stream =="
 grep -q '"state":"done"' "$WORK/events.log" || { echo "event stream missing terminal state"; exit 1; }
 grep -q '"task":"done"' "$WORK/events.log" || { echo "event stream missing task events"; exit 1; }
 
+echo "== trace export =="
+# The client validates the span tree (every span parented, start <=
+# end, parents containing children) and enforces that the job's
+# queue/run phases account for >= 95% of its wall-clock.
+"$WORK/esteem-client" trace -server "$SERVER" -min-coverage 0.95 \
+    -o "$WORK/trace-tree.json" "$COLD_ID" 2>"$WORK/trace.log"
+cat "$WORK/trace.log"
+"$WORK/esteem-client" trace -server "$SERVER" -format chrome \
+    -o "$WORK/trace-chrome.json" "$COLD_ID" 2>/dev/null
+grep -q '"traceEvents"' "$WORK/trace-chrome.json" || { echo "chrome trace malformed"; exit 1; }
+for phase in '"queue"' '"run"' '"task"' '"sim"' '"warmup"' '"measure"'; do
+    grep -q "$phase" "$WORK/trace-tree.json" || { echo "trace missing $phase span"; exit 1; }
+done
+# One trace ID end to end: the SSE events and the exported tree agree.
+EVENT_TID="$(sed -n 's/.*"trace_id":"\([0-9a-f]*\)".*/\1/p' "$WORK/events.log" | sort -u)"
+TREE_TID="$(sed -n 's/.*"trace_id": *"\([0-9a-f]*\)".*/\1/p' "$WORK/trace-tree.json" | head -1)"
+[ -n "$TREE_TID" ] || { echo "trace tree has no trace_id"; exit 1; }
+[ "$EVENT_TID" = "$TREE_TID" ] || { echo "trace ids diverge: events=$EVENT_TID tree=$TREE_TID"; exit 1; }
+echo "trace id $TREE_TID consistent across events and span tree"
+
 echo "== warm submit (cache hit) =="
 WARM_ID="$(submit_job)"
 "$WORK/esteem-client" result -server "$SERVER" -o "$WORK/warm.json" "$WARM_ID"

@@ -1,0 +1,71 @@
+#!/bin/sh
+# trace-smoke.sh — end-to-end tracing smoke test.
+#
+# Proves the observability pipeline on both frontends:
+#
+#   1. esteem-bench with -telemetry writes a Chrome trace-event file
+#      (trace.json) next to its run artifacts, with the simulator's
+#      warmup/measure/interval phases visible;
+#   2. a serve round trip (submit -> wait -> trace) exports a span
+#      tree that the client validates for well-formedness (every span
+#      parented, start <= end, parents contain children) and whose
+#      queue/run phases cover >= 95% of the job's wall-clock, in both
+#      tree and chrome formats.
+set -eu
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building binaries =="
+go build -o "$WORK/" ./cmd/esteem-serve ./cmd/esteem-client ./cmd/esteem-bench
+
+echo "== bench trace =="
+"$WORK/esteem-bench" -exp fig2 -instr 200000 -warmup 50000 -interval 100000 \
+    -out "$WORK/results" >/dev/null 2>"$WORK/bench.log"
+[ -s "$WORK/results/trace.json" ] || { echo "bench wrote no trace.json"; cat "$WORK/bench.log"; exit 1; }
+for phase in '"esteem-bench"' '"task"' '"sim"' '"warmup"' '"measure"' '"interval"' '"energy-finalize"'; do
+    grep -q "$phase" "$WORK/results/trace.json" || { echo "bench trace missing $phase"; exit 1; }
+done
+grep -q '"traceEvents"' "$WORK/results/trace.json" || { echo "bench trace not chrome format"; exit 1; }
+echo "bench trace OK"
+
+echo "== serve trace round trip =="
+"$WORK/esteem-serve" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
+    -cache "$WORK/store" -log-format json >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    [ -s "$WORK/addr" ] && break
+    sleep 0.1
+done
+[ -s "$WORK/addr" ] || { echo "daemon never wrote its address"; cat "$WORK/serve.log"; exit 1; }
+SERVER="http://$(cat "$WORK/addr")"
+
+JOB_ID="$("$WORK/esteem-client" submit -server "$SERVER" \
+    -bench gcc -technique esteem -instr 200000 -warmup 50000 -interval 100000 -seed 1 -wait 2>/dev/null |
+    sed -n 's/^  "id": "\([0-9a-f]*\)",$/\1/p')"
+[ -n "$JOB_ID" ] || { echo "submit returned no job id"; exit 1; }
+
+# Tree format: client-side Validate + coverage gate.
+"$WORK/esteem-client" trace -server "$SERVER" -min-coverage 0.95 \
+    -o "$WORK/tree.json" "$JOB_ID"
+# Chrome format: loadable trace-event JSON.
+"$WORK/esteem-client" trace -server "$SERVER" -format chrome \
+    -o "$WORK/chrome.json" "$JOB_ID" 2>/dev/null
+grep -q '"traceEvents"' "$WORK/chrome.json" || { echo "serve chrome trace malformed"; exit 1; }
+
+# Structured logs carry the same trace id as the exported tree.
+TREE_TID="$(sed -n 's/.*"trace_id": *"\([0-9a-f]*\)".*/\1/p' "$WORK/tree.json" | head -1)"
+grep -q "\"trace_id\":\"$TREE_TID\"" "$WORK/serve.log" ||
+    { echo "serve log missing trace id $TREE_TID"; cat "$WORK/serve.log"; exit 1; }
+grep -q '"msg":"job done"' "$WORK/serve.log" || { echo "serve log missing job done line"; exit 1; }
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+SERVE_PID=""
+echo "== trace smoke OK =="
