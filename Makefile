@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the CI/verification gate.
 
-.PHONY: check ci lint golden golden-update verify fuzz-smoke build vet test race bench results quick-results serve serve-smoke trace-smoke
+.PHONY: check ci lint golden golden-update verify fuzz-smoke build vet test race bench bench-record bench-check results quick-results serve serve-smoke trace-smoke
 
 check:
 	./scripts/check.sh
@@ -51,6 +51,17 @@ race:
 # step, refresh windows, whole short runs).
 bench:
 	go test -bench . -benchmem -run '^$$' ./internal/cache/ ./internal/sim/ ./internal/refrint/ .
+
+# Run the pinned hot-path benchmarks at a fixed benchtime and append a
+# dated entry to BENCH_sim.json (the checked-in perf trajectory).
+bench-record:
+	./scripts/bench-record.sh
+
+# Gate the same benchmarks against the latest BENCH_sim.json entry:
+# >15% ns/op regression or any allocs/op increase fails (CI's
+# bench-gate lane).
+bench-check:
+	./scripts/bench-record.sh check
 
 # Regenerate the paper evaluation (long; uses every CPU by default —
 # tune with JOBS=N).

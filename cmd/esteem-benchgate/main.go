@@ -1,0 +1,267 @@
+// Command esteem-benchgate records and gates the repository's pinned
+// hot-path benchmarks.
+//
+// It consumes `go test -bench -benchmem` output on stdin in two modes:
+//
+//	esteem-benchgate -record BENCH_sim.json   # append a dated entry
+//	esteem-benchgate -check  BENCH_sim.json   # gate against the latest entry
+//
+// Record mode parses the tracked benchmarks (taking the best ns/op per
+// name across -count repetitions) and appends one dated entry to the
+// JSON trajectory file, which is checked in so the perf history rides
+// with the code. Check mode compares the same parse against the most
+// recent recorded entry and fails (exit 1) on a ns/op regression
+// beyond the threshold (default 15%) or ANY allocs/op increase — time
+// is noisy across hosts, allocation counts are exact, so the alloc
+// gate is absolute.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// tracked is the pinned hot-path set: the benchmarks whose trajectory
+// BENCH_sim.json records and whose regressions the CI lane rejects.
+var tracked = []string{
+	"BenchmarkCacheAccess",
+	"BenchmarkCacheNew",
+	"BenchmarkActiveFraction",
+	"BenchmarkRefreshWindow",
+	"BenchmarkSimRunShort",
+}
+
+// trackedBy returns the tracked base name that benchmark result name
+// belongs to ("" if untracked). Sub-benchmarks count toward their
+// parent: BenchmarkRefreshWindow/rpv is tracked by
+// BenchmarkRefreshWindow and recorded under its full name.
+func trackedBy(name string) string {
+	for _, t := range tracked {
+		if name == t || strings.HasPrefix(name, t+"/") {
+			return t
+		}
+	}
+	return ""
+}
+
+// benchLine matches one result line of `go test -bench -benchmem`
+// output, e.g.
+//
+//	BenchmarkCacheAccess-8  35108067  33.96 ns/op  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+// point is one benchmark measurement.
+type point struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	Iters    int64   `json:"iters"`
+}
+
+// entry is one dated record of every tracked benchmark.
+type entry struct {
+	Date       string           `json:"date"`
+	Go         string           `json:"go"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	CPUs       int              `json:"cpus"`
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]point `json:"benchmarks"`
+}
+
+// trajectory is the checked-in BENCH_sim.json layout.
+type trajectory struct {
+	Schema    int     `json:"schema"`
+	Benchtime string  `json:"benchtime"`
+	Entries   []entry `json:"entries"`
+}
+
+func main() {
+	record := flag.String("record", "", "append a dated entry parsed from stdin to this trajectory file")
+	check := flag.String("check", "", "gate stdin against the latest entry of this trajectory file")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed fractional ns/op regression in -check mode")
+	note := flag.String("note", "", "free-form note stored with a -record entry")
+	benchtime := flag.String("benchtime", "1s", "benchtime label stored in the trajectory file")
+	flag.Parse()
+	if (*record == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "esteem-benchgate: exactly one of -record or -check is required")
+		os.Exit(2)
+	}
+
+	got, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	var missing []string
+	for _, name := range tracked {
+		found := false
+		for n := range got {
+			if trackedBy(n) == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fatal(fmt.Errorf("stdin carried no results for %s (did the bench run fail?)", strings.Join(missing, ", ")))
+	}
+
+	if *record != "" {
+		if err := doRecord(*record, *benchtime, *note, got); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := doCheck(*check, *maxRegress, got); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "esteem-benchgate:", err)
+	os.Exit(1)
+}
+
+// parseBench extracts the tracked benchmarks from go-test output,
+// keeping the best (lowest) ns/op seen per name so -count repetitions
+// gate on the least-noisy measurement.
+func parseBench(f *os.File) (map[string]point, error) {
+	got := make(map[string]point)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if trackedBy(name) == "" {
+			continue
+		}
+		p := point{}
+		p.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		p.NsOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			p.BOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			p.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		if old, ok := got[name]; !ok || p.NsOp < old.NsOp {
+			got[name] = p
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(got) == 0 {
+		return nil, fmt.Errorf("no benchmark results on stdin")
+	}
+	return got, nil
+}
+
+// load reads a trajectory file; a missing file is an empty trajectory.
+func load(path string) (trajectory, error) {
+	var tr trajectory
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return trajectory{Schema: 1}, nil
+		}
+		return tr, err
+	}
+	if err := json.Unmarshal(b, &tr); err != nil {
+		return tr, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+func doRecord(path, benchtime, note string, got map[string]point) error {
+	tr, err := load(path)
+	if err != nil {
+		return err
+	}
+	tr.Schema = 1
+	tr.Benchtime = benchtime
+	tr.Entries = append(tr.Entries, entry{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Note:       note,
+		Benchmarks: got,
+	})
+	b, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	names := sortedNames(got)
+	for _, name := range names {
+		p := got[name]
+		fmt.Printf("recorded %-28s %12.2f ns/op %8.0f allocs/op\n", name, p.NsOp, p.AllocsOp)
+	}
+	fmt.Printf("appended entry %d to %s\n", len(tr.Entries), path)
+	return nil
+}
+
+func doCheck(path string, maxRegress float64, got map[string]point) error {
+	tr, err := load(path)
+	if err != nil {
+		return err
+	}
+	if len(tr.Entries) == 0 {
+		return fmt.Errorf("%s holds no baseline entries; run `make bench-record` first", path)
+	}
+	base := tr.Entries[len(tr.Entries)-1]
+	failed := false
+	for _, name := range sortedNames(got) {
+		p := got[name]
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("SKIP %-28s no baseline (new benchmark)\n", name)
+			continue
+		}
+		delta := (p.NsOp - b.NsOp) / b.NsOp
+		status := "ok  "
+		switch {
+		case p.AllocsOp > b.AllocsOp:
+			status = "FAIL"
+			failed = true
+		case delta > maxRegress:
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-28s %12.2f ns/op (base %12.2f, %+6.1f%%)  %5.0f allocs/op (base %.0f)\n",
+			status, name, p.NsOp, b.NsOp, delta*100, p.AllocsOp, b.AllocsOp)
+	}
+	if failed {
+		return fmt.Errorf("regression vs %s entry of %s (ns/op > +%.0f%% or allocs/op increase)",
+			path, base.Date, maxRegress*100)
+	}
+	fmt.Println("benchmark gate passed")
+	return nil
+}
+
+func sortedNames(m map[string]point) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -17,6 +17,22 @@
 //     simulator can charge main-memory traffic and energy).
 //
 // Replacement is true LRU, as in the paper's simulated hierarchy.
+//
+// Tag state is stored struct-of-arrays: one flat tag word array
+// (way-major within each set), one valid and one dirty bitset word
+// per set (interleaved so both land on the same cache line), and one
+// flat byte array of LRU recency stacks. A set probe therefore reads
+// one or two cache lines of tags plus a single bitset word, instead
+// of striding across per-line structs. Two invariants make the
+// bitset probe sound:
+//
+//   - valid ⟹ active: a disabled way never holds a valid line
+//     (SetActiveWays flushes follower ways on shrink; leader sets are
+//     always fully active), so probing need not consult the active-way
+//     count on the hit path.
+//   - valid tags are unique within a set (fills happen only on miss),
+//     so probing ways in bit order finds the same line a recency-order
+//     probe would.
 package cache
 
 import (
@@ -86,21 +102,6 @@ func (p Params) validate() (sets int, err error) {
 	return sets, nil
 }
 
-// line is one cache block's tag state.
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-}
-
-// set holds the ways of one cache set plus its LRU stack.
-type set struct {
-	lines []line
-	// order lists way indices from MRU (order[0]) to LRU
-	// (order[assoc-1]).
-	order []uint8
-}
-
 // AccessResult reports what happened on one cache access.
 type AccessResult struct {
 	// Hit is true if the line was present in an active way.
@@ -148,12 +149,20 @@ type Observer interface {
 // Cache is a single-level set-associative cache.
 type Cache struct {
 	p          Params
-	sets       []set
 	numSets    int
+	assoc      int
 	setsPerMod int
 	lineShift  uint
 	tagShift   uint
 	setMask    uint64
+
+	// Struct-of-arrays tag store. tags[set*assoc+way] is the tag of
+	// that frame; vd[2*set] and vd[2*set+1] are the set's valid and
+	// dirty bitsets (bit w = way w); order[set*assoc+pos] is the way
+	// at recency position pos (0 = MRU).
+	tags  []uint64
+	vd    []uint64
+	order []uint8
 
 	// Per-set lookups precomputed at construction so the access hot
 	// path avoids div/mod per reference.
@@ -178,8 +187,10 @@ type Cache struct {
 	validByBank []int
 
 	// hitPos[m][pos] counts leader-set hits in module m at LRU
-	// position pos since the last ResetInterval.
-	hitPos [][]uint64
+	// position pos since the last ResetInterval; hitBacking is the
+	// shared backing array (also the checkpoint unit).
+	hitPos     [][]uint64
+	hitBacking []uint64
 
 	total    Counters // since construction
 	interval Counters // since last ResetInterval
@@ -195,43 +206,46 @@ func New(p Params) (*Cache, error) {
 		return nil, err
 	}
 	c := &Cache{
-		p:               p,
-		numSets:         numSets,
-		setsPerMod:      numSets / p.Modules,
-		lineShift:       uint(bits.TrailingZeros(uint(p.LineBytes))),
-		setMask:         uint64(numSets - 1),
-		setModule:       make([]int32, numSets),
-		setBank:         make([]int32, numSets),
-		setLeader:       make([]bool, numSets),
-		activeWays:      make([]int, p.Modules),
-		followersPerMod: make([]int, p.Modules),
-		validByBank:     make([]int, p.Banks),
-		hitPos:          make([][]uint64, p.Modules),
+		p:          p,
+		numSets:    numSets,
+		assoc:      p.Assoc,
+		setsPerMod: numSets / p.Modules,
+		lineShift:  uint(bits.TrailingZeros(uint(p.LineBytes))),
+		setMask:    uint64(numSets - 1),
 	}
 	c.tagShift = c.lineShift + uint(bits.TrailingZeros(uint(numSets)))
-	// One backing array per field instead of one allocation per set:
-	// sweeps construct thousands of caches, and per-set slices were
+	// Shared backing arrays instead of per-set allocations: sweeps
+	// construct thousands of caches, and fine-grained slices were
 	// >95% of a simulation job's allocations.
-	lineBacking := make([]line, numSets*p.Assoc)
-	orderBacking := make([]uint8, numSets*p.Assoc)
-	c.sets = make([]set, numSets)
-	for i := range c.sets {
-		c.sets[i].lines = lineBacking[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
-		c.sets[i].order = orderBacking[i*p.Assoc : (i+1)*p.Assoc : (i+1)*p.Assoc]
-		for w := range c.sets[i].order {
-			c.sets[i].order[w] = uint8(w)
+	u64s := make([]uint64, numSets*p.Assoc+2*numSets+p.Modules*p.Assoc)
+	c.tags = u64s[: numSets*p.Assoc : numSets*p.Assoc]
+	c.vd = u64s[numSets*p.Assoc : numSets*p.Assoc+2*numSets : numSets*p.Assoc+2*numSets]
+	c.hitBacking = u64s[numSets*p.Assoc+2*numSets:]
+	c.order = make([]uint8, numSets*p.Assoc)
+	i32s := make([]int32, 2*numSets)
+	c.setModule = i32s[:numSets:numSets]
+	c.setBank = i32s[numSets:]
+	c.setLeader = make([]bool, numSets)
+	ints := make([]int, 2*p.Modules+p.Banks)
+	c.activeWays = ints[:p.Modules:p.Modules]
+	c.followersPerMod = ints[p.Modules : 2*p.Modules : 2*p.Modules]
+	c.validByBank = ints[2*p.Modules:]
+	c.hitPos = make([][]uint64, p.Modules)
+	for s := 0; s < numSets; s++ {
+		base := s * p.Assoc
+		for w := 0; w < p.Assoc; w++ {
+			c.order[base+w] = uint8(w)
 		}
-		c.setModule[i] = int32(i / c.setsPerMod)
-		c.setBank[i] = int32(i % p.Banks)
-		c.setLeader[i] = p.SamplingRatio > 0 && i%p.SamplingRatio == 0
-		if !c.setLeader[i] {
-			c.followersPerMod[i/c.setsPerMod]++
+		c.setModule[s] = int32(s / c.setsPerMod)
+		c.setBank[s] = int32(s % p.Banks)
+		c.setLeader[s] = p.SamplingRatio > 0 && s%p.SamplingRatio == 0
+		if !c.setLeader[s] {
+			c.followersPerMod[s/c.setsPerMod]++
 		}
 	}
-	hitBacking := make([]uint64, p.Modules*p.Assoc)
 	for m := range c.activeWays {
 		c.activeWays[m] = p.Assoc
-		c.hitPos[m] = hitBacking[m*p.Assoc : (m+1)*p.Assoc : (m+1)*p.Assoc]
+		c.hitPos[m] = c.hitBacking[m*p.Assoc : (m+1)*p.Assoc : (m+1)*p.Assoc]
 	}
 	c.activeLines = numSets * p.Assoc
 	return c, nil
@@ -303,49 +317,97 @@ func (c *Cache) waysFor(setIdx int) int {
 	return c.activeWays[c.setModule[setIdx]]
 }
 
+// waysMask returns the bitmask of ways [0, n).
+func waysMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
 // Access performs a read (write=false) or write (write=true) to addr
 // and updates replacement and statistics. On a miss the line is filled
 // (allocate-on-miss for both reads and writes, matching a write-back,
 // write-allocate LLC).
 func (c *Cache) Access(addr Addr, write bool) AccessResult {
+	var res AccessResult
+	c.AccessInto(addr, write, &res)
+	return res
+}
+
+// AccessInto is Access writing its result through res instead of
+// returning it by value; the simulator's per-reference loop uses it to
+// avoid copying the result struct on every access.
+func (c *Cache) AccessInto(addr Addr, write bool, res *AccessResult) {
 	setIdx := c.SetIndex(addr)
 	tag := c.tagOf(addr)
-	s := &c.sets[setIdx]
-	nActive := c.waysFor(setIdx)
-	res := AccessResult{
+	assoc := c.assoc
+	base := setIdx * assoc
+	tags := c.tags[base : base+assoc : base+assoc]
+	order := c.order[base : base+assoc : base+assoc]
+	valid := c.vd[2*setIdx]
+	*res = AccessResult{
 		Set:    setIdx,
-		Bank:   c.BankOf(setIdx),
-		Module: c.ModuleOf(setIdx),
-		Leader: c.IsLeader(setIdx),
+		Bank:   int(c.setBank[setIdx]),
+		Module: int(c.setModule[setIdx]),
+		Leader: c.setLeader[setIdx],
 		LRUPos: -1,
 	}
 
-	// Probe active ways. The LRU position is the index within the
-	// recency stack, which is what Algorithm 1's nL2Hit indexes by.
-	for pos := 0; pos < c.p.Assoc; pos++ {
-		w := int(s.order[pos])
-		if w >= nActive {
-			continue // disabled way: cannot hold a valid line, skip
+	// MRU fast path: temporal locality makes the most-recently-used
+	// way the common hit, and hitting it skips both the bitset walk
+	// and the recency promotion (position 0 is already MRU).
+	if w := int(order[0]); valid>>uint(w)&1 != 0 && tags[w] == tag {
+		res.Hit = true
+		res.Way = w
+		res.LRUPos = 0
+		if write {
+			c.vd[2*setIdx+1] |= 1 << uint(w)
 		}
-		ln := &s.lines[w]
-		if ln.valid && ln.tag == tag {
-			res.Hit = true
-			res.Way = w
-			res.LRUPos = pos
-			if write {
-				ln.dirty = true
-			}
-			c.promote(s, pos)
-			c.total.Hits++
-			c.interval.Hits++
-			if res.Leader {
-				c.hitPos[res.Module][pos]++
-			}
-			if c.observer != nil {
-				c.observer.OnTouch(setIdx, w)
-			}
-			return res
+		c.total.Hits++
+		c.interval.Hits++
+		if res.Leader {
+			c.hitPos[res.Module][0]++
 		}
+		if c.observer != nil {
+			c.observer.OnTouch(setIdx, w)
+		}
+		return
+	}
+
+	// Probe the valid ways by bitset. valid ⟹ active and valid tags
+	// are unique per set (see the package comment), so this finds
+	// exactly the line a recency-order walk over active ways would.
+	for m := valid; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if tags[w] != tag {
+			continue
+		}
+		// The LRU position — what Algorithm 1's nL2Hit indexes by —
+		// is the way's index in the recency stack.
+		pos := 0
+		for p, ow := range order {
+			if int(ow) == w {
+				pos = p
+				break
+			}
+		}
+		res.Hit = true
+		res.Way = w
+		res.LRUPos = pos
+		if write {
+			c.vd[2*setIdx+1] |= 1 << uint(w)
+		}
+		promote(order, pos)
+		c.total.Hits++
+		c.interval.Hits++
+		if res.Leader {
+			c.hitPos[res.Module][pos]++
+		}
+		if c.observer != nil {
+			c.observer.OnTouch(setIdx, w)
+		}
+		return
 	}
 
 	// Miss: choose a victim among active ways — the lowest-numbered
@@ -354,40 +416,40 @@ func (c *Cache) Access(addr Addr, write bool) AccessResult {
 	// active way.
 	c.total.Misses++
 	c.interval.Misses++
-	victimWay := -1
-	for w := 0; w < nActive; w++ {
-		if !s.lines[w].valid {
-			victimWay = w
-			break
-		}
+	nActive := assoc
+	if !res.Leader {
+		nActive = c.activeWays[res.Module]
 	}
-	victimPos := -1
-	if victimWay >= 0 {
-		for pos := 0; pos < c.p.Assoc; pos++ {
-			if int(s.order[pos]) == victimWay {
-				victimPos = pos
+	var w, victimPos int
+	if inv := ^valid & waysMask(nActive); inv != 0 {
+		w = bits.TrailingZeros64(inv)
+		victimPos = 0
+		for p, ow := range order {
+			if int(ow) == w {
+				victimPos = p
 				break
 			}
 		}
 	} else {
-		for pos := c.p.Assoc - 1; pos >= 0; pos-- {
-			if int(s.order[pos]) < nActive {
+		victimPos = -1
+		for pos := assoc - 1; pos >= 0; pos-- {
+			if int(order[pos]) < nActive {
 				victimPos = pos
 				break
 			}
 		}
+		if victimPos < 0 {
+			// No active ways at all — cannot happen with A_min >= 1, but
+			// guard against misconfiguration rather than corrupt state.
+			panic(fmt.Sprintf("cache %s: set %d has zero active ways", c.p.Name, setIdx))
+		}
+		w = int(order[victimPos])
 	}
-	if victimPos < 0 {
-		// No active ways at all — cannot happen with A_min >= 1, but
-		// guard against misconfiguration rather than corrupt state.
-		panic(fmt.Sprintf("cache %s: set %d has zero active ways", c.p.Name, setIdx))
-	}
-	w := int(s.order[victimPos])
-	ln := &s.lines[w]
-	if ln.valid {
-		if ln.dirty {
+	bit := uint64(1) << uint(w)
+	if valid&bit != 0 {
+		if c.vd[2*setIdx+1]&bit != 0 {
 			res.WritebackVictim = true
-			res.VictimAddr = c.lineAddr(setIdx, ln.tag)
+			res.VictimAddr = c.lineAddr(setIdx, tags[w])
 			c.total.Writebacks++
 			c.interval.Writebacks++
 		}
@@ -396,25 +458,28 @@ func (c *Cache) Access(addr Addr, write bool) AccessResult {
 			c.observer.OnInvalidate(setIdx, w)
 		}
 	}
-	ln.tag = tag
-	ln.valid = true
-	ln.dirty = write
+	tags[w] = tag
+	c.vd[2*setIdx] |= bit
+	if write {
+		c.vd[2*setIdx+1] |= bit
+	} else {
+		c.vd[2*setIdx+1] &^= bit
+	}
 	c.validByBank[res.Bank]++
 	c.total.Fills++
 	c.interval.Fills++
 	res.Way = w
-	c.promote(s, victimPos)
+	promote(order, victimPos)
 	if c.observer != nil {
 		c.observer.OnTouch(setIdx, w)
 	}
-	return res
 }
 
 // promote moves the way at stack position pos to MRU.
-func (c *Cache) promote(s *set, pos int) {
-	w := s.order[pos]
-	copy(s.order[1:pos+1], s.order[:pos])
-	s.order[0] = w
+func promote(order []uint8, pos int) {
+	w := order[pos]
+	copy(order[1:pos+1], order[:pos])
+	order[0] = w
 }
 
 // Probe reports whether addr is present in an active way, without
@@ -422,14 +487,10 @@ func (c *Cache) promote(s *set, pos int) {
 func (c *Cache) Probe(addr Addr) bool {
 	setIdx := c.SetIndex(addr)
 	tag := c.tagOf(addr)
-	s := &c.sets[setIdx]
-	nActive := c.waysFor(setIdx)
-	for pos := 0; pos < c.p.Assoc; pos++ {
-		w := int(s.order[pos])
-		if w >= nActive {
-			continue
-		}
-		if s.lines[w].valid && s.lines[w].tag == tag {
+	base := setIdx * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for m := c.vd[2*setIdx]; m != 0; m &= m - 1 {
+		if tags[bits.TrailingZeros64(m)] == tag {
 			return true
 		}
 	}
@@ -456,26 +517,29 @@ func (c *Cache) SetActiveWays(m, n int) (invalidated, writebacks int) {
 	if n >= old {
 		return 0, 0
 	}
+	dropMask := waysMask(old) &^ waysMask(n)
 	lo, hi := m*c.setsPerMod, (m+1)*c.setsPerMod
 	for setIdx := lo; setIdx < hi; setIdx++ {
-		if c.IsLeader(setIdx) {
+		if c.setLeader[setIdx] {
 			continue // leader sets never reconfigure (Section 3.2)
 		}
-		s := &c.sets[setIdx]
-		for w := n; w < old; w++ {
-			ln := &s.lines[w]
-			if !ln.valid {
-				continue
-			}
-			if ln.dirty {
+		drop := c.vd[2*setIdx] & dropMask
+		if drop == 0 {
+			continue
+		}
+		bank := int(c.setBank[setIdx])
+		for mb := drop; mb != 0; mb &= mb - 1 {
+			w := bits.TrailingZeros64(mb)
+			bit := uint64(1) << uint(w)
+			if c.vd[2*setIdx+1]&bit != 0 {
 				writebacks++
 				c.total.Writebacks++
 				c.interval.Writebacks++
 			}
-			ln.valid = false
-			ln.dirty = false
+			c.vd[2*setIdx] &^= bit
+			c.vd[2*setIdx+1] &^= bit
 			invalidated++
-			c.validByBank[c.BankOf(setIdx)]--
+			c.validByBank[bank]--
 			if c.observer != nil {
 				c.observer.OnInvalidate(setIdx, w)
 			}
@@ -524,8 +588,16 @@ func (c *Cache) LinesPerBank(b int) int {
 
 // LineState reports the valid/dirty state of the line at (setIdx, way).
 func (c *Cache) LineState(setIdx, way int) (valid, dirty bool) {
-	ln := &c.sets[setIdx].lines[way]
-	return ln.valid, ln.dirty
+	bit := uint64(1) << uint(way)
+	return c.vd[2*setIdx]&bit != 0, c.vd[2*setIdx+1]&bit != 0
+}
+
+// SetBits returns the raw valid and dirty bitset words of a set (bit
+// w = way w). It exposes the SoA representation for verification:
+// the -tags verify invariants cross-check popcounts of these words
+// against independent recounts.
+func (c *Cache) SetBits(setIdx int) (valid, dirty uint64) {
+	return c.vd[2*setIdx], c.vd[2*setIdx+1]
 }
 
 // HitPositions returns the leader-set hit histogram for module m at
@@ -546,31 +618,31 @@ func (c *Cache) IntervalCounters() Counters { return c.interval }
 // profiling data.
 func (c *Cache) ResetInterval() {
 	c.interval = Counters{}
-	for m := range c.hitPos {
-		for i := range c.hitPos[m] {
-			c.hitPos[m][i] = 0
-		}
+	for i := range c.hitBacking {
+		c.hitBacking[i] = 0
 	}
 }
 
 // InvalidateAll drops every line (counting dirty writebacks), e.g. for
 // tests and for policies that eagerly invalidate.
 func (c *Cache) InvalidateAll() (writebacks int) {
-	for setIdx := range c.sets {
-		s := &c.sets[setIdx]
-		for w := range s.lines {
-			ln := &s.lines[w]
-			if !ln.valid {
-				continue
-			}
-			if ln.dirty {
+	for setIdx := 0; setIdx < c.numSets; setIdx++ {
+		valid := c.vd[2*setIdx]
+		if valid == 0 {
+			continue
+		}
+		bank := int(c.setBank[setIdx])
+		for mb := valid; mb != 0; mb &= mb - 1 {
+			w := bits.TrailingZeros64(mb)
+			bit := uint64(1) << uint(w)
+			if c.vd[2*setIdx+1]&bit != 0 {
 				writebacks++
 				c.total.Writebacks++
 				c.interval.Writebacks++
 			}
-			ln.valid = false
-			ln.dirty = false
-			c.validByBank[c.BankOf(setIdx)]--
+			c.vd[2*setIdx] &^= bit
+			c.vd[2*setIdx+1] &^= bit
+			c.validByBank[bank]--
 			if c.observer != nil {
 				c.observer.OnInvalidate(setIdx, w)
 			}
@@ -583,18 +655,18 @@ func (c *Cache) InvalidateAll() (writebacks int) {
 // was dirty. Used by eager-invalidation refresh policies (Refrint
 // RPD).
 func (c *Cache) InvalidateLine(setIdx, way int) (wasValid, wasDirty bool) {
-	ln := &c.sets[setIdx].lines[way]
-	if !ln.valid {
+	bit := uint64(1) << uint(way)
+	if c.vd[2*setIdx]&bit == 0 {
 		return false, false
 	}
-	wasDirty = ln.dirty
+	wasDirty = c.vd[2*setIdx+1]&bit != 0
 	if wasDirty {
 		c.total.Writebacks++
 		c.interval.Writebacks++
 	}
-	ln.valid = false
-	ln.dirty = false
-	c.validByBank[c.BankOf(setIdx)]--
+	c.vd[2*setIdx] &^= bit
+	c.vd[2*setIdx+1] &^= bit
+	c.validByBank[c.setBank[setIdx]]--
 	if c.observer != nil {
 		c.observer.OnInvalidate(setIdx, way)
 	}

@@ -567,10 +567,10 @@ func TestLRUOrderIsPermutationProperty(t *testing.T) {
 				c.Access(Addr(rng.Uint64n(8*64*16)), rng.Bool(0.5))
 			}
 		}
-		for s := range c.sets {
+		for s := 0; s < c.NumSets(); s++ {
 			seen := [4]bool{}
-			for _, w := range c.sets[s].order {
-				if int(w) >= 4 || seen[w] {
+			for _, w := range c.SnapshotSet(s).Order {
+				if w >= 4 || seen[w] {
 					return false
 				}
 				seen[w] = true

@@ -15,21 +15,27 @@ type SetSnapshot struct {
 	Lines []LineSnapshot
 }
 
-// SnapshotSet copies the full state of one set. It is a cold-path
+// SnapshotSet copies the full state of one set, materialising the
+// struct-of-arrays representation (flat tag array plus valid/dirty
+// bitset words) back into per-line records. It is a cold-path
 // debugging/verification API: the differential harness in
 // internal/verify calls it after every operation to compare tag
 // arrays, LRU order and valid/dirty bits against the oracle model.
 func (c *Cache) SnapshotSet(setIdx int) SetSnapshot {
-	s := &c.sets[setIdx]
+	base := setIdx * c.assoc
 	snap := SetSnapshot{
-		Order: make([]int, len(s.order)),
-		Lines: make([]LineSnapshot, len(s.lines)),
+		Order: make([]int, c.assoc),
+		Lines: make([]LineSnapshot, c.assoc),
 	}
-	for i, w := range s.order {
-		snap.Order[i] = int(w)
-	}
-	for w, ln := range s.lines {
-		snap.Lines[w] = LineSnapshot{Tag: ln.tag, Valid: ln.valid, Dirty: ln.dirty}
+	valid, dirty := c.vd[2*setIdx], c.vd[2*setIdx+1]
+	for w := 0; w < c.assoc; w++ {
+		snap.Order[w] = int(c.order[base+w])
+		bit := uint64(1) << uint(w)
+		snap.Lines[w] = LineSnapshot{
+			Tag:   c.tags[base+w],
+			Valid: valid&bit != 0,
+			Dirty: dirty&bit != 0,
+		}
 	}
 	return snap
 }

@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"math/bits"
+
+	"repro/internal/ckpt"
+)
+
+// AppendState serialises the cache's mutable state: the SoA tag
+// store (tags, valid/dirty bitsets, LRU stacks), the reconfiguration
+// state, per-bank valid counts, leader histograms and counters.
+// Derived geometry (set maps, module layout) is not serialised — a
+// checkpoint is only restored into a cache built from identical
+// Params, which the caller guarantees by keying checkpoints on the
+// full configuration.
+func (c *Cache) AppendState(w *ckpt.Writer) {
+	w.Section("CACH")
+	w.U64Slice(c.tags)
+	w.U64Slice(c.vd)
+	w.U8Slice(c.order)
+	w.IntSlice(c.activeWays)
+	w.IntSlice(c.validByBank)
+	w.U64Slice(c.hitBacking)
+	w.U64(c.total.Hits)
+	w.U64(c.total.Misses)
+	w.U64(c.total.Writebacks)
+	w.U64(c.total.Fills)
+	w.U64(c.interval.Hits)
+	w.U64(c.interval.Misses)
+	w.U64(c.interval.Writebacks)
+	w.U64(c.interval.Fills)
+}
+
+// RestoreState loads state written by AppendState into a freshly
+// constructed cache with identical Params, then revalidates the
+// representation invariants (dirty ⊆ valid, valid ⊆ active ways,
+// LRU permutations, bank counts) so a corrupt or mismatched
+// checkpoint fails loudly instead of silently corrupting a run.
+// The observer is untouched: policies re-register at construction
+// and restore their own state separately.
+func (c *Cache) RestoreState(r *ckpt.Reader) error {
+	r.Section("CACH")
+	r.U64SliceInto(c.tags)
+	r.U64SliceInto(c.vd)
+	r.U8SliceInto(c.order)
+	r.IntSliceInto(c.activeWays)
+	r.IntSliceInto(c.validByBank)
+	r.U64SliceInto(c.hitBacking)
+	c.total.Hits = r.U64()
+	c.total.Misses = r.U64()
+	c.total.Writebacks = r.U64()
+	c.total.Fills = r.U64()
+	c.interval.Hits = r.U64()
+	c.interval.Misses = r.U64()
+	c.interval.Writebacks = r.U64()
+	c.interval.Fills = r.U64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	return c.revalidate(r)
+}
+
+// revalidate checks the restored representation's invariants and
+// recomputes the derived activeLines count.
+func (c *Cache) revalidate(r *ckpt.Reader) error {
+	assocMask := waysMask(c.assoc)
+	activeLines := 0
+	for m, n := range c.activeWays {
+		if n < 1 || n > c.assoc {
+			r.Failf("cache %s: restored active ways %d out of range", c.p.Name, n)
+			return r.Err()
+		}
+		leaders := c.setsPerMod - c.followersPerMod[m]
+		activeLines += leaders*c.assoc + c.followersPerMod[m]*n
+	}
+	c.activeLines = activeLines
+	perBank := make([]int, c.p.Banks)
+	var seen uint64
+	for s := 0; s < c.numSets; s++ {
+		valid, dirty := c.vd[2*s], c.vd[2*s+1]
+		if valid&^assocMask != 0 || dirty&^valid != 0 {
+			r.Failf("cache %s: restored set %d has invalid bitsets", c.p.Name, s)
+			return r.Err()
+		}
+		if !c.setLeader[s] {
+			if valid&^waysMask(c.activeWays[c.setModule[s]]) != 0 {
+				r.Failf("cache %s: restored set %d has valid lines in disabled ways", c.p.Name, s)
+				return r.Err()
+			}
+		}
+		seen = 0
+		base := s * c.assoc
+		for _, w := range c.order[base : base+c.assoc] {
+			seen |= 1 << uint(w)
+		}
+		if seen != assocMask {
+			r.Failf("cache %s: restored set %d LRU stack is not a permutation", c.p.Name, s)
+			return r.Err()
+		}
+		perBank[c.setBank[s]] += bits.OnesCount64(valid)
+	}
+	for b, n := range perBank {
+		if c.validByBank[b] != n {
+			r.Failf("cache %s: restored bank %d count %d, recount %d", c.p.Name, b, c.validByBank[b], n)
+			return r.Err()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/xrand"
+)
+
+func scrambled(t *testing.T, seed uint64) *Cache {
+	t.Helper()
+	c := MustNew(Params{Name: "s", SizeBytes: 64 * 8 * 64, Assoc: 8, LineBytes: 64, Modules: 4, Banks: 4, SamplingRatio: 16})
+	rng := xrand.New(seed)
+	for i := 0; i < 5000; i++ {
+		switch {
+		case rng.Bool(0.05):
+			c.SetActiveWays(rng.Intn(4), 1+rng.Intn(8))
+		default:
+			c.Access(Addr(rng.Uint64n(64*64*64)), rng.Bool(0.4))
+		}
+	}
+	return c
+}
+
+// TestSnapshotMatchesSoA drives a cache through a mixed workload and
+// checks SnapshotSet agrees with the public per-line accessors — the
+// regression the SoA rewrite could have introduced by desyncing the
+// snapshot path from the arrays.
+func TestSnapshotMatchesSoA(t *testing.T) {
+	c := scrambled(t, 77)
+	for s := 0; s < c.NumSets(); s++ {
+		snap := c.SnapshotSet(s)
+		valid, dirty := c.SetBits(s)
+		seen := uint64(0)
+		for w := 0; w < c.Params().Assoc; w++ {
+			lv, ld := c.LineState(s, w)
+			if snap.Lines[w].Valid != lv || snap.Lines[w].Dirty != ld {
+				t.Fatalf("set %d way %d: snapshot %+v, LineState (%v,%v)", s, w, snap.Lines[w], lv, ld)
+			}
+			bit := uint64(1) << uint(w)
+			if lv != (valid&bit != 0) || ld != (dirty&bit != 0) {
+				t.Fatalf("set %d way %d: SetBits disagrees with LineState", s, w)
+			}
+			seen |= 1 << uint(snap.Order[w])
+		}
+		if seen != uint64(1)<<uint(c.Params().Assoc)-1 {
+			t.Fatalf("set %d: snapshot order %v not a permutation", s, snap.Order)
+		}
+	}
+}
+
+// TestCacheStateRoundTrip checkpoints a scrambled cache, restores it
+// into a fresh one, and requires identical externally visible state
+// and identical future behaviour.
+func TestCacheStateRoundTrip(t *testing.T) {
+	a := scrambled(t, 123)
+	w := ckpt.NewWriter()
+	a.AppendState(w)
+
+	b := MustNew(a.Params())
+	r := ckpt.NewReader(w.Bytes())
+	if err := b.RestoreState(r); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("trailing state: %v", err)
+	}
+
+	if a.TotalCounters() != b.TotalCounters() || a.IntervalCounters() != b.IntervalCounters() {
+		t.Fatal("counters differ after restore")
+	}
+	if a.ActiveFraction() != b.ActiveFraction() {
+		t.Fatal("active fraction differs after restore")
+	}
+	for m := 0; m < a.NumModules(); m++ {
+		if a.ActiveWays(m) != b.ActiveWays(m) {
+			t.Fatalf("module %d active ways differ", m)
+		}
+		ha, hb := a.HitPositions(m), b.HitPositions(m)
+		for i := range ha {
+			if ha[i] != hb[i] {
+				t.Fatalf("module %d hit histogram differs at %d", m, i)
+			}
+		}
+	}
+	for bk := 0; bk < a.Params().Banks; bk++ {
+		if a.ValidByBank(bk) != b.ValidByBank(bk) {
+			t.Fatalf("bank %d valid count differs", bk)
+		}
+	}
+	for s := 0; s < a.NumSets(); s++ {
+		sa, sb := a.SnapshotSet(s), b.SnapshotSet(s)
+		for i := range sa.Order {
+			if sa.Order[i] != sb.Order[i] || sa.Lines[i] != sb.Lines[i] {
+				t.Fatalf("set %d state differs after restore", s)
+			}
+		}
+	}
+
+	// Identical futures, including evictions and reconfigurations.
+	rng := xrand.New(999)
+	for i := 0; i < 3000; i++ {
+		if rng.Bool(0.03) {
+			m, n := rng.Intn(4), 1+rng.Intn(8)
+			ia, wa := a.SetActiveWays(m, n)
+			ib, wb := b.SetActiveWays(m, n)
+			if ia != ib || wa != wb {
+				t.Fatalf("step %d: SetActiveWays diverged", i)
+			}
+			continue
+		}
+		addr := Addr(rng.Uint64n(64 * 64 * 64))
+		wr := rng.Bool(0.4)
+		ra, rb := a.Access(addr, wr), b.Access(addr, wr)
+		if ra != rb {
+			t.Fatalf("step %d: access diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+// TestCacheRestoreRejectsCorrupt flips state bits that violate the
+// representation invariants and checks restore refuses them.
+func TestCacheRestoreRejectsCorrupt(t *testing.T) {
+	a := scrambled(t, 5)
+	w := ckpt.NewWriter()
+	a.AppendState(w)
+	good := w.Bytes()
+
+	fresh := func() *Cache { return MustNew(a.Params()) }
+
+	if err := fresh().RestoreState(ckpt.NewReader(good[:len(good)-4])); err == nil {
+		t.Fatal("truncated state restored")
+	}
+
+	// Geometry mismatch: restore into a smaller cache.
+	small := MustNew(Params{Name: "s", SizeBytes: 32 * 8 * 64, Assoc: 8, LineBytes: 64, Modules: 4, Banks: 4, SamplingRatio: 16})
+	if err := small.RestoreState(ckpt.NewReader(good)); err == nil {
+		t.Fatal("mismatched geometry restored")
+	}
+
+	// A dirty bit without its valid bit. The vd array starts right
+	// after the tags slice: locate a set with room.
+	corrupt := func(mutate func(c *Cache)) error {
+		c := fresh()
+		mutate(c)
+		w := ckpt.NewWriter()
+		c.AppendState(w)
+		return fresh().RestoreState(ckpt.NewReader(w.Bytes()))
+	}
+	if err := corrupt(func(c *Cache) { c.vd[1] = 0xFF; c.vd[0] = 0 }); err == nil {
+		t.Fatal("dirty-without-valid state restored")
+	}
+	if err := corrupt(func(c *Cache) { c.order[0] = 99 }); err == nil {
+		t.Fatal("broken LRU permutation restored")
+	}
+	if err := corrupt(func(c *Cache) { c.vd[2] = 1 }); err == nil {
+		// Valid line appeared without adjusting validByBank.
+		t.Fatal("inconsistent bank counts restored")
+	}
+}

@@ -94,6 +94,12 @@ type Stats struct {
 	// Coalesced counts GetOrCompute callers that waited on another
 	// caller's in-flight computation instead of running their own.
 	Coalesced uint64
+	// PrefixHits and PrefixMisses count BestCheckpoint lookups that
+	// found (respectively, failed to find) a usable prefix checkpoint;
+	// PrefixSavedInstr accumulates the measured instructions each hit
+	// let the resuming run skip (the hit's minimum per-core measured
+	// count). See checkpoint.go.
+	PrefixHits, PrefixMisses, PrefixSavedInstr uint64
 }
 
 // Store is a content-addressed artifact store. The zero value is not
@@ -107,11 +113,20 @@ type Store struct {
 	order   *list.List               // front = most recently used
 	flights map[string]*flight
 
-	memHits   atomic.Uint64
-	diskHits  atomic.Uint64
-	misses    atomic.Uint64
-	computes  atomic.Uint64
-	coalesced atomic.Uint64
+	// Prefix-checkpoint layer (see checkpoint.go). ckptMu serialises
+	// index read-merge-write cycles; the maps back a memory-only store.
+	ckptMu    sync.Mutex
+	ckptIdx   map[string][]CheckpointMeta
+	ckptBlobs map[string][]byte
+
+	memHits      atomic.Uint64
+	diskHits     atomic.Uint64
+	misses       atomic.Uint64
+	computes     atomic.Uint64
+	coalesced    atomic.Uint64
+	prefixHits   atomic.Uint64
+	prefixMisses atomic.Uint64
+	prefixSaved  atomic.Uint64
 }
 
 // entry is one cached artifact in the LRU layer.
@@ -146,6 +161,8 @@ func Open(dir string, maxEntries int) (*Store, error) {
 		entries:    make(map[string]*list.Element),
 		order:      list.New(),
 		flights:    make(map[string]*flight),
+		ckptIdx:    make(map[string][]CheckpointMeta),
+		ckptBlobs:  make(map[string][]byte),
 	}, nil
 }
 
@@ -225,28 +242,37 @@ func (s *Store) lookup(key string) (data []byte, ok bool, err error) {
 // construction (the key is a hash of everything that determines them).
 func (s *Store) Put(key string, data []byte) error {
 	if s.dir != "" {
-		tmp, err := os.CreateTemp(s.dir, "."+key+".tmp-*")
-		if err != nil {
-			return fmt.Errorf("castore: %w", err)
-		}
-		tmpName := tmp.Name()
-		if _, err := tmp.Write(data); err != nil {
-			tmp.Close()
-			os.Remove(tmpName)
-			return fmt.Errorf("castore: writing %s: %w", key, err)
-		}
-		if err := tmp.Close(); err != nil {
-			os.Remove(tmpName)
-			return fmt.Errorf("castore: writing %s: %w", key, err)
-		}
-		if err := os.Rename(tmpName, s.Path(key)); err != nil {
-			os.Remove(tmpName)
-			return fmt.Errorf("castore: %w", err)
+		if err := s.writeAtomic(key, s.Path(key), data); err != nil {
+			return err
 		}
 	}
 	s.mu.Lock()
 	s.touch(key, data)
 	s.mu.Unlock()
+	return nil
+}
+
+// writeAtomic writes data to path via a temp file + rename so a crash
+// never leaves a torn file. name labels errors.
+func (s *Store) writeAtomic(name, path string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "."+name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("castore: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("castore: writing %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("castore: writing %s: %w", name, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("castore: %w", err)
+	}
 	return nil
 }
 
@@ -335,18 +361,26 @@ func (s *Store) Len() int {
 func (s *Store) Stats() Stats {
 	mem, disk := s.memHits.Load(), s.diskHits.Load()
 	return Stats{
-		Hits:      mem + disk,
-		MemHits:   mem,
-		DiskHits:  disk,
-		Misses:    s.misses.Load(),
-		Computes:  s.computes.Load(),
-		Coalesced: s.coalesced.Load(),
+		Hits:             mem + disk,
+		MemHits:          mem,
+		DiskHits:         disk,
+		Misses:           s.misses.Load(),
+		Computes:         s.computes.Load(),
+		Coalesced:        s.coalesced.Load(),
+		PrefixHits:       s.prefixHits.Load(),
+		PrefixMisses:     s.prefixMisses.Load(),
+		PrefixSavedInstr: s.prefixSaved.Load(),
 	}
 }
 
 // Summary renders the stats as the one-line report cmd/esteem-bench
 // prints for -cache-stats.
 func (st Stats) Summary() string {
-	return fmt.Sprintf("%d hits (%d memory, %d disk), %d misses, %d computed, %d coalesced",
+	s := fmt.Sprintf("%d hits (%d memory, %d disk), %d misses, %d computed, %d coalesced",
 		st.Hits, st.MemHits, st.DiskHits, st.Misses, st.Computes, st.Coalesced)
+	if st.PrefixHits > 0 || st.PrefixMisses > 0 {
+		s += fmt.Sprintf(", %d prefix-checkpoint hits (%d instructions skipped), %d prefix misses",
+			st.PrefixHits, st.PrefixSavedInstr, st.PrefixMisses)
+	}
+	return s
 }

@@ -1,0 +1,243 @@
+// Prefix checkpoints: the store's second kind of content. Alongside
+// finished run artifacts (keyed by the full configuration including
+// the measured-instruction horizon), the store holds mid-run simulator
+// checkpoints keyed by everything EXCEPT the horizon — so a job that
+// re-submits the same configuration with a longer horizon can resume
+// from the longest stored prefix instead of re-simulating it.
+//
+// Layout per base key (one simulation unit modulo MeasureInstr):
+//
+//   - an index artifact (<base>.ckpt.json, canonical JSON) listing the
+//     stored checkpoints' metadata, merged on every write so
+//     concurrent jobs and successive horizons accumulate rather than
+//     clobber;
+//   - one opaque blob per checkpoint (<base>.ckpt.<seq>), written
+//     blob-before-index so an index entry never references a missing
+//     blob.
+//
+// The store does not interpret blob contents; the runner packages the
+// simulator state together with the telemetry prefix (see
+// internal/runner's envelope) and validates everything on restore.
+package castore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// CheckpointSchemaVersion is folded into every checkpoint base key and
+// index artifact; bumping it orphans old checkpoints instead of
+// feeding an incompatible layout to the restore path.
+const CheckpointSchemaVersion = 1
+
+// ckptKeyMaterial is the canonical description of a checkpoint
+// lineage. It deliberately mirrors keyMaterial but zeroes the
+// measured-instruction horizon (checkpoints taken at a boundary are
+// horizon-independent by construction — see internal/sim) and tags the
+// material so a checkpoint base key can never collide with an artifact
+// key.
+type ckptKeyMaterial struct {
+	Kind       string     `json:"kind"`
+	KeySchema  int        `json:"key_schema"`
+	CkptSchema int        `json:"ckpt_schema"`
+	Config     sim.Config `json:"config"`
+	Workload   []string   `json:"workload"`
+}
+
+// CheckpointBaseKey returns the content address of a checkpoint
+// lineage: cfg with MeasureInstr erased, plus the workload. Two
+// configurations that differ only in their horizon share a base key —
+// that sharing is the whole point.
+func CheckpointBaseKey(cfg sim.Config, workload []string) (string, error) {
+	cfg.MeasureInstr = 0
+	b, err := obs.MarshalCanonical(ckptKeyMaterial{
+		Kind:       "checkpoint-prefix",
+		KeySchema:  KeySchemaVersion,
+		CkptSchema: CheckpointSchemaVersion,
+		Config:     cfg,
+		Workload:   workload,
+	})
+	if err != nil {
+		return "", fmt.Errorf("castore: encoding checkpoint key material: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CheckpointMeta describes one stored checkpoint. Seq/Frontier/
+// Min/MaxMeasured mirror the simulator's CheckpointInfo; Key is the
+// blob's address within the store (assigned by PutCheckpoint).
+type CheckpointMeta struct {
+	Seq         int    `json:"seq"`
+	Frontier    uint64 `json:"frontier"`
+	MinMeasured uint64 `json:"min_measured"`
+	MaxMeasured uint64 `json:"max_measured"`
+	Key         string `json:"key"`
+}
+
+// checkpointIndex is the on-disk index artifact.
+type checkpointIndex struct {
+	Schema  int              `json:"schema"`
+	Entries []CheckpointMeta `json:"entries"`
+}
+
+// blobKeyPattern is the shape of a checkpoint blob key: a base key
+// plus a ".ckpt.<seq>" suffix. Index entries are validated against it
+// before any filesystem access (the index is read back from disk).
+var blobKeyPattern = regexp.MustCompile(`^[0-9a-f]{64}\.ckpt\.[0-9]+$`)
+
+// ckptIndexPath returns the disk path of base's index artifact.
+func (s *Store) ckptIndexPath(base string) string {
+	return filepath.Join(s.dir, base+".ckpt.json")
+}
+
+// blobKey returns the storage key of base's checkpoint number seq.
+func blobKey(base string, seq int) string {
+	return fmt.Sprintf("%s.ckpt.%d", base, seq)
+}
+
+// PutCheckpoint stores one checkpoint blob under base and merges its
+// metadata into base's index. Re-putting a sequence number overwrites
+// it (the bytes are identical by construction — checkpoints are
+// horizon-independent — so last-write-wins is safe). Caller must hold
+// no store locks.
+func (s *Store) PutCheckpoint(base string, meta CheckpointMeta, data []byte) error {
+	if !ValidKey(base) {
+		return fmt.Errorf("castore: invalid checkpoint base key %q", base)
+	}
+	if meta.Seq < 0 {
+		return fmt.Errorf("castore: negative checkpoint sequence %d", meta.Seq)
+	}
+	meta.Key = blobKey(base, meta.Seq)
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if s.dir == "" {
+		s.ckptBlobs[meta.Key] = append([]byte(nil), data...)
+		s.ckptIdx[base] = mergeCheckpointMeta(s.ckptIdx[base], meta)
+		return nil
+	}
+	// Blob before index: a crash between the writes leaves an orphan
+	// blob (harmless), never a dangling index entry.
+	if err := s.writeAtomic(meta.Key, filepath.Join(s.dir, meta.Key), data); err != nil {
+		return err
+	}
+	entries, err := s.readCheckpointIndex(base)
+	if err != nil {
+		return err
+	}
+	idx := checkpointIndex{Schema: CheckpointSchemaVersion, Entries: mergeCheckpointMeta(entries, meta)}
+	b, err := obs.MarshalCanonical(idx)
+	if err != nil {
+		return fmt.Errorf("castore: encoding checkpoint index: %w", err)
+	}
+	return s.writeAtomic(base+".ckpt.json", s.ckptIndexPath(base), b)
+}
+
+// mergeCheckpointMeta inserts meta into entries, replacing any entry
+// with the same sequence number, and keeps the list sorted by Seq.
+func mergeCheckpointMeta(entries []CheckpointMeta, meta CheckpointMeta) []CheckpointMeta {
+	out := entries[:0]
+	for _, e := range entries {
+		if e.Seq != meta.Seq {
+			out = append(out, e)
+		}
+	}
+	out = append(out, meta)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// readCheckpointIndex loads base's index entries from disk (missing
+// file = empty lineage). Caller must hold ckptMu.
+func (s *Store) readCheckpointIndex(base string) ([]CheckpointMeta, error) {
+	b, err := os.ReadFile(s.ckptIndexPath(base))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("castore: reading checkpoint index for %s: %w", base, err)
+	}
+	var idx checkpointIndex
+	if err := json.Unmarshal(b, &idx); err != nil {
+		return nil, fmt.Errorf("castore: checkpoint index for %s: %w", base, err)
+	}
+	if idx.Schema != CheckpointSchemaVersion {
+		// An index from another schema is an empty lineage, not an
+		// error: new writes will replace it wholesale.
+		return nil, nil
+	}
+	return idx.Entries, nil
+}
+
+// Checkpoints returns the stored metadata for base, sorted by Seq.
+func (s *Store) Checkpoints(base string) ([]CheckpointMeta, error) {
+	if !ValidKey(base) {
+		return nil, fmt.Errorf("castore: invalid checkpoint base key %q", base)
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if s.dir == "" {
+		return append([]CheckpointMeta(nil), s.ckptIdx[base]...), nil
+	}
+	return s.readCheckpointIndex(base)
+}
+
+// BestCheckpoint returns the deepest stored checkpoint of base that is
+// usable for the given measured-instruction horizon: the entry with
+// the largest Seq whose MaxMeasured is strictly below horizon (a core
+// whose measurement window already closed cannot be resumed — the
+// simulator enforces the same rule on restore). ok is false when the
+// lineage holds no usable checkpoint; err is reserved for real I/O or
+// decode failures.
+func (s *Store) BestCheckpoint(base string, horizon uint64) (meta CheckpointMeta, data []byte, ok bool, err error) {
+	entries, err := s.Checkpoints(base)
+	if err != nil {
+		return CheckpointMeta{}, nil, false, err
+	}
+	best := -1
+	for i, e := range entries {
+		if e.MaxMeasured < horizon && (best < 0 || e.Seq > entries[best].Seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		s.prefixMisses.Add(1)
+		return CheckpointMeta{}, nil, false, nil
+	}
+	meta = entries[best]
+	if !blobKeyPattern.MatchString(meta.Key) {
+		return CheckpointMeta{}, nil, false, fmt.Errorf("castore: malformed checkpoint blob key %q", meta.Key)
+	}
+	if s.dir == "" {
+		s.ckptMu.Lock()
+		data = s.ckptBlobs[meta.Key]
+		s.ckptMu.Unlock()
+		if data == nil {
+			s.prefixMisses.Add(1)
+			return CheckpointMeta{}, nil, false, nil
+		}
+	} else {
+		data, err = os.ReadFile(filepath.Join(s.dir, meta.Key))
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Index entry without its blob (interrupted cleanup):
+				// treat as a miss rather than failing the job.
+				s.prefixMisses.Add(1)
+				return CheckpointMeta{}, nil, false, nil
+			}
+			return CheckpointMeta{}, nil, false, fmt.Errorf("castore: reading checkpoint %s: %w", meta.Key, err)
+		}
+	}
+	s.prefixHits.Add(1)
+	s.prefixSaved.Add(meta.MinMeasured)
+	return meta, data, true, nil
+}

@@ -1,0 +1,165 @@
+package castore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func ckptMeta(seq int, minM, maxM uint64) CheckpointMeta {
+	return CheckpointMeta{Seq: seq, Frontier: uint64(seq) * 100_000, MinMeasured: minM, MaxMeasured: maxM}
+}
+
+// TestCheckpointBaseKeyIgnoresHorizon is the defining property of the
+// base key: two configurations differing only in MeasureInstr share a
+// checkpoint lineage, while any other difference separates them.
+func TestCheckpointBaseKeyIgnoresHorizon(t *testing.T) {
+	cfg := sim.DefaultConfig(1)
+	wl := []string{"gcc"}
+	short, err := CheckpointBaseKey(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := cfg
+	long.MeasureInstr = cfg.MeasureInstr * 3
+	lk, err := CheckpointBaseKey(long, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short != lk {
+		t.Fatal("base key depends on MeasureInstr")
+	}
+	other := cfg
+	other.Seed++
+	ok, err := CheckpointBaseKey(other, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok == short {
+		t.Fatal("base key ignores the seed")
+	}
+	ak, err := Key(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ak == short {
+		t.Fatal("checkpoint base key collides with the artifact key")
+	}
+}
+
+// TestCheckpointPutBest exercises the round trip, the strict horizon
+// rule, deepest-wins selection and the stats counters, over both a
+// disk-backed and a memory-only store.
+func TestCheckpointPutBest(t *testing.T) {
+	for _, dir := range []string{"", t.TempDir()} {
+		name := "disk"
+		if dir == "" {
+			name = "memory"
+		}
+		t.Run(name, func(t *testing.T) {
+			s, err := Open(dir, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := strings.Repeat("ab", 32)
+			if err := s.PutCheckpoint(base, ckptMeta(0, 0, 0), []byte("seam")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.PutCheckpoint(base, ckptMeta(4, 190_000, 210_000), []byte("deep")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.PutCheckpoint(base, ckptMeta(2, 90_000, 110_000), []byte("mid")); err != nil {
+				t.Fatal(err)
+			}
+
+			// Deepest usable wins.
+			meta, data, ok, err := s.BestCheckpoint(base, 500_000)
+			if err != nil || !ok {
+				t.Fatalf("BestCheckpoint: ok=%v err=%v", ok, err)
+			}
+			if meta.Seq != 4 || !bytes.Equal(data, []byte("deep")) {
+				t.Fatalf("got seq %d data %q, want the deepest checkpoint", meta.Seq, data)
+			}
+			// MaxMeasured == horizon is NOT usable (strictly-below rule):
+			// the deep checkpoint is skipped for the mid one.
+			meta, data, ok, err = s.BestCheckpoint(base, 210_000)
+			if err != nil || !ok {
+				t.Fatalf("BestCheckpoint: ok=%v err=%v", ok, err)
+			}
+			if meta.Seq != 2 || !bytes.Equal(data, []byte("mid")) {
+				t.Fatalf("got seq %d, want 2 (strict horizon rule)", meta.Seq)
+			}
+			// A horizon nothing satisfies... the seam (MaxMeasured 0) is
+			// always usable for any positive horizon.
+			meta, _, ok, err = s.BestCheckpoint(base, 1)
+			if err != nil || !ok || meta.Seq != 0 {
+				t.Fatalf("seam lookup: seq=%d ok=%v err=%v", meta.Seq, ok, err)
+			}
+			// An unknown lineage is a miss.
+			_, _, ok, err = s.BestCheckpoint(strings.Repeat("cd", 32), 500_000)
+			if err != nil || ok {
+				t.Fatalf("unknown lineage: ok=%v err=%v", ok, err)
+			}
+
+			st := s.Stats()
+			if st.PrefixHits != 3 || st.PrefixMisses != 1 {
+				t.Fatalf("stats: %d hits %d misses, want 3/1", st.PrefixHits, st.PrefixMisses)
+			}
+			if want := uint64(190_000 + 90_000 + 0); st.PrefixSavedInstr != want {
+				t.Fatalf("saved instructions %d, want %d", st.PrefixSavedInstr, want)
+			}
+
+			// Re-putting a sequence replaces it, never duplicates.
+			if err := s.PutCheckpoint(base, ckptMeta(2, 90_000, 110_000), []byte("mid2")); err != nil {
+				t.Fatal(err)
+			}
+			entries, err := s.Checkpoints(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 3 {
+				t.Fatalf("%d index entries after replace, want 3", len(entries))
+			}
+			_, data, ok, _ = s.BestCheckpoint(base, 150_000)
+			if !ok || !bytes.Equal(data, []byte("mid2")) {
+				t.Fatalf("replaced blob not served: %q", data)
+			}
+
+			// Invalid base keys are rejected before touching anything.
+			if err := s.PutCheckpoint("../escape", ckptMeta(0, 0, 0), nil); err == nil {
+				t.Fatal("PutCheckpoint accepted an invalid key")
+			}
+			if _, err := s.Checkpoints("nope"); err == nil {
+				t.Fatal("Checkpoints accepted an invalid key")
+			}
+		})
+	}
+}
+
+// TestCheckpointPersistsAcrossOpen: a disk-backed lineage written by
+// one store is visible to a fresh store over the same directory
+// (service restarts keep their resumable prefixes).
+func TestCheckpointPersistsAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := strings.Repeat("ef", 32)
+	if err := s1.PutCheckpoint(base, ckptMeta(3, 140_000, 160_000), []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, data, ok, err := s2.BestCheckpoint(base, 500_000)
+	if err != nil || !ok {
+		t.Fatalf("reopened store: ok=%v err=%v", ok, err)
+	}
+	if meta.Seq != 3 || !bytes.Equal(data, []byte("persisted")) {
+		t.Fatalf("reopened store served seq %d data %q", meta.Seq, data)
+	}
+}

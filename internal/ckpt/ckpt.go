@@ -1,0 +1,460 @@
+// Package ckpt provides the low-level binary encoding used by
+// simulator checkpoints. The format is deliberately boring: a flat
+// little-endian byte stream with explicit section tags, so that two
+// runs that reach the same simulator state always serialise to the
+// same bytes (the content-addressed store relies on this), and a
+// truncated or corrupted stream fails loudly instead of restoring
+// garbage.
+//
+// Writer appends primitives to a growing buffer; Reader consumes them
+// with a sticky error, so call sites can decode a whole section and
+// check Err once at the end. Floats travel as IEEE-754 bit patterns
+// (math.Float64bits), never as text, so round-tripping is exact.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer serialises primitives into a deterministic byte stream.
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty writer with some preallocated capacity.
+func NewWriter() *Writer {
+	return &Writer{buf: make([]byte, 0, 4096)}
+}
+
+// Bytes returns the accumulated encoding. The slice aliases the
+// writer's internal buffer; do not keep writing after using it.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Section writes a four-byte ASCII tag marking the start of a logical
+// section. Tags let the reader detect misaligned decodes immediately
+// instead of silently reinterpreting unrelated bytes.
+func (w *Writer) Section(tag string) {
+	if len(tag) != 4 {
+		panic("ckpt: section tag must be exactly 4 bytes")
+	}
+	w.buf = append(w.buf, tag...)
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U8 writes a single byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// I64 writes a little-endian int64 (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as an int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool writes a bool as one byte (0 or 1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 writes a float64 as its IEEE-754 bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes64 writes a length-prefixed byte slice.
+func (w *Writer) Bytes64(b []byte) {
+	w.U64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String writes a length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// U64Slice writes a length-prefixed []uint64.
+func (w *Writer) U64Slice(s []uint64) {
+	w.U64(uint64(len(s)))
+	for _, v := range s {
+		w.U64(v)
+	}
+}
+
+// U8Slice writes a length-prefixed []uint8.
+func (w *Writer) U8Slice(s []uint8) {
+	w.U64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// I32Slice writes a length-prefixed []int32.
+func (w *Writer) I32Slice(s []int32) {
+	w.U64(uint64(len(s)))
+	for _, v := range s {
+		w.U32(uint32(v))
+	}
+}
+
+// I8Slice writes a length-prefixed []int8.
+func (w *Writer) I8Slice(s []int8) {
+	w.U64(uint64(len(s)))
+	for _, v := range s {
+		w.buf = append(w.buf, uint8(v))
+	}
+}
+
+// IntSlice writes a length-prefixed []int (as int64s).
+func (w *Writer) IntSlice(s []int) {
+	w.U64(uint64(len(s)))
+	for _, v := range s {
+		w.I64(int64(v))
+	}
+}
+
+// F64Slice writes a length-prefixed []float64 (as bit patterns).
+func (w *Writer) F64Slice(s []float64) {
+	w.U64(uint64(len(s)))
+	for _, v := range s {
+		w.F64(v)
+	}
+}
+
+// BoolSlice writes a length-prefixed []bool (one byte per element).
+func (w *Writer) BoolSlice(s []bool) {
+	w.U64(uint64(len(s)))
+	for _, v := range s {
+		w.Bool(v)
+	}
+}
+
+// Reader decodes a stream produced by Writer. Decoding errors stick:
+// after the first failure every subsequent read returns a zero value,
+// so callers can decode a batch of fields and check Err once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over b. The reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Failf records an external validation error (for callers that decode
+// a value and then reject it). The first error wins.
+func (r *Reader) Failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Done returns an error unless the stream decoded cleanly and was
+// fully consumed.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("ckpt: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.buf)-r.off < n {
+		r.Failf("ckpt: truncated stream at offset %d (want %d bytes, have %d)", r.off, n, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Section consumes and validates a four-byte section tag.
+func (r *Reader) Section(tag string) {
+	if len(tag) != 4 {
+		panic("ckpt: section tag must be exactly 4 bytes")
+	}
+	b := r.take(4)
+	if b == nil {
+		return
+	}
+	if string(b) != tag {
+		r.Failf("ckpt: expected section %q at offset %d, found %q", tag, r.off-4, string(b))
+	}
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U8 reads a single byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool reads a bool, rejecting any byte other than 0 or 1.
+func (r *Reader) Bool() bool {
+	v := r.U8()
+	if v > 1 {
+		r.Failf("ckpt: invalid bool byte %d at offset %d", v, r.off-1)
+		return false
+	}
+	return v == 1
+}
+
+// F64 reads a float64 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// sliceLen decodes a length prefix and bounds it by the remaining
+// bytes (width bytes per element), so corrupt input cannot force a
+// huge allocation.
+func (r *Reader) sliceLen(width int) int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.Remaining()/width) {
+		r.Failf("ckpt: slice length %d exceeds remaining stream at offset %d", n, r.off-8)
+		return 0
+	}
+	return int(n)
+}
+
+// Bytes64 reads a length-prefixed byte slice (copied out of the
+// stream).
+func (r *Reader) Bytes64() []byte {
+	n := r.sliceLen(1)
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.sliceLen(1)
+	b := r.take(n)
+	return string(b)
+}
+
+// U64Slice reads a length-prefixed []uint64.
+func (r *Reader) U64Slice() []uint64 {
+	n := r.sliceLen(8)
+	if r.err != nil {
+		return nil
+	}
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = r.U64()
+	}
+	return s
+}
+
+// U64SliceInto decodes into dst and fails unless the encoded length
+// matches len(dst) exactly. Restore paths use it to enforce that a
+// checkpoint matches the geometry of the object it restores into.
+func (r *Reader) U64SliceInto(dst []uint64) {
+	n := r.sliceLen(8)
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Failf("ckpt: slice length %d, want %d", n, len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.U64()
+	}
+}
+
+// U8Slice reads a length-prefixed []uint8.
+func (r *Reader) U8Slice() []uint8 {
+	n := r.sliceLen(1)
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]uint8, n)
+	copy(out, b)
+	return out
+}
+
+// U8SliceInto decodes into dst, enforcing an exact length match.
+func (r *Reader) U8SliceInto(dst []uint8) {
+	n := r.sliceLen(1)
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Failf("ckpt: slice length %d, want %d", n, len(dst))
+		return
+	}
+	copy(dst, r.take(n))
+}
+
+// I32Slice reads a length-prefixed []int32.
+func (r *Reader) I32Slice() []int32 {
+	n := r.sliceLen(4)
+	if r.err != nil {
+		return nil
+	}
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(r.U32())
+	}
+	return s
+}
+
+// I32SliceInto decodes into dst, enforcing an exact length match.
+func (r *Reader) I32SliceInto(dst []int32) {
+	n := r.sliceLen(4)
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Failf("ckpt: slice length %d, want %d", n, len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = int32(r.U32())
+	}
+}
+
+// I8SliceInto decodes into dst, enforcing an exact length match.
+func (r *Reader) I8SliceInto(dst []int8) {
+	n := r.sliceLen(1)
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Failf("ckpt: slice length %d, want %d", n, len(dst))
+		return
+	}
+	b := r.take(n)
+	for i := range dst {
+		dst[i] = int8(b[i])
+	}
+}
+
+// IntSliceInto decodes into dst, enforcing an exact length match.
+func (r *Reader) IntSliceInto(dst []int) {
+	n := r.sliceLen(8)
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Failf("ckpt: slice length %d, want %d", n, len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = int(r.I64())
+	}
+}
+
+// F64SliceInto decodes into dst, enforcing an exact length match.
+func (r *Reader) F64SliceInto(dst []float64) {
+	n := r.sliceLen(8)
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Failf("ckpt: slice length %d, want %d", n, len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.F64()
+	}
+}
+
+// F64Slice reads a length-prefixed []float64.
+func (r *Reader) F64Slice() []float64 {
+	n := r.sliceLen(8)
+	if r.err != nil {
+		return nil
+	}
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = r.F64()
+	}
+	return s
+}
+
+// IntSlice reads a length-prefixed []int.
+func (r *Reader) IntSlice() []int {
+	n := r.sliceLen(8)
+	if r.err != nil {
+		return nil
+	}
+	s := make([]int, n)
+	for i := range s {
+		s[i] = int(r.I64())
+	}
+	return s
+}
+
+// BoolSliceInto decodes into dst, enforcing an exact length match.
+func (r *Reader) BoolSliceInto(dst []bool) {
+	n := r.sliceLen(1)
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Failf("ckpt: slice length %d, want %d", n, len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.Bool()
+	}
+}

@@ -1,0 +1,162 @@
+package ckpt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Section("HEAD")
+	w.U64(0xDEADBEEFCAFEF00D)
+	w.U32(7)
+	w.U8(255)
+	w.Int(-42)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(math.Pi)
+	w.F64(math.Inf(-1))
+	w.String("hello")
+	w.Bytes64([]byte{1, 2, 3})
+	w.U64Slice([]uint64{9, 8, 7})
+	w.U8Slice([]uint8{4, 5})
+	w.I32Slice([]int32{-1, 2})
+	w.I8Slice([]int8{-8, 8})
+	w.IntSlice([]int{-100, 100})
+	w.F64Slice([]float64{0.5, -0.25})
+	w.BoolSlice([]bool{true, false, true})
+
+	r := NewReader(w.Bytes())
+	r.Section("HEAD")
+	if got := r.U64(); got != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("U64 = %#x", got)
+	}
+	if got := r.U32(); got != 7 {
+		t.Fatalf("U32 = %d", got)
+	}
+	if got := r.U8(); got != 255 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := r.Int(); got != -42 {
+		t.Fatalf("Int = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round-trip failed")
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Fatalf("F64 inf = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.Bytes64(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes64 = %v", got)
+	}
+	if got := r.U64Slice(); len(got) != 3 || got[0] != 9 || got[2] != 7 {
+		t.Fatalf("U64Slice = %v", got)
+	}
+	u8 := make([]uint8, 2)
+	r.U8SliceInto(u8)
+	if u8[0] != 4 || u8[1] != 5 {
+		t.Fatalf("U8SliceInto = %v", u8)
+	}
+	i32 := make([]int32, 2)
+	r.I32SliceInto(i32)
+	if i32[0] != -1 || i32[1] != 2 {
+		t.Fatalf("I32SliceInto = %v", i32)
+	}
+	i8 := make([]int8, 2)
+	r.I8SliceInto(i8)
+	if i8[0] != -8 || i8[1] != 8 {
+		t.Fatalf("I8SliceInto = %v", i8)
+	}
+	ints := make([]int, 2)
+	r.IntSliceInto(ints)
+	if ints[0] != -100 || ints[1] != 100 {
+		t.Fatalf("IntSliceInto = %v", ints)
+	}
+	f64 := make([]float64, 2)
+	r.F64SliceInto(f64)
+	if f64[0] != 0.5 || f64[1] != -0.25 {
+		t.Fatalf("F64SliceInto = %v", f64)
+	}
+	bools := make([]bool, 3)
+	r.BoolSliceInto(bools)
+	if !bools[0] || bools[1] || !bools[2] {
+		t.Fatalf("BoolSliceInto = %v", bools)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	// Truncation sticks and zero-values follow.
+	r := NewReader([]byte{1, 2, 3})
+	if got := r.U64(); got != 0 {
+		t.Fatalf("truncated U64 = %d", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+	if got := r.U32(); got != 0 {
+		t.Fatalf("post-error U32 = %d", got)
+	}
+
+	// Wrong section tag.
+	w := NewWriter()
+	w.Section("AAAA")
+	r = NewReader(w.Bytes())
+	r.Section("BBBB")
+	if r.Err() == nil {
+		t.Fatal("expected section mismatch error")
+	}
+
+	// Invalid bool byte.
+	r = NewReader([]byte{7})
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("expected bool error")
+	}
+
+	// Hostile slice length must not allocate.
+	w = NewWriter()
+	w.U64(1 << 60)
+	r = NewReader(w.Bytes())
+	if s := r.U64Slice(); s != nil {
+		t.Fatalf("hostile slice = %v", s)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected slice length error")
+	}
+
+	// Length mismatch on Into decodes.
+	w = NewWriter()
+	w.U64Slice([]uint64{1, 2, 3})
+	r = NewReader(w.Bytes())
+	r.U64SliceInto(make([]uint64, 2))
+	if r.Err() == nil {
+		t.Fatal("expected length mismatch error")
+	}
+
+	// Trailing bytes rejected by Done.
+	w = NewWriter()
+	w.U64(1)
+	w.U64(2)
+	r = NewReader(w.Bytes())
+	r.U64()
+	if err := r.Done(); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+
+	// Failf records external validation failures.
+	r = NewReader(nil)
+	r.Failf("bad value %d", 9)
+	if r.Err() == nil {
+		t.Fatal("expected Failf error")
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import "repro/internal/ckpt"
+
+// AppendState serialises the controller's cumulative statistics. The
+// reconfiguration state itself (per-module active ways, leader
+// histograms) lives in the cache and is checkpointed there.
+func (ct *Controller) AppendState(w *ckpt.Writer) {
+	w.Section("CTRL")
+	w.Int(ct.intervals)
+	w.U64(ct.linesTransitioned)
+	w.U64(ct.writebacks)
+	w.U64(ct.invalidated)
+	w.U64(ct.nonLRUEvents)
+}
+
+// RestoreState loads state written by AppendState.
+func (ct *Controller) RestoreState(r *ckpt.Reader) error {
+	r.Section("CTRL")
+	ct.intervals = r.Int()
+	ct.linesTransitioned = r.U64()
+	ct.writebacks = r.U64()
+	ct.invalidated = r.U64()
+	ct.nonLRUEvents = r.U64()
+	if r.Err() == nil && ct.intervals < 0 {
+		r.Failf("core: restored negative interval count %d", ct.intervals)
+	}
+	return r.Err()
+}

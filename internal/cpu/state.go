@@ -1,0 +1,73 @@
+package cpu
+
+import "repro/internal/ckpt"
+
+// AppendState serialises the core's execution state: the clock, the
+// retired-instruction count, the stall breakdown and the measurement
+// window's start marker.
+//
+// The measurement budget and the window-end snapshot are deliberately
+// NOT serialised: a checkpoint must be reusable by runs with a longer
+// measured-instruction horizon, so the budget is an input of the
+// restoring run (ResetMeasureBudget), not part of the state. The end
+// snapshot is derivable — for any horizon this checkpoint is usable
+// for, the window has not yet closed.
+func (c *Core) AppendState(w *ckpt.Writer) {
+	w.Section("CORE")
+	w.U64(c.clock)
+	w.U64(c.instructions)
+	for _, s := range c.stalls {
+		w.U64(s)
+	}
+	w.U64(c.measureStart.clock)
+	w.U64(c.measureStart.instructions)
+}
+
+// RestoreState loads state written by AppendState. The measurement
+// window is left closed-budget-free; the caller re-arms it with
+// ResetMeasureBudget.
+func (c *Core) RestoreState(r *ckpt.Reader) error {
+	r.Section("CORE")
+	c.clock = r.U64()
+	c.instructions = r.U64()
+	for i := range c.stalls {
+		c.stalls[i] = r.U64()
+	}
+	c.measureStart.clock = r.U64()
+	c.measureStart.instructions = r.U64()
+	c.measureBudget = 0
+	c.measureEnd.clock = 0
+	c.measureEnd.instructions = 0
+	c.measureEnd.done = false
+	if r.Err() == nil {
+		if c.measureStart.clock > c.clock || c.measureStart.instructions > c.instructions {
+			r.Failf("cpu: core %d measurement start beyond current state", c.id)
+		}
+	}
+	return r.Err()
+}
+
+// MeasuredSoFar returns the instructions retired since the
+// measurement window opened. Checkpoint metadata records it so a
+// restoring run can decide whether its horizon is still ahead of
+// every core.
+func (c *Core) MeasuredSoFar() uint64 {
+	return c.instructions - c.measureStart.instructions
+}
+
+// ResetMeasureBudget re-arms the measurement window with a new budget
+// while keeping its recorded start. It reports whether the window is
+// still open under the new budget: false means this core has already
+// retired at least budget measured instructions, so the checkpoint
+// cannot reproduce the window-end snapshot and must not be used for
+// that horizon.
+func (c *Core) ResetMeasureBudget(budget uint64) bool {
+	if budget == 0 {
+		panic("cpu: zero measurement budget")
+	}
+	c.measureBudget = budget
+	c.measureEnd.clock = 0
+	c.measureEnd.instructions = 0
+	c.measureEnd.done = false
+	return c.MeasuredSoFar() < budget
+}

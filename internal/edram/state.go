@@ -1,0 +1,42 @@
+package edram
+
+import "repro/internal/ckpt"
+
+// AppendState serialises the engine's schedule position, per-bank
+// busy horizons and refresh counters. Policy state is serialised by
+// the policy itself (the engine does not know its layout).
+func (e *Engine) AppendState(w *ckpt.Writer) {
+	w.Section("EDRM")
+	w.U64(e.nextEvent)
+	w.Int(e.eventIdx)
+	w.U64Slice(e.busyUntil)
+	w.U64(e.totalRefreshed)
+	w.U64(e.intervalRefreshed)
+	w.U64(e.totalBusyCycles)
+	w.U64(e.intervalBusyCycles)
+	w.U64(e.events)
+}
+
+// RestoreState loads state written by AppendState into an engine
+// built from identical Params over the same policy type.
+func (e *Engine) RestoreState(r *ckpt.Reader) error {
+	r.Section("EDRM")
+	e.nextEvent = r.U64()
+	e.eventIdx = r.Int()
+	r.U64SliceInto(e.busyUntil)
+	e.totalRefreshed = r.U64()
+	e.intervalRefreshed = r.U64()
+	e.totalBusyCycles = r.U64()
+	e.intervalBusyCycles = r.U64()
+	e.events = r.U64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if ev := e.policy.EventsPerWindow(); e.eventIdx < 0 || e.eventIdx >= ev {
+		r.Failf("edram: restored event index %d out of [0,%d)", e.eventIdx, ev)
+	}
+	if e.intervalRefreshed > e.totalRefreshed || e.intervalBusyCycles > e.totalBusyCycles {
+		r.Failf("edram: restored interval counters exceed totals")
+	}
+	return r.Err()
+}

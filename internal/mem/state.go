@@ -1,0 +1,59 @@
+package mem
+
+import "repro/internal/ckpt"
+
+// appendCounters writes one Counters block.
+func appendCounters(w *ckpt.Writer, c Counters) {
+	w.U64(c.Reads)
+	w.U64(c.Writebacks)
+	w.U64(c.QueueStallCycles)
+	w.U64(c.WriteBufferStallCycles)
+}
+
+// readCounters reads one Counters block.
+func readCounters(r *ckpt.Reader) Counters {
+	return Counters{
+		Reads:                  r.U64(),
+		Writebacks:             r.U64(),
+		QueueStallCycles:       r.U64(),
+		WriteBufferStallCycles: r.U64(),
+	}
+}
+
+// AppendState serialises the channel's mutable state: the next-free
+// cycle, counters and the in-flight writeback completion times. The
+// float fields are written bit-exactly (the channel clock is
+// fractional), so a restored run reproduces queue delays to the bit.
+func (m *Memory) AppendState(w *ckpt.Writer) {
+	w.Section("MEMC")
+	w.F64(m.nextFree)
+	appendCounters(w, m.total)
+	appendCounters(w, m.interval)
+	w.F64Slice(m.wbFinish)
+	w.Int(m.wbPeakInterval)
+}
+
+// RestoreState loads state written by AppendState into a channel
+// built from identical Params.
+func (m *Memory) RestoreState(r *ckpt.Reader) error {
+	r.Section("MEMC")
+	m.nextFree = r.F64()
+	m.total = readCounters(r)
+	m.interval = readCounters(r)
+	m.wbFinish = r.F64Slice()
+	m.wbPeakInterval = r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	n := m.p.WriteBufferEntries
+	if n == 0 && len(m.wbFinish) > 0 {
+		r.Failf("mem: restored %d in-flight writebacks into an unbounded buffer", len(m.wbFinish))
+	}
+	if n > 0 && len(m.wbFinish) > n {
+		r.Failf("mem: restored %d in-flight writebacks exceed buffer of %d", len(m.wbFinish), n)
+	}
+	if m.wbPeakInterval < 0 || m.wbPeakInterval > n {
+		r.Failf("mem: restored write-buffer peak %d out of range [0,%d]", m.wbPeakInterval, n)
+	}
+	return r.Err()
+}

@@ -105,6 +105,13 @@ func NewCollector() *Collector { return &Collector{} }
 // ObserveInterval implements Observer.
 func (c *Collector) ObserveInterval(iv Interval) { c.ivs = append(c.ivs, iv) }
 
+// Preload replaces the collector's contents with intervals recorded by
+// an earlier run of the same job prefix. Checkpoint resume uses it: the
+// restored simulator only re-emits intervals after the checkpoint
+// boundary, so the prefix recorded before it is seeded here and later
+// observations append after it.
+func (c *Collector) Preload(ivs []Interval) { c.ivs = append(c.ivs[:0], ivs...) }
+
 // Intervals returns the collected records in emission order. The
 // slice aliases the collector's storage.
 func (c *Collector) Intervals() []Interval { return c.ivs }

@@ -1,0 +1,103 @@
+package refrint
+
+import "repro/internal/ckpt"
+
+// appendState serialises the canonical polyphase state: the per-frame
+// touch phases. The per-(bank,phase) counts are derived and recounted
+// on restore.
+func (p *polyphase) appendState(w *ckpt.Writer) {
+	w.Section("RFPH")
+	w.I8Slice(p.phase)
+}
+
+// restoreState loads the phase array and rebuilds the counts,
+// cross-checking every frame against the cache: a frame carries a
+// phase if and only if its line is valid. The cache must already be
+// restored when this runs.
+func (p *polyphase) restoreState(r *ckpt.Reader) error {
+	r.Section("RFPH")
+	r.I8SliceInto(p.phase)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i := range p.counts {
+		p.counts[i] = 0
+	}
+	for i, ph := range p.phase {
+		set, way := i/p.assoc, i%p.assoc
+		valid, _ := p.c.LineState(set, way)
+		if (ph != untracked) != valid {
+			r.Failf("refrint: restored frame (%d,%d) tracking disagrees with cache validity", set, way)
+			return r.Err()
+		}
+		if ph == untracked {
+			continue
+		}
+		if ph < 0 || int(ph) >= p.phases {
+			r.Failf("refrint: restored phase %d out of [0,%d)", ph, p.phases)
+			return r.Err()
+		}
+		p.counts[(set%p.banks)*p.phases+int(ph)]++
+	}
+	return nil
+}
+
+// AppendState serialises the RPV policy's state.
+func (r *RPV) AppendState(w *ckpt.Writer) { r.polyphase.appendState(w) }
+
+// RestoreState loads RPV state; the cache must already be restored.
+func (r *RPV) RestoreState(rd *ckpt.Reader) error { return r.polyphase.restoreState(rd) }
+
+// AppendState serialises the RPD policy's state: the polyphase touch
+// phases plus the eager-invalidation counters. The dirty split and
+// the clean lists are derived: dirtiness mirrors the cache's dirty
+// bits (both only change under the observer hooks), and list order is
+// behaviourally irrelevant — a phase event drains its whole list and
+// every per-frame effect is order-independent.
+func (r *RPD) AppendState(w *ckpt.Writer) {
+	w.Section("RPDS")
+	r.polyphase.appendState(w)
+	w.U64(r.invalidated)
+	w.U64(r.intervalInvalidated)
+}
+
+// RestoreState loads RPD state and rebuilds the dirty counters and
+// clean lists from the restored cache and phases.
+func (r *RPD) RestoreState(rd *ckpt.Reader) error {
+	rd.Section("RPDS")
+	if err := r.polyphase.restoreState(rd); err != nil {
+		return err
+	}
+	r.invalidated = rd.U64()
+	r.intervalInvalidated = rd.U64()
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	for i := range r.dirtyCount {
+		r.dirtyCount[i] = 0
+	}
+	for i := range r.head {
+		r.head[i] = -1
+	}
+	// Descending frame order so each list ends up ascending (push
+	// prepends); any order would behave identically.
+	for i := len(r.phase) - 1; i >= 0; i-- {
+		r.dirty[i] = false
+		r.next[i] = -1
+		r.prev[i] = -1
+		ph := r.phase[i]
+		if ph == untracked {
+			continue
+		}
+		set, way := i/r.assoc, i%r.assoc
+		_, d := r.c.LineState(set, way)
+		l := r.listOf(set, ph)
+		if d {
+			r.dirty[i] = true
+			r.dirtyCount[l]++
+		} else {
+			r.push(int32(i), l)
+		}
+	}
+	return nil
+}

@@ -44,6 +44,12 @@ func CacheKey(cfg sim.Config, wl []string) (string, error) {
 // packages the deterministic run artifact (manifest timing zeroed)
 // whose canonical bytes are what the content-addressed store
 // persists. sp, when non-nil, receives the simulator's phase spans.
+//
+// When checkpointing is enabled (the default with a cache attached),
+// the run first tries to resume from the deepest stored prefix
+// checkpoint for its horizon, and saves new checkpoints as it crosses
+// boundaries — both best-effort: any failure falls back to (or
+// continues as) a plain cold run.
 func (s *Sweep) simArtifact(sp *tracez.Span, label string, cfg sim.Config, wl []string) (*sim.Result, obs.RunArtifact, error) {
 	man := obs.NewManifest(label, cfg.Seed, cfg)
 	col := obs.NewCollector()
@@ -53,7 +59,50 @@ func (s *Sweep) simArtifact(sp *tracez.Span, label string, cfg sim.Config, wl []
 	}
 	sm.SetObserver(col)
 	sm.SetTraceSpan(sp)
-	r, err := sm.Run()
+
+	resumed := false
+	if stride := s.checkpointStride(); stride > 0 && sm.Checkpointable() {
+		base, err := castore.CheckpointBaseKey(cfg, wl)
+		if err != nil {
+			return nil, obs.RunArtifact{}, err
+		}
+		if meta, blob, ok, err := s.cache.BestCheckpoint(base, cfg.MeasureInstr); err == nil && ok {
+			if state, ivs, err := decodeCheckpointEnvelope(blob); err == nil {
+				if err := sm.RestoreCheckpoint(state); err == nil {
+					col.Preload(ivs)
+					resumed = true
+					sp.SetAttrInt("resume_seq", int64(meta.Seq))
+				}
+			}
+		}
+		sm.SetCheckpointHook(func(info sim.CheckpointInfo) {
+			if info.Seq != 0 && info.Seq%stride != 0 {
+				return
+			}
+			state, err := sm.Checkpoint()
+			if err != nil {
+				return
+			}
+			env, err := encodeCheckpointEnvelope(state, col.Intervals())
+			if err != nil {
+				return
+			}
+			// Best-effort: a failed save costs a future resume, not
+			// this run.
+			s.cache.PutCheckpoint(base, castore.CheckpointMeta{
+				Seq:         info.Seq,
+				Frontier:    info.Frontier,
+				MinMeasured: info.MinMeasured,
+				MaxMeasured: info.MaxMeasured,
+			}, env)
+		})
+	}
+	var r *sim.Result
+	if resumed {
+		r, err = sm.ResumeRun()
+	} else {
+		r, err = sm.Run()
+	}
 	if err != nil {
 		return nil, obs.RunArtifact{}, err
 	}

@@ -1,0 +1,87 @@
+// Prefix checkpoints: the sweep's horizon-extension layer. With a
+// cache attached, every workload-driven simulation periodically stores
+// a checkpoint of the full simulator state plus the telemetry recorded
+// so far, keyed by its configuration MINUS the measured-instruction
+// horizon (castore.CheckpointBaseKey). A later job with the same
+// configuration and a longer horizon restores the deepest usable
+// checkpoint and simulates only the suffix — producing an artifact
+// byte-identical to a cold run of the long horizon (internal/sim's
+// checkpoint tests prove state equality; the envelope carries the
+// telemetry prefix so the artifact's interval log matches too).
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+)
+
+// ckptEnvelopeVersion guards the envelope layout; decode rejects other
+// versions (the caller treats that as a cache miss).
+const ckptEnvelopeVersion = 1
+
+// defaultCheckpointStride is the boundary stride checkpoints are saved
+// at when the caller does not choose one: the warmup/measurement seam
+// plus every 4th measured interval boundary. Serialising is cheap
+// relative to an interval of simulation but not free; every 4th
+// boundary keeps the resumable suffix short without doubling artifact
+// I/O.
+const defaultCheckpointStride = 4
+
+// SetCheckpointInterval sets how often checkpoint-enabled jobs persist
+// a prefix checkpoint: every k-th measured interval boundary (the
+// warmup/measurement seam is always included). k <= 0 disables
+// checkpointing. Without a call, cache-attached sweeps default to
+// every 4th boundary. Must be called before Run.
+func (s *Sweep) SetCheckpointInterval(k int) {
+	if k <= 0 {
+		s.ckptEvery = -1
+		return
+	}
+	s.ckptEvery = k
+}
+
+// checkpointStride resolves the configured stride: 0 (unset) selects
+// the default, negative means disabled.
+func (s *Sweep) checkpointStride() int {
+	if s.ckptEvery == 0 {
+		return defaultCheckpointStride
+	}
+	return s.ckptEvery
+}
+
+// encodeCheckpointEnvelope packages one resumable prefix: the
+// simulator's serialised state and the canonical JSON of the telemetry
+// intervals observed up to the same boundary.
+func encodeCheckpointEnvelope(simState []byte, ivs []obs.Interval) ([]byte, error) {
+	ivJSON, err := obs.MarshalCanonical(ivs)
+	if err != nil {
+		return nil, fmt.Errorf("runner: encoding checkpoint intervals: %w", err)
+	}
+	w := ckpt.NewWriter()
+	w.Section("RENV")
+	w.U32(ckptEnvelopeVersion)
+	w.Bytes64(simState)
+	w.Bytes64(ivJSON)
+	return w.Bytes(), nil
+}
+
+// decodeCheckpointEnvelope unpacks encodeCheckpointEnvelope's output.
+func decodeCheckpointEnvelope(data []byte) (simState []byte, ivs []obs.Interval, err error) {
+	r := ckpt.NewReader(data)
+	r.Section("RENV")
+	if v := r.U32(); r.Err() == nil && v != ckptEnvelopeVersion {
+		return nil, nil, fmt.Errorf("runner: checkpoint envelope version %d, want %d", v, ckptEnvelopeVersion)
+	}
+	simState = r.Bytes64()
+	ivJSON := r.Bytes64()
+	if err := r.Done(); err != nil {
+		return nil, nil, fmt.Errorf("runner: checkpoint envelope: %w", err)
+	}
+	if err := json.Unmarshal(ivJSON, &ivs); err != nil {
+		return nil, nil, fmt.Errorf("runner: checkpoint envelope intervals: %w", err)
+	}
+	return simState, ivs, nil
+}

@@ -1,0 +1,142 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/castore"
+	"repro/internal/sim"
+)
+
+// runCheckpointed runs one job through a fresh sweep wired to store
+// with the given checkpoint stride (0 = the default) and returns its
+// live-or-reconstructed result.
+func runCheckpointed(t *testing.T, store *castore.Store, cfg sim.Config, wl []string, stride int) *sim.Result {
+	t.Helper()
+	s := NewSweep(1)
+	s.SetCache(store)
+	if stride != 0 {
+		s.SetCheckpointInterval(stride)
+	}
+	j := s.Sim(cfg, wl)
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return j.Result()
+}
+
+// TestSweepCheckpointHorizonExtension is the end-to-end contract of
+// the prefix-checkpoint layer: submit a job, then re-submit it with a
+// longer measured horizon against the same store. The second job must
+// resume from a stored prefix checkpoint (simulating only the suffix)
+// and still persist an artifact byte-identical to a cold run of the
+// long horizon on a fresh store.
+func TestSweepCheckpointHorizonExtension(t *testing.T) {
+	wl := []string{"gcc"}
+	short := miniCfg(sim.Esteem)
+	short.LogIntervals = true
+	long := short
+	long.MeasureInstr = 360_000
+
+	warmStore, err := castore.Open(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCheckpointed(t, warmStore, short, wl, 1)
+	base, err := castore.CheckpointBaseKey(deriveCfg(short, wl), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := warmStore.Checkpoints(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("short run stored %d checkpoints, want the seam plus measured boundaries", len(entries))
+	}
+	if st := warmStore.Stats(); st.PrefixHits != 0 {
+		t.Fatalf("short run claims a prefix hit on an empty store: %+v", st)
+	}
+
+	resumed := runCheckpointed(t, warmStore, long, wl, 1)
+	st := warmStore.Stats()
+	if st.PrefixHits != 1 {
+		t.Fatalf("horizon extension: %d prefix hits, want 1 (stats %+v)", st.PrefixHits, st)
+	}
+	if st.PrefixSavedInstr == 0 {
+		t.Fatal("horizon extension resumed from the seam only; expected a measured prefix")
+	}
+
+	coldStore, err := castore.Open(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := runCheckpointed(t, coldStore, long, wl, 1)
+	if !reflect.DeepEqual(resumed, cold) {
+		t.Fatal("resumed long-horizon result differs from the cold run")
+	}
+
+	key, err := CacheKey(long, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmArt, ok, err := warmStore.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("resumed artifact missing: ok=%v err=%v", ok, err)
+	}
+	coldArt, ok, err := coldStore.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("cold artifact missing: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(warmArt, coldArt) {
+		t.Fatal("resumed artifact is not byte-identical to the cold run's")
+	}
+}
+
+// TestSweepCheckpointDefaultStrideAndDisable pins SetCheckpointInterval
+// semantics: unset means checkpoints are saved (the seam at least),
+// and a non-positive stride disables the layer entirely.
+func TestSweepCheckpointDefaultStrideAndDisable(t *testing.T) {
+	wl := []string{"lbm"}
+	cfg := miniCfg(sim.RPV)
+
+	defStore, err := castore.Open("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCheckpointed(t, defStore, cfg, wl, 0)
+	base, err := castore.CheckpointBaseKey(deriveCfg(cfg, wl), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := defStore.Checkpoints(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("default stride stored no checkpoints")
+	}
+	for _, e := range entries {
+		if e.Seq != 0 && e.Seq%defaultCheckpointStride != 0 {
+			t.Fatalf("default stride stored off-stride checkpoint seq %d", e.Seq)
+		}
+	}
+
+	offStore, err := castore.Open("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCheckpointed(t, offStore, cfg, wl, -1)
+	entries, err = offStore.Checkpoints(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("disabled checkpointing still stored %d checkpoints", len(entries))
+	}
+	if st := offStore.Stats(); st.PrefixHits != 0 || st.PrefixMisses != 0 {
+		t.Fatalf("disabled checkpointing still probed the store: %+v", st)
+	}
+}

@@ -160,6 +160,9 @@ type Sweep struct {
 	// before (and populated after) every workload-driven simulation
 	// (see cache.go).
 	cache *castore.Store
+	// ckptEvery is the prefix-checkpoint stride: 0 = default (every 4th
+	// measured boundary), negative = disabled (see checkpoint.go).
+	ckptEvery int
 
 	// Cumulative throughput accounting across every Run (satisfies
 	// "how many configurations per hour" bookkeeping; see Stats).

@@ -769,6 +769,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	c("esteem_serve_cache_misses_total", "Content-addressed store misses.", st.Misses)
 	c("esteem_serve_cache_computes_total", "Simulations computed under the store's single-flight lock.", st.Computes)
 	c("esteem_serve_cache_coalesced_total", "Requests coalesced onto an in-progress compute.", st.Coalesced)
+	c("esteem_serve_prefix_checkpoint_hits_total", "Simulations resumed from a stored prefix checkpoint.", st.PrefixHits)
+	c("esteem_serve_prefix_checkpoint_misses_total", "Prefix-checkpoint lookups that found no usable checkpoint.", st.PrefixMisses)
+	c("esteem_serve_prefix_checkpoint_saved_instructions_total", "Measured instructions skipped by resuming from prefix checkpoints.", st.PrefixSavedInstr)
 	ts := s.cfg.Tracer.Stats()
 	g("esteem_serve_trace_spans_buffered", "Completed spans retained in the tracer's ring.", ts.Buffered)
 	c("esteem_serve_trace_spans_dropped_total", "Spans evicted from the tracer's ring.", ts.Dropped)

@@ -2,7 +2,10 @@
 
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // invariantsEnabled: this build carries the `verify` tag, so the
 // simulator self-checks its core data structures while it runs. The
@@ -64,21 +67,44 @@ func (s *Simulator) checkBoundaryInvariants(frontier uint64) {
 	p := c.Params()
 	validByBank := make([]int, p.Banks)
 	validTotal := 0
+	assocMask := uint64(1)<<uint(p.Assoc) - 1
 	for set := 0; set < c.NumSets(); set++ {
 		snap := c.SnapshotSet(set)
 		ways := p.Assoc
 		if !c.IsLeader(set) {
 			ways = c.ActiveWays(c.ModuleOf(set))
 		}
+		// Struct-of-arrays representation checks: the valid/dirty
+		// bitset words must stay inside the associativity, a dirty bit
+		// requires its valid bit, the bitset popcount must agree with a
+		// per-line recount, and the recency stack must remain a
+		// permutation of the ways.
+		valid, dirty := c.SetBits(set)
+		if valid&^assocMask != 0 || dirty&^valid != 0 {
+			panic(fmt.Sprintf("sim invariant: set %d bitsets corrupt (valid %#x dirty %#x)", set, valid, dirty))
+		}
+		perLine := 0
+		var seenWays uint64
 		for w, ln := range snap.Lines {
+			if snap.Order[w] < 0 || snap.Order[w] >= p.Assoc {
+				panic(fmt.Sprintf("sim invariant: set %d recency entry %d out of range", set, snap.Order[w]))
+			}
+			seenWays |= 1 << uint(snap.Order[w])
 			if !ln.Valid {
 				continue
 			}
+			perLine++
 			if w >= ways {
 				panic(fmt.Sprintf("sim invariant: set %d way %d valid but only %d ways active", set, w, ways))
 			}
 			validByBank[c.BankOf(set)]++
 			validTotal++
+		}
+		if seenWays != assocMask {
+			panic(fmt.Sprintf("sim invariant: set %d recency stack is not a permutation: %v", set, snap.Order))
+		}
+		if pc := bits.OnesCount64(valid); pc != perLine {
+			panic(fmt.Sprintf("sim invariant: set %d valid popcount %d, per-line recount %d", set, pc, perLine))
 		}
 	}
 	for b := 0; b < p.Banks; b++ {

@@ -322,6 +322,9 @@ type Simulator struct {
 	cfg        Config
 	benchNames []string
 	cores      []*cpu.Core
+	// srcs holds the per-core workload sources as supplied (before the
+	// address-offset wrapping), so checkpointing can reach their state.
+	srcs []trace.Source
 	// effMemLat[i] is core i's exposed miss latency: the fixed memory
 	// latency divided by the benchmark's MLP factor (DESIGN.md —
 	// out-of-order overlap abstraction).
@@ -349,6 +352,15 @@ type Simulator struct {
 	mmMeasured    mem.Counters
 	intervals     []IntervalRecord
 	reconfigWB    uint64
+
+	// measuredBoundaries counts interval boundaries processed while
+	// measuring; it is the checkpoint sequence number (0 = the
+	// warmup/measurement seam).
+	measuredBoundaries int
+	// ckptHook, when non-nil, fires at the measurement seam and after
+	// every measured interval boundary; the hook decides whether to
+	// call Checkpoint.
+	ckptHook func(CheckpointInfo)
 
 	// model is the energy model for this configuration, built at
 	// construction so per-interval telemetry can evaluate it.
@@ -410,7 +422,7 @@ func NewFromSources(cfg Config, sources []trace.Source) (*Simulator, error) {
 		return nil, fmt.Errorf("sim: %d sources for %d cores", len(sources), cfg.Cores)
 	}
 
-	s := &Simulator{cfg: cfg, clk: &edram.Clock{}}
+	s := &Simulator{cfg: cfg, clk: &edram.Clock{}, srcs: sources}
 
 	// Cores over their workload sources. Each core's program runs in
 	// its own address space: a per-core offset keeps multiprogrammed
@@ -673,23 +685,27 @@ func (s *Simulator) step() {
 // stepCore executes one memory reference on core c.
 func (s *Simulator) stepCore(c *cpu.Core) {
 	ref := c.NextRef()
-	now := c.Clock()
-	s.clk.Cycle = now
 
-	l1 := s.l1[c.ID()]
-	r1 := l1.Access(cache.Addr(ref.Addr), ref.Write)
+	var r1 cache.AccessResult
+	s.l1[c.ID()].AccessInto(cache.Addr(ref.Addr), ref.Write, &r1)
 	if r1.Hit {
 		return
 	}
 
 	// L1 miss: demand-read the line from L2 (allocate on miss; a
 	// store dirties L1, and L2 becomes dirty only via L1 writebacks).
+	// The engine clock is published here rather than before the L1
+	// access: the only consumer of clk.Cycle on the access path is the
+	// Refrint touch bookkeeping, which fires on L2 events only.
+	now := c.Clock()
+	s.clk.Cycle = now
 	addr := cache.Addr(ref.Addr)
 	bank := s.l2.BankOf(s.l2.SetIndex(addr))
 	if d := s.eng.AccessDelay(bank, now); d > 0 {
 		c.Stall(d, cpu.StallRefresh)
 	}
-	r2 := s.l2.Access(addr, false)
+	var r2 cache.AccessResult
+	s.l2.AccessInto(addr, false, &r2)
 	c.Stall(s.cfg.L2LatencyCycles, cpu.StallL2Hit)
 	if !r2.Hit {
 		lat := s.mm.Read(c.Clock())
@@ -712,8 +728,8 @@ func (s *Simulator) stepCore(c *cpu.Core) {
 	if r1.WritebackVictim {
 		va := r1.VictimAddr
 		if s.l2.Probe(va) {
-			r3 := s.l2.Access(va, true)
-			if !r3.Hit {
+			s.l2.AccessInto(va, true, &r2)
+			if !r2.Hit {
 				// Probe/Access race cannot happen single-threaded;
 				// defensive only.
 				s.mm.Writeback(c.Clock())
@@ -856,15 +872,45 @@ func (s *Simulator) traceBoundary(frontier uint64, act energy.Activity) {
 	s.ivalSpan = s.phaseSpan.Child("interval")
 }
 
-// Run executes warmup plus measurement and returns the result.
-func (s *Simulator) Run() (*Result, error) {
-	// Warmup: run every core to its warmup budget. Interval
-	// machinery runs (so ESTEEM enters the run adapted) but nothing
-	// is recorded.
+// boundary closes the interval ending at frontier f and schedules the
+// next one. While measuring, it advances the checkpoint sequence and
+// fires the checkpoint hook.
+func (s *Simulator) boundary(f uint64) {
+	if invariantsEnabled {
+		s.checkBoundaryInvariants(f)
+	}
+	s.processBoundary(f)
+	for s.nextBoundary <= f {
+		s.nextBoundary += s.cfg.IntervalCycles
+	}
+	if s.measuring {
+		s.measuredBoundaries++
+		if s.ckptHook != nil {
+			s.ckptHook(s.checkpointInfo())
+		}
+	}
+}
+
+// runWarmup runs every core to its warmup budget. Interval machinery
+// runs (so ESTEEM enters the run adapted) but nothing is recorded.
+func (s *Simulator) runWarmup() {
 	s.nextBoundary = s.cfg.IntervalCycles
 	if s.tspan != nil {
 		s.phaseSpan = s.tspan.Child("warmup")
 		s.ivalSpan = s.phaseSpan.Child("interval")
+	}
+	if len(s.cores) == 1 && !invariantsEnabled {
+		// Single-core fast path: the frontier is the core's clock and
+		// the scheduling heap is a fixed point, so the per-step heap
+		// maintenance and completion bookkeeping drop out entirely.
+		c := s.cores[0]
+		for c.Instructions() < s.cfg.WarmupInstr {
+			s.stepCore(c)
+			if c.Clock() >= s.nextBoundary {
+				s.boundary(c.Clock())
+			}
+		}
+		return
 	}
 	// Track per-core completion incrementally: only the stepped core's
 	// instruction count changes, so the all-cores rescan per step is
@@ -890,17 +936,14 @@ func (s *Simulator) Run() (*Result, error) {
 			pending--
 		}
 		if f := s.frontier(); f >= s.nextBoundary {
-			if invariantsEnabled {
-				s.checkBoundaryInvariants(f)
-			}
-			s.processBoundary(f)
-			for s.nextBoundary <= f {
-				s.nextBoundary += s.cfg.IntervalCycles
-			}
+			s.boundary(f)
 		}
 	}
+}
 
-	// Measurement start: clear interval state and open the windows.
+// beginMeasurement crosses the warmup/measurement seam: clears
+// interval state and opens every core's measurement window.
+func (s *Simulator) beginMeasurement() {
 	if s.tspan != nil {
 		// The open interval span covers the partial batch cut short by
 		// the warmup/measurement seam.
@@ -927,38 +970,48 @@ func (s *Simulator) Run() (*Result, error) {
 	for _, c := range s.cores {
 		c.BeginMeasurement(s.cfg.MeasureInstr)
 	}
+}
 
-	finished := make([]bool, len(s.cores))
-	pending = 0
-	for i, c := range s.cores {
-		if c.MeasurementDone() {
-			finished[i] = true
-		} else {
-			pending++
+// runMeasured steps the system until every core has retired its
+// measured budget, then flushes the final partial interval.
+func (s *Simulator) runMeasured() {
+	if len(s.cores) == 1 && !invariantsEnabled {
+		c := s.cores[0]
+		for !c.MeasurementDone() {
+			s.stepCore(c)
+			if c.Clock() >= s.nextBoundary {
+				s.boundary(c.Clock())
+			}
 		}
-	}
-	for pending > 0 {
-		c := s.cores[s.order[0]]
-		s.stepCore(c)
-		s.fixFront()
-		if invariantsEnabled {
-			s.checkStepInvariants()
+	} else {
+		finished := make([]bool, len(s.cores))
+		pending := 0
+		for i, c := range s.cores {
+			if c.MeasurementDone() {
+				finished[i] = true
+			} else {
+				pending++
+			}
 		}
-		if !finished[c.ID()] && c.MeasurementDone() {
-			finished[c.ID()] = true
-			pending--
-		}
-		if fr := s.frontier(); fr >= s.nextBoundary {
+		for pending > 0 {
+			c := s.cores[s.order[0]]
+			s.stepCore(c)
+			s.fixFront()
 			if invariantsEnabled {
-				s.checkBoundaryInvariants(fr)
+				s.checkStepInvariants()
 			}
-			s.processBoundary(fr)
-			for s.nextBoundary <= fr {
-				s.nextBoundary += s.cfg.IntervalCycles
+			if !finished[c.ID()] && c.MeasurementDone() {
+				finished[c.ID()] = true
+				pending--
+			}
+			if fr := s.frontier(); fr >= s.nextBoundary {
+				s.boundary(fr)
 			}
 		}
 	}
-	// Flush the final partial interval.
+	// Flush the final partial interval. No checkpoint fires here: this
+	// flush happens at the run's own horizon, not at an interval
+	// boundary a longer-horizon run would also process.
 	if fr := s.frontier(); fr > s.lastBoundary {
 		if invariantsEnabled {
 			s.checkBoundaryInvariants(fr)
@@ -970,10 +1023,45 @@ func (s *Simulator) Run() (*Result, error) {
 		// closes a batch; abandon it (unended spans are not recorded).
 		s.ivalSpan = nil
 		s.phaseSpan.End()
+	}
+}
+
+// Run executes warmup plus measurement and returns the result.
+func (s *Simulator) Run() (*Result, error) {
+	s.runWarmup()
+	s.beginMeasurement()
+	if s.ckptHook != nil {
+		// Sequence 0: the warmup/measurement seam. A seam checkpoint is
+		// usable by any longer-horizon run of the same configuration.
+		s.ckptHook(s.checkpointInfo())
+	}
+	s.runMeasured()
+	if s.tspan != nil {
 		fin := s.tspan.Child("energy-finalize")
 		defer fin.End()
 	}
+	return s.buildResult()
+}
 
+// ResumeRun continues a simulation whose state was loaded with
+// RestoreCheckpoint: it re-enters the measurement loop at the
+// restored interval boundary and runs to this configuration's
+// measured-instruction horizon. The result is byte-identical to a
+// cold Run of the same configuration (asserted by the resume tests
+// and the checkpoint fuzz target).
+func (s *Simulator) ResumeRun() (*Result, error) {
+	if !s.measuring {
+		return nil, fmt.Errorf("sim: ResumeRun without a restored checkpoint")
+	}
+	if s.tspan != nil {
+		s.phaseSpan = s.tspan.Child("measure-resumed")
+		s.ivalSpan = s.phaseSpan.Child("interval")
+	}
+	s.runMeasured()
+	if s.tspan != nil {
+		fin := s.tspan.Child("energy-finalize")
+		defer fin.End()
+	}
 	return s.buildResult()
 }
 

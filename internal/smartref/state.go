@@ -1,0 +1,37 @@
+package smartref
+
+import "repro/internal/ckpt"
+
+// AppendState serialises the per-line down-counters and the interval
+// telemetry counter.
+func (p *Policy) AppendState(w *ckpt.Writer) {
+	w.Section("SMRF")
+	w.U8Slice(p.counter)
+	w.U64(p.intervalSkipped)
+}
+
+// RestoreState loads state written by AppendState, cross-checking
+// each counter against the restored cache: a line carries a live
+// counter if and only if it is valid, and no counter exceeds the
+// window. The cache must already be restored when this runs.
+func (p *Policy) RestoreState(r *ckpt.Reader) error {
+	r.Section("SMRF")
+	r.U8SliceInto(p.counter)
+	p.intervalSkipped = r.U64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i, cnt := range p.counter {
+		set, way := i/p.assoc, i%p.assoc
+		valid, _ := p.c.LineState(set, way)
+		if (cnt != 0) != valid {
+			r.Failf("smartref: restored frame (%d,%d) tracking disagrees with cache validity", set, way)
+			return r.Err()
+		}
+		if int(cnt) > p.periods {
+			r.Failf("smartref: restored counter %d exceeds window %d", cnt, p.periods)
+			return r.Err()
+		}
+	}
+	return nil
+}

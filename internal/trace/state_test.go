@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+// TestGeneratorStateRoundTrip checkpoints a generator mid-stream and
+// verifies the restored generator reproduces the original's future
+// exactly — including across working-set phase switches, which
+// exercise the Zipf cache rebuild.
+func TestGeneratorStateRoundTrip(t *testing.T) {
+	for _, name := range []string{"gcc", "h264ref", "omnetpp", "libquantum", "mcf"} {
+		p, ok := ProfileByName(name)
+		if !ok {
+			t.Fatalf("profile %s missing", name)
+		}
+		a := MustNewGenerator(p, 0xABCD)
+		// Advance into the stream (past a phase switch for h264ref).
+		warm := 450_000
+		if p.PhaseLenRefs == 0 {
+			warm = 50_000
+		}
+		for i := 0; i < warm; i++ {
+			a.Next()
+		}
+		w := ckpt.NewWriter()
+		a.AppendState(w)
+
+		b := MustNewGenerator(p, 0xABCD)
+		r := ckpt.NewReader(w.Bytes())
+		if err := b.RestoreState(r); err != nil {
+			t.Fatalf("%s: RestoreState: %v", name, err)
+		}
+		if err := r.Done(); err != nil {
+			t.Fatalf("%s: trailing state: %v", name, err)
+		}
+		if b.Refs() != a.Refs() || b.Phase() != a.Phase() {
+			t.Fatalf("%s: refs/phase mismatch after restore", name)
+		}
+		// The futures must agree, across further phase switches too.
+		for i := 0; i < 500_000; i++ {
+			ra, rb := a.Next(), b.Next()
+			if ra != rb {
+				t.Fatalf("%s: ref %d diverged: %+v vs %+v", name, i, ra, rb)
+			}
+		}
+	}
+}
+
+// TestGeneratorRestoreRejectsCorrupt checks a few corruption modes
+// fail loudly rather than restoring garbage.
+func TestGeneratorRestoreRejectsCorrupt(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	a := MustNewGenerator(p, 1)
+	for i := 0; i < 1000; i++ {
+		a.Next()
+	}
+	w := ckpt.NewWriter()
+	a.AppendState(w)
+	good := w.Bytes()
+
+	// Truncated.
+	b := MustNewGenerator(p, 1)
+	if err := b.RestoreState(ckpt.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("truncated state restored without error")
+	}
+	// Wrong section tag.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	b = MustNewGenerator(p, 1)
+	if err := b.RestoreState(ckpt.NewReader(bad)); err == nil {
+		t.Fatal("corrupt tag restored without error")
+	}
+	// Mismatched scan geometry (omnetpp state into gcc generator).
+	om, _ := ProfileByName("omnetpp")
+	o := MustNewGenerator(om, 1)
+	for i := 0; i < 1000; i++ {
+		o.Next()
+	}
+	wo := ckpt.NewWriter()
+	o.AppendState(wo)
+	b = MustNewGenerator(p, 1)
+	if err := b.RestoreState(ckpt.NewReader(wo.Bytes())); err == nil {
+		t.Fatal("cross-profile state restored without error")
+	}
+}

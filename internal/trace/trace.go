@@ -233,8 +233,16 @@ type Generator struct {
 	p    Profile
 	rng  *xrand.RNG
 	zipf *xrand.Zipf
+	// zipfKey is the hot-size key g.zipf was selected with (needed to
+	// re-identify the active sampler after a checkpoint restore).
+	zipfKey int
 	// zipfCache reuses Zipf samplers across repeated phase sizes.
 	zipfCache map[int]*xrand.Zipf
+	// geoGap and geoBurst are shared table samplers producing the
+	// same draws as rng.Geometric without a math.Log per reference
+	// (gap sampling dominated simulator profiles).
+	geoGap   *xrand.GeoSampler
+	geoBurst *xrand.GeoSampler
 
 	streamPos   uint64
 	streamBytes uint64
@@ -276,7 +284,12 @@ func NewGenerator(p Profile, seed uint64) (*Generator, error) {
 	if p.StreamKB > 0 {
 		g.streamBytes = uint64(p.StreamKB) * 1024
 	}
+	g.geoGap = xrand.CachedGeo(p.MemOpFrac)
+	if p.BurstRefs > 1 {
+		g.geoBurst = xrand.CachedGeo(1 / p.BurstRefs)
+	}
 	g.zipf = g.zipfFor(p.HotKB)
+	g.zipfKey = p.HotKB
 	for _, kb := range p.ScanLoopKB {
 		g.scanPos = append(g.scanPos, 0)
 		g.scanSize = append(g.scanSize, uint64(kb)*1024)
@@ -327,12 +340,13 @@ func (g *Generator) Next() Ref {
 	// Phase switching.
 	if g.p.PhaseLenRefs > 0 && g.refs > 0 && g.refs%uint64(g.p.PhaseLenRefs) == 0 {
 		g.phaseIdx = int(g.refs/uint64(g.p.PhaseLenRefs)) % len(g.p.PhaseHotKB)
-		g.zipf = g.zipfFor(g.p.PhaseHotKB[g.phaseIdx])
+		g.zipfKey = g.p.PhaseHotKB[g.phaseIdx]
+		g.zipf = g.zipfFor(g.zipfKey)
 	}
 	g.refs++
 
 	r := Ref{
-		Gap:   g.rng.Geometric(g.p.MemOpFrac),
+		Gap:   g.geoGap.Next(g.rng),
 		Write: g.rng.Bool(g.p.WriteFrac),
 	}
 
@@ -379,9 +393,9 @@ func (g *Generator) Next() Ref {
 		g.burstOff = 0
 		r.Addr = g.burstLine
 		r.Kind = KindHot
-		if g.p.BurstRefs > 1 {
+		if g.geoBurst != nil {
 			// Geometric burst length with the configured mean.
-			g.burstLeft = g.rng.Geometric(1 / g.p.BurstRefs)
+			g.burstLeft = g.geoBurst.Next(g.rng)
 		}
 	}
 	return r

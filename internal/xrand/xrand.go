@@ -7,7 +7,10 @@
 // exactly reproducible from a named seed.
 package xrand
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // RNG is a splitmix64 generator. The zero value is a valid generator
 // seeded with 0; use New to seed explicitly.
@@ -23,6 +26,15 @@ func New(seed uint64) *RNG {
 
 // Seed resets the generator to the given seed.
 func (r *RNG) Seed(seed uint64) { r.state = seed }
+
+// State returns the generator's current internal state. Together with
+// SetState it lets checkpoints capture and resume a stream exactly:
+// splitmix64's whole state is one word, and the next output is a pure
+// function of it.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state previously obtained from State.
+func (r *RNG) SetState(s uint64) { r.state = s }
 
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
@@ -103,20 +115,40 @@ func (r *RNG) Exponential(mean float64) float64 {
 }
 
 // Zipf samples integers in [0, n) with probability proportional to
-// 1/(i+1)^s. It precomputes the CDF once, so sampling is O(log n).
+// 1/(i+1)^s. The CDF is precomputed once per (n, s) pair and shared
+// globally between samplers — it is immutable, and rebuilding it with
+// math.Pow for every generator phase switch dominated simulator
+// construction profiles.
 type Zipf struct {
-	cdf []float64
+	t   *zipfTable
 	rng *RNG
 }
 
-// NewZipf builds a Zipf sampler over [0, n) with exponent s >= 0,
-// drawing randomness from rng. It panics if n <= 0 or s < 0.
-func NewZipf(rng *RNG, n int, s float64) *Zipf {
-	if n <= 0 {
-		panic("xrand: NewZipf requires n > 0")
-	}
-	if s < 0 {
-		panic("xrand: NewZipf requires s >= 0")
+// zipfBuckets is the fan-out of the first-level index over the CDF.
+// A power of two so that int(u*zipfBuckets) is computed exactly and
+// u < (bucket+1)/zipfBuckets holds by construction.
+const zipfBuckets = 256
+
+type zipfTable struct {
+	cdf []float64
+	// For u in bucket b, the first CDF entry >= u lies in
+	// [lo[b], hi[b]]: lo[b] is the first entry >= b/zipfBuckets and
+	// hi[b] the first entry >= (b+1)/zipfBuckets. The bracketed
+	// binary search returns exactly what a full-range search would.
+	lo, hi []int32
+}
+
+type zipfTableKey struct {
+	n     int
+	sbits uint64
+}
+
+var zipfTables sync.Map // zipfTableKey -> *zipfTable
+
+func zipfTableFor(n int, s float64) *zipfTable {
+	key := zipfTableKey{n: n, sbits: math.Float64bits(s)}
+	if v, ok := zipfTables.Load(key); ok {
+		return v.(*zipfTable)
 	}
 	cdf := make([]float64, n)
 	sum := 0.0
@@ -129,20 +161,65 @@ func NewZipf(rng *RNG, n int, s float64) *Zipf {
 		cdf[i] *= inv
 	}
 	cdf[n-1] = 1 // guard against rounding
-	return &Zipf{cdf: cdf, rng: rng}
+	t := &zipfTable{
+		cdf: cdf,
+		lo:  make([]int32, zipfBuckets),
+		hi:  make([]int32, zipfBuckets),
+	}
+	idx := 0
+	for b := 0; b < zipfBuckets; b++ {
+		thr := float64(b) / zipfBuckets
+		for idx < n-1 && cdf[idx] < thr {
+			idx++
+		}
+		t.lo[b] = int32(idx)
+		if b > 0 {
+			t.hi[b-1] = int32(idx)
+		}
+	}
+	// hi for the last bucket: first entry >= 1, which exists because
+	// cdf[n-1] is pinned to 1.
+	for idx < n-1 && cdf[idx] < 1 {
+		idx++
+	}
+	t.hi[zipfBuckets-1] = int32(idx)
+	v, _ := zipfTables.LoadOrStore(key, t)
+	return v.(*zipfTable)
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent s >= 0,
+// drawing randomness from rng. It panics if n <= 0 or s < 0.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf requires n > 0")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf requires s >= 0")
+	}
+	return &Zipf{t: zipfTableFor(n, s), rng: rng}
 }
 
 // N returns the size of the sampler's domain.
-func (z *Zipf) N() int { return len(z.cdf) }
+func (z *Zipf) N() int { return len(z.t.cdf) }
 
-// Next returns the next sample in [0, N()).
+// RNGState returns the internal state of the sampler's RNG stream,
+// for checkpointing.
+func (z *Zipf) RNGState() uint64 { return z.rng.state }
+
+// Next returns the next sample in [0, N()): the first CDF entry >= u.
+// The bucket index narrows the search range; because the brackets
+// provably contain the answer, the result is identical to a binary
+// search over the whole CDF (the search path differs, the unique
+// answer does not).
 func (z *Zipf) Next() int {
 	u := z.rng.Float64()
-	// Binary search for the first cdf entry >= u.
-	lo, hi := 0, len(z.cdf)-1
+	t := z.t
+	b := int(u * zipfBuckets)
+	lo, hi := int(t.lo[b]), int(t.hi[b])
+	cdf := t.cdf
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if z.cdf[mid] < u {
+		if cdf[mid] < u {
 			lo = mid + 1
 		} else {
 			hi = mid

@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench-record.sh — run the pinned hot-path benchmarks (cache access,
+# cache construction, active-fraction scan, refresh window, short
+# simulator run) with a fixed benchtime and either append a dated
+# entry to BENCH_sim.json (default) or gate the fresh numbers against
+# the latest recorded entry (`bench-record.sh check`): >15% ns/op
+# regression or any allocs/op increase fails.
+#
+# BENCHTIME / COUNT override the fixed budget, e.g. quick local runs
+# with BENCHTIME=100ms.
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE="${1:-record}"
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-3}"
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+{
+    go test ./internal/cache/ -run '^$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
+        -bench '^(BenchmarkCacheAccess|BenchmarkCacheNew|BenchmarkActiveFraction)$'
+    go test ./internal/refrint/ -run '^$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
+        -bench '^BenchmarkRefreshWindow$'
+    go test ./internal/sim/ -run '^$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
+        -bench '^BenchmarkSimRunShort$'
+} | tee "$out"
+
+case "$MODE" in
+record)
+    go run ./cmd/esteem-benchgate -record BENCH_sim.json -benchtime "$BENCHTIME" <"$out"
+    ;;
+check)
+    go run ./cmd/esteem-benchgate -check BENCH_sim.json <"$out"
+    ;;
+*)
+    echo "usage: $0 [record|check]" >&2
+    exit 2
+    ;;
+esac
