@@ -1,14 +1,14 @@
 # Convenience targets; `make check` is the CI/verification gate.
 
-.PHONY: check ci lint golden golden-update verify fuzz-smoke build vet test race bench bench-record bench-check results quick-results serve serve-smoke trace-smoke
+.PHONY: check ci lint golden golden-update verify fuzz-smoke build vet test race bench bench-record bench-check results quick-results serve serve-smoke trace-smoke load load-smoke load-record
 
 check:
 	./scripts/check.sh
 
 # Everything CI runs: lint, the full check gate, the golden-output
 # drift gate, the differential-verification gate, and the service
-# smoke test.
-ci: lint check golden verify serve-smoke trace-smoke
+# smoke tests (end-to-end workflow, tracing, open-loop load).
+ci: lint check golden verify serve-smoke trace-smoke load-smoke
 
 # Differential verification: oracle reference models vs the optimized
 # implementations, plus the simulator rebuilt with runtime invariant
@@ -87,3 +87,22 @@ serve-smoke:
 # well-formedness and >= 95% wall-clock coverage.
 trace-smoke:
 	./scripts/trace-smoke.sh
+
+# Open-loop load generator against an already-running daemon (see
+# README "Load testing"); prints the per-phase table and the JSON
+# report to stdout. Point it elsewhere with SERVER=http://host:port.
+SERVER ?= http://127.0.0.1:8344
+load:
+	go run ./cmd/esteem-load -server $(SERVER)
+
+# Service-level benchmark lane (CI's load-smoke): boots a daemon,
+# drives an ~11s ramp+burst schedule, gates the report against
+# BENCH_serve.json, and proves the gate rejects a degraded copy.
+load-smoke:
+	./scripts/load-smoke.sh
+
+# Re-baseline the service-level trajectory after an intentional
+# service change: same run as load-smoke, but the report is appended
+# to BENCH_serve.json instead of being gated.
+load-record:
+	./scripts/load-smoke.sh record

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/cliflags"
+	"repro/internal/load"
 	"repro/internal/serve"
 	"repro/internal/tracez"
 )
@@ -109,7 +110,7 @@ func cmdSubmit(args []string) error {
 	budget := cliflags.RegisterBudget(fs, 2_000_000, 20_000_000, 10_000_000, 1)
 	overrides := fs.String("config", "", "extra sim.Config overrides as inline JSON (applied last)")
 	wait := fs.Bool("wait", false, "poll until the job finishes; exit non-zero on failure")
-	retries := fs.Int("retries", 5, "attempts when the server responds 429 (queue full); honors Retry-After")
+	retries := fs.Int("retries", 5, "attempts on 429 (queue full; honors Retry-After) and on connection errors during server start/drain")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -220,11 +221,16 @@ func cmdSubmit(args []string) error {
 
 // postJob submits the job body, retrying 429 (queue full) responses
 // up to attempts times with a jittered backoff that honors the
-// server's Retry-After hint. Any other response is returned as-is.
+// server's Retry-After hint, and connection-level failures (refused/
+// reset during server start or drain) with a shorter bounded backoff.
+// Any other response is returned as-is. Jobs are content-addressed,
+// so a retried submission that actually reached the server the first
+// time just dedups onto the same units.
 func postJob(server string, body []byte, traceparent string, attempts int) (*http.Response, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
+	connDelay := 100 * time.Millisecond
 	for attempt := 1; ; attempt++ {
 		req, err := http.NewRequest(http.MethodPost, server+"/v1/jobs", bytes.NewReader(body))
 		if err != nil {
@@ -236,7 +242,16 @@ func postJob(server string, body []byte, traceparent string, attempts int) (*htt
 		}
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
-			return nil, err
+			if attempt >= attempts || !load.RetryableConnErr(err) {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "submit: %v, retrying in %s (attempt %d/%d)\n",
+				err, connDelay.Round(time.Millisecond), attempt, attempts)
+			time.Sleep(connDelay)
+			if connDelay *= 2; connDelay > 2*time.Second {
+				connDelay = 2 * time.Second
+			}
+			continue
 		}
 		if resp.StatusCode != http.StatusTooManyRequests || attempt >= attempts {
 			return resp, nil

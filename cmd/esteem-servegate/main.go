@@ -1,0 +1,143 @@
+// Command esteem-servegate records and gates the service-level
+// benchmark trajectory (BENCH_serve.json), the esteem-benchgate
+// sibling for esteem-load reports: where benchgate pins simulator
+// ns/op, servegate pins requests per second, p99 latency and cache
+// hit rate under sustained load.
+//
+// Modes (exactly one of -record, -check, -degrade):
+//
+//	esteem-load -out report.json
+//	esteem-servegate -record BENCH_serve.json -in report.json  # append a dated entry
+//	esteem-servegate -check  BENCH_serve.json -in report.json  # gate against the latest entry
+//	esteem-servegate -degrade 20 -in report.json               # emit a degraded copy (gate self-test)
+//
+// Check mode applies absolute sanity (non-zero p50/p99 and
+// throughput, bounded error rate, cache hit rate within tolerance of
+// the configured hot fraction) plus loose relative bounds against the
+// latest recorded entry — service latency on shared CI runners is far
+// noisier than ns/op microbenchmarks, so the defaults reject
+// order-of-magnitude regressions, not percent-level drift. Degrade
+// mode synthesizes exactly such a regression so the load-smoke lane
+// can prove the gate is live.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/load"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "esteem-servegate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	record := flag.String("record", "", "append the -in report as a dated entry to this trajectory file")
+	check := flag.String("check", "", "gate the -in report against the latest entry of this trajectory file")
+	degrade := flag.Float64("degrade", 0, "emit the -in report with latency x N and throughput / N to stdout (gate self-test)")
+	in := flag.String("in", "-", "report JSON produced by esteem-load (- = stdin)")
+	maxP99 := flag.Float64("max-p99-factor", 0, "fail -check when p99 exceeds this factor x baseline (0 = default 10)")
+	minTput := flag.Float64("min-throughput-factor", 0, "fail -check when achieved RPS falls below this factor x baseline (0 = default 0.25)")
+	maxErr := flag.Float64("max-error-rate", 0, "fail -check when errors/requests exceeds this (0 = default 0.01)")
+	hitTol := flag.Float64("hit-rate-tolerance", 0, "fail -check when |hit rate - hot fraction| exceeds this (0 = default 0.15, negative disables)")
+	flag.Parse()
+
+	modes := 0
+	for _, on := range []bool{*record != "", *check != "", *degrade != 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("exactly one of -record, -check or -degrade is required")
+	}
+
+	rep, err := readReport(*in)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *degrade != 0:
+		if *degrade <= 1 {
+			return fmt.Errorf("-degrade wants a factor > 1, got %g", *degrade)
+		}
+		out, err := json.MarshalIndent(load.Degrade(rep, *degrade), "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(out, '\n'))
+		return err
+
+	case *record != "":
+		tr, err := load.LoadTrajectory(*record)
+		if err != nil {
+			return err
+		}
+		tr.Entries = append(tr.Entries, rep)
+		if err := load.SaveTrajectory(*record, tr); err != nil {
+			return err
+		}
+		o := rep.Overall
+		fmt.Printf("recorded: %d requests, %.1f rps achieved, p50 %.2f ms, p99 %.2f ms, hit rate %.1f%%\n",
+			o.Requests, o.AchievedRPS, o.Latency.P50, o.Latency.P99, rep.Cache.HitRate*100)
+		fmt.Printf("appended entry %d to %s\n", len(tr.Entries), *record)
+		return nil
+
+	default:
+		tr, err := load.LoadTrajectory(*check)
+		if err != nil {
+			return err
+		}
+		base := tr.Latest()
+		if base == nil {
+			return fmt.Errorf("%s holds no baseline entries; run `make load-record` first", *check)
+		}
+		th := load.Thresholds{
+			MaxP99Factor:        *maxP99,
+			MinThroughputFactor: *minTput,
+			MaxErrorRate:        *maxErr,
+			HitRateTolerance:    *hitTol,
+		}
+		if err := load.Check(base, rep, th); err != nil {
+			return fmt.Errorf("%w\n  baseline (%s): p99 %.2f ms, %.1f rps\n  this run: p99 %.2f ms, %.1f rps",
+				err, base.Date, base.Overall.Latency.P99, base.Overall.AchievedRPS,
+				rep.Overall.Latency.P99, rep.Overall.AchievedRPS)
+		}
+		o := rep.Overall
+		fmt.Printf("ok   %d requests, %d completed, %d rejected (429), %d errors\n",
+			o.Requests, o.Completed, o.Rejected, o.Errors)
+		fmt.Printf("ok   p50 %.2f ms, p99 %.2f ms, p999 %.2f ms (baseline p99 %.2f ms)\n",
+			o.Latency.P50, o.Latency.P99, o.Latency.P999, base.Overall.Latency.P99)
+		fmt.Printf("ok   %.1f rps achieved (baseline %.1f), cache hit rate %.1f%% (hot fraction %.0f%%)\n",
+			o.AchievedRPS, base.Overall.AchievedRPS, rep.Cache.HitRate*100, rep.HotFraction*100)
+		fmt.Println("service-level gate passed")
+		return nil
+	}
+}
+
+// readReport decodes an esteem-load report from a file or stdin.
+func readReport(path string) (load.Report, error) {
+	var rep load.Report
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,216 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRampPhases(t *testing.T) {
+	phases := Ramp(10, 10, 50, 3*time.Second)
+	if len(phases) != 5 {
+		t.Fatalf("got %d phases, want 5", len(phases))
+	}
+	for i, p := range phases {
+		wantRPS := 10 + 10*float64(i)
+		if p.RPS != wantRPS {
+			t.Errorf("phase %d: RPS %g, want %g", i, p.RPS, wantRPS)
+		}
+		if p.Seconds != 3 {
+			t.Errorf("phase %d: Seconds %g, want 3", i, p.Seconds)
+		}
+	}
+	if phases[0].Name != "rps10" || phases[4].Name != "rps50" {
+		t.Errorf("phase names %q..%q", phases[0].Name, phases[4].Name)
+	}
+}
+
+func TestRampZeroStepIsSingleSlot(t *testing.T) {
+	phases := Ramp(50, 0, 200, 10*time.Second)
+	if len(phases) != 1 || phases[0].RPS != 50 || phases[0].Seconds != 10 {
+		t.Fatalf("got %+v, want one 50rps/10s slot", phases)
+	}
+}
+
+func TestWithBurst(t *testing.T) {
+	base := Ramp(10, 10, 20, time.Second)
+	phases := WithBurst(base, 120, 2*time.Second)
+	if len(phases) != len(base)+1 {
+		t.Fatalf("burst not appended: %d phases", len(phases))
+	}
+	last := phases[len(phases)-1]
+	if last.Name != "burst120" || last.RPS != 120 || last.Seconds != 2 {
+		t.Fatalf("burst slot %+v", last)
+	}
+	if got := WithBurst(base, 0, 2*time.Second); len(got) != len(base) {
+		t.Fatalf("zero burst RPS should be a no-op, got %d phases", len(got))
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	ok := Schedule{Phases: Ramp(10, 0, 10, time.Second), HotFraction: 0.5, Jitter: 0.25}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []Schedule{
+		{},
+		{Phases: []Phase{{Name: "x", RPS: 0, Seconds: 1}}},
+		{Phases: []Phase{{Name: "x", RPS: 10, Seconds: 0}}},
+		{Phases: ok.Phases, HotFraction: 1.5},
+		{Phases: ok.Phases, Jitter: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+// TestArrivalsDeterministic: a fixed seed replays the exact same
+// arrival times, placement and sequence; a different seed does not.
+func TestArrivalsDeterministic(t *testing.T) {
+	sched := Schedule{
+		Phases:      WithBurst(Ramp(10, 10, 30, time.Second), 60, time.Second),
+		HotFraction: 0.5,
+		Jitter:      0.5,
+		Seed:        42,
+	}
+	a, err := sched.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sched.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d diverges: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	sched.Seed = 43
+	c, err := sched.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical arrival sequences")
+	}
+}
+
+// TestArrivalsExactCounts: each phase contributes exactly
+// round(RPS*Seconds) arrivals, with an exact hot count.
+func TestArrivalsExactCounts(t *testing.T) {
+	sched := Schedule{
+		Phases: []Phase{
+			{Name: "a", RPS: 20, Seconds: 1},   // 20 arrivals
+			{Name: "b", RPS: 40, Seconds: 0.5}, // 20 arrivals
+			{Name: "c", RPS: 7, Seconds: 1},    // 7 arrivals
+		},
+		HotFraction: 0.5,
+		Jitter:      0.25,
+		Seed:        1,
+	}
+	arrivals, err := sched.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sched.Requests(); len(arrivals) != want {
+		t.Fatalf("got %d arrivals, Requests() says %d", len(arrivals), want)
+	}
+	counts := make([]int, len(sched.Phases))
+	hots := make([]int, len(sched.Phases))
+	for i, a := range arrivals {
+		if a.Seq != i {
+			t.Fatalf("arrival %d has Seq %d", i, a.Seq)
+		}
+		counts[a.Phase]++
+		if a.Hot {
+			hots[a.Phase]++
+		}
+	}
+	wantCounts := []int{20, 20, 7}
+	wantHots := []int{10, 10, 4} // round(0.5*n)
+	for p := range counts {
+		if counts[p] != wantCounts[p] {
+			t.Errorf("phase %d: %d arrivals, want %d", p, counts[p], wantCounts[p])
+		}
+		if hots[p] != wantHots[p] {
+			t.Errorf("phase %d: %d hot, want exactly %d", p, hots[p], wantHots[p])
+		}
+	}
+}
+
+// TestArrivalsOrderedWithinPhase: jitter <= 1 never reorders arrivals
+// or pushes them outside their phase window.
+func TestArrivalsOrderedWithinPhase(t *testing.T) {
+	sched := Schedule{
+		Phases: []Phase{
+			{Name: "a", RPS: 50, Seconds: 1},
+			{Name: "b", RPS: 100, Seconds: 1},
+		},
+		HotFraction: 0.3,
+		Jitter:      1, // worst case
+		Seed:        7,
+	}
+	arrivals, err := sched.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phaseStart time.Duration
+	bounds := []struct{ lo, hi time.Duration }{}
+	for _, p := range sched.Phases {
+		d := time.Duration(p.Seconds * float64(time.Second))
+		bounds = append(bounds, struct{ lo, hi time.Duration }{phaseStart, phaseStart + d})
+		phaseStart += d
+	}
+	for i, a := range arrivals {
+		if i > 0 && arrivals[i-1].Phase == a.Phase && arrivals[i-1].At > a.At {
+			t.Fatalf("arrival %d (%v) before its predecessor (%v)", i, a.At, arrivals[i-1].At)
+		}
+		b := bounds[a.Phase]
+		if a.At < b.lo || a.At > b.hi {
+			t.Fatalf("arrival %d at %v outside phase %d window [%v,%v]", i, a.At, a.Phase, b.lo, b.hi)
+		}
+	}
+}
+
+// TestHotMixExtremes: 0 and 1 hot fractions are all-cold / all-hot.
+func TestHotMixExtremes(t *testing.T) {
+	for _, frac := range []float64{0, 1} {
+		sched := Schedule{
+			Phases:      []Phase{{Name: "a", RPS: 30, Seconds: 1}},
+			HotFraction: frac,
+			Seed:        1,
+		}
+		arrivals, err := sched.Arrivals()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range arrivals {
+			if a.Hot != (frac == 1) {
+				t.Fatalf("hot fraction %g produced Hot=%v", frac, a.Hot)
+			}
+		}
+	}
+}
+
+func TestScheduleDuration(t *testing.T) {
+	sched := Schedule{Phases: []Phase{
+		{Name: "a", RPS: 1, Seconds: 1.5},
+		{Name: "b", RPS: 1, Seconds: 0.5},
+	}}
+	if got := sched.Duration(); got != 2*time.Second {
+		t.Fatalf("Duration() = %v, want 2s", got)
+	}
+}

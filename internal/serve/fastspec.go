@@ -1,0 +1,28 @@
+// The canonical load-testing job shape. Open-loop load tests and the
+// CI load-smoke lane need requests that exercise the whole service
+// path — admission, queueing, the runner, the content-addressed store
+// — without each request costing tens of milliseconds of simulator
+// time, so sustained RPS measures service overheads rather than
+// simulator throughput.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// FastJobSpec returns a minimal single-unit job: one single-core gcc
+// workload under the esteem technique with run budgets roughly 1000x
+// below the paper defaults (~a millisecond of simulator work). The
+// seed folds into the unit's content address, so two requests with
+// the same seed are cache-hot duplicates (single-flight dedup, store
+// hits) and distinct seeds are cache-cold unique work — exactly the
+// hot/cold traffic mix knob a load generator needs.
+func FastJobSpec(seed uint64) JobSpec {
+	cfg := fmt.Sprintf(`{"Cores":1,"WarmupInstr":5000,"MeasureInstr":20000,"IntervalCycles":10000,"Seed":%d}`, seed)
+	return JobSpec{
+		Config:     json.RawMessage(cfg),
+		Benchmarks: [][]string{{"gcc"}},
+		Techniques: []string{"esteem"},
+	}
+}

@@ -5,8 +5,6 @@
 package serve
 
 import (
-	"fmt"
-	"io"
 	"strconv"
 	"sync"
 )
@@ -43,21 +41,45 @@ func (h *histogram) observe(v float64) {
 	h.mu.Unlock()
 }
 
-// write emits the histogram in Prometheus text format. Bucket counts
-// are cumulative, as the format requires.
-func (h *histogram) write(w io.Writer, name, help string) {
+// fmtFloat renders a bucket bound the way the Prometheus text format
+// expects ("0.001", not "1e-03").
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// HistogramView is a histogram snapshot in the JSON metrics view:
+// cumulative bucket counts below each upper bound (seconds), plus the
+// total count and sum. The +Inf bucket is implied by Count.
+type HistogramView struct {
+	Count      uint64       `json:"count"`
+	SumSeconds float64      `json:"sum_seconds"`
+	Buckets    []HistBucket `json:"buckets"`
+}
+
+// HistBucket is one cumulative bucket of a HistogramView.
+type HistBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Mean returns the histogram's mean observation in seconds (0 when
+// empty).
+func (v HistogramView) Mean() float64 {
+	if v.Count == 0 {
+		return 0
+	}
+	return v.SumSeconds / float64(v.Count)
+}
+
+// view snapshots the histogram.
+func (h *histogram) view() HistogramView {
 	h.mu.Lock()
 	counts := append([]uint64(nil), h.counts...)
 	sum, count := h.sum, h.count
 	h.mu.Unlock()
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	v := HistogramView{Count: count, SumSeconds: sum}
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+		v.Buckets = append(v.Buckets, HistBucket{LE: b, Count: cum})
 	}
-	cum += counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, count)
+	return v
 }

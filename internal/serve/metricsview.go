@@ -1,0 +1,139 @@
+// The typed metrics snapshot behind /metrics: one data structure both
+// renderers consume, so the Prometheus text exposition and the JSON
+// view (?format=json) can never drift apart. The JSON view exists for
+// programmatic delta-scraping — the load generator (internal/load)
+// snapshots it before and after each schedule phase to attribute
+// cache hits, misses and queue-wait to traffic windows.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// MetricsView is the JSON shape of GET /metrics?format=json. Keys of
+// Gauges, Counters and Histograms are the Prometheus series names of
+// the text exposition.
+type MetricsView struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Gauges        map[string]float64       `json:"gauges"`
+	Counters      map[string]uint64        `json:"counters"`
+	Histograms    map[string]HistogramView `json:"histograms"`
+}
+
+// metricPoint is one gauge or counter with its help text (ordering is
+// the text exposition's).
+type metricPoint struct {
+	name string
+	help string
+	gval float64 // gauges
+	cval uint64  // counters
+}
+
+// histPoint is one histogram with its help text.
+type histPoint struct {
+	name string
+	help string
+	view HistogramView
+}
+
+// metricsData snapshots every exported series in exposition order.
+func (s *Server) metricsData() (gauges, counters []metricPoint, hists []histPoint) {
+	s.mu.Lock()
+	queued := len(s.queue)
+	s.mu.Unlock()
+	st := s.cfg.Store.Stats()
+	uptime := time.Since(s.start).Seconds()
+	sims := s.simsTotal.Load()
+	var simsPerSec float64
+	if uptime > 0 {
+		simsPerSec = float64(sims) / uptime
+	}
+	ts := s.cfg.Tracer.Stats()
+
+	gauges = []metricPoint{
+		{name: "esteem_serve_queue_depth", help: "Jobs waiting in the admission queue.", gval: float64(queued)},
+		{name: "esteem_serve_in_flight_jobs", help: "Jobs currently executing.", gval: float64(s.inFlight.Load())},
+		{name: "esteem_serve_sims_per_second", help: "Simulations executed per second of uptime.", gval: simsPerSec},
+		{name: "esteem_serve_trace_spans_buffered", help: "Completed spans retained in the tracer's ring.", gval: float64(ts.Buffered)},
+	}
+	counters = []metricPoint{
+		{name: "esteem_serve_jobs_accepted_total", help: "Jobs admitted to the queue.", cval: s.accepted.Load()},
+		{name: "esteem_serve_jobs_rejected_total", help: "Jobs rejected with 429 (queue full).", cval: s.rejected.Load()},
+		{name: "esteem_serve_jobs_completed_total", help: "Jobs finished successfully.", cval: s.completed.Load()},
+		{name: "esteem_serve_jobs_failed_total", help: "Jobs finished in failure or cancellation.", cval: s.failed.Load()},
+		{name: "esteem_serve_sims_executed_total", help: "Simulations actually executed (cache misses).", cval: sims},
+		{name: "esteem_serve_sim_instructions_total", help: "Instructions simulated by executed simulations.", cval: s.instrTotal.Load()},
+		{name: "esteem_serve_cache_hits_total", help: "Content-addressed store hits (memory + disk).", cval: st.Hits},
+		{name: "esteem_serve_cache_memory_hits_total", help: "Content-addressed store memory-layer hits.", cval: st.MemHits},
+		{name: "esteem_serve_cache_disk_hits_total", help: "Content-addressed store disk-layer hits.", cval: st.DiskHits},
+		{name: "esteem_serve_cache_misses_total", help: "Content-addressed store misses.", cval: st.Misses},
+		{name: "esteem_serve_cache_computes_total", help: "Simulations computed under the store's single-flight lock.", cval: st.Computes},
+		{name: "esteem_serve_cache_coalesced_total", help: "Requests coalesced onto an in-progress compute.", cval: st.Coalesced},
+		{name: "esteem_serve_prefix_checkpoint_hits_total", help: "Simulations resumed from a stored prefix checkpoint.", cval: st.PrefixHits},
+		{name: "esteem_serve_prefix_checkpoint_misses_total", help: "Prefix-checkpoint lookups that found no usable checkpoint.", cval: st.PrefixMisses},
+		{name: "esteem_serve_prefix_checkpoint_saved_instructions_total", help: "Measured instructions skipped by resuming from prefix checkpoints.", cval: st.PrefixSavedInstr},
+		{name: "esteem_serve_trace_spans_dropped_total", help: "Spans evicted from the tracer's ring.", cval: ts.Dropped},
+		{name: "esteem_serve_trace_unsampled_total", help: "Traces head-sampled out.", cval: ts.Unsampled},
+	}
+	hists = []histPoint{
+		{name: "esteem_serve_queue_wait_seconds", help: "Time jobs spent in the admission queue.", view: s.queueWaitHist.view()},
+		{name: "esteem_serve_job_cache_hit_seconds", help: "Job compute time for jobs served entirely from the result store.", view: s.computeHitHist.view()},
+		{name: "esteem_serve_job_compute_seconds", help: "Job compute time for jobs that executed at least one simulation.", view: s.computeMissHist.view()},
+	}
+	return gauges, counters, hists
+}
+
+// MetricsSnapshot returns the current metrics as the JSON view (also
+// used in-process by tests and the load generator's e2e harness).
+func (s *Server) MetricsSnapshot() MetricsView {
+	gauges, counters, hists := s.metricsData()
+	v := MetricsView{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Gauges:        make(map[string]float64, len(gauges)),
+		Counters:      make(map[string]uint64, len(counters)),
+		Histograms:    make(map[string]HistogramView, len(hists)),
+	}
+	for _, g := range gauges {
+		v.Gauges[g.name] = g.gval
+	}
+	for _, c := range counters {
+		v.Counters[c.name] = c.cval
+	}
+	for _, h := range hists {
+		v.Histograms[h.name] = h.view
+	}
+	return v
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+		return
+	}
+	gauges, counters, hists := s.metricsData()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", g.name, g.help, g.name, g.name, g.gval)
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.cval)
+	}
+	for _, h := range hists {
+		writeHist(w, h.name, h.help, h.view)
+	}
+}
+
+// writeHist emits one histogram in Prometheus text format. Bucket
+// counts are cumulative, as the format requires.
+func writeHist(w io.Writer, name, help string, v HistogramView) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, b := range v.Buckets {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(b.LE), b.Count)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, v.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, v.SumSeconds)
+	fmt.Fprintf(w, "%s_count %d\n", name, v.Count)
+}

@@ -736,53 +736,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{status, queued, s.inFlight.Load()})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	queued := len(s.queue)
-	s.mu.Unlock()
-	st := s.cfg.Store.Stats()
-	uptime := time.Since(s.start).Seconds()
-	sims := s.simsTotal.Load()
-	var simsPerSec float64
-	if uptime > 0 {
-		simsPerSec = float64(sims) / uptime
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	g := func(name, help string, value any) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
-	}
-	c := func(name, help string, value uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
-	}
-	g("esteem_serve_queue_depth", "Jobs waiting in the admission queue.", queued)
-	g("esteem_serve_in_flight_jobs", "Jobs currently executing.", s.inFlight.Load())
-	g("esteem_serve_sims_per_second", "Simulations executed per second of uptime.", fmt.Sprintf("%.6f", simsPerSec))
-	c("esteem_serve_jobs_accepted_total", "Jobs admitted to the queue.", s.accepted.Load())
-	c("esteem_serve_jobs_rejected_total", "Jobs rejected with 429 (queue full).", s.rejected.Load())
-	c("esteem_serve_jobs_completed_total", "Jobs finished successfully.", s.completed.Load())
-	c("esteem_serve_jobs_failed_total", "Jobs finished in failure or cancellation.", s.failed.Load())
-	c("esteem_serve_sims_executed_total", "Simulations actually executed (cache misses).", sims)
-	c("esteem_serve_sim_instructions_total", "Instructions simulated by executed simulations.", s.instrTotal.Load())
-	c("esteem_serve_cache_hits_total", "Content-addressed store hits (memory + disk).", st.Hits)
-	c("esteem_serve_cache_memory_hits_total", "Content-addressed store memory-layer hits.", st.MemHits)
-	c("esteem_serve_cache_disk_hits_total", "Content-addressed store disk-layer hits.", st.DiskHits)
-	c("esteem_serve_cache_misses_total", "Content-addressed store misses.", st.Misses)
-	c("esteem_serve_cache_computes_total", "Simulations computed under the store's single-flight lock.", st.Computes)
-	c("esteem_serve_cache_coalesced_total", "Requests coalesced onto an in-progress compute.", st.Coalesced)
-	c("esteem_serve_prefix_checkpoint_hits_total", "Simulations resumed from a stored prefix checkpoint.", st.PrefixHits)
-	c("esteem_serve_prefix_checkpoint_misses_total", "Prefix-checkpoint lookups that found no usable checkpoint.", st.PrefixMisses)
-	c("esteem_serve_prefix_checkpoint_saved_instructions_total", "Measured instructions skipped by resuming from prefix checkpoints.", st.PrefixSavedInstr)
-	ts := s.cfg.Tracer.Stats()
-	g("esteem_serve_trace_spans_buffered", "Completed spans retained in the tracer's ring.", ts.Buffered)
-	c("esteem_serve_trace_spans_dropped_total", "Spans evicted from the tracer's ring.", ts.Dropped)
-	c("esteem_serve_trace_unsampled_total", "Traces head-sampled out.", ts.Unsampled)
-	s.queueWaitHist.write(w, "esteem_serve_queue_wait_seconds",
-		"Time jobs spent in the admission queue.")
-	s.computeHitHist.write(w, "esteem_serve_job_cache_hit_seconds",
-		"Job compute time for jobs served entirely from the result store.")
-	s.computeMissHist.write(w, "esteem_serve_job_compute_seconds",
-		"Job compute time for jobs that executed at least one simulation.")
-}
+// handleMetrics lives in metricsview.go: one snapshot feeds both the
+// Prometheus text exposition and the JSON view.
 
 // ---- helpers ----
 

@@ -264,7 +264,7 @@ func TestHistogramFormat(t *testing.T) {
 	h.observe(0.5)
 	h.observe(5)
 	var b bytes.Buffer
-	h.write(&b, "x_seconds", "help text")
+	writeHist(&b, "x_seconds", "help text", h.view())
 	out := b.String()
 	for _, want := range []string{
 		"# TYPE x_seconds histogram",

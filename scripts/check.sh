@@ -18,9 +18,9 @@ echo "== go vet ./... =="
 go vet ./...
 
 echo "== go test ./... =="
-go test ./... -count=1
+go test ./... -count=1 -timeout 10m
 
 echo "== go test -race ./... =="
-go test -race ./... -count=1
+go test -race ./... -count=1 -timeout 15m
 
 echo "== OK =="

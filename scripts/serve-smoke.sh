@@ -13,6 +13,7 @@
 #   3. SIGTERM drains gracefully (the daemon exits 0).
 set -eu
 cd "$(dirname "$0")/.."
+. ./scripts/lib.sh
 
 WORK="$(mktemp -d)"
 SERVE_PID=""
@@ -30,12 +31,9 @@ start_daemon() {
     "$WORK/esteem-serve" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
         -cache "$WORK/store" -job-timeout 2m >"$WORK/serve.log" 2>&1 &
     SERVE_PID=$!
-    for _ in $(seq 1 50); do
-        [ -s "$WORK/addr" ] && break
-        sleep 0.1
-    done
-    [ -s "$WORK/addr" ] || { echo "daemon never wrote its address"; cat "$WORK/serve.log"; exit 1; }
+    wait_file "$WORK/addr" 10 || { cat "$WORK/serve.log"; exit 1; }
     SERVER="http://$(cat "$WORK/addr")"
+    wait_healthz "$SERVER" 15 || { cat "$WORK/serve.log"; exit 1; }
     echo "== daemon up at $SERVER =="
 }
 

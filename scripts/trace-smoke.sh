@@ -13,6 +13,7 @@
 #      tree and chrome formats.
 set -eu
 cd "$(dirname "$0")/.."
+. ./scripts/lib.sh
 
 WORK="$(mktemp -d)"
 SERVE_PID=""
@@ -39,12 +40,9 @@ echo "== serve trace round trip =="
 "$WORK/esteem-serve" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
     -cache "$WORK/store" -log-format json >"$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
-for _ in $(seq 1 50); do
-    [ -s "$WORK/addr" ] && break
-    sleep 0.1
-done
-[ -s "$WORK/addr" ] || { echo "daemon never wrote its address"; cat "$WORK/serve.log"; exit 1; }
+wait_file "$WORK/addr" 10 || { cat "$WORK/serve.log"; exit 1; }
 SERVER="http://$(cat "$WORK/addr")"
+wait_healthz "$SERVER" 15 || { cat "$WORK/serve.log"; exit 1; }
 
 JOB_ID="$("$WORK/esteem-client" submit -server "$SERVER" \
     -bench gcc -technique esteem -instr 200000 -warmup 50000 -interval 100000 -seed 1 -wait 2>/dev/null |
