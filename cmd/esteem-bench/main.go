@@ -56,6 +56,7 @@ type harness struct {
 	seed     uint64
 	outDir   string
 	quick    bool
+	tech     string
 
 	// sweep executes every experiment's jobs; baseline runs are
 	// deduplicated across experiments by a typed key.
@@ -78,6 +79,7 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	budget := cliflags.RegisterBudget(flag.CommandLine, 2_000_000, 20_000_000, 10_000_000, 1)
 	quick := flag.Bool("quick", false, "use a workload subset and shorter runs")
+	techName := flag.String("tech", "edram", "LLC storage technology ("+cliflags.TechnologyNames()+")")
 	jobs := flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS); any value yields identical results")
 	telemetry := flag.Bool("telemetry", true, "write per-run artifacts (interval telemetry + manifests) under <out>/runs")
 	cacheDir := flag.String("cache", "", "content-addressed result store directory: completed runs are reused across invocations")
@@ -92,9 +94,13 @@ func main() {
 		fmt.Println(cliflags.PrintVersion("esteem-bench"))
 		return
 	}
+	technology, err := cliflags.ParseTechnology(*techName)
+	if err != nil {
+		fatal(err)
+	}
 	h := &harness{
 		instr: *budget.Instr, warmup: *budget.Warmup, interval: *budget.Interval, seed: *budget.Seed,
-		outDir: *out, quick: *quick,
+		outDir: *out, quick: *quick, tech: technology,
 		sweep: runner.NewSweep(*jobs, runner.WithProgress(os.Stderr), runner.WithLabel("esteem-bench")),
 	}
 	var store *castore.Store
@@ -283,6 +289,7 @@ func writeChromeTrace(tracer *tracez.Tracer, root *tracez.Span, path string) {
 func (h *harness) config(cores int, retentionMicros float64, tech sim.Technique) sim.Config {
 	cfg := sim.DefaultConfig(cores)
 	cfg.Technique = tech
+	cfg.Technology = h.tech
 	cfg.RetentionMicros = retentionMicros
 	cfg.MeasureInstr = h.instr
 	cfg.WarmupInstr = h.warmup

@@ -106,6 +106,7 @@ func cmdSubmit(args []string) error {
 	server := serverFlag(fs)
 	bench := fs.String("bench", "gcc", `workloads: "+" joins cores, "," separates workloads (e.g. gobmk+nekbone,gcc+gamess)`)
 	techs := fs.String("technique", "esteem", "comma-separated technique names: "+cliflags.TechniqueNames())
+	techName := fs.String("tech", "", "LLC storage technology (empty = edram; "+cliflags.TechnologyNames()+")")
 	retention := fs.Float64("retention", 50, "eDRAM retention period in microseconds")
 	budget := cliflags.RegisterBudget(fs, 2_000_000, 20_000_000, 10_000_000, 1)
 	overrides := fs.String("config", "", "extra sim.Config overrides as inline JSON (applied last)")
@@ -152,10 +153,16 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *techName != "" {
+		if _, err := cliflags.ParseTechnology(*techName); err != nil {
+			return fmt.Errorf("-tech: %v", err)
+		}
+	}
 	body, err := json.Marshal(serve.JobSpec{
 		Config:     rawCfg,
 		Benchmarks: benchmarks,
 		Techniques: techniques,
+		Technology: *techName,
 	})
 	if err != nil {
 		return err

@@ -81,8 +81,8 @@ func main() {
 	if cfg.TemperatureC > 0 {
 		retLabel = fmt.Sprintf("%.0fC", cfg.TemperatureC)
 	}
-	fmt.Printf("technique: %s   workload: %s   retention: %s   L2: %dMB %d-way, %d modules\n",
-		r.Technique, strings.Join(benchmarks, "+"), retLabel,
+	fmt.Printf("technique: %s   technology: %s   workload: %s   retention: %s   L2: %dMB %d-way, %d modules\n",
+		r.Technique, r.Config.Technology, strings.Join(benchmarks, "+"), retLabel,
 		cfg.L2SizeBytes>>20, cfg.L2Assoc, cfg.Modules)
 	for _, c := range r.Cores {
 		fmt.Printf("core %-12s instr=%d cycles=%d IPC=%.3f stalls(l2=%d refresh=%d mem=%d)\n",
@@ -104,6 +104,11 @@ func main() {
 	fmt.Printf("  MM   leak=%.6f dyn=%.6f              (MM total %.6f)\n",
 		e.MMLeak, e.MMDyn, e.MM())
 	fmt.Printf("  algo %.9f\n", e.Algo)
+	if w := r.Wear; w != nil {
+		fmt.Printf("wear: max=%d min=%d mean=%.1f writes=%d level-swaps=%d (endurance budget %d)\n",
+			w.MaxWear, w.MinWear, w.MeanWear, w.TotalWrites, w.LevelSwaps, w.EnduranceWrites)
+		fmt.Printf("  log2 wear histogram: %v\n", w.Histogram)
+	}
 
 	if *logIntervals {
 		fmt.Println("\nintervals:")

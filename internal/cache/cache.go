@@ -67,6 +67,20 @@ type Params struct {
 	// Banks is the number of banks lines are interleaved across; the
 	// paper's eDRAM L2 has 4. Use 1 when banking is irrelevant.
 	Banks int
+	// TrackWear enables per-frame write-wear counters (ReRAM
+	// endurance modelling): every write hit and every fill charges
+	// one write to the written frame.
+	TrackWear bool
+	// WearLevelPeriod, when positive, performs an intra-set
+	// wear-levelling remap every WearLevelPeriod-th write to a set:
+	// the contents of the set's most- and least-worn active frames
+	// are swapped (tags, valid/dirty bits and recency positions move;
+	// wear stays with the physical frame), so hot lines rotate onto
+	// cold frames without changing any externally visible cache
+	// behaviour. Requires TrackWear. Remaps fire no Observer events:
+	// wear-tracked technologies have no refresh clock, so no
+	// observer-bearing refresh policy can be attached.
+	WearLevelPeriod int
 }
 
 // validate checks the parameter combination and derives the set count.
@@ -99,6 +113,12 @@ func (p Params) validate() (sets int, err error) {
 	if p.Assoc > 64 {
 		return 0, fmt.Errorf("cache %s: associativity %d > 64 unsupported", p.Name, p.Assoc)
 	}
+	if p.WearLevelPeriod < 0 {
+		return 0, fmt.Errorf("cache %s: negative wear-level period", p.Name)
+	}
+	if p.WearLevelPeriod > 0 && !p.TrackWear {
+		return 0, fmt.Errorf("cache %s: wear-levelling requires wear tracking", p.Name)
+	}
 	return sets, nil
 }
 
@@ -127,6 +147,7 @@ type AccessResult struct {
 // Counters is a snapshot of access statistics.
 type Counters struct {
 	Hits       uint64
+	WriteHits  uint64 // the subset of Hits that were writes
 	Misses     uint64
 	Writebacks uint64 // dirty evictions (demand misses + reconfiguration flushes)
 	Fills      uint64
@@ -195,6 +216,16 @@ type Cache struct {
 	total    Counters // since construction
 	interval Counters // since last ResetInterval
 
+	// wear[set*assoc+way] counts writes charged to the physical frame
+	// (write hits plus fills); nil unless Params.TrackWear, so the
+	// eDRAM hot path pays nothing for it.
+	wear []uint64
+	// setWrites[set] counts writes to the set, driving the
+	// wear-levelling trigger; nil unless WearLevelPeriod > 0.
+	setWrites []uint64
+	// wearSwaps counts wear-levelling remaps performed.
+	wearSwaps uint64
+
 	observer Observer
 }
 
@@ -248,6 +279,12 @@ func New(p Params) (*Cache, error) {
 		c.hitPos[m] = c.hitBacking[m*p.Assoc : (m+1)*p.Assoc : (m+1)*p.Assoc]
 	}
 	c.activeLines = numSets * p.Assoc
+	if p.TrackWear {
+		c.wear = make([]uint64, numSets*p.Assoc)
+		if p.WearLevelPeriod > 0 {
+			c.setWrites = make([]uint64, numSets)
+		}
+	}
 	return c, nil
 }
 
@@ -372,6 +409,13 @@ func (c *Cache) AccessInto(addr Addr, write bool, res *AccessResult) {
 		if c.observer != nil {
 			c.observer.OnTouch(setIdx, w)
 		}
+		if write {
+			c.total.WriteHits++
+			c.interval.WriteHits++
+			if c.wear != nil {
+				c.recordWrite(setIdx, w)
+			}
+		}
 		return
 	}
 
@@ -406,6 +450,13 @@ func (c *Cache) AccessInto(addr Addr, write bool, res *AccessResult) {
 		}
 		if c.observer != nil {
 			c.observer.OnTouch(setIdx, w)
+		}
+		if write {
+			c.total.WriteHits++
+			c.interval.WriteHits++
+			if c.wear != nil {
+				c.recordWrite(setIdx, w)
+			}
 		}
 		return
 	}
@@ -472,6 +523,75 @@ func (c *Cache) AccessInto(addr Addr, write bool, res *AccessResult) {
 	promote(order, victimPos)
 	if c.observer != nil {
 		c.observer.OnTouch(setIdx, w)
+	}
+	if c.wear != nil {
+		// A fill writes the frame regardless of the access direction.
+		c.recordWrite(setIdx, w)
+	}
+}
+
+// recordWrite charges one write to the physical frame (setIdx, way)
+// and fires the intra-set wear-levelling remap when the set's write
+// count reaches a multiple of WearLevelPeriod. Called after all
+// replacement-state updates for the access, so the remap operates on
+// the post-access recency stack.
+func (c *Cache) recordWrite(setIdx, way int) {
+	c.wear[setIdx*c.assoc+way]++
+	if c.setWrites == nil {
+		return
+	}
+	c.setWrites[setIdx]++
+	if c.setWrites[setIdx]%uint64(c.p.WearLevelPeriod) == 0 {
+		c.wearLevelSet(setIdx)
+	}
+}
+
+// wearLevelSet swaps the logical contents of the set's most- and
+// least-worn active frames (ties resolve to the lowest way index; a
+// fully even set is a no-op). Only active ways participate so the
+// valid ⟹ active invariant is preserved in shrunk follower sets.
+func (c *Cache) wearLevelSet(setIdx int) {
+	n := c.waysFor(setIdx)
+	base := setIdx * c.assoc
+	maxW, minW := 0, 0
+	for w := 1; w < n; w++ {
+		wr := c.wear[base+w]
+		if wr > c.wear[base+maxW] {
+			maxW = w
+		}
+		if wr < c.wear[base+minW] {
+			minW = w
+		}
+	}
+	if maxW == minW {
+		return
+	}
+	c.swapFrames(setIdx, maxW, minW)
+	c.wearSwaps++
+}
+
+// swapFrames exchanges the logical contents of two frames in a set:
+// tags, valid/dirty bits and recency-stack entries move; wear counters
+// stay with the physical frames. Bank occupancy, active-line counts
+// and all externally visible cache behaviour are unchanged.
+func (c *Cache) swapFrames(setIdx, a, b int) {
+	base := setIdx * c.assoc
+	c.tags[base+a], c.tags[base+b] = c.tags[base+b], c.tags[base+a]
+	abit, bbit := uint64(1)<<uint(a), uint64(1)<<uint(b)
+	for i := 2 * setIdx; i <= 2*setIdx+1; i++ {
+		word := c.vd[i]
+		if (word&abit != 0) != (word&bbit != 0) {
+			c.vd[i] = word ^ (abit | bbit)
+		}
+	}
+	order := c.order[base : base+c.assoc]
+	for i, w := range order {
+		switch int(w) {
+		case a:
+			order[i] = uint8(b)
+		case b:
+			order[i] = uint8(a)
+		}
 	}
 }
 
@@ -599,6 +719,15 @@ func (c *Cache) LineState(setIdx, way int) (valid, dirty bool) {
 func (c *Cache) SetBits(setIdx int) (valid, dirty uint64) {
 	return c.vd[2*setIdx], c.vd[2*setIdx+1]
 }
+
+// WearCounters returns the per-frame write-wear counters, indexed
+// set*Assoc+way; nil unless Params.TrackWear. The slice aliases
+// internal state; callers must not modify it.
+func (c *Cache) WearCounters() []uint64 { return c.wear }
+
+// WearLevelSwaps returns the number of wear-levelling remaps
+// performed since construction.
+func (c *Cache) WearLevelSwaps() uint64 { return c.wearSwaps }
 
 // HitPositions returns the leader-set hit histogram for module m at
 // the current interval: element i counts hits at LRU position i since

@@ -22,13 +22,25 @@ func (c *Cache) AppendState(w *ckpt.Writer) {
 	w.IntSlice(c.validByBank)
 	w.U64Slice(c.hitBacking)
 	w.U64(c.total.Hits)
+	w.U64(c.total.WriteHits)
 	w.U64(c.total.Misses)
 	w.U64(c.total.Writebacks)
 	w.U64(c.total.Fills)
 	w.U64(c.interval.Hits)
+	w.U64(c.interval.WriteHits)
 	w.U64(c.interval.Misses)
 	w.U64(c.interval.Writebacks)
 	w.U64(c.interval.Fills)
+	// Wear state is present iff the Params enable it, and a
+	// checkpoint is only restored into a cache with identical Params,
+	// so the layout stays deterministic.
+	if c.wear != nil {
+		w.U64Slice(c.wear)
+		w.U64(c.wearSwaps)
+	}
+	if c.setWrites != nil {
+		w.U64Slice(c.setWrites)
+	}
 }
 
 // RestoreState loads state written by AppendState into a freshly
@@ -47,13 +59,22 @@ func (c *Cache) RestoreState(r *ckpt.Reader) error {
 	r.IntSliceInto(c.validByBank)
 	r.U64SliceInto(c.hitBacking)
 	c.total.Hits = r.U64()
+	c.total.WriteHits = r.U64()
 	c.total.Misses = r.U64()
 	c.total.Writebacks = r.U64()
 	c.total.Fills = r.U64()
 	c.interval.Hits = r.U64()
+	c.interval.WriteHits = r.U64()
 	c.interval.Misses = r.U64()
 	c.interval.Writebacks = r.U64()
 	c.interval.Fills = r.U64()
+	if c.wear != nil {
+		r.U64SliceInto(c.wear)
+		c.wearSwaps = r.U64()
+	}
+	if c.setWrites != nil {
+		r.U64SliceInto(c.setWrites)
+	}
 	if r.Err() != nil {
 		return r.Err()
 	}
@@ -103,6 +124,28 @@ func (c *Cache) revalidate(r *ckpt.Reader) error {
 		if c.validByBank[b] != n {
 			r.Failf("cache %s: restored bank %d count %d, recount %d", c.p.Name, b, c.validByBank[b], n)
 			return r.Err()
+		}
+	}
+	// Wear conservation: every write hit and every fill charged
+	// exactly one frame, and remaps never move wear between frames.
+	if c.wear != nil {
+		var sum uint64
+		for _, w := range c.wear {
+			sum += w
+		}
+		if want := c.total.Fills + c.total.WriteHits; sum != want {
+			r.Failf("cache %s: restored wear sum %d, counters imply %d", c.p.Name, sum, want)
+			return r.Err()
+		}
+		if c.setWrites != nil {
+			sum = 0
+			for _, w := range c.setWrites {
+				sum += w
+			}
+			if want := c.total.Fills + c.total.WriteHits; sum != want {
+				r.Failf("cache %s: restored set-write sum %d, counters imply %d", c.p.Name, sum, want)
+				return r.Err()
+			}
 		}
 	}
 	return nil

@@ -37,7 +37,9 @@ import (
 // CheckpointSchemaVersion is folded into every checkpoint base key and
 // index artifact; bumping it orphans old checkpoints instead of
 // feeding an incompatible layout to the restore path.
-const CheckpointSchemaVersion = 1
+// Version 2 tracks the sim checkpoint layout gaining the technology
+// name and write-hit/wear state.
+const CheckpointSchemaVersion = 2
 
 // ckptKeyMaterial is the canonical description of a checkpoint
 // lineage. It deliberately mirrors keyMaterial but zeroes the

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/sim"
+	"repro/internal/tech"
 )
 
 // techniqueByName maps CLI names to techniques. One registry for
@@ -52,6 +53,21 @@ func TechniqueNames() string {
 	sort.Strings(names)
 	return strings.Join(names, "|")
 }
+
+// ParseTechnology resolves a CLI technology name against the
+// internal/tech registry (the empty string means eDRAM). The error
+// lists every accepted name.
+func ParseTechnology(name string) (string, error) {
+	t, err := tech.New(name)
+	if err != nil {
+		return "", err
+	}
+	return t.Name(), nil
+}
+
+// TechnologyNames returns the accepted technology names joined with
+// "|" in sorted order, for flag help text and error messages.
+func TechnologyNames() string { return tech.Names() }
 
 // Budget groups the instruction-budget flags every simulation
 // frontend exposes: interval length, measured and warmup instruction
@@ -92,6 +108,7 @@ type Shape struct {
 	Retention *float64
 	TempC     *float64
 	Sigma     *float64
+	Tech      *string
 }
 
 // RegisterShape registers the shape flag group on fs and returns the
@@ -104,6 +121,7 @@ func RegisterShape(fs *flag.FlagSet) *Shape {
 		Retention: fs.Float64("retention", 50, "eDRAM retention period in microseconds"),
 		TempC:     fs.Float64("temp", 0, "operating temperature C (overrides -retention via the paper's model)"),
 		Sigma:     fs.Float64("sigma", 0, "log-normal retention process-variation sigma (derates the period)"),
+		Tech:      fs.String("tech", "edram", "LLC storage technology ("+tech.Names()+")"),
 	}
 }
 
@@ -119,6 +137,7 @@ func (s *Shape) Config(tech sim.Technique) sim.Config {
 	cfg.RetentionMicros = *s.Retention
 	cfg.TemperatureC = *s.TempC
 	cfg.RetentionSigma = *s.Sigma
+	cfg.Technology = *s.Tech
 	return cfg
 }
 

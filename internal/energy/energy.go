@@ -90,6 +90,35 @@ type Model struct {
 	TransJ float64
 	// FreqHz converts cycles to seconds.
 	FreqHz float64
+
+	// L2ReadJ and L2WriteJ split the per-access dynamic energy by
+	// direction for technologies with read/write asymmetry (STT-RAM,
+	// ReRAM). When they are equal — including the zero value, the
+	// symmetric eDRAM default — Eval uses the paper's combined
+	// Equation (5) with L2DynJ exactly as before, so the eDRAM path
+	// is bit-identical to the pre-interface model.
+	L2ReadJ, L2WriteJ float64
+	// L2RefreshJ is the energy per line refresh/scrub; 0 means
+	// L2DynJ (the paper's assumption that a refresh costs one
+	// access).
+	L2RefreshJ float64
+}
+
+// WithTechnology returns a copy of m with technology scaling factors
+// applied over the Table-2 eDRAM constants: per-read and per-write
+// dynamic energy, per-refresh (scrub) energy and leakage power. A
+// zero refresh factor leaves L2RefreshJ at 0 (no refresh clock). The
+// all-ones eDRAM factors reproduce the unscaled model bit for bit
+// (x*1 == x in IEEE 754, and equal read/write energies take Eval's
+// symmetric Equation (5) path).
+func (m Model) WithTechnology(read, write, refresh, leak float64) Model {
+	m.L2ReadJ = m.L2DynJ * read
+	m.L2WriteJ = m.L2DynJ * write
+	if refresh > 0 {
+		m.L2RefreshJ = m.L2DynJ * refresh
+	}
+	m.L2LeakW *= leak
+	return m
 }
 
 // NewModel builds a Model for an L2 of the given size and a core
@@ -120,6 +149,11 @@ type Activity struct {
 	Cycles uint64
 	// L2Hits is H_L2 and L2Misses is M_L2.
 	L2Hits, L2Misses uint64
+	// L2WriteHits counts the subset of L2Hits that were writes. Only
+	// read/write-asymmetric models consume it: every miss fills (a
+	// write), so writes = L2WriteHits + L2Misses and reads =
+	// (L2Hits - L2WriteHits) + L2Misses (the probe on a miss).
+	L2WriteHits uint64
 	// Refreshes is N_R: line refreshes performed.
 	Refreshes uint64
 	// ActiveFraction is F_A (1.0 for baseline and RPV).
@@ -142,6 +176,7 @@ func (a *Activity) Add(b Activity) {
 	}
 	a.Cycles = totalCycles
 	a.L2Hits += b.L2Hits
+	a.L2WriteHits += b.L2WriteHits
 	a.L2Misses += b.L2Misses
 	a.Refreshes += b.Refreshes
 	a.MMAccesses += b.MMAccesses
@@ -167,13 +202,29 @@ func (b Breakdown) MM() float64 { return b.MMLeak + b.MMDyn }
 // Total returns E (Equation 2).
 func (b Breakdown) Total() float64 { return b.L2() + b.MM() + b.Algo }
 
-// Eval applies Equations (2)–(8) to the measured activity.
+// Eval applies Equations (2)–(8) to the measured activity. Symmetric
+// models (eDRAM, and any zero-value Model) use Equation (5) as
+// printed; asymmetric models split DE_L2 into read energy (every hit
+// probe plus the probe half of each miss) and write energy (write
+// hits plus the fill half of each miss) — the same access counts,
+// priced per direction.
 func (m Model) Eval(a Activity) Breakdown {
 	t := float64(a.Cycles) / m.FreqHz
+	var l2Dyn float64
+	if m.L2ReadJ == m.L2WriteJ {
+		l2Dyn = m.L2DynJ * float64(2*a.L2Misses+a.L2Hits)
+	} else {
+		l2Dyn = m.L2ReadJ*float64(a.L2Hits-a.L2WriteHits+a.L2Misses) +
+			m.L2WriteJ*float64(a.L2WriteHits+a.L2Misses)
+	}
+	refreshJ := m.L2RefreshJ
+	if refreshJ == 0 {
+		refreshJ = m.L2DynJ
+	}
 	return Breakdown{
 		L2Leak:    m.L2LeakW * a.ActiveFraction * t,
-		L2Dyn:     m.L2DynJ * float64(2*a.L2Misses+a.L2Hits),
-		L2Refresh: float64(a.Refreshes) * m.L2DynJ,
+		L2Dyn:     l2Dyn,
+		L2Refresh: float64(a.Refreshes) * refreshJ,
 		MMLeak:    m.MMLeakWatt * t,
 		MMDyn:     m.MMDynJPerAccess * float64(a.MMAccesses),
 		Algo:      m.TransJ * float64(a.LinesTransitioned),

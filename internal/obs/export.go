@@ -88,7 +88,7 @@ func WriteIntervalsJSON(w io.Writer, ivs []Interval) error {
 // intervalCSVHeader lists the CSV columns, in emission order.
 var intervalCSVHeader = []string{
 	"index", "measuring", "end_cycle", "cycles", "active_ratio",
-	"l2_hits", "l2_misses", "l2_writebacks", "l2_fills",
+	"l2_hits", "l2_write_hits", "l2_misses", "l2_writebacks", "l2_fills",
 	"refreshes", "bank_busy_cycles", "skipped_refreshes", "invalidations",
 	"mm_reads", "mm_writebacks", "mm_queue_stall_cycles",
 	"mm_writebuf_stall_cycles", "mm_writebuf_peak", "mm_channel_busy_cycles",
@@ -110,7 +110,7 @@ func WriteIntervalsCSV(w io.Writer, ivs []Interval) error {
 			strconv.FormatBool(iv.Measuring),
 			u(iv.EndCycle), u(iv.Cycles),
 			strconv.FormatFloat(iv.ActiveRatio, 'g', canonicalDigits, 64),
-			u(iv.L2Hits), u(iv.L2Misses), u(iv.L2Writebacks), u(iv.L2Fills),
+			u(iv.L2Hits), u(iv.L2WriteHits), u(iv.L2Misses), u(iv.L2Writebacks), u(iv.L2Fills),
 			u(iv.Refreshes), u(iv.BankBusyCycles),
 			u(iv.Policy.SkippedRefreshes), u(iv.Policy.Invalidations),
 			u(iv.MMReads), u(iv.MMWritebacks), u(iv.MMQueueStallCycles),
@@ -164,15 +164,16 @@ func ParseIntervalsCSV(r io.Reader) ([]Interval, error) {
 		iv.Measuring = rec[1] == "true"
 		iv.EndCycle, iv.Cycles = pu(rec[2]), pu(rec[3])
 		iv.ActiveRatio = pf(rec[4])
-		iv.L2Hits, iv.L2Misses, iv.L2Writebacks, iv.L2Fills = pu(rec[5]), pu(rec[6]), pu(rec[7]), pu(rec[8])
-		iv.Refreshes, iv.BankBusyCycles = pu(rec[9]), pu(rec[10])
-		iv.Policy.SkippedRefreshes, iv.Policy.Invalidations = pu(rec[11]), pu(rec[12])
-		iv.MMReads, iv.MMWritebacks = pu(rec[13]), pu(rec[14])
-		iv.MMQueueStallCycles, iv.MMWriteBufStallCycles = pu(rec[15]), pu(rec[16])
-		iv.MMWriteBufPeak = int(pu(rec[17]))
-		iv.MMChannelBusyCycles = pf(rec[18])
-		iv.LinesTransitioned, iv.ReconfigWritebacks = pu(rec[19]), pu(rec[20])
-		iv.Energy.TotalJ = pf(rec[21])
+		iv.L2Hits, iv.L2WriteHits = pu(rec[5]), pu(rec[6])
+		iv.L2Misses, iv.L2Writebacks, iv.L2Fills = pu(rec[7]), pu(rec[8]), pu(rec[9])
+		iv.Refreshes, iv.BankBusyCycles = pu(rec[10]), pu(rec[11])
+		iv.Policy.SkippedRefreshes, iv.Policy.Invalidations = pu(rec[12]), pu(rec[13])
+		iv.MMReads, iv.MMWritebacks = pu(rec[14]), pu(rec[15])
+		iv.MMQueueStallCycles, iv.MMWriteBufStallCycles = pu(rec[16]), pu(rec[17])
+		iv.MMWriteBufPeak = int(pu(rec[18]))
+		iv.MMChannelBusyCycles = pf(rec[19])
+		iv.LinesTransitioned, iv.ReconfigWritebacks = pu(rec[20]), pu(rec[21])
+		iv.Energy.TotalJ = pf(rec[22])
 		if err != nil {
 			return nil, fmt.Errorf("obs: parsing CSV row %d: %w", iv.Index, err)
 		}

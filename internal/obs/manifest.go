@@ -15,11 +15,12 @@ type Manifest struct {
 	// Label is the run's display name (technique/workload/cores for
 	// simulation jobs, the command name for sweeps).
 	Label string `json:"label"`
-	// Technique and Workload describe a simulation run; empty for
-	// sweep-level manifests.
-	Technique string   `json:"technique,omitempty"`
-	Workload  []string `json:"workload,omitempty"`
-	Cores     int      `json:"cores,omitempty"`
+	// Technique, Technology and Workload describe a simulation run;
+	// empty for sweep-level manifests.
+	Technique  string   `json:"technique,omitempty"`
+	Technology string   `json:"technology,omitempty"`
+	Workload   []string `json:"workload,omitempty"`
+	Cores      int      `json:"cores,omitempty"`
 	// Seed is the effective (derived) seed of the run.
 	Seed uint64 `json:"seed"`
 	// ConfigHash fingerprints the full configuration; two runs with

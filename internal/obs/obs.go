@@ -57,8 +57,10 @@ type Interval struct {
 	ActiveRatio float64 `json:"active_ratio"`
 	ActiveWays  []int   `json:"active_ways,omitempty"`
 
-	// L2 traffic.
+	// L2 traffic. L2WriteHits is the write-direction share of L2Hits
+	// (asymmetric technologies price it separately).
 	L2Hits       uint64 `json:"l2_hits"`
+	L2WriteHits  uint64 `json:"l2_write_hits"`
 	L2Misses     uint64 `json:"l2_misses"`
 	L2Writebacks uint64 `json:"l2_writebacks"`
 	L2Fills      uint64 `json:"l2_fills"`

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -72,7 +73,7 @@ func TestParseRunRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
 		"malformed":     `{"schema_version": `,
 		"empty":         ``,
-		"wrong schema":  strings.Replace(good, `"schema_version": 1`, `"schema_version": 99`, 1),
+		"wrong schema":  strings.Replace(good, fmt.Sprintf(`"schema_version": %d`, SchemaVersion), `"schema_version": 99`, 1),
 		"unknown field": strings.Replace(good, `"schema_version"`, `"unknown_field": 1, "schema_version"`, 1),
 		"trailing data": good + `{"another": "doc"}`,
 	}

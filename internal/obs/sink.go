@@ -31,6 +31,7 @@ type RunSummary struct {
 	MPKI               float64       `json:"mpki"`
 	RPKI               float64       `json:"rpki"`
 	L2Hits             uint64        `json:"l2_hits"`
+	L2WriteHits        uint64        `json:"l2_write_hits"`
 	L2Misses           uint64        `json:"l2_misses"`
 	L2Writebacks       uint64        `json:"l2_writebacks"`
 	L2Fills            uint64        `json:"l2_fills"`
@@ -40,6 +41,27 @@ type RunSummary struct {
 	RefreshStallCycles uint64        `json:"refresh_stall_cycles"`
 	ReconfigWritebacks uint64        `json:"reconfig_writebacks"`
 	Cores              []CoreSummary `json:"cores"`
+	// Wear summarises the per-frame write-endurance counters; nil
+	// unless the run's technology tracks wear (ReRAM), so artifacts of
+	// untracked technologies are unchanged by its introduction.
+	Wear *WearSummary `json:"wear,omitempty"`
+}
+
+// WearSummary is the machine-readable form of the simulator's
+// end-of-run wear statistics for endurance-limited technologies.
+type WearSummary struct {
+	MaxWear  uint64  `json:"max_wear"`
+	MinWear  uint64  `json:"min_wear"`
+	MeanWear float64 `json:"mean_wear"`
+	// TotalWrites counts frame writes (fills + write hits); LevelSwaps
+	// counts intra-set wear-levelling remaps.
+	TotalWrites uint64 `json:"total_writes"`
+	LevelSwaps  uint64 `json:"level_swaps"`
+	// Histogram buckets frames by log2(wear): bucket 0 holds
+	// never-written frames, bucket i>0 frames with 2^(i-1) <= wear < 2^i.
+	Histogram []uint64 `json:"histogram,omitempty"`
+	// EnduranceWrites is the per-frame write budget of the technology.
+	EnduranceWrites uint64 `json:"endurance_writes"`
 }
 
 // RunArtifact is the complete machine-readable record of one
@@ -53,8 +75,10 @@ type RunArtifact struct {
 }
 
 // SchemaVersion is bumped whenever RunArtifact's layout changes
-// incompatibly, so downstream tooling can gate on it.
-const SchemaVersion = 1
+// incompatibly, so downstream tooling can gate on it. Version 2 added
+// write-hit counters to the summary and intervals, the wear summary,
+// and the manifest's technology name.
+const SchemaVersion = 2
 
 // Sink persists run artifacts. Implementations must tolerate
 // concurrent WriteRun calls for distinct sequence numbers (the

@@ -46,6 +46,15 @@ type Cache struct {
 	// since the last ResetInterval.
 	hitPos [][]uint64
 
+	// wear[set][way] counts writes charged to the physical frame
+	// (walk-every-line ReRAM reference); nil unless p.TrackWear.
+	wear [][]uint64
+	// setWrites[set] drives the wear-levelling trigger; nil unless
+	// p.WearLevelPeriod > 0.
+	setWrites []uint64
+	// wearSwaps counts wear-levelling remaps performed.
+	wearSwaps uint64
+
 	total    cache.Counters
 	interval cache.Counters
 
@@ -78,6 +87,15 @@ func NewCache(p cache.Params) (*Cache, error) {
 	for m := range c.active {
 		c.active[m] = p.Assoc
 		c.hitPos[m] = make([]uint64, p.Assoc)
+	}
+	if p.TrackWear {
+		c.wear = make([][]uint64, numSets)
+		for s := range c.wear {
+			c.wear[s] = make([]uint64, p.Assoc)
+		}
+		if p.WearLevelPeriod > 0 {
+			c.setWrites = make([]uint64, numSets)
+		}
 	}
 	return c, nil
 }
@@ -177,6 +195,11 @@ func (c *Cache) Access(addr cache.Addr, write bool) cache.AccessResult {
 			if c.observer != nil {
 				c.observer.OnTouch(set, w)
 			}
+			if write {
+				c.total.WriteHits++
+				c.interval.WriteHits++
+				c.recordWrite(set, w)
+			}
 			return res
 		}
 	}
@@ -230,7 +253,52 @@ func (c *Cache) Access(addr cache.Addr, write bool) cache.AccessResult {
 	if c.observer != nil {
 		c.observer.OnTouch(set, w)
 	}
+	// A fill writes the frame regardless of the access direction.
+	c.recordWrite(set, w)
 	return res
+}
+
+// recordWrite charges one write to the frame and, every
+// WearLevelPeriod-th write to the set, performs the naive
+// wear-levelling remap: walk every active way for the most- and
+// least-worn frames (lowest way on ties) and swap their logical
+// contents. Wear stays with the physical frames; only the mapping of
+// lines onto frames changes.
+func (c *Cache) recordWrite(set, way int) {
+	if c.wear == nil {
+		return
+	}
+	c.wear[set][way]++
+	if c.setWrites == nil {
+		return
+	}
+	c.setWrites[set]++
+	if c.setWrites[set]%uint64(c.p.WearLevelPeriod) != 0 {
+		return
+	}
+	nActive := c.waysFor(set)
+	maxW, minW := 0, 0
+	for w := 1; w < nActive; w++ {
+		if c.wear[set][w] > c.wear[set][maxW] {
+			maxW = w
+		}
+		if c.wear[set][w] < c.wear[set][minW] {
+			minW = w
+		}
+	}
+	if maxW == minW {
+		return
+	}
+	c.lines[set][maxW], c.lines[set][minW] = c.lines[set][minW], c.lines[set][maxW]
+	for i, w := range c.order[set] {
+		switch w {
+		case maxW:
+			c.order[set][i] = minW
+		case minW:
+			c.order[set][i] = maxW
+		}
+	}
+	c.wearSwaps++
 }
 
 // promote moves the way at stack position pos to MRU by rebuilding the
@@ -350,6 +418,24 @@ func (c *Cache) Order(set int) []int { return c.order[set] }
 
 // Lines returns the frames of a set. The slice aliases internal state.
 func (c *Cache) Lines(set int) []Line { return c.lines[set] }
+
+// WearCounters flattens the per-frame wear counters into the
+// production cache's set-major layout for direct comparison; nil
+// unless TrackWear.
+func (c *Cache) WearCounters() []uint64 {
+	if c.wear == nil {
+		return nil
+	}
+	out := make([]uint64, 0, c.numSets*c.p.Assoc)
+	for set := range c.wear {
+		out = append(out, c.wear[set]...)
+	}
+	return out
+}
+
+// WearLevelSwaps returns the number of wear-levelling remaps
+// performed since construction.
+func (c *Cache) WearLevelSwaps() uint64 { return c.wearSwaps }
 
 // HitPositions returns the leader-set histogram of module m.
 func (c *Cache) HitPositions(m int) []uint64 { return c.hitPos[m] }

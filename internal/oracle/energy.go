@@ -13,13 +13,29 @@ func EnergyBreakdown(m energy.Model, a energy.Activity) energy.Breakdown {
 	l2Leak := m.L2LeakW * a.ActiveFraction * seconds
 
 	// Equation (5): DE_L2 = E_L2_dyn * (2*M_L2 + H_L2). A miss costs
-	// two accesses (probe + fill), a hit one.
-	accessEquivalents := 2*float64(a.L2Misses) + float64(a.L2Hits)
-	l2Dyn := m.L2DynJ * accessEquivalents
+	// two accesses (probe + fill), a hit one. Read/write-asymmetric
+	// technologies price the same access counts per direction: reads
+	// are the read hits plus each miss's probe, writes are the write
+	// hits plus each miss's fill.
+	var l2Dyn float64
+	if m.L2ReadJ == m.L2WriteJ {
+		accessEquivalents := 2*float64(a.L2Misses) + float64(a.L2Hits)
+		l2Dyn = m.L2DynJ * accessEquivalents
+	} else {
+		reads := float64(a.L2Hits) - float64(a.L2WriteHits) + float64(a.L2Misses)
+		writes := float64(a.L2WriteHits) + float64(a.L2Misses)
+		l2Dyn = reads*m.L2ReadJ + writes*m.L2WriteJ
+	}
 
-	// Equation (6): RE_L2 = N_R * E_L2_dyn (refreshing a line costs one
-	// access).
-	l2Refresh := m.L2DynJ * float64(a.Refreshes)
+	// Equation (6): RE_L2 = N_R * E_refresh; the paper's eDRAM model
+	// charges one access per refreshed line (L2RefreshJ = 0 means
+	// L2DynJ), scrub-based technologies carry their own per-scrub
+	// energy.
+	perRefresh := m.L2RefreshJ
+	if perRefresh == 0 {
+		perRefresh = m.L2DynJ
+	}
+	l2Refresh := perRefresh * float64(a.Refreshes)
 
 	// Equation (7): E_MM = P_MM_leak * T + E_MM_dyn * A_MM.
 	mmLeak := m.MMLeakWatt * seconds
@@ -48,6 +64,7 @@ func AccumulateActivity(ivs []energy.Activity) energy.Activity {
 	for _, iv := range ivs {
 		out.Cycles += iv.Cycles
 		out.L2Hits += iv.L2Hits
+		out.L2WriteHits += iv.L2WriteHits
 		out.L2Misses += iv.L2Misses
 		out.Refreshes += iv.Refreshes
 		out.MMAccesses += iv.MMAccesses

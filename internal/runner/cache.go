@@ -107,6 +107,7 @@ func (s *Sweep) simArtifact(sp *tracez.Span, label string, cfg sim.Config, wl []
 		return nil, obs.RunArtifact{}, err
 	}
 	man.Technique = r.Technique.String()
+	man.Technology = r.Config.Technology
 	man.Cores = cfg.Cores
 	for _, c := range r.Cores {
 		man.Workload = append(man.Workload, c.Benchmark)
@@ -194,8 +195,20 @@ func ResultFromArtifact(cfg sim.Config, a obs.RunArtifact) *sim.Result {
 		RefreshStallCycles: sum.RefreshStallCycles,
 		ReconfigWritebacks: sum.ReconfigWritebacks,
 	}
+	if w := sum.Wear; w != nil {
+		r.Wear = &sim.WearStats{
+			MaxWear:         w.MaxWear,
+			MinWear:         w.MinWear,
+			MeanWear:        w.MeanWear,
+			TotalWrites:     w.TotalWrites,
+			LevelSwaps:      w.LevelSwaps,
+			Histogram:       append([]uint64(nil), w.Histogram...),
+			EnduranceWrites: w.EnduranceWrites,
+		}
+	}
 	r.Activity.Cycles = sum.Cycles
 	r.Activity.L2Hits = sum.L2Hits
+	r.Activity.L2WriteHits = sum.L2WriteHits
 	r.Activity.L2Misses = sum.L2Misses
 	r.Activity.Refreshes = sum.Refreshes
 	r.Activity.ActiveFraction = sum.ActiveRatio
@@ -207,6 +220,7 @@ func ResultFromArtifact(cfg sim.Config, a obs.RunArtifact) *sim.Result {
 	r.Energy.MMDyn = sum.Energy.MMDynJ
 	r.Energy.Algo = sum.Energy.AlgoJ
 	r.L2.Hits = sum.L2Hits
+	r.L2.WriteHits = sum.L2WriteHits
 	r.L2.Misses = sum.L2Misses
 	r.L2.Writebacks = sum.L2Writebacks
 	r.L2.Fills = sum.L2Fills
@@ -237,6 +251,7 @@ func ResultFromArtifact(cfg sim.Config, a obs.RunArtifact) *sim.Result {
 			}
 			rec.Activity.Cycles = iv.Cycles
 			rec.Activity.L2Hits = iv.L2Hits
+			rec.Activity.L2WriteHits = iv.L2WriteHits
 			rec.Activity.L2Misses = iv.L2Misses
 			rec.Activity.Refreshes = iv.Refreshes
 			rec.Activity.ActiveFraction = iv.ActiveRatio

@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/tech"
 	"repro/internal/trace"
 )
 
@@ -193,6 +194,9 @@ func (s *Sweep) Workers() int { return s.pool.Workers() }
 // seed) still replay identical references.
 func deriveCfg(cfg sim.Config, wl []string) sim.Config {
 	cfg.Seed = DeriveSeed(cfg.Seed, wl...)
+	// Canonicalize the technology name so "" and "edram" — the same
+	// simulation — derive the same content address.
+	cfg.Technology = tech.CanonicalName(cfg.Technology)
 	return cfg
 }
 

@@ -116,6 +116,7 @@ func Summarize(r *sim.Result) obs.RunSummary {
 		MPKI:               r.MPKI(),
 		RPKI:               r.RPKI(),
 		L2Hits:             r.L2.Hits,
+		L2WriteHits:        r.L2.WriteHits,
 		L2Misses:           r.L2.Misses,
 		L2Writebacks:       r.L2.Writebacks,
 		L2Fills:            r.L2.Fills,
@@ -124,6 +125,17 @@ func Summarize(r *sim.Result) obs.RunSummary {
 		Refreshes:          r.Refreshes,
 		RefreshStallCycles: r.RefreshStallCycles,
 		ReconfigWritebacks: r.ReconfigWritebacks,
+	}
+	if w := r.Wear; w != nil {
+		sum.Wear = &obs.WearSummary{
+			MaxWear:         w.MaxWear,
+			MinWear:         w.MinWear,
+			MeanWear:        w.MeanWear,
+			TotalWrites:     w.TotalWrites,
+			LevelSwaps:      w.LevelSwaps,
+			Histogram:       append([]uint64(nil), w.Histogram...),
+			EnduranceWrites: w.EnduranceWrites,
+		}
 	}
 	for _, c := range r.Cores {
 		sum.Cores = append(sum.Cores, obs.CoreSummary{

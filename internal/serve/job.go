@@ -35,10 +35,11 @@ func (s State) Terminal() bool {
 // lives under. Keys are computed at submission time — they depend
 // only on the effective configuration, never on execution.
 type Unit struct {
-	Label     string   `json:"label"`
-	Technique string   `json:"technique"`
-	Workload  []string `json:"workload"`
-	Key       string   `json:"key"`
+	Label      string   `json:"label"`
+	Technique  string   `json:"technique"`
+	Technology string   `json:"technology,omitempty"`
+	Workload   []string `json:"workload"`
+	Key        string   `json:"key"`
 
 	cfg sim.Config
 }

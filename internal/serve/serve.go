@@ -378,11 +378,14 @@ func (s *Server) Close() {
 // count (absent fields keep the paper's defaults); Benchmarks lists
 // the workloads (each one benchmark name per core); Techniques names
 // the techniques to run, producing one simulation unit per
-// (workload, technique) pair.
+// (workload, technique) pair; Technology selects the LLC storage
+// backend for every unit (empty = eDRAM; it overrides any Technology
+// inside Config).
 type JobSpec struct {
 	Config     json.RawMessage `json:"config,omitempty"`
 	Benchmarks [][]string      `json:"benchmarks"`
 	Techniques []string        `json:"techniques"`
+	Technology string          `json:"technology,omitempty"`
 }
 
 // buildUnits validates a spec and expands it into simulation units.
@@ -412,6 +415,14 @@ func buildUnits(spec JobSpec) ([]Unit, error) {
 			return nil, fmt.Errorf("config: %v", err)
 		}
 	}
+	if spec.Technology != "" {
+		base.Technology = spec.Technology
+	}
+	technology, err := cliflags.ParseTechnology(base.Technology)
+	if err != nil {
+		return nil, fmt.Errorf("technology: %v", err)
+	}
+	base.Technology = technology
 	for _, wl := range spec.Benchmarks {
 		if len(wl) != base.Cores {
 			return nil, fmt.Errorf("workload %v has %d benchmarks, config has %d cores", wl, len(wl), base.Cores)
@@ -439,11 +450,12 @@ func buildUnits(spec JobSpec) ([]Unit, error) {
 				return nil, fmt.Errorf("keying %s/%v: %v", name, wl, err)
 			}
 			units = append(units, Unit{
-				Label:     unitLabel(tech, wl),
-				Technique: name,
-				Workload:  append([]string(nil), wl...),
-				Key:       key,
-				cfg:       cfg,
+				Label:      unitLabel(tech, wl),
+				Technique:  name,
+				Technology: technology,
+				Workload:   append([]string(nil), wl...),
+				Key:        key,
+				cfg:        cfg,
 			})
 		}
 	}

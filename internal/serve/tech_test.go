@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// techSpec is tinySpec with an explicit LLC technology.
+func techSpec(seed uint64, technology string) string {
+	return fmt.Sprintf(`{
+		"config": {"MeasureInstr": 30000, "WarmupInstr": 5000, "IntervalCycles": 20000, "Seed": %d},
+		"benchmarks": [["gcc"]],
+		"techniques": ["esteem"],
+		"technology": %q
+	}`, seed, technology)
+}
+
+// TestSubmitTechnologyKeysAndCaching is the service-level contract of
+// the technology field: the same workload under a different backend is
+// a different simulation (distinct content address, fresh compute),
+// while an explicit "edram" is the same simulation as the default
+// (same key, served from cache).
+func TestSubmitTechnologyKeysAndCaching(t *testing.T) {
+	s := newTestServer(t, nil)
+
+	// Default (no technology field) computes once.
+	def := submit(t, s, tinySpec(1))
+	if got := waitDone(t, s, def.ID); got.State != StateDone {
+		t.Fatalf("default job state %s, error %q", got.State, got.Error)
+	}
+	if st := s.Store().Stats(); st.Computes != 1 {
+		t.Fatalf("default job: stats %+v, want 1 compute", st)
+	}
+	if tech := def.Units[0].Technology; tech != "edram" {
+		t.Fatalf("default unit technology %q, want edram", tech)
+	}
+
+	// Explicit edram spells the same key and is a cache hit.
+	edram := submit(t, s, techSpec(1, "edram"))
+	if edram.Units[0].Key != def.Units[0].Key {
+		t.Fatalf("explicit edram key %s != default key %s", edram.Units[0].Key, def.Units[0].Key)
+	}
+	if got := waitDone(t, s, edram.ID); got.State != StateDone {
+		t.Fatalf("edram job state %s, error %q", got.State, got.Error)
+	}
+	st := s.Store().Stats()
+	if st.Computes != 1 {
+		t.Fatalf("explicit edram recomputed: stats %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("explicit edram did not hit the cache: stats %+v", st)
+	}
+
+	// STT-RAM is a different simulation: new key, one more compute.
+	sttram := submit(t, s, techSpec(1, "sttram"))
+	if sttram.Units[0].Key == def.Units[0].Key {
+		t.Fatalf("sttram key equals edram key %s", def.Units[0].Key)
+	}
+	if tech := sttram.Units[0].Technology; tech != "sttram" {
+		t.Fatalf("sttram unit technology %q", tech)
+	}
+	if got := waitDone(t, s, sttram.ID); got.State != StateDone {
+		t.Fatalf("sttram job state %s, error %q", got.State, got.Error)
+	}
+	if st := s.Store().Stats(); st.Computes != 2 {
+		t.Fatalf("sttram job: stats %+v, want 2 computes", st)
+	}
+
+	// Resubmitting the STT-RAM job is a cache hit.
+	again := submit(t, s, techSpec(1, "sttram"))
+	if again.Units[0].Key != sttram.Units[0].Key {
+		t.Fatalf("sttram resubmit key changed: %s vs %s", again.Units[0].Key, sttram.Units[0].Key)
+	}
+	if got := waitDone(t, s, again.ID); got.State != StateDone {
+		t.Fatalf("sttram resubmit state %s, error %q", got.State, got.Error)
+	}
+	if st := s.Store().Stats(); st.Computes != 2 {
+		t.Fatalf("sttram resubmit recomputed: stats %+v", st)
+	}
+
+	// ReRAM differs from both, and its result artifact carries wear.
+	reram := submit(t, s, techSpec(1, "reram"))
+	if k := reram.Units[0].Key; k == def.Units[0].Key || k == sttram.Units[0].Key {
+		t.Fatalf("reram key %s collides", k)
+	}
+	if got := waitDone(t, s, reram.ID); got.State != StateDone {
+		t.Fatalf("reram job state %s, error %q", got.State, got.Error)
+	}
+	res := do(t, s, "GET", "/v1/jobs/"+reram.ID+"/result", "")
+	if res.Code != http.StatusOK {
+		t.Fatalf("reram result: %d %s", res.Code, res.Body)
+	}
+	if !strings.Contains(res.Body.String(), `"wear"`) {
+		t.Fatalf("reram result artifact carries no wear summary:\n%.600s", res.Body.String())
+	}
+}
+
+// TestSubmitTechnologyRejected covers the validation surface: unknown
+// backends and refresh techniques on refresh-free technologies are
+// both 4xx at submission time, not runtime failures.
+func TestSubmitTechnologyRejected(t *testing.T) {
+	s := newTestServer(t, nil)
+	w := do(t, s, "POST", "/v1/jobs", techSpec(1, "mram"))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown technology: %d %s", w.Code, w.Body)
+	}
+	spec := strings.Replace(techSpec(1, "sttram"), `"techniques": ["esteem"]`, `"techniques": ["rpv"]`, 1)
+	w = do(t, s, "POST", "/v1/jobs", spec)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("refresh technique on non-refresh technology: %d %s", w.Code, w.Body)
+	}
+}

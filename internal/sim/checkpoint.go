@@ -17,12 +17,15 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/energy"
+	"repro/internal/tech"
 	"repro/internal/trace"
 )
 
 // checkpointVersion is bumped whenever the serialised layout changes;
-// restore rejects other versions.
-const checkpointVersion = 1
+// restore rejects other versions. Version 2 added the technology name
+// to the header, write-hit counters to every activity record and the
+// cache section, and wear state for endurance-tracked technologies.
+const checkpointVersion = 2
 
 // statefulComponent is the serialisation contract shared by every
 // checkpointable part of the system (workload generators, refresh
@@ -92,6 +95,7 @@ func (s *Simulator) Checkpoint() ([]byte, error) {
 	w.U32(checkpointVersion)
 	w.Int(len(s.cores))
 	w.Int(int(s.cfg.Technique))
+	w.String(tech.CanonicalName(s.cfg.Technology))
 	w.U64(s.cfg.Seed)
 	w.Int(s.l2.NumSets())
 	w.Int(s.l2.Params().Assoc)
@@ -130,17 +134,19 @@ func (s *Simulator) RestoreCheckpoint(data []byte) error {
 		return fmt.Errorf("sim: checkpoint version %d, want %d", v, checkpointVersion)
 	}
 	cores := r.Int()
-	tech := r.Int()
+	technique := r.Int()
+	technology := r.String()
 	seed := r.U64()
 	sets := r.Int()
 	assoc := r.Int()
 	if r.Err() != nil {
 		return r.Err()
 	}
-	if cores != len(s.cores) || tech != int(s.cfg.Technique) || seed != s.cfg.Seed ||
+	if cores != len(s.cores) || technique != int(s.cfg.Technique) ||
+		technology != tech.CanonicalName(s.cfg.Technology) || seed != s.cfg.Seed ||
 		sets != s.l2.NumSets() || assoc != s.l2.Params().Assoc {
-		return fmt.Errorf("sim: checkpoint header (cores=%d tech=%d seed=%d sets=%d assoc=%d) does not match this configuration",
-			cores, tech, seed, sets, assoc)
+		return fmt.Errorf("sim: checkpoint header (cores=%d technique=%d technology=%s seed=%d sets=%d assoc=%d) does not match this configuration",
+			cores, technique, technology, seed, sets, assoc)
 	}
 	for i, c := range s.cores {
 		if err := c.RestoreState(r); err != nil {
@@ -213,6 +219,7 @@ func (s *Simulator) appendSimState(w *ckpt.Writer) {
 	w.U64(s.reconfigWB)
 	appendActivity(w, s.totalActivity)
 	w.U64(s.l2Measured.Hits)
+	w.U64(s.l2Measured.WriteHits)
 	w.U64(s.l2Measured.Misses)
 	w.U64(s.l2Measured.Writebacks)
 	w.U64(s.l2Measured.Fills)
@@ -241,6 +248,7 @@ func (s *Simulator) restoreSimState(r *ckpt.Reader) error {
 	s.reconfigWB = r.U64()
 	s.totalActivity = readActivity(r)
 	s.l2Measured.Hits = r.U64()
+	s.l2Measured.WriteHits = r.U64()
 	s.l2Measured.Misses = r.U64()
 	s.l2Measured.Writebacks = r.U64()
 	s.l2Measured.Fills = r.U64()
@@ -290,6 +298,7 @@ func (s *Simulator) restoreSimState(r *ckpt.Reader) error {
 func appendActivity(w *ckpt.Writer, a energy.Activity) {
 	w.U64(a.Cycles)
 	w.U64(a.L2Hits)
+	w.U64(a.L2WriteHits)
 	w.U64(a.L2Misses)
 	w.U64(a.Refreshes)
 	w.F64(a.ActiveFraction)
@@ -302,6 +311,7 @@ func readActivity(r *ckpt.Reader) energy.Activity {
 	return energy.Activity{
 		Cycles:            r.U64(),
 		L2Hits:            r.U64(),
+		L2WriteHits:       r.U64(),
 		L2Misses:          r.U64(),
 		Refreshes:         r.U64(),
 		ActiveFraction:    r.F64(),

@@ -19,6 +19,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/refrint"
 	"repro/internal/retention"
 	"repro/internal/smartref"
+	"repro/internal/tech"
 	"repro/internal/trace"
 	"repro/internal/tracez"
 )
@@ -101,6 +103,11 @@ func (t Technique) String() string {
 type Config struct {
 	Cores     int
 	Technique Technique
+
+	// Technology selects the LLC storage technology backend from the
+	// internal/tech registry ("edram", "sttram", "sttram-relaxed",
+	// "reram"); empty means eDRAM, the pre-interface default.
+	Technology string
 
 	// L1 (private, per core).
 	L1SizeBytes int
@@ -232,7 +239,30 @@ func (c Config) Validate() error {
 	if c.ECCRetentionFactor < 0 || c.ECCDynOverheadFrac < 0 {
 		return fmt.Errorf("sim: negative ECC parameters")
 	}
+	tec, err := tech.New(c.Technology)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if !tec.Props().HasRefresh && !techniqueAllowedWithoutRefresh(c.Technique) {
+		return fmt.Errorf("sim: technique %v needs a refresh clock, which technology %s does not have", c.Technique, tec.Name())
+	}
 	return nil
+}
+
+// techniqueAllowedWithoutRefresh reports whether a technique is
+// meaningful on a non-volatile technology: refresh-scheduling
+// techniques (Refrint, Smart-Refresh, periodic/valid-only ablations,
+// ECC retention extension) manage a clock that does not exist there,
+// so only the refresh-free techniques remain. ESTEEM itself stays
+// available: its selective-way reconfiguration attacks leakage, which
+// every technology has.
+func techniqueAllowedWithoutRefresh(t Technique) bool {
+	switch t {
+	case Baseline, NoRefresh, Esteem, EsteemAllLineRefresh:
+		return true
+	default:
+		return false
+	}
 }
 
 // CoreResult reports one core's measured execution.
@@ -288,6 +318,59 @@ type Result struct {
 	// ReconfigWritebacks counts dirty lines flushed by ESTEEM
 	// reconfigurations.
 	ReconfigWritebacks uint64
+	// Wear summarises per-line write endurance; nil unless the
+	// technology tracks wear (ReRAM).
+	Wear *WearStats
+}
+
+// WearStats summarises the per-frame write-wear counters of an
+// endurance-tracked LLC at the end of a run.
+type WearStats struct {
+	// MaxWear/MinWear/MeanWear describe the per-frame write
+	// distribution over every frame of the L2.
+	MaxWear  uint64
+	MinWear  uint64
+	MeanWear float64
+	// TotalWrites is the total writes charged to frames (write hits
+	// plus fills, since construction).
+	TotalWrites uint64
+	// LevelSwaps counts intra-set wear-levelling remaps performed.
+	LevelSwaps uint64
+	// Histogram is a log2 bucketing of frame wear: bucket 0 counts
+	// untouched frames and bucket i counts frames with wear in
+	// [2^(i-1), 2^i).
+	Histogram []uint64
+	// EnduranceWrites is the technology's per-line write budget, for
+	// judging MaxWear.
+	EnduranceWrites uint64
+}
+
+// wearStatsFrom builds the endurance summary from raw frame counters.
+func wearStatsFrom(wear []uint64, swaps, endurance uint64) *WearStats {
+	ws := &WearStats{MinWear: ^uint64(0), LevelSwaps: swaps, EnduranceWrites: endurance}
+	var maxBucket int
+	for _, w := range wear {
+		ws.TotalWrites += w
+		if w > ws.MaxWear {
+			ws.MaxWear = w
+		}
+		if w < ws.MinWear {
+			ws.MinWear = w
+		}
+		if b := bits.Len64(w); b > maxBucket {
+			maxBucket = b
+		}
+	}
+	if len(wear) == 0 {
+		ws.MinWear = 0
+		return ws
+	}
+	ws.MeanWear = float64(ws.TotalWrites) / float64(len(wear))
+	ws.Histogram = make([]uint64, maxBucket+1)
+	for _, w := range wear {
+		ws.Histogram[bits.Len64(w)]++
+	}
+	return ws
 }
 
 // TotalInstructions sums the measured instructions of all cores.
@@ -421,6 +504,15 @@ func NewFromSources(cfg Config, sources []trace.Source) (*Simulator, error) {
 	if len(sources) != cfg.Cores {
 		return nil, fmt.Errorf("sim: %d sources for %d cores", len(sources), cfg.Cores)
 	}
+	// Store the canonical technology name so results, checkpoints and
+	// content-addressed keys derived from the config spell the default
+	// backend one way ("" and "edram" are the same simulation).
+	cfg.Technology = tech.CanonicalName(cfg.Technology)
+	tec, err := tech.New(cfg.Technology)
+	if err != nil {
+		return nil, err
+	}
+	props := tec.Props()
 
 	s := &Simulator{cfg: cfg, clk: &edram.Clock{}, srcs: sources}
 
@@ -471,6 +563,7 @@ func NewFromSources(cfg Config, sources []trace.Source) (*Simulator, error) {
 		Name: "L2", SizeBytes: cfg.L2SizeBytes, Assoc: cfg.L2Assoc,
 		LineBytes: cfg.LineBytes, Latency: int(cfg.L2LatencyCycles),
 		Modules: modules, SamplingRatio: sampling, Banks: cfg.Banks,
+		TrackWear: props.TrackWear, WearLevelPeriod: props.WearLevelPeriod,
 	})
 	if err != nil {
 		return nil, err
@@ -498,33 +591,44 @@ func NewFromSources(cfg Config, sources []trace.Source) (*Simulator, error) {
 		// in effect.
 		retMicros *= d / retention.NominalRetentionMicros
 	}
+	if props.HasRefresh {
+		// The technology's refresh/scrub period scales the eDRAM
+		// retention (×1 for eDRAM itself — exact in floating point).
+		retMicros *= props.RetentionScale
+	}
 	retentionCycles := edram.RetentionCyclesFor(retMicros, cfg.FreqHz/1e9)
 	var policy edram.Policy
-	switch cfg.Technique {
-	case Baseline:
+	switch {
+	case !props.HasRefresh:
+		// Non-volatile technology: no refresh clock exists, so every
+		// allowed technique runs with the no-op policy. The engine
+		// stays assembled (firing zero events) so interval accounting
+		// and checkpoints keep one shape across technologies.
+		policy = edram.None{}
+	case cfg.Technique == Baseline:
 		policy = edram.NewRefreshAll(l2)
-	case RPV:
+	case cfg.Technique == RPV:
 		rpv, err := refrint.NewRPV(l2, s.clk, cfg.RefrintPhases, retentionCycles)
 		if err != nil {
 			return nil, err
 		}
 		policy = rpv
-	case RPD:
+	case cfg.Technique == RPD:
 		rpd, err := refrint.NewRPD(l2, s.clk, cfg.RefrintPhases, retentionCycles)
 		if err != nil {
 			return nil, err
 		}
 		s.rpd = rpd
 		policy = rpd
-	case PeriodicValid:
+	case cfg.Technique == PeriodicValid:
 		policy = refrint.NewPeriodicValid(l2)
-	case Esteem:
+	case cfg.Technique == Esteem:
 		policy = edram.NewValidOnly(l2)
-	case EsteemAllLineRefresh:
+	case cfg.Technique == EsteemAllLineRefresh:
 		policy = edram.NewRefreshAll(l2)
-	case NoRefresh:
+	case cfg.Technique == NoRefresh:
 		policy = edram.None{}
-	case SmartRefresh:
+	case cfg.Technique == SmartRefresh:
 		periods := cfg.SmartRefreshPeriods
 		if periods == 0 {
 			periods = 4
@@ -534,7 +638,7 @@ func NewFromSources(cfg Config, sources []trace.Source) (*Simulator, error) {
 			return nil, err
 		}
 		policy = sr
-	case ECCExtended:
+	case cfg.Technique == ECCExtended:
 		// Wilkerson-style: periodic refresh of every frame, at the
 		// ECC-extended period.
 		policy = edram.NewRefreshAll(l2)
@@ -603,6 +707,12 @@ func buildModel(cfg Config) (energy.Model, error) {
 		}
 		model.L2DynJ *= 1 + frac
 	}
+	tec, err := tech.New(cfg.Technology)
+	if err != nil {
+		return energy.Model{}, err
+	}
+	p := tec.Props()
+	model = model.WithTechnology(p.ReadFactor, p.WriteFactor, p.RefreshFactor, p.LeakFactor)
 	return model, nil
 }
 
@@ -760,6 +870,7 @@ func (s *Simulator) processBoundary(frontier uint64) {
 	act := energy.Activity{
 		Cycles:         frontier - s.lastBoundary,
 		L2Hits:         ic.Hits,
+		L2WriteHits:    ic.WriteHits,
 		L2Misses:       ic.Misses,
 		Refreshes:      s.eng.IntervalRefreshed(),
 		ActiveFraction: s.l2.ActiveFraction(),
@@ -801,6 +912,7 @@ func (s *Simulator) processBoundary(frontier uint64) {
 			ActiveRatio:           act.ActiveFraction,
 			ActiveWays:            waysSnapshot,
 			L2Hits:                ic.Hits,
+			L2WriteHits:           ic.WriteHits,
 			L2Misses:              ic.Misses,
 			L2Writebacks:          ic.Writebacks,
 			L2Fills:               ic.Fills,
@@ -823,6 +935,7 @@ func (s *Simulator) processBoundary(frontier uint64) {
 	if s.measuring {
 		s.totalActivity.Add(act)
 		s.l2Measured.Hits += ic.Hits
+		s.l2Measured.WriteHits += ic.WriteHits
 		s.l2Measured.Misses += ic.Misses
 		s.l2Measured.Writebacks += ic.Writebacks
 		s.l2Measured.Fills += ic.Fills
@@ -1079,6 +1192,13 @@ func (s *Simulator) buildResult() (*Result, error) {
 		ActiveRatio:        s.totalActivity.ActiveFraction,
 		Intervals:          s.intervals,
 		ReconfigWritebacks: s.reconfigWB,
+	}
+	if wear := s.l2.WearCounters(); wear != nil {
+		tec, err := tech.New(s.cfg.Technology)
+		if err != nil {
+			return nil, err
+		}
+		res.Wear = wearStatsFrom(wear, s.l2.WearLevelSwaps(), tec.Props().EnduranceWrites)
 	}
 	res.Energy = model.Eval(s.totalActivity)
 	for i, c := range s.cores {

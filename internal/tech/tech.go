@@ -1,0 +1,284 @@
+// Package tech abstracts the LLC storage technology underneath the
+// cache-energy machinery. The ESTEEM paper evaluates an eDRAM L2, but
+// its reconfiguration and interval-energy model are not eDRAM-specific;
+// the same author line supplies recipes for STT-RAM LLCs (arxiv
+// 1312.2207 — no refresh clock, asymmetric expensive writes, a
+// retention-relaxed variant whose shortened-retention blocks need
+// periodic scrubbing) and write-endurance-limited ReRAM LLCs (arxiv
+// 1311.0041 — per-line wear counters and intra-set wear-levelling).
+//
+// A Technology captures exactly the semantics the simulator consumes:
+//
+//   - refresh/retention: present (eDRAM, retention-relaxed STT-RAM,
+//     where the refresh clock doubles as the scrub clock) or absent
+//     (non-volatile STT-RAM, ReRAM);
+//   - per-access read/write dynamic-energy asymmetry, as scale factors
+//     over the Table-2 eDRAM per-access energy;
+//   - leakage per powered way, as a scale factor over Table-2 leakage;
+//   - optional per-line endurance (wear) counters with an intra-set
+//     wear-levelling period.
+//
+// The eDRAM backend has every factor at 1 and refresh present, so the
+// existing simulator behaviour — and its energy arithmetic, bit for
+// bit — is the edram Technology by construction.
+package tech
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the storage-technology families.
+type Kind int
+
+const (
+	// EDRAM is the paper's baseline technology: volatile, refresh
+	// clock, symmetric access energy.
+	EDRAM Kind = iota
+	// STTRAM is spin-transfer-torque RAM: non-volatile (or
+	// retention-relaxed with scrubbing), writes far more expensive
+	// than reads, low leakage.
+	STTRAM
+	// RERAM is resistive RAM: non-volatile, very expensive writes,
+	// limited write endurance (per-line wear tracking).
+	RERAM
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case EDRAM:
+		return "edram"
+	case STTRAM:
+		return "sttram"
+	case RERAM:
+		return "reram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Props captures the technology semantics the simulator consumes.
+// Energy factors are dimensionless scales over the Table-2 eDRAM
+// constants for the same capacity, so every backend inherits the
+// paper's capacity scaling.
+type Props struct {
+	// HasRefresh reports whether cells lose state and need a periodic
+	// refresh (eDRAM) or scrub (retention-relaxed STT-RAM) clock.
+	HasRefresh bool
+	// RetentionScale multiplies the configured eDRAM retention period
+	// to obtain this technology's refresh/scrub period. Must be
+	// positive when HasRefresh and zero when the technology has no
+	// refresh clock (retention is meaningless without one).
+	RetentionScale float64
+	// ReadFactor and WriteFactor scale the per-access dynamic energy
+	// for reads and writes respectively. Both must be positive.
+	ReadFactor float64
+	// WriteFactor ≫ ReadFactor models STT-RAM/ReRAM write asymmetry.
+	WriteFactor float64
+	// RefreshFactor scales the energy charged per line refresh/scrub.
+	// Must be positive when HasRefresh and zero otherwise.
+	RefreshFactor float64
+	// LeakFactor scales leakage power per powered way. Must be
+	// positive (non-volatile cells still leak through periphery).
+	LeakFactor float64
+	// TrackWear enables per-line write-endurance counters: every
+	// write hit and every fill charges one write to the frame.
+	TrackWear bool
+	// WearLevelPeriod, when positive, remaps the most-worn active
+	// frame of a set onto the least-worn one every WearLevelPeriod-th
+	// write to that set (intra-set wear-levelling). Requires
+	// TrackWear; 0 disables levelling.
+	WearLevelPeriod int
+	// EnduranceWrites is the per-line write budget the telemetry
+	// histograms are judged against. Must be positive iff TrackWear.
+	EnduranceWrites uint64
+}
+
+// Technology is the interface the simulator programs against.
+type Technology interface {
+	// Kind returns the technology family.
+	Kind() Kind
+	// Name returns the canonical registry name (e.g. "sttram-relaxed").
+	Name() string
+	// Props returns the semantic parameters.
+	Props() Props
+	// Validate checks the parameterisation for internal consistency.
+	Validate() error
+}
+
+// Spec is the concrete Technology implementation used by the builtin
+// registry and by tests constructing invalid parameterisations.
+type Spec struct {
+	TechKind Kind
+	TechName string
+	P        Props
+}
+
+// Kind returns the technology family.
+func (s Spec) Kind() Kind { return s.TechKind }
+
+// Name returns the registry name.
+func (s Spec) Name() string { return s.TechName }
+
+// Props returns the semantic parameters.
+func (s Spec) Props() Props { return s.P }
+
+// Validate checks the parameterisation. The rules mirror the
+// cache.Params/sim.Config validate suites: every physically
+// meaningless combination is rejected with a distinct error.
+func (s Spec) Validate() error {
+	if s.TechName == "" {
+		return fmt.Errorf("tech: empty technology name")
+	}
+	p := s.P
+	if p.ReadFactor <= 0 || p.WriteFactor <= 0 {
+		return fmt.Errorf("tech %s: read/write energy factors must be positive", s.TechName)
+	}
+	if p.LeakFactor <= 0 {
+		return fmt.Errorf("tech %s: leakage factor must be positive", s.TechName)
+	}
+	if p.RefreshFactor < 0 {
+		return fmt.Errorf("tech %s: negative refresh energy factor", s.TechName)
+	}
+	if p.RetentionScale < 0 {
+		return fmt.Errorf("tech %s: negative retention scale", s.TechName)
+	}
+	if p.HasRefresh {
+		if p.RetentionScale == 0 {
+			return fmt.Errorf("tech %s: refresh technology needs a positive retention scale", s.TechName)
+		}
+		if p.RefreshFactor == 0 {
+			return fmt.Errorf("tech %s: refresh technology needs a positive refresh energy factor", s.TechName)
+		}
+	} else {
+		if p.RetentionScale != 0 {
+			return fmt.Errorf("tech %s: retention on a non-refresh technology", s.TechName)
+		}
+		if p.RefreshFactor != 0 {
+			return fmt.Errorf("tech %s: refresh energy on a non-refresh technology", s.TechName)
+		}
+	}
+	if p.TrackWear && p.EnduranceWrites == 0 {
+		return fmt.Errorf("tech %s: wear tracking with zero endurance", s.TechName)
+	}
+	if !p.TrackWear && p.EnduranceWrites != 0 {
+		return fmt.Errorf("tech %s: endurance budget without wear tracking", s.TechName)
+	}
+	if p.WearLevelPeriod < 0 {
+		return fmt.Errorf("tech %s: negative wear-level period", s.TechName)
+	}
+	if p.WearLevelPeriod > 0 && !p.TrackWear {
+		return fmt.Errorf("tech %s: wear-levelling without wear tracking", s.TechName)
+	}
+	return nil
+}
+
+// Edram is the paper's eDRAM backend: refresh present, every energy
+// factor exactly 1, so routing eDRAM through the Technology interface
+// reproduces the pre-interface arithmetic bit for bit.
+func Edram() Spec {
+	return Spec{TechKind: EDRAM, TechName: "edram", P: Props{
+		HasRefresh:     true,
+		RetentionScale: 1,
+		ReadFactor:     1,
+		WriteFactor:    1,
+		RefreshFactor:  1,
+		LeakFactor:     1,
+	}}
+}
+
+// Sttram is the non-volatile STT-RAM backend of arxiv 1312.2207: no
+// refresh clock at all, reads slightly cheaper than an eDRAM access,
+// writes several times more expensive, and much lower leakage.
+func Sttram() Spec {
+	return Spec{TechKind: STTRAM, TechName: "sttram", P: Props{
+		HasRefresh:  false,
+		ReadFactor:  0.8,
+		WriteFactor: 6,
+		LeakFactor:  0.25,
+	}}
+}
+
+// SttramRelaxed is the retention-relaxed STT-RAM variant of 1312.2207:
+// lowering the thermal barrier makes writes cheaper but cells volatile
+// over ~ms scales, so blocks need periodic scrubbing — modelled as a
+// refresh clock at RetentionScale times the configured eDRAM period,
+// with each scrub costing a write (RefreshFactor = WriteFactor).
+func SttramRelaxed() Spec {
+	return Spec{TechKind: STTRAM, TechName: "sttram-relaxed", P: Props{
+		HasRefresh:     true,
+		RetentionScale: 20,
+		ReadFactor:     0.8,
+		WriteFactor:    3,
+		RefreshFactor:  3,
+		LeakFactor:     0.25,
+	}}
+}
+
+// Reram is the write-endurance-limited ReRAM backend of arxiv
+// 1311.0041: non-volatile, expensive writes, per-line wear counters
+// and intra-set wear-levelling every 64th write to a set, judged
+// against a 10^6-write endurance budget.
+func Reram() Spec {
+	return Spec{TechKind: RERAM, TechName: "reram", P: Props{
+		HasRefresh:      false,
+		ReadFactor:      1.2,
+		WriteFactor:     10,
+		LeakFactor:      0.2,
+		TrackWear:       true,
+		WearLevelPeriod: 64,
+		EnduranceWrites: 1_000_000,
+	}}
+}
+
+// builtins maps registry names to pre-validated, interface-boxed
+// specs. Boxing once at init keeps New allocation-free on the hot
+// construction path; the values are safe to share because Spec's
+// methods all take value receivers.
+var builtins = func() map[string]Technology {
+	m := make(map[string]Technology)
+	for _, ctor := range []func() Spec{Edram, Sttram, SttramRelaxed, Reram} {
+		s := ctor()
+		if err := s.Validate(); err != nil {
+			panic(err)
+		}
+		m[s.TechName] = s
+	}
+	return m
+}()
+
+// CanonicalName maps a user-supplied technology name to its canonical
+// registry form: the empty string means eDRAM (the pre-interface
+// default), everything else is returned unchanged.
+func CanonicalName(name string) string {
+	if name == "" {
+		return "edram"
+	}
+	return name
+}
+
+// New resolves a technology by registry name. The empty string
+// resolves to eDRAM so zero-value configurations keep their
+// pre-interface meaning.
+func New(name string) (Technology, error) {
+	t, ok := builtins[CanonicalName(name)]
+	if !ok {
+		return nil, fmt.Errorf("tech: unknown technology %q (want %s)", name, Names())
+	}
+	return t, nil
+}
+
+// List returns the registry names in sorted order.
+func List() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Names returns the registry names joined with "|" for flag help text.
+func Names() string { return strings.Join(List(), "|") }

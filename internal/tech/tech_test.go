@@ -1,0 +1,144 @@
+package tech
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuiltinsValid proves every registry entry passes its own
+// validation and resolves by name, and that the empty string is the
+// eDRAM default.
+func TestBuiltinsValid(t *testing.T) {
+	for _, name := range List() {
+		tec, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if tec.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, tec.Name())
+		}
+		if err := tec.Validate(); err != nil {
+			t.Fatalf("builtin %q invalid: %v", name, err)
+		}
+	}
+	def, err := New("")
+	if err != nil {
+		t.Fatalf(`New(""): %v`, err)
+	}
+	if def.Name() != "edram" || def.Kind() != EDRAM {
+		t.Fatalf(`New("") = %s/%v, want edram/EDRAM`, def.Name(), def.Kind())
+	}
+	if !def.Props().HasRefresh {
+		t.Fatal("edram must have a refresh clock")
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("mram"); err == nil {
+		t.Fatal("New(mram) accepted an unknown technology")
+	}
+}
+
+// TestSpecValidate is the table-driven parameter validation suite,
+// mirroring the cache.Params/sim.Config validate tests: each case
+// perturbs a valid Spec into one specific illegal combination.
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr string
+	}{
+		{"valid-edram", func(s *Spec) { *s = Edram() }, ""},
+		{"valid-sttram", func(s *Spec) { *s = Sttram() }, ""},
+		{"valid-sttram-relaxed", func(s *Spec) { *s = SttramRelaxed() }, ""},
+		{"valid-reram", func(s *Spec) { *s = Reram() }, ""},
+		{"empty-name", func(s *Spec) { s.TechName = "" }, "empty technology name"},
+		{"zero-read-energy", func(s *Spec) { s.P.ReadFactor = 0 }, "read/write energy factors"},
+		{"negative-read-energy", func(s *Spec) { s.P.ReadFactor = -1 }, "read/write energy factors"},
+		{"negative-write-energy", func(s *Spec) { s.P.WriteFactor = -0.5 }, "read/write energy factors"},
+		{"zero-leak", func(s *Spec) { s.P.LeakFactor = 0 }, "leakage factor"},
+		{"negative-leak", func(s *Spec) { s.P.LeakFactor = -2 }, "leakage factor"},
+		{"negative-refresh-energy", func(s *Spec) { s.P.RefreshFactor = -1 }, "negative refresh energy factor"},
+		{"negative-retention-scale", func(s *Spec) { s.P.RetentionScale = -1 }, "negative retention scale"},
+		{"refresh-without-retention", func(s *Spec) {
+			*s = Edram()
+			s.P.RetentionScale = 0
+		}, "positive retention scale"},
+		{"refresh-without-refresh-energy", func(s *Spec) {
+			*s = Edram()
+			s.P.RefreshFactor = 0
+		}, "positive refresh energy factor"},
+		{"retention-on-non-refresh", func(s *Spec) {
+			*s = Sttram()
+			s.P.RetentionScale = 2
+		}, "retention on a non-refresh technology"},
+		{"refresh-energy-on-non-refresh", func(s *Spec) {
+			*s = Sttram()
+			s.P.RefreshFactor = 1
+		}, "refresh energy on a non-refresh technology"},
+		{"zero-endurance", func(s *Spec) {
+			*s = Reram()
+			s.P.EnduranceWrites = 0
+		}, "zero endurance"},
+		{"endurance-without-tracking", func(s *Spec) {
+			*s = Sttram()
+			s.P.EnduranceWrites = 100
+		}, "endurance budget without wear tracking"},
+		{"negative-wear-period", func(s *Spec) {
+			*s = Reram()
+			s.P.WearLevelPeriod = -1
+		}, "negative wear-level period"},
+		{"levelling-without-tracking", func(s *Spec) {
+			*s = Sttram()
+			s.P.WearLevelPeriod = 8
+		}, "wear-levelling without wear tracking"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Edram()
+			tc.mutate(&s)
+			err := s.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestBackendSemantics pins the load-bearing semantic differences
+// between the builtin backends.
+func TestBackendSemantics(t *testing.T) {
+	st := Sttram().Props()
+	if st.HasRefresh {
+		t.Fatal("sttram must not have a refresh clock")
+	}
+	if st.WriteFactor <= st.ReadFactor {
+		t.Fatalf("sttram write factor %v must exceed read factor %v", st.WriteFactor, st.ReadFactor)
+	}
+	if st.LeakFactor >= 1 {
+		t.Fatalf("sttram leakage %v must undercut eDRAM", st.LeakFactor)
+	}
+	rel := SttramRelaxed().Props()
+	if !rel.HasRefresh || rel.RetentionScale <= 1 {
+		t.Fatalf("sttram-relaxed needs a scrub clock at a relaxed (>1x) period, got %+v", rel)
+	}
+	if rel.WriteFactor >= st.WriteFactor {
+		t.Fatalf("relaxed retention must cheapen writes: %v vs %v", rel.WriteFactor, st.WriteFactor)
+	}
+	rr := Reram().Props()
+	if rr.HasRefresh || !rr.TrackWear || rr.WearLevelPeriod <= 0 || rr.EnduranceWrites == 0 {
+		t.Fatalf("reram must be non-refresh with wear tracking and levelling, got %+v", rr)
+	}
+	if rr.WriteFactor <= rr.ReadFactor {
+		t.Fatalf("reram write factor %v must exceed read factor %v", rr.WriteFactor, rr.ReadFactor)
+	}
+}

@@ -83,6 +83,37 @@ func FuzzReconfigure(f *testing.F) {
 	})
 }
 
+// FuzzWearLevel replays fuzzer schedules through wear-tracked caches
+// with a fuzzer-chosen intra-set wear-levelling period, differentially
+// against the oracle: CheckState compares every per-frame wear counter
+// and the swap count after every operation, and Replay's state checks
+// verify wear conservation (sum of wear == fills + write hits).
+func FuzzWearLevel(f *testing.F) {
+	f.Add([]byte("3wear-level-seed-corpus-entry!!!"))
+	f.Add([]byte{0, 1, 1, 44, 0, 0, 0, 1, 45, 0, 0, 0, 1, 44, 0, 0, 0})
+	f.Add([]byte{7, 15, 3, 1, 1, 0, 0, 1, 9, 9, 9, 9, 7, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 4096 {
+			return
+		}
+		p := Geometries[fuzzGeometry(data[0])]
+		p.TrackWear = true
+		// Period 1..16 levels densely; 0 (data[1] == 255) covers plain
+		// wear tracking without remapping.
+		if data[1] != 255 {
+			p.WearLevelPeriod = 1 + int(data[1])%16
+		}
+		d, err := NewCacheDiff(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := DecodeOps(data[2:], p, 0)
+		if err := d.Replay(ops); err != nil {
+			t.Fatalf("geometry %s period %d: %v", p.Name, p.WearLevelPeriod, err)
+		}
+	})
+}
+
 // FuzzRefreshWindow replays fuzzer schedules through the full
 // cache+policy+engine stacks for a fuzzer-chosen refresh policy, phase
 // count and retention window.

@@ -1,0 +1,402 @@
+package verify
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/energy"
+	"repro/internal/obs"
+	"repro/internal/oracle"
+	"repro/internal/sim"
+	"repro/internal/tech"
+	"repro/internal/xrand"
+)
+
+// techFilter restricts the Tech* differential tests to one technology
+// backend, so CI can run the lockstep suite as a per-technology matrix:
+//
+//	go test ./internal/verify -run Tech -tech=sttram
+//
+// Empty (the default) runs every registered backend.
+var techFilter = flag.String("tech", "", "restrict Tech* tests to one technology backend (empty = all)")
+
+// techNames returns the registry names selected by -tech.
+func techNames(t *testing.T) []string {
+	if *techFilter == "" {
+		return tech.List()
+	}
+	if _, err := tech.New(*techFilter); err != nil {
+		t.Fatalf("-tech: %v", err)
+	}
+	return []string{*techFilter}
+}
+
+// techSelected reports whether -tech admits the named backend.
+func techSelected(name string) bool {
+	return *techFilter == "" || *techFilter == name
+}
+
+// techCacheParams applies a technology's wear semantics to a cache
+// geometry: the cache layer only sees the endurance knobs, the energy
+// factors live in the model.
+func techCacheParams(p cache.Params, props tech.Props) cache.Params {
+	p.TrackWear = props.TrackWear
+	p.WearLevelPeriod = props.WearLevelPeriod
+	return p
+}
+
+// randomTechActivity extends randomActivity with a write-hit count so
+// the asymmetric-energy comparison exercises the read/write split.
+func randomTechActivity(rng *xrand.RNG) energy.Activity {
+	a := randomActivity(rng)
+	a.L2WriteHits = rng.Uint64n(a.L2Hits + 1)
+	return a
+}
+
+// TestTechCacheLockstep replays the full 9-geometry × 10k-op randomized
+// schedule through the production cache and the oracle once per
+// technology, with each backend's wear semantics applied. For
+// wear-tracked backends CheckState additionally compares every per-frame
+// wear counter and the wear-level swap count after every operation.
+func TestTechCacheLockstep(t *testing.T) {
+	for _, name := range techNames(t) {
+		tec, err := tech.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		props := tec.Props()
+		for gi, g := range Geometries {
+			t.Run(fmt.Sprintf("%s/%s", name, g.Name), func(t *testing.T) {
+				p := techCacheParams(g, props)
+				d, err := NewCacheDiff(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := xrand.New(0x7EC4 + uint64(gi)*251 + uint64(len(name)))
+				ops := RandomOps(rng, p, opsPerConfig, 0)
+				if err := d.Replay(ops); err != nil {
+					t.Fatalf("%s geometry %s diverged: %v", name, p.Name, err)
+				}
+				if props.TrackWear {
+					wear := d.Impl.WearCounters()
+					var sum uint64
+					for _, w := range wear {
+						sum += w
+					}
+					c := d.Impl.TotalCounters()
+					if sum != c.Fills+c.WriteHits {
+						t.Fatalf("%s geometry %s: wear sum %d != fills %d + write hits %d",
+							name, p.Name, sum, c.Fills, c.WriteHits)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTechScrubLockstep runs the full-stack refresh differential for
+// every refresh-bearing technology at its scaled scrub period: eDRAM at
+// the configured retention, retention-relaxed STT-RAM at 20× (the
+// refresh clock doubling as the scrub clock per arxiv 1312.2207).
+func TestTechScrubLockstep(t *testing.T) {
+	const baseRetention = 10_000
+	const phases = 4
+	for _, name := range techNames(t) {
+		tec, err := tech.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		props := tec.Props()
+		if !props.HasRefresh {
+			continue
+		}
+		retention := uint64(baseRetention * props.RetentionScale)
+		for gi, g := range refreshGeometries {
+			t.Run(fmt.Sprintf("%s/%s", name, g.Name), func(t *testing.T) {
+				p := techCacheParams(g, props)
+				d, err := NewRefreshDiff(p, PolicyValidOnly, phases, retention)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := xrand.New(0x5C4B + uint64(gi)*173 + uint64(len(name))*7)
+				ops := RandomOps(rng, p, 4000, retention)
+				if err := d.Replay(ops); err != nil {
+					t.Fatalf("%s/%s retention=%d diverged: %v", name, p.Name, retention, err)
+				}
+			})
+		}
+	}
+}
+
+// TestTechEnergyRecompute compares energy.Model.Eval against the
+// oracle's independent Equations (2)–(8) walk for every technology's
+// scaled model, over randomized activity including write-hit splits.
+func TestTechEnergyRecompute(t *testing.T) {
+	rng := xrand.New(0x7EC4E4)
+	for _, name := range techNames(t) {
+		tec, err := tech.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := tec.Props()
+		for _, size := range []int{2 << 20, 4 << 20, 16 << 20} {
+			base, err := newModel(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := base.WithTechnology(p.ReadFactor, p.WriteFactor, p.RefreshFactor, p.LeakFactor)
+			for i := 0; i < 150; i++ {
+				a := randomTechActivity(rng)
+				got := oracle.EnergyBreakdown(m, a)
+				want := m.Eval(a)
+				if !breakdownClose(got.L2Leak, want.L2Leak) ||
+					!breakdownClose(got.L2Dyn, want.L2Dyn) ||
+					!breakdownClose(got.L2Refresh, want.L2Refresh) ||
+					!breakdownClose(got.MMLeak, want.MMLeak) ||
+					!breakdownClose(got.MMDyn, want.MMDyn) ||
+					!breakdownClose(got.Algo, want.Algo) ||
+					!breakdownClose(got.Total(), want.Total()) {
+					t.Fatalf("%s size %d MB activity %+v: oracle %+v, model %+v",
+						name, size>>20, a, got, want)
+				}
+			}
+		}
+	}
+}
+
+// techTechniques lists the refresh techniques legal for a backend: a
+// technology without a refresh clock cannot run refresh-scheduling
+// techniques.
+func techTechniques(props tech.Props) []sim.Technique {
+	if props.HasRefresh {
+		return []sim.Technique{sim.Baseline, sim.Esteem, sim.RPV, sim.SmartRefresh}
+	}
+	return []sim.Technique{sim.Baseline, sim.Esteem}
+}
+
+// TestTechSimEnergyFromIntervals runs a real simulation per technology
+// and recomputes the reported energy from the raw per-interval activity
+// records through the oracle, independently of the simulator's
+// incremental accumulation — including the write-hit counts that the
+// asymmetric backends price separately.
+func TestTechSimEnergyFromIntervals(t *testing.T) {
+	for _, name := range techNames(t) {
+		tec, err := tech.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		props := tec.Props()
+		for _, tq := range techTechniques(props) {
+			cfg := shortConfig(tq)
+			cfg.Technology = name
+			cfg.LogIntervals = true
+			res, err := sim.Run(cfg, []string{"gcc"})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, tq, err)
+			}
+			if len(res.Intervals) == 0 {
+				t.Fatalf("%s/%v: no intervals logged", name, tq)
+			}
+			acts := make([]energy.Activity, 0, len(res.Intervals))
+			for _, iv := range res.Intervals {
+				acts = append(acts, iv.Activity)
+			}
+			total := oracle.AccumulateActivity(acts)
+			if total.L2Hits != res.Activity.L2Hits ||
+				total.L2WriteHits != res.Activity.L2WriteHits ||
+				total.L2Misses != res.Activity.L2Misses ||
+				total.Refreshes != res.Activity.Refreshes {
+				t.Fatalf("%s/%v: interval sums %+v != run activity %+v", name, tq, total, res.Activity)
+			}
+			if !props.HasRefresh && total.Refreshes != 0 {
+				t.Fatalf("%s/%v: non-refresh technology reported %d refreshes", name, tq, total.Refreshes)
+			}
+			got := oracle.EnergyBreakdown(res.Model, total)
+			if !breakdownClose(got.Total(), res.Energy.Total()) {
+				t.Fatalf("%s/%v: recomputed energy %v != reported %v", name, tq, got.Total(), res.Energy.Total())
+			}
+			if props.TrackWear {
+				if res.Wear == nil {
+					t.Fatalf("%s/%v: wear-tracked run reported no wear stats", name, tq)
+				}
+				if res.Wear.MaxWear < res.Wear.MinWear || res.Wear.TotalWrites == 0 {
+					t.Fatalf("%s/%v: implausible wear stats %+v", name, tq, res.Wear)
+				}
+				if res.Wear.EnduranceWrites != props.EnduranceWrites {
+					t.Fatalf("%s/%v: endurance budget %d != technology's %d",
+						name, tq, res.Wear.EnduranceWrites, props.EnduranceWrites)
+				}
+			} else if res.Wear != nil {
+				t.Fatalf("%s/%v: untracked technology reported wear stats %+v", name, tq, res.Wear)
+			}
+		}
+	}
+}
+
+// TestTechEdramIdentity asserts routing eDRAM through the technology
+// interface is invisible: an empty Technology and an explicit "edram"
+// produce canonically byte-identical results for every refresh policy.
+func TestTechEdramIdentity(t *testing.T) {
+	if !techSelected("edram") {
+		t.Skipf("-tech=%s: identity property is eDRAM-specific", *techFilter)
+	}
+	for _, tq := range []sim.Technique{sim.Baseline, sim.RPV, sim.RPD, sim.Esteem, sim.SmartRefresh} {
+		cfg := shortConfig(tq)
+		cfg.LogIntervals = true
+		implicit, err := sim.Run(cfg, []string{"gcc"})
+		if err != nil {
+			t.Fatalf("%v implicit: %v", tq, err)
+		}
+		cfg.Technology = "edram"
+		explicit, err := sim.Run(cfg, []string{"gcc"})
+		if err != nil {
+			t.Fatalf("%v explicit: %v", tq, err)
+		}
+		bi, err := obs.MarshalCanonical(implicit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be, err := obs.MarshalCanonical(explicit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(bi) != string(be) {
+			t.Fatalf("%v: empty technology and explicit edram diverge:\n%s\nvs\n%s", tq, bi, be)
+		}
+	}
+}
+
+// TestTechRefreshTechniqueGate asserts that refresh-scheduling
+// techniques are rejected at Validate time on technologies without a
+// refresh clock, and accepted on those with one.
+func TestTechRefreshTechniqueGate(t *testing.T) {
+	for _, name := range techNames(t) {
+		tec, err := tech.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tq := range []sim.Technique{sim.RPV, sim.RPD, sim.SmartRefresh, sim.ECCExtended} {
+			cfg := shortConfig(tq)
+			cfg.Technology = name
+			err := cfg.Validate()
+			if tec.Props().HasRefresh && err != nil {
+				t.Fatalf("%s/%v: unexpected validate error: %v", name, tq, err)
+			}
+			if !tec.Props().HasRefresh && err == nil {
+				t.Fatalf("%s/%v: refresh technique accepted on a non-refresh technology", name, tq)
+			}
+		}
+		// The refresh-free techniques are legal everywhere.
+		for _, tq := range []sim.Technique{sim.Baseline, sim.NoRefresh, sim.Esteem} {
+			cfg := shortConfig(tq)
+			cfg.Technology = name
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("%s/%v: %v", name, tq, err)
+			}
+		}
+	}
+}
+
+// TestTechWriteAsymmetryMonotonic is the STT-RAM energy property: with
+// total accesses held fixed, shifting hits from writes to reads must
+// strictly decrease dynamic (and hence total) energy, because writes
+// cost WriteFactor/ReadFactor ≫ 1 times as much.
+func TestTechWriteAsymmetryMonotonic(t *testing.T) {
+	for _, name := range []string{"sttram", "sttram-relaxed", "reram"} {
+		if !techSelected(name) {
+			continue
+		}
+		tec, err := tech.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := tec.Props()
+		base, err := newModel(4 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := base.WithTechnology(p.ReadFactor, p.WriteFactor, p.RefreshFactor, p.LeakFactor)
+		a := energy.Activity{
+			Cycles:         1 << 30,
+			L2Hits:         1 << 20,
+			L2Misses:       1 << 16,
+			ActiveFraction: 0.75,
+			MMAccesses:     1 << 16,
+		}
+		var prev float64
+		for i, wh := range []uint64{1 << 20, 1 << 18, 1 << 14, 1 << 8, 0} {
+			a.L2WriteHits = wh
+			total := m.Eval(a).Total()
+			if i > 0 && total >= prev {
+				t.Fatalf("%s: energy %v at %d write hits is not below %v at the previous (higher) write count",
+					name, total, wh, prev)
+			}
+			prev = total
+		}
+	}
+}
+
+// TestTechWearLevelBounded hammers two resident lines of a single set
+// and compares wear spread with and without intra-set wear-levelling:
+// the unlevelled cache concentrates every write on two frames while the
+// levelled one must keep the max/min gap within a few levelling periods.
+func TestTechWearLevelBounded(t *testing.T) {
+	if !techSelected("reram") {
+		t.Skipf("-tech=%s: wear-levelling is ReRAM-specific", *techFilter)
+	}
+	const period = 8
+	const writes = 4096
+	base := cache.Params{
+		Name: "wl", SizeBytes: 16 * 4 * 64, Assoc: 4, LineBytes: 64,
+		Modules: 1, Banks: 1, TrackWear: true,
+	}
+	levP := base
+	levP.WearLevelPeriod = period
+	run := func(p cache.Params) *cache.Cache {
+		c, err := cache.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		numSets := uint64(c.NumSets())
+		for i := 0; i < writes; i++ {
+			// Two tags mapping to set 0: both stay resident, so after
+			// the two fills every write is a hit on the same frames.
+			tag := uint64(i % 2)
+			c.Access(cache.Addr(tag*numSets*uint64(p.LineBytes)), true)
+		}
+		return c
+	}
+	spread := func(c *cache.Cache) uint64 {
+		wear := c.WearCounters()[:base.Assoc] // set 0's frames
+		minW, maxW := wear[0], wear[0]
+		for _, w := range wear[1:] {
+			if w < minW {
+				minW = w
+			}
+			if w > maxW {
+				maxW = w
+			}
+		}
+		return maxW - minW
+	}
+	unlev := run(base)
+	lev := run(levP)
+	su, sl := spread(unlev), spread(lev)
+	if unlev.WearLevelSwaps() != 0 {
+		t.Fatalf("unlevelled cache performed %d swaps", unlev.WearLevelSwaps())
+	}
+	if lev.WearLevelSwaps() == 0 {
+		t.Fatal("levelled cache never swapped")
+	}
+	if su < writes/2 {
+		t.Fatalf("schedule not skewed enough: unlevelled spread %d", su)
+	}
+	if sl*16 > su {
+		t.Fatalf("levelling did not reduce wear spread by 16x: levelled %d vs unlevelled %d", sl, su)
+	}
+	if sl > 12*period {
+		t.Fatalf("levelled wear spread %d exceeds bound %d", sl, 12*period)
+	}
+}

@@ -294,6 +294,22 @@ func (d *CacheDiff) CheckState() error {
 	if vi, vo := d.Impl.ValidLines(), d.Orc.ValidLines(); vi != vo {
 		return fmt.Errorf("valid lines: impl %d, oracle %d", vi, vo)
 	}
+	if d.p.TrackWear {
+		wi := d.Impl.WearCounters()
+		wo := d.Orc.WearCounters()
+		if len(wi) != len(wo) {
+			return fmt.Errorf("wear counters: impl %d frames, oracle %d", len(wi), len(wo))
+		}
+		for i := range wi {
+			if wi[i] != wo[i] {
+				return fmt.Errorf("wear of set %d way %d: impl %d, oracle %d",
+					i/d.p.Assoc, i%d.p.Assoc, wi[i], wo[i])
+			}
+		}
+		if si, so := d.Impl.WearLevelSwaps(), d.Orc.WearLevelSwaps(); si != so {
+			return fmt.Errorf("wear-level swaps: impl %d, oracle %d", si, so)
+		}
+	}
 	return nil
 }
 

@@ -18,6 +18,14 @@ cd "$(dirname "$0")/.."
 echo "== oracle + differential suite =="
 go test ./internal/oracle/ ./internal/verify/ -count=1
 
+# Per-technology lockstep runs: the Tech* tests replay the randomized
+# schedules with each backend's semantics (wear tracking, scrub clock,
+# asymmetric energy) against the naive reference models.
+for tech in edram sttram sttram-relaxed reram; do
+    echo "== technology lockstep: $tech =="
+    go test ./internal/verify/ -run Tech -count=1 -tech="$tech"
+done
+
 echo "== build with -tags verify (invariant hooks compiled in) =="
 go build -tags verify ./...
 
