@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the CI/verification gate.
 
-.PHONY: check ci lint golden golden-update verify fuzz-smoke build vet test race bench bench-record bench-check results quick-results serve serve-smoke trace-smoke load load-smoke load-record
+.PHONY: check ci lint golden golden-update verify fuzz-smoke build vet test race bench bench-record bench-check results quick-results serve serve-smoke trace-smoke load load-smoke load-record cluster cluster-smoke
 
 check:
 	./scripts/check.sh
@@ -8,7 +8,7 @@ check:
 # Everything CI runs: lint, the full check gate, the golden-output
 # drift gate, the differential-verification gate, and the service
 # smoke tests (end-to-end workflow, tracing, open-loop load).
-ci: lint check golden verify serve-smoke trace-smoke load-smoke
+ci: lint check golden verify serve-smoke trace-smoke load-smoke cluster-smoke
 
 # Differential verification: oracle reference models vs the optimized
 # implementations, plus the simulator rebuilt with runtime invariant
@@ -106,3 +106,21 @@ load-smoke:
 # to BENCH_serve.json instead of being gated.
 load-record:
 	./scripts/load-smoke.sh record
+
+# Run a local three-node sweep cluster from the Procfile recipe:
+# coordinator on :8344 plus two workers on free ports. Needs a
+# Procfile runner (foreman/overmind/hivemind); without one, run the
+# three commands from the Procfile in separate terminals.
+cluster:
+	@command -v foreman >/dev/null 2>&1 && exec foreman start; \
+	command -v overmind >/dev/null 2>&1 && exec overmind start; \
+	command -v hivemind >/dev/null 2>&1 && exec hivemind; \
+	echo "no Procfile runner found; run the Procfile commands manually" >&2; exit 1
+
+# End-to-end cluster smoke test: the same sweep on a standalone
+# daemon and on a coordinator + 2 workers, with cmp-proven artifact
+# byte-identity, exactly-once compute across workers, and cluster
+# metrics checks. (Worker-kill recovery runs in `go test` as
+# TestClusterWorkerKill.)
+cluster-smoke:
+	./scripts/cluster-smoke.sh

@@ -51,7 +51,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: esteem-client <submit|status|watch|trace|result|artifact|version> [flags]")
+	return fmt.Errorf("usage: esteem-client <submit|status|watch|trace|result|artifact|cluster|version> [flags]")
 }
 
 func run(args []string) error {
@@ -72,6 +72,8 @@ func run(args []string) error {
 		return cmdFetch(rest, "result", func(id string) string { return "/v1/jobs/" + id + "/result" })
 	case "artifact":
 		return cmdFetch(rest, "artifact", func(key string) string { return "/v1/artifacts/" + key })
+	case "cluster":
+		return cmdCluster(rest)
 	case "version":
 		return cmdVersion(rest)
 	case "-version", "--version":
@@ -275,6 +277,26 @@ func postJob(server string, body []byte, traceparent string, attempts int) (*htt
 			delay.Round(time.Millisecond), attempt, attempts)
 		time.Sleep(delay)
 	}
+}
+
+// cmdCluster inspects a coordinator: "cluster status" dumps the
+// membership and lease-table view of GET /v1/cluster/status.
+func cmdCluster(args []string) error {
+	if len(args) == 0 || args[0] != "status" {
+		return fmt.Errorf("usage: esteem-client cluster status [-server URL]")
+	}
+	fs := flag.NewFlagSet("cluster status", flag.ExitOnError)
+	server := serverFlag(fs)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	resp, err := get(*server, "/v1/cluster/status")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }
 
 func cmdGetJSON(args []string, name string, path func(string) string) error {

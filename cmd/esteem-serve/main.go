@@ -4,14 +4,22 @@
 // artifacts that are byte-identical whether computed fresh, replayed
 // from cache, or served after a restart.
 //
-// Examples:
+// Beyond the default standalone mode, -role turns the daemon into one
+// node of a sweep cluster:
 //
-//	esteem-serve -addr 127.0.0.1:8344 -cache results/castore
-//	esteem-serve -addr 127.0.0.1:0 -addr-file /tmp/esteem.addr
+//	esteem-serve -role coordinator -addr 127.0.0.1:8344 -cache results/castore
+//	esteem-serve -role worker -join http://127.0.0.1:8344 -addr 127.0.0.1:0
+//
+// A coordinator accepts the same job API but executes units as leases
+// on joined workers, with artifacts sharded (replication factor
+// -replicas) across the live member set by rendezvous hashing. A
+// worker leases tasks, runs them on its local sweep, and serves its
+// store shard to peers. Results are byte-identical to a standalone
+// sweep of the same spec.
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, queued and
 // in-flight jobs finish within -drain-timeout, and the rest are
-// cancelled.
+// cancelled (a worker just stops leasing; its held leases re-queue).
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 
 	"repro/internal/castore"
 	"repro/internal/cliflags"
+	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/tracez"
 )
@@ -55,6 +64,13 @@ func run() error {
 	logFormat := flag.String("log-format", "json", "structured log format: json or text")
 	traceSample := flag.Float64("trace-sample", 1, "fraction of traces recorded (head-based; 1 = all)")
 	traceRing := flag.Int("trace-ring", 4096, "completed spans retained for /v1/jobs/{id}/trace")
+	role := flag.String("role", "", "cluster role: empty (standalone), coordinator, or worker")
+	join := flag.String("join", "", "coordinator base URL to join (worker role)")
+	advertise := flag.String("advertise", "", "base URL peers reach this node at (default http://<bound address>)")
+	replicas := flag.Int("replicas", 2, "artifact replication factor across the cluster")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "coordinator: task lease lifetime without a heartbeat extension")
+	heartbeat := flag.Duration("heartbeat", 3*time.Second, "coordinator: worker heartbeat cadence")
+	executors := flag.Int("executors", 1, "worker: concurrent lease/execute loops")
 	version := cliflags.VersionFlag(flag.CommandLine)
 	flag.Parse()
 
@@ -71,19 +87,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(serve.Config{
-		Store:      store,
-		Workers:    *workers,
-		SimWorkers: *simJobs,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		Tracer:     tracez.New(tracez.Config{SampleRatio: *traceSample, RingSize: *traceRing}),
-		Logger:     logger,
-	})
-	if err != nil {
-		return err
-	}
 
+	// Bind before constructing cluster state: the advertised URL
+	// defaults to the bound address, which is only known after Listen
+	// (relevant with port 0).
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -94,9 +101,90 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "esteem-serve listening on http://%s\n", bound)
-	if *cacheDir != "" {
-		fmt.Fprintf(os.Stderr, "esteem-serve result store: %s\n", store.Dir())
+	self := *advertise
+	if self == "" {
+		self = "http://" + bound
+	}
+
+	switch *role {
+	case "", "standalone":
+		return runServe(ln, store, nil, serveParams{
+			workers: *workers, simJobs: *simJobs, queue: *queue,
+			jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
+			traceSample: *traceSample, traceRing: *traceRing,
+			cacheDir: *cacheDir, logger: logger,
+		})
+	case "coordinator":
+		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Self:           self,
+			LeaseTTL:       *leaseTTL,
+			HeartbeatEvery: *heartbeat,
+			Replicas:       *replicas,
+			Logger:         logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		shard := castore.NewSharded(store, self, coord.MemberURLs, *replicas, nil)
+		return runServe(ln, shard, coord, serveParams{
+			workers: *workers, simJobs: *simJobs, queue: *queue,
+			jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
+			traceSample: *traceSample, traceRing: *traceRing,
+			cacheDir: *cacheDir, logger: logger,
+		})
+	case "worker":
+		if *join == "" {
+			return fmt.Errorf("esteem-serve: -role worker requires -join <coordinator url>")
+		}
+		return runWorker(ln, store, cluster.WorkerConfig{
+			Coordinator: strings.TrimRight(*join, "/"),
+			Self:        self,
+			Local:       store,
+			Replicas:    *replicas,
+			Executors:   *executors,
+			SimWorkers:  *simJobs,
+			Logger:      logger,
+		}, *drainTimeout)
+	default:
+		return fmt.Errorf("esteem-serve: unknown -role %q (want coordinator or worker)", *role)
+	}
+}
+
+// serveParams carries the standalone/coordinator server knobs from
+// flag parsing to assembly.
+type serveParams struct {
+	workers, simJobs, queue  int
+	jobTimeout, drainTimeout time.Duration
+	traceSample              float64
+	traceRing                int
+	cacheDir                 string
+	logger                   *slog.Logger
+}
+
+// runServe runs the job API (standalone, or coordinator-mode when
+// coord is non-nil) until a signal drains it.
+func runServe(ln net.Listener, store castore.Backend, coord *cluster.Coordinator, p serveParams) error {
+	srv, err := serve.New(serve.Config{
+		Store:      store,
+		Cluster:    coord,
+		Workers:    p.workers,
+		SimWorkers: p.simJobs,
+		QueueDepth: p.queue,
+		JobTimeout: p.jobTimeout,
+		Tracer:     tracez.New(tracez.Config{SampleRatio: p.traceSample, RingSize: p.traceRing}),
+		Logger:     p.logger,
+	})
+	if err != nil {
+		return err
+	}
+	mode := "standalone"
+	if coord != nil {
+		mode = "coordinator"
+	}
+	fmt.Fprintf(os.Stderr, "esteem-serve (%s) listening on http://%s\n", mode, ln.Addr())
+	if p.cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "esteem-serve result store: %s\n", p.cacheDir)
 	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -113,7 +201,7 @@ func run() error {
 	stop()
 	fmt.Fprintln(os.Stderr, "esteem-serve draining...")
 
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), p.drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "esteem-serve: http shutdown: %v\n", err)
@@ -121,8 +209,54 @@ func run() error {
 	if err := srv.Drain(shutdownCtx); err != nil {
 		return fmt.Errorf("esteem-serve: drain cut short: %w", err)
 	}
-	st := store.Stats()
-	fmt.Fprintf(os.Stderr, "esteem-serve: store: %s\n", st.Summary())
+	fmt.Fprintf(os.Stderr, "esteem-serve: store: %s\n", store.Stats().Summary())
+	return nil
+}
+
+// runWorker runs a cluster worker node until a signal stops it.
+func runWorker(ln net.Listener, store *castore.Store, cfg cluster.WorkerConfig, drainTimeout time.Duration) error {
+	w, err := cluster.NewWorker(cfg)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	w.Register(mux)
+	fmt.Fprintf(os.Stderr, "esteem-serve (worker) listening on http://%s, joining %s\n",
+		ln.Addr(), cfg.Coordinator)
+
+	httpSrv := &http.Server{Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runDone := make(chan error, 1)
+	go func() { runDone <- w.Run(ctx) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case err := <-runDone:
+		// Run only returns early on a join that ctx cancelled — or a
+		// signal, handled below.
+		if err != nil && ctx.Err() == nil {
+			return err
+		}
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "esteem-serve: worker draining...")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "esteem-serve: http shutdown: %v\n", err)
+	}
+	select {
+	case <-runDone:
+	case <-shutdownCtx.Done():
+	}
+	fmt.Fprintf(os.Stderr, "esteem-serve: store: %s\n", store.Stats().Summary())
 	return nil
 }
 

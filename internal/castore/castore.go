@@ -81,6 +81,27 @@ var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
 // use it to reject path traversal before touching the filesystem.
 func ValidKey(s string) bool { return keyPattern.MatchString(s) }
 
+// Backend is the store interface the runner and serving layers
+// consume: a plain single-node *Store, or a *Sharded store that
+// hash-partitions keys across cluster members (see shard.go). Both
+// return byte-identical artifacts for equal keys — the sharded layer
+// only changes where bytes live, never what they are.
+type Backend interface {
+	// Get returns the artifact bytes for key (ok false on a miss).
+	Get(key string) (data []byte, ok bool, err error)
+	// Put stores the artifact bytes under key.
+	Put(key string, data []byte) error
+	// GetOrCompute returns the artifact for key, computing and storing
+	// it on a miss with single-flight coalescing.
+	GetOrCompute(ctx context.Context, key string, compute func(context.Context) ([]byte, error)) (data []byte, cached bool, err error)
+	// BestCheckpoint and PutCheckpoint expose the prefix-checkpoint
+	// layer (see checkpoint.go).
+	BestCheckpoint(base string, horizon uint64) (meta CheckpointMeta, data []byte, ok bool, err error)
+	PutCheckpoint(base string, meta CheckpointMeta, data []byte) error
+	// Stats returns a snapshot of the store's counters.
+	Stats() Stats
+}
+
 // Stats is a snapshot of the store's counters.
 type Stats struct {
 	// Hits counts Get/GetOrCompute calls satisfied from the store
@@ -100,6 +121,14 @@ type Stats struct {
 	// let the resuming run skip (the hit's minimum per-core measured
 	// count). See checkpoint.go.
 	PrefixHits, PrefixMisses, PrefixSavedInstr uint64
+	// Remote-shard counters, populated only by the Sharded layer (see
+	// shard.go); always zero on a plain single-node Store. RemoteHits/
+	// RemoteMisses count lookups answered by (respectively, missed on)
+	// peer shards; Repairs counts read-through replication repairs
+	// (re-writing an artifact to an owner that should have held it);
+	// RemotePuts/RemotePutErrors count replica writes attempted and
+	// failed.
+	RemoteHits, RemoteMisses, Repairs, RemotePuts, RemotePutErrors uint64
 }
 
 // Store is a content-addressed artifact store. The zero value is not
@@ -382,5 +411,15 @@ func (st Stats) Summary() string {
 		s += fmt.Sprintf(", %d prefix-checkpoint hits (%d instructions skipped), %d prefix misses",
 			st.PrefixHits, st.PrefixSavedInstr, st.PrefixMisses)
 	}
+	if st.RemoteHits > 0 || st.RemoteMisses > 0 || st.RemotePuts > 0 {
+		s += fmt.Sprintf(", %d remote hits, %d remote misses, %d repairs, %d replica puts (%d failed)",
+			st.RemoteHits, st.RemoteMisses, st.Repairs, st.RemotePuts, st.RemotePutErrors)
+	}
 	return s
 }
+
+// Compile-time interface checks: both store layers satisfy Backend.
+var (
+	_ Backend = (*Store)(nil)
+	_ Backend = (*Sharded)(nil)
+)

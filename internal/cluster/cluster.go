@@ -1,0 +1,143 @@
+// Package cluster turns the single-process simulation service into a
+// coordinator/worker cluster. One coordinator owns the job DAG and the
+// lease table; any number of workers join over HTTP, heartbeat, lease
+// tasks, execute them with the shared runner, and publish results into
+// the sharded content-addressed store (internal/castore's Sharded
+// layer over rendezvous hashing).
+//
+// The protocol is deliberately minimal — four POSTs and a status GET —
+// because content addressing does the heavy lifting:
+//
+//   - a task IS its content address: the coordinator leases CA keys,
+//     and a task is complete exactly when an artifact exists under its
+//     key, wherever it lives;
+//   - leases carry a TTL and are re-issued when they expire, so a
+//     SIGKILLed worker's tasks are re-run by survivors; re-runs are
+//     harmless because the simulator is deterministic and writes are
+//     first-writer-wins on the content address (identical bytes);
+//   - cluster-wide single-flight: the lease table issues at most one
+//     active lease per CA key across all workers, tasks submitted by
+//     concurrent jobs coalesce onto one table entry, and each worker's
+//     local store single-flights within the node.
+//
+// Worker failure is detected twice over: missed heartbeats expire the
+// member (its shard placement migrates immediately — rendezvous
+// hashing moves only the dead node's keys) and its outstanding leases
+// re-queue without waiting for the per-lease TTL.
+package cluster
+
+import (
+	"repro/internal/sim"
+)
+
+// Task is one leasable simulation unit: the content address the
+// coordinator tracks it under, plus everything a worker needs to run
+// it. Config is the effective (pre-seed-derivation) configuration
+// exactly as a standalone server would schedule it, so a worker's
+// sweep derives the same seed, computes the same key, and writes
+// byte-identical artifacts.
+type Task struct {
+	Key      string     `json:"key"`
+	Label    string     `json:"label"`
+	Config   sim.Config `json:"config"`
+	Workload []string   `json:"workload"`
+}
+
+// ---- wire types (all POST bodies and responses are JSON) ----
+
+// JoinRequest registers a worker under its advertised base URL.
+type JoinRequest struct {
+	URL string `json:"url"`
+}
+
+// JoinResponse tells the joiner the cluster's shape and cadence.
+type JoinResponse struct {
+	// Members is the live member list (coordinator included) the
+	// worker should shard over until the next heartbeat updates it.
+	Members []string `json:"members"`
+	// Replicas is the cluster's shard replication factor; a worker
+	// configured differently logs a warning (placement must agree).
+	Replicas int `json:"replicas"`
+	// LeaseTTLMillis and HeartbeatMillis are the coordinator's lease
+	// lifetime and the cadence workers must heartbeat at.
+	LeaseTTLMillis  int64 `json:"lease_ttl_ms"`
+	HeartbeatMillis int64 `json:"heartbeat_ms"`
+}
+
+// HeartbeatRequest refreshes a worker's membership and extends the
+// leases it still holds.
+type HeartbeatRequest struct {
+	URL  string   `json:"url"`
+	Held []string `json:"held,omitempty"`
+}
+
+// HeartbeatResponse carries the current live member list.
+type HeartbeatResponse struct {
+	Members []string `json:"members"`
+}
+
+// LeaseRequest asks for one task, long-polling up to WaitMillis when
+// the queue is empty.
+type LeaseRequest struct {
+	URL        string `json:"url"`
+	WaitMillis int64  `json:"wait_ms,omitempty"`
+}
+
+// LeaseResponse grants one task for TTLMillis. An empty grant (no
+// task before the wait expired) is signalled by HTTP 204, not a body.
+type LeaseResponse struct {
+	Task      Task  `json:"task"`
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// CompleteRequest reports a leased task's outcome. An empty Error
+// means the artifact is stored and the task is done.
+type CompleteRequest struct {
+	URL   string `json:"url"`
+	Key   string `json:"key"`
+	Error string `json:"error,omitempty"`
+}
+
+// LeaveRequest deregisters a worker (graceful drain); its leases
+// re-queue immediately.
+type LeaveRequest struct {
+	URL string `json:"url"`
+}
+
+// ---- status view ----
+
+// WorkerView is one worker row of GET /v1/cluster/status.
+type WorkerView struct {
+	URL           string `json:"url"`
+	LastSeenMilli int64  `json:"last_seen_ms_ago"`
+	Held          int    `json:"held_leases"`
+}
+
+// StatusView is the JSON shape of GET /v1/cluster/status.
+type StatusView struct {
+	Self     string       `json:"self"`
+	Replicas int          `json:"replicas"`
+	Workers  []WorkerView `json:"workers"`
+	Tasks    struct {
+		Pending int `json:"pending"`
+		Leased  int `json:"leased"`
+		Done    int `json:"done"`
+		Failed  int `json:"failed"`
+	} `json:"tasks"`
+	Counters Stats `json:"counters"`
+}
+
+// Stats is the coordinator's counter snapshot (exported on /metrics).
+type Stats struct {
+	WorkersLive       int    `json:"workers_live"`
+	LeasesOutstanding int    `json:"leases_outstanding"`
+	TasksPending      int    `json:"tasks_pending"`
+	WorkersJoined     uint64 `json:"workers_joined_total"`
+	WorkersExpired    uint64 `json:"workers_expired_total"`
+	LeasesIssued      uint64 `json:"leases_issued_total"`
+	LeasesExpired     uint64 `json:"leases_expired_total"`
+	LeasesReissued    uint64 `json:"leases_reissued_total"`
+	TasksSubmitted    uint64 `json:"tasks_submitted_total"`
+	TasksCompleted    uint64 `json:"tasks_completed_total"`
+	TasksFailed       uint64 `json:"tasks_failed_total"`
+}

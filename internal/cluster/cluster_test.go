@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/castore"
+	"repro/internal/sim"
+)
+
+func testTask(i int) Task {
+	return Task{
+		Key:      fmt.Sprintf("%064x", uint64(i)+1),
+		Label:    fmt.Sprintf("task-%d", i),
+		Config:   sim.Config{Cores: 1, Seed: uint64(i)},
+		Workload: []string{"astar"},
+	}
+}
+
+func newTestCoordinator(t *testing.T, cfg CoordinatorConfig) *Coordinator {
+	t.Helper()
+	if cfg.Self == "" {
+		cfg.Self = "http://coordinator.test"
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestSubmitDedup: tasks sharing a key coalesce onto one table entry
+// (the cluster-wide single-flight), and both handles resolve when it
+// completes.
+func TestSubmitDedup(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{})
+	h1 := c.Submit(testTask(1))
+	h2 := c.Submit(testTask(1))
+	if h1.t != h2.t {
+		t.Fatal("duplicate submission created a second table entry")
+	}
+	if got := c.Stats().TasksSubmitted; got != 1 {
+		t.Fatalf("TasksSubmitted = %d, want 1", got)
+	}
+	task, ok := c.lease(context.Background(), "http://w1", 0)
+	if !ok || task.Key != h1.Key {
+		t.Fatalf("lease returned (%v, %v)", task.Key, ok)
+	}
+	// Second lease request must not get the same key while leased.
+	if _, ok := c.lease(context.Background(), "http://w2", 0); ok {
+		t.Fatal("leased task was leased twice")
+	}
+	c.complete("http://w1", h1.Key, "")
+	for _, h := range []*TaskHandle{h1, h2} {
+		select {
+		case <-h.Done():
+			if h.Err() != nil {
+				t.Fatalf("unexpected task error: %v", h.Err())
+			}
+		case <-time.After(time.Second):
+			t.Fatal("handle did not resolve")
+		}
+	}
+}
+
+// TestLeaseExpiryReissue: a lease that is never completed or extended
+// re-queues after its TTL and is re-issued to another worker.
+func TestLeaseExpiryReissue(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{
+		LeaseTTL: 100 * time.Millisecond,
+		// Keep members alive so only the lease TTL fires.
+		MemberTTL: time.Hour,
+	})
+	h := c.Submit(testTask(1))
+	if _, ok := c.lease(context.Background(), "http://w1", 0); !ok {
+		t.Fatal("first lease failed")
+	}
+	// w2 long-polls; once the TTL fires the janitor re-queues and w2
+	// gets the re-issued lease.
+	task, ok := c.lease(context.Background(), "http://w2", 2*time.Second)
+	if !ok || task.Key != h.Key {
+		t.Fatalf("re-issued lease = (%v, %v)", task.Key, ok)
+	}
+	st := c.Stats()
+	if st.LeasesExpired < 1 || st.LeasesReissued < 1 {
+		t.Fatalf("expiry counters = %+v, want expired>=1 reissued>=1", st)
+	}
+	c.complete("http://w2", h.Key, "")
+	<-h.Done()
+}
+
+// TestHeartbeatExtendsLease: heartbeats carrying the held key keep the
+// lease alive past its nominal TTL.
+func TestHeartbeatExtendsLease(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{
+		LeaseTTL:  150 * time.Millisecond,
+		MemberTTL: time.Hour,
+	})
+	h := c.Submit(testTask(1))
+	if _, ok := c.lease(context.Background(), "http://w1", 0); !ok {
+		t.Fatal("lease failed")
+	}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		c.heartbeat("http://w1", []string{h.Key})
+		time.Sleep(30 * time.Millisecond)
+	}
+	if st := c.Stats(); st.LeasesExpired != 0 {
+		t.Fatalf("lease expired despite heartbeats: %+v", st)
+	}
+	c.complete("http://w1", h.Key, "")
+	<-h.Done()
+}
+
+// TestWorkerExpiryRequeues: a worker that stops heartbeating expires,
+// and its leases re-queue without waiting for the per-lease TTL.
+func TestWorkerExpiryRequeues(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{
+		LeaseTTL:  time.Hour, // only member expiry can re-queue
+		MemberTTL: 100 * time.Millisecond,
+	})
+	h := c.Submit(testTask(1))
+	if _, ok := c.lease(context.Background(), "http://w1", 0); !ok {
+		t.Fatal("lease failed")
+	}
+	task, ok := c.lease(context.Background(), "http://w2", 2*time.Second)
+	if !ok || task.Key != h.Key {
+		t.Fatalf("lease after worker death = (%v, %v)", task.Key, ok)
+	}
+	st := c.Stats()
+	if st.WorkersExpired < 1 {
+		t.Fatalf("WorkersExpired = %d, want >= 1", st.WorkersExpired)
+	}
+	c.complete("http://w2", h.Key, "")
+	<-h.Done()
+}
+
+// TestFailurePropagatesAndRetries: a failed task resolves its handles
+// with the error, and a later resubmission runs it again.
+func TestFailurePropagatesAndRetries(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{})
+	h := c.Submit(testTask(1))
+	if _, ok := c.lease(context.Background(), "http://w1", 0); !ok {
+		t.Fatal("lease failed")
+	}
+	c.complete("http://w1", h.Key, "boom")
+	<-h.Done()
+	if h.Err() == nil {
+		t.Fatal("failed task resolved without error")
+	}
+	h2 := c.Submit(testTask(1))
+	if h2.t == h.t {
+		t.Fatal("resubmission reused the failed entry")
+	}
+	if _, ok := c.lease(context.Background(), "http://w1", 0); !ok {
+		t.Fatal("retry lease failed")
+	}
+	c.complete("http://w1", h.Key, "")
+	<-h2.Done()
+	if h2.Err() != nil {
+		t.Fatalf("retry failed: %v", h2.Err())
+	}
+}
+
+// TestWorkerOverHTTP: real Worker against a real coordinator HTTP
+// surface (Execute hook replaces the sweep). Covers join, member
+// propagation, lease, execute, complete, leave.
+func TestWorkerOverHTTP(t *testing.T) {
+	coord := newTestCoordinator(t, CoordinatorConfig{
+		LeaseTTL:       2 * time.Second,
+		HeartbeatEvery: 100 * time.Millisecond,
+	})
+	mux := http.NewServeMux()
+	coord.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	store, err := castore.Open(t.TempDir(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executed atomic.Int64
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: srv.URL,
+		Self:        "http://worker1.test",
+		Local:       store,
+		Execute: func(ctx context.Context, task Task) error {
+			executed.Add(1)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+			t.Errorf("worker run: %v", err)
+		}
+	}()
+
+	const n = 5
+	handles := make([]*TaskHandle, n)
+	for i := 0; i < n; i++ {
+		handles[i] = coord.Submit(testTask(i))
+	}
+	for i, h := range handles {
+		select {
+		case <-h.Done():
+			if h.Err() != nil {
+				t.Fatalf("task %d: %v", i, h.Err())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("task %d never completed", i)
+		}
+	}
+	if got := executed.Load(); got != n {
+		t.Fatalf("executed %d tasks, want %d", got, n)
+	}
+	// The worker's placement view converged to {coordinator, worker}.
+	if got := len(w.Members()); got != 2 {
+		t.Fatalf("worker sees %d members, want 2", got)
+	}
+	st := coord.Stats()
+	if st.WorkersLive != 1 || st.TasksCompleted != n {
+		t.Fatalf("coordinator stats after run: %+v", st)
+	}
+	cancel()
+	wg.Wait()
+	// The leave must have deregistered the worker.
+	if got := coord.Stats().WorkersLive; got != 0 {
+		t.Fatalf("WorkersLive after leave = %d, want 0", got)
+	}
+}
+
+// TestStatusAndValidation: the HTTP surface rejects junk and reports
+// the status view.
+func TestStatusAndValidation(t *testing.T) {
+	coord := newTestCoordinator(t, CoordinatorConfig{})
+	mux := http.NewServeMux()
+	coord.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/cluster/join", "application/json",
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty join: got %s, want 400", resp.Status)
+	}
+
+	for _, bad := range []string{
+		`{"url":"ftp://x"}`,
+		`{"url":"nonsense"}`,
+		`{"url":"http://ok","junk":1}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/cluster/join", "application/json",
+			strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("join %q: got %s, want 400", bad, resp.Status)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: got %s, want 200", resp.Status)
+	}
+}

@@ -1,0 +1,600 @@
+// Coordinator: membership, the task/lease table, and their HTTP
+// surface. All state is in-memory — the durable state of a sweep is
+// the content-addressed store itself, so a restarted coordinator
+// simply re-issues whatever jobs clients resubmit, and every already-
+// computed unit is a cache hit.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CoordinatorConfig parameterises a Coordinator. Zero values select
+// the documented defaults.
+type CoordinatorConfig struct {
+	// Self is the coordinator's own member URL; it participates in
+	// shard placement alongside the workers. Required.
+	Self string
+	// LeaseTTL is how long a granted lease lives without a heartbeat
+	// extension before its task re-queues (default 15s).
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the cadence advertised to workers (default
+	// LeaseTTL/5, at least 500ms).
+	HeartbeatEvery time.Duration
+	// MemberTTL expires workers that stop heartbeating (default
+	// 3×HeartbeatEvery + 1s).
+	MemberTTL time.Duration
+	// DoneRetention prunes terminal tasks from the table (default 5m);
+	// a pruned task that is resubmitted re-leases, and the worker's
+	// store lookup turns it into a cheap cache hit.
+	DoneRetention time.Duration
+	// Replicas is the shard replication factor advertised to joiners
+	// (default 2).
+	Replicas int
+	// Logger receives membership and lease lifecycle logs. Nil
+	// discards.
+	Logger *slog.Logger
+}
+
+func (c *CoordinatorConfig) fill() error {
+	if c.Self == "" {
+		return fmt.Errorf("cluster: CoordinatorConfig.Self is required")
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.LeaseTTL / 5
+		if c.HeartbeatEvery < 500*time.Millisecond {
+			c.HeartbeatEvery = 500 * time.Millisecond
+		}
+	}
+	if c.MemberTTL <= 0 {
+		c.MemberTTL = 3*c.HeartbeatEvery + time.Second
+	}
+	if c.DoneRetention <= 0 {
+		c.DoneRetention = 5 * time.Minute
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return nil
+}
+
+type taskState int
+
+const (
+	taskPending taskState = iota
+	taskLeased
+	taskDone
+	taskFailed
+)
+
+// task is one table entry. done closes exactly once, after err (if
+// any) is set, so TaskHandle readers need no lock.
+type task struct {
+	Task
+	state    taskState
+	worker   string
+	deadline time.Time
+	doneAt   time.Time
+	// expired marks a lease that timed out at least once; the next
+	// grant counts as a re-issue.
+	expired bool
+	err     error
+	done    chan struct{}
+}
+
+type memberState struct {
+	url      string
+	lastSeen time.Time
+}
+
+// Coordinator owns the cluster's membership and lease table.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu      sync.Mutex
+	members map[string]*memberState
+	tasks   map[string]*task
+	queue   []string // FIFO of pending task keys (may hold stale entries)
+	wake    chan struct{}
+	closed  bool
+
+	workersJoined, workersExpired               uint64
+	leasesIssued, leasesExpired, leasesReissued uint64
+	tasksSubmitted, tasksCompleted, tasksFailed uint64
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// NewCoordinator builds a coordinator and starts its janitor (lease
+// and member expiry). Call Close on the way out.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:         cfg,
+		members:     make(map[string]*memberState),
+		tasks:       make(map[string]*task),
+		wake:        make(chan struct{}),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go c.janitor()
+	return c, nil
+}
+
+// Close stops the janitor. Outstanding TaskHandles never resolve
+// after Close; the owning server drains jobs first.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.janitorStop)
+	<-c.janitorDone
+}
+
+// janitor periodically expires members and leases and prunes terminal
+// tasks. The tick is fast relative to the TTLs so expiry latency is
+// bounded by the TTLs themselves, not the sweep cadence.
+func (c *Coordinator) janitor() {
+	defer close(c.janitorDone)
+	tick := c.cfg.LeaseTTL / 8
+	if tick < 50*time.Millisecond {
+		tick = 50 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.janitorStop:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			c.expireLocked(time.Now())
+			c.mu.Unlock()
+		}
+	}
+}
+
+// expireLocked applies every time-based transition: dead members out
+// of the member set (their leases re-queue immediately), timed-out
+// leases back to pending, terminal tasks older than the retention
+// pruned. Caller holds mu.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for url, m := range c.members {
+		if now.Sub(m.lastSeen) <= c.cfg.MemberTTL {
+			continue
+		}
+		delete(c.members, url)
+		c.workersExpired++
+		c.cfg.Logger.Warn("cluster worker expired", "worker", url)
+		for key, t := range c.tasks {
+			if t.state == taskLeased && t.worker == url {
+				c.requeueLocked(key, t, "worker expired")
+			}
+		}
+	}
+	for key, t := range c.tasks {
+		switch t.state {
+		case taskLeased:
+			if now.After(t.deadline) {
+				c.requeueLocked(key, t, "lease ttl elapsed")
+			}
+		case taskDone, taskFailed:
+			if now.Sub(t.doneAt) > c.cfg.DoneRetention {
+				delete(c.tasks, key)
+			}
+		}
+	}
+}
+
+// requeueLocked returns a leased task to the pending queue. Caller
+// holds mu.
+func (c *Coordinator) requeueLocked(key string, t *task, why string) {
+	c.cfg.Logger.Warn("cluster lease expired",
+		"key", key[:12], "worker", t.worker, "reason", why)
+	t.state = taskPending
+	t.worker = ""
+	t.expired = true
+	c.leasesExpired++
+	c.queue = append(c.queue, key)
+	c.wakeLocked()
+}
+
+// wakeLocked wakes every long-polling lease request. Caller holds mu.
+func (c *Coordinator) wakeLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// touchLocked refreshes (or implicitly registers) a member. Caller
+// holds mu.
+func (c *Coordinator) touchLocked(url string) {
+	if m, ok := c.members[url]; ok {
+		m.lastSeen = time.Now()
+		return
+	}
+	c.members[url] = &memberState{url: url, lastSeen: time.Now()}
+	c.workersJoined++
+	c.cfg.Logger.Info("cluster worker joined", "worker", url)
+}
+
+// memberURLsLocked returns self plus the live workers, sorted for
+// deterministic wire payloads. Caller holds mu.
+func (c *Coordinator) memberURLsLocked() []string {
+	out := make([]string, 0, len(c.members)+1)
+	out = append(out, c.cfg.Self)
+	for url := range c.members {
+		if url != c.cfg.Self {
+			out = append(out, url)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MemberURLs returns the current live member list (coordinator
+// included) — the MembersFunc the coordinator's own sharded store
+// routes by.
+func (c *Coordinator) MemberURLs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memberURLsLocked()
+}
+
+// ---- task submission (server side) ----
+
+// TaskHandle follows one submitted task to its terminal state.
+type TaskHandle struct {
+	Key string
+	t   *task
+}
+
+// Done closes when the task reaches a terminal state.
+func (h *TaskHandle) Done() <-chan struct{} { return h.t.done }
+
+// Err returns the task's terminal error; call only after Done closes.
+func (h *TaskHandle) Err() error { return h.t.err }
+
+// Submit enqueues a task (or coalesces onto the existing entry for
+// its key — tasks from concurrent jobs that share a unit share one
+// lease, the cluster-wide single-flight). A previously failed entry
+// is replaced so resubmission retries.
+func (c *Coordinator) Submit(t Task) *TaskHandle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.tasks[t.Key]; ok && existing.state != taskFailed {
+		return &TaskHandle{Key: t.Key, t: existing}
+	}
+	nt := &task{Task: t, state: taskPending, done: make(chan struct{})}
+	c.tasks[t.Key] = nt
+	c.queue = append(c.queue, t.Key)
+	c.tasksSubmitted++
+	c.wakeLocked()
+	return &TaskHandle{Key: t.Key, t: nt}
+}
+
+// ---- lease protocol (worker side) ----
+
+// lease grants the next pending task to worker, long-polling up to
+// wait. ok is false when no task became available in time.
+func (c *Coordinator) lease(ctx context.Context, worker string, wait time.Duration) (Task, bool) {
+	deadline := time.Now().Add(wait)
+	for {
+		c.mu.Lock()
+		c.touchLocked(worker)
+		c.expireLocked(time.Now())
+		for len(c.queue) > 0 {
+			key := c.queue[0]
+			c.queue = c.queue[1:]
+			t, ok := c.tasks[key]
+			if !ok || t.state != taskPending {
+				continue // stale queue entry (pruned, or already re-leased)
+			}
+			t.state = taskLeased
+			t.worker = worker
+			t.deadline = time.Now().Add(c.cfg.LeaseTTL)
+			c.leasesIssued++
+			if t.expired {
+				c.leasesReissued++
+				c.cfg.Logger.Info("cluster lease re-issued", "key", key[:12], "worker", worker)
+			}
+			out := t.Task
+			c.mu.Unlock()
+			return out, true
+		}
+		wake := c.wake
+		c.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Task{}, false
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+			return Task{}, false
+		case <-ctx.Done():
+			timer.Stop()
+			return Task{}, false
+		}
+	}
+}
+
+// heartbeat refreshes worker's membership and extends its held
+// leases, returning the live member list.
+func (c *Coordinator) heartbeat(worker string, held []string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(worker)
+	for _, key := range held {
+		if t, ok := c.tasks[key]; ok && t.state == taskLeased && t.worker == worker {
+			t.deadline = time.Now().Add(c.cfg.LeaseTTL)
+		}
+	}
+	return c.memberURLsLocked()
+}
+
+// complete records a leased task's outcome. Completions are accepted
+// from any worker (a lease may have expired and been re-issued — the
+// first terminal report wins; later ones are no-ops, harmless because
+// all runs of a key produce identical artifacts).
+func (c *Coordinator) complete(worker, key, errMsg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(worker)
+	t, ok := c.tasks[key]
+	if !ok || t.state == taskDone || t.state == taskFailed {
+		return
+	}
+	t.doneAt = time.Now()
+	t.worker = ""
+	if errMsg != "" {
+		t.state = taskFailed
+		t.err = fmt.Errorf("cluster: task %s failed on %s: %s", key[:12], worker, errMsg)
+		c.tasksFailed++
+		c.cfg.Logger.Error("cluster task failed", "key", key[:12], "worker", worker, "err", errMsg)
+	} else {
+		t.state = taskDone
+		c.tasksCompleted++
+	}
+	close(t.done)
+}
+
+// leave deregisters a worker; its leases re-queue immediately.
+func (c *Coordinator) leave(worker string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.members[worker]; !ok {
+		return
+	}
+	delete(c.members, worker)
+	c.cfg.Logger.Info("cluster worker left", "worker", worker)
+	for key, t := range c.tasks {
+		if t.state == taskLeased && t.worker == worker {
+			c.requeueLocked(key, t, "worker left")
+		}
+	}
+}
+
+// Stats snapshots the coordinator's gauges and counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		WorkersLive:    len(c.members),
+		WorkersJoined:  c.workersJoined,
+		WorkersExpired: c.workersExpired,
+		LeasesIssued:   c.leasesIssued,
+		LeasesExpired:  c.leasesExpired,
+		LeasesReissued: c.leasesReissued,
+		TasksSubmitted: c.tasksSubmitted,
+		TasksCompleted: c.tasksCompleted,
+		TasksFailed:    c.tasksFailed,
+	}
+	for _, t := range c.tasks {
+		switch t.state {
+		case taskPending:
+			st.TasksPending++
+		case taskLeased:
+			st.LeasesOutstanding++
+		}
+	}
+	return st
+}
+
+// Status renders the full status view for /v1/cluster/status.
+func (c *Coordinator) Status() StatusView {
+	st := c.Stats()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := StatusView{Self: c.cfg.Self, Replicas: c.cfg.Replicas, Counters: st}
+	held := map[string]int{}
+	for _, t := range c.tasks {
+		switch t.state {
+		case taskPending:
+			v.Tasks.Pending++
+		case taskLeased:
+			v.Tasks.Leased++
+			held[t.worker]++
+		case taskDone:
+			v.Tasks.Done++
+		case taskFailed:
+			v.Tasks.Failed++
+		}
+	}
+	now := time.Now()
+	for _, m := range c.members {
+		v.Workers = append(v.Workers, WorkerView{
+			URL:           m.url,
+			LastSeenMilli: now.Sub(m.lastSeen).Milliseconds(),
+			Held:          held[m.url],
+		})
+	}
+	sort.Slice(v.Workers, func(i, j int) bool { return v.Workers[i].URL < v.Workers[j].URL })
+	return v
+}
+
+// ---- HTTP surface ----
+
+// maxClusterBody bounds protocol bodies (tasks are small; the config
+// dominates and is well under a kilobyte).
+const maxClusterBody = 1 << 20
+
+// maxLeaseWait caps a lease request's long-poll.
+const maxLeaseWait = 30 * time.Second
+
+// Register mounts the cluster protocol on mux.
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/cluster/join", c.handleJoin)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/cluster/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/cluster/complete", c.handleComplete)
+	mux.HandleFunc("POST /v1/cluster/leave", c.handleLeave)
+	mux.HandleFunc("GET /v1/cluster/status", c.handleStatus)
+}
+
+// decodeBody strictly decodes a bounded JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxClusterBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return false
+	}
+	return true
+}
+
+// validWorkerURL rejects registration of unusable member URLs (they
+// would poison shard placement for every key they win).
+func validWorkerURL(raw string) error {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return err
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("unsupported scheme %q", u.Scheme)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("missing host")
+	}
+	return nil
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := validWorkerURL(req.URL); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("worker url: %v", err))
+		return
+	}
+	c.mu.Lock()
+	c.touchLocked(req.URL)
+	members := c.memberURLsLocked()
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, JoinResponse{
+		Members:         members,
+		Replicas:        c.cfg.Replicas,
+		LeaseTTLMillis:  c.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMillis: c.cfg.HeartbeatEvery.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := validWorkerURL(req.URL); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("worker url: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Members: c.heartbeat(req.URL, req.Held)})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := validWorkerURL(req.URL); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("worker url: %v", err))
+		return
+	}
+	wait := time.Duration(req.WaitMillis) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxLeaseWait {
+		wait = maxLeaseWait
+	}
+	t, ok := c.lease(r.Context(), req.URL, wait)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, LeaseResponse{Task: t, TTLMillis: c.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.complete(req.URL, req.Key, req.Error)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var req LeaveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.leave(req.URL)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{msg})
+}

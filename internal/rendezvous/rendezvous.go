@@ -1,0 +1,100 @@
+// Package rendezvous implements highest-random-weight (HRW, a.k.a.
+// rendezvous) hashing: given a key and the set of live cluster
+// members, every node independently computes the same ranked list of
+// owners without any coordination or shared state beyond the member
+// list itself.
+//
+// Properties the cluster layer relies on (and the tests pin):
+//
+//   - determinism: the ranking depends only on the (key, member) pairs,
+//     never on the order the member list is presented in;
+//   - minimal disruption: removing a member only reassigns the keys
+//     that member owned — every other key keeps its owners — and adding
+//     a member only steals the keys it now wins;
+//   - replica distinctness: the top-n owners of a key are n distinct
+//     members (as long as the member list has n distinct entries).
+//
+// The score is an FNV-1a hash of the key and member mixed through the
+// splitmix64 finalizer — the same dependency-free mixing the rest of
+// the repository uses for deterministic seeding — so any two processes
+// compiled from this package agree byte-for-byte.
+package rendezvous
+
+import "sort"
+
+// score is the HRW weight of member for key. A separator constant is
+// folded between the two strings so ("ab","c") and ("a","bc") cannot
+// collide.
+func score(key, member string) uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= 0x9E3779B97F4A7C15
+	h *= 1099511628211
+	for i := 0; i < len(member); i++ {
+		h ^= uint64(member[i])
+		h *= 1099511628211
+	}
+	// splitmix64 finalizer: full-avalanche mixing so near-identical
+	// member strings (":8344" vs ":8345") still rank independently.
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	return h ^ (h >> 31)
+}
+
+// Owners returns the top-n members for key in descending HRW order:
+// Owners(k, m, n)[0] is the key's primary owner, [1] the first
+// replica, and so on. Duplicate member entries are collapsed, ties
+// break lexicographically (scores are 64-bit, so ties essentially
+// never happen, but the break keeps the function a total order), and
+// fewer than n members returns them all. The input slice is not
+// modified.
+func Owners(key string, members []string, n int) []string {
+	if n <= 0 || len(members) == 0 {
+		return nil
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]struct{}, len(members))
+	for _, m := range members {
+		if _, ok := seen[m]; ok {
+			continue
+		}
+		seen[m] = struct{}{}
+		uniq = append(uniq, m)
+	}
+	type ranked struct {
+		member string
+		score  uint64
+	}
+	rs := make([]ranked, len(uniq))
+	for i, m := range uniq {
+		rs[i] = ranked{member: m, score: score(key, m)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].score != rs[j].score {
+			return rs[i].score > rs[j].score
+		}
+		return rs[i].member < rs[j].member
+	})
+	if n > len(rs) {
+		n = len(rs)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = rs[i].member
+	}
+	return out
+}
+
+// Owner returns the primary owner of key, or "" with no members.
+func Owner(key string, members []string) string {
+	o := Owners(key, members, 1)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}

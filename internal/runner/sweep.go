@@ -159,8 +159,8 @@ type Sweep struct {
 	sink obs.Sink
 	// cache, when set, is the content-addressed result store consulted
 	// before (and populated after) every workload-driven simulation
-	// (see cache.go).
-	cache *castore.Store
+	// (see cache.go) — node-local or cluster-sharded.
+	cache castore.Backend
 	// ckptEvery is the prefix-checkpoint stride: 0 = default (every 4th
 	// measured boundary), negative = disabled (see checkpoint.go).
 	ckptEvery int

@@ -1,0 +1,54 @@
+// Coordinator-mode job execution: a job's units become cluster tasks
+// leased to joined workers instead of jobs on a local sweep. The SSE
+// event stream keeps its shape — one "task" event per unit lifecycle
+// transition — so clients cannot tell (and need not care) whether a
+// job ran locally or across the cluster.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// runClusterJob submits every unit of j to the coordinator's task
+// table and waits for the leases to resolve. Units shared with other
+// in-flight jobs (or already computed) coalesce onto existing table
+// entries — the cluster-wide single-flight — so a unit simulates at
+// most once no matter how many jobs want it.
+func (s *Server) runClusterJob(ctx context.Context, j *Job) error {
+	total := len(j.Units)
+	handles := make([]*cluster.TaskHandle, total)
+	for i, u := range j.Units {
+		handles[i] = s.cfg.Cluster.Submit(cluster.Task{
+			Key:      u.Key,
+			Label:    u.Label,
+			Config:   u.cfg,
+			Workload: u.Workload,
+		})
+		j.log.publish("task", Event{Task: "started", Label: u.Label, Total: total})
+	}
+	finished := 0
+	var errs []error
+	for i, h := range handles {
+		select {
+		case <-h.Done():
+		case <-ctx.Done():
+			return fmt.Errorf("serve: cluster job interrupted after %d/%d units: %w",
+				finished, total, ctx.Err())
+		}
+		finished++
+		ev := Event{Label: j.Units[i].Label, Finished: finished, Total: total}
+		if err := h.Err(); err != nil {
+			errs = append(errs, err)
+			ev.Task = "failed"
+			ev.Error = err.Error()
+		} else {
+			ev.Task = "done"
+		}
+		j.log.publish("task", ev)
+	}
+	return errors.Join(errs...)
+}

@@ -77,6 +77,29 @@ func (s *Server) metricsData() (gauges, counters []metricPoint, hists []histPoin
 		{name: "esteem_serve_prefix_checkpoint_saved_instructions_total", help: "Measured instructions skipped by resuming from prefix checkpoints.", cval: st.PrefixSavedInstr},
 		{name: "esteem_serve_trace_spans_dropped_total", help: "Spans evicted from the tracer's ring.", cval: ts.Dropped},
 		{name: "esteem_serve_trace_unsampled_total", help: "Traces head-sampled out.", cval: ts.Unsampled},
+		{name: "esteem_serve_shard_remote_hits_total", help: "Artifacts fetched from a peer shard (zero when not clustered).", cval: st.RemoteHits},
+		{name: "esteem_serve_shard_remote_misses_total", help: "Peer shard lookups that found nothing.", cval: st.RemoteMisses},
+		{name: "esteem_serve_shard_repairs_total", help: "Read-through replication repairs.", cval: st.Repairs},
+		{name: "esteem_serve_shard_remote_puts_total", help: "Artifact replications to peer shards.", cval: st.RemotePuts},
+		{name: "esteem_serve_shard_remote_put_errors_total", help: "Failed replications to peer shards.", cval: st.RemotePutErrors},
+	}
+	if s.cfg.Cluster != nil {
+		cs := s.cfg.Cluster.Stats()
+		gauges = append(gauges,
+			metricPoint{name: "esteem_cluster_workers_live", help: "Workers currently registered and heartbeating.", gval: float64(cs.WorkersLive)},
+			metricPoint{name: "esteem_cluster_leases_outstanding", help: "Leases currently held by workers.", gval: float64(cs.LeasesOutstanding)},
+			metricPoint{name: "esteem_cluster_tasks_pending", help: "Tasks queued waiting for a lease.", gval: float64(cs.TasksPending)},
+		)
+		counters = append(counters,
+			metricPoint{name: "esteem_cluster_workers_joined_total", help: "Worker join registrations.", cval: cs.WorkersJoined},
+			metricPoint{name: "esteem_cluster_workers_expired_total", help: "Workers expired for missing heartbeats.", cval: cs.WorkersExpired},
+			metricPoint{name: "esteem_cluster_leases_issued_total", help: "Leases granted to workers.", cval: cs.LeasesIssued},
+			metricPoint{name: "esteem_cluster_leases_expired_total", help: "Leases that timed out and re-queued.", cval: cs.LeasesExpired},
+			metricPoint{name: "esteem_cluster_leases_reissued_total", help: "Re-grants of previously expired leases.", cval: cs.LeasesReissued},
+			metricPoint{name: "esteem_cluster_tasks_submitted_total", help: "Tasks entered into the lease table.", cval: cs.TasksSubmitted},
+			metricPoint{name: "esteem_cluster_tasks_completed_total", help: "Tasks completed by workers.", cval: cs.TasksCompleted},
+			metricPoint{name: "esteem_cluster_tasks_failed_total", help: "Tasks that failed on a worker.", cval: cs.TasksFailed},
+		)
 	}
 	hists = []histPoint{
 		{name: "esteem_serve_queue_wait_seconds", help: "Time jobs spent in the admission queue.", view: s.queueWaitHist.view()},

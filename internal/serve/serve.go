@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/castore"
 	"repro/internal/cliflags"
+	"repro/internal/cluster"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -46,8 +47,14 @@ import (
 // defaults.
 type Config struct {
 	// Store is the content-addressed result store shared by every
-	// job. Required.
-	Store *castore.Store
+	// job — a node-local *castore.Store, or a *castore.Sharded when
+	// the server fronts a cluster. Required.
+	Store castore.Backend
+	// Cluster, when set, makes this server a cluster coordinator: job
+	// units are submitted as leases to the coordinator's task table
+	// and executed by joined workers instead of a local sweep, and the
+	// cluster protocol plus shard transport are mounted on the mux.
+	Cluster *cluster.Coordinator
 	// Workers is the number of jobs executing concurrently
 	// (default 1).
 	Workers int
@@ -169,6 +176,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Cluster != nil {
+		cfg.Cluster.Register(s.mux)
+		// The coordinator is itself a shard: serve its local store to
+		// worker peers over the same transport they use among
+		// themselves.
+		if sh, ok := cfg.Store.(*castore.Sharded); ok {
+			castore.RegisterShard(s.mux, sh.Local())
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -237,7 +253,7 @@ func (s *Server) accessLog(next http.Handler) http.Handler {
 }
 
 // Store returns the shared result store (for stats reporting).
-func (s *Server) Store() *castore.Store { return s.cfg.Store }
+func (s *Server) Store() castore.Backend { return s.cfg.Store }
 
 // worker executes queued jobs until the queue closes or the base
 // context is cancelled.
@@ -295,13 +311,24 @@ func (s *Server) runJob(j *Job) {
 	rsp := j.span.Child("run")
 	ctx = tracez.ContextWith(ctx, rsp)
 	computeStart := time.Now()
-	sweep := runner.NewSweep(s.cfg.SimWorkers, runner.WithTaskHook(j.taskEvent))
-	sweep.SetCache(s.cfg.Store)
-	for _, u := range j.Units {
-		sweep.Sim(u.cfg, u.Workload)
+	var (
+		err         error
+		sims, instr uint64
+	)
+	if s.cfg.Cluster != nil {
+		// Coordinator mode: units become cluster leases executed by
+		// workers; sims/instr stay zero here (the workers' own metrics
+		// account for compute).
+		err = s.runClusterJob(ctx, j)
+	} else {
+		sweep := runner.NewSweep(s.cfg.SimWorkers, runner.WithTaskHook(j.taskEvent))
+		sweep.SetCache(s.cfg.Store)
+		for _, u := range j.Units {
+			sweep.Sim(u.cfg, u.Workload)
+		}
+		err = sweep.Run(ctx)
+		sims, instr = sweep.Stats()
 	}
-	err := sweep.Run(ctx)
-	sims, instr := sweep.Stats()
 	computeDur := time.Since(computeStart)
 	rsp.SetAttrInt("sims", int64(sims))
 	rsp.End()
