@@ -38,6 +38,7 @@ var tracked = []string{
 	"BenchmarkActiveFraction",
 	"BenchmarkRefreshWindow",
 	"BenchmarkSimRunShort",
+	"BenchmarkClusterTask",
 }
 
 // trackedBy returns the tracked base name that benchmark result name

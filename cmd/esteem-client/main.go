@@ -279,24 +279,183 @@ func postJob(server string, body []byte, traceparent string, attempts int) (*htt
 	}
 }
 
-// cmdCluster inspects a coordinator: "cluster status" dumps the
-// membership and lease-table view of GET /v1/cluster/status.
+// cmdCluster inspects a coordinator: "status" dumps the membership
+// and lease-table view, "metrics" the fleet-aggregated metrics,
+// "events" the cluster event journal, and "top" a live refreshing
+// per-worker table.
 func cmdCluster(args []string) error {
-	if len(args) == 0 || args[0] != "status" {
-		return fmt.Errorf("usage: esteem-client cluster status [-server URL]")
+	usage := fmt.Errorf("usage: esteem-client cluster <status|metrics|events|top> [flags]")
+	if len(args) == 0 {
+		return usage
 	}
-	fs := flag.NewFlagSet("cluster status", flag.ExitOnError)
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "status":
+		return clusterPassthrough(rest, "cluster status", func(fs *flag.FlagSet) string {
+			return "/v1/cluster/status"
+		})
+	case "metrics":
+		var asJSON *bool
+		return clusterPassthrough(rest, "cluster metrics", func(fs *flag.FlagSet) string {
+			if asJSON == nil {
+				asJSON = fs.Bool("json", false, "fetch the JSON fleet view instead of Prometheus text")
+				return ""
+			}
+			if *asJSON {
+				return "/v1/cluster/metrics?format=json"
+			}
+			return "/v1/cluster/metrics"
+		})
+	case "events":
+		var since, max *int64
+		return clusterPassthrough(rest, "cluster events", func(fs *flag.FlagSet) string {
+			if since == nil {
+				since = fs.Int64("since", 0, "return journal events with seq > this")
+				max = fs.Int64("max", 0, "cap the number of events returned (0 = server default)")
+				return ""
+			}
+			return fmt.Sprintf("/v1/cluster/events?since=%d&max=%d", *since, *max)
+		})
+	case "top":
+		return cmdClusterTop(rest)
+	default:
+		return usage
+	}
+}
+
+// clusterPassthrough GETs one coordinator endpoint and copies the body
+// to stdout. path is called once before flag parsing (to register
+// flags; ignored return) and once after (to build the URL).
+func clusterPassthrough(args []string, name string, path func(*flag.FlagSet) string) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	server := serverFlag(fs)
-	if err := fs.Parse(args[1:]); err != nil {
+	path(fs)
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	resp, err := get(*server, "/v1/cluster/status")
+	resp, err := get(*server, path(fs))
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	_, err = io.Copy(os.Stdout, resp.Body)
 	return err
+}
+
+// fleetView mirrors cluster.FleetView using serve's metrics types (the
+// JSON tags are the shared contract), so the client needs no import of
+// the cluster package internals.
+type fleetView struct {
+	Self    string            `json:"self"`
+	Members []fleetMember     `json:"members"`
+	Fleet   serve.MetricsView `json:"fleet"`
+}
+
+type fleetMember struct {
+	URL     string             `json:"url"`
+	Error   string             `json:"error,omitempty"`
+	Metrics *serve.MetricsView `json:"metrics,omitempty"`
+}
+
+// cmdClusterTop renders a live refreshing fleet table: one row per
+// member with leases held, simulation throughput (counter delta over
+// the refresh interval), cumulative cache hit rate and executed tasks,
+// headed by fleet totals and the fleet-wide queue-wait p99.
+func cmdClusterTop(args []string) error {
+	fs := flag.NewFlagSet("cluster top", flag.ExitOnError)
+	server := serverFlag(fs)
+	interval := fs.Duration("interval", 2*time.Second, "refresh cadence")
+	count := fs.Int("count", 0, "exit after this many refreshes (0 = run until interrupted)")
+	plain := fs.Bool("plain", false, "append frames instead of clearing the screen (for logs and pipes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prevSims := map[string]uint64{}
+	prevAt := time.Now()
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		view, err := fetchFleet(*server)
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		if !*plain {
+			fmt.Print("\033[2J\033[H")
+		}
+		renderFleet(os.Stdout, view, prevSims, now.Sub(prevAt))
+		prevAt = now
+	}
+	return nil
+}
+
+func fetchFleet(server string) (fleetView, error) {
+	var view fleetView
+	resp, err := get(server, "/v1/cluster/metrics?format=json")
+	if err != nil {
+		return view, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return view, fmt.Errorf("decoding fleet view: %v", err)
+	}
+	return view, nil
+}
+
+// memberSims extracts a member's simulation counter: workers count
+// esteem_worker_sims_computed_total, the coordinator (a serve node)
+// esteem_serve_sims_executed_total.
+func memberSims(m serve.MetricsView) uint64 {
+	if v, ok := m.Counters["esteem_worker_sims_computed_total"]; ok {
+		return v
+	}
+	return m.Counters["esteem_serve_sims_executed_total"]
+}
+
+func renderFleet(w io.Writer, view fleetView, prevSims map[string]uint64, since time.Duration) {
+	reachable := 0
+	for _, m := range view.Members {
+		if m.Metrics != nil {
+			reachable++
+		}
+	}
+	p99 := load.HistogramQuantile(view.Fleet.Histograms["esteem_serve_queue_wait_seconds"], 0.99)
+	fmt.Fprintf(w, "fleet %s  members %d/%d reachable  workers %.0f  leases %.0f  queue-wait p99 %.1fms  %s\n",
+		view.Self, reachable, len(view.Members),
+		view.Fleet.Gauges["esteem_cluster_workers_live"],
+		view.Fleet.Gauges["esteem_cluster_leases_outstanding"]+view.Fleet.Gauges["esteem_worker_leases_held"],
+		p99*1e3, time.Now().Format("15:04:05"))
+	fmt.Fprintf(w, "%-32s %6s %8s %6s %7s %9s\n", "NODE", "LEASES", "SIMS/S", "HIT%", "TASKS", "UPTIME")
+	for _, m := range view.Members {
+		node := strings.TrimPrefix(m.URL, "http://")
+		if m.Error != "" {
+			fmt.Fprintf(w, "%-32s %s\n", node, "unreachable: "+m.Error)
+			continue
+		}
+		mm := *m.Metrics
+		sims := memberSims(mm)
+		// Throughput from the counter delta between refreshes; the
+		// first frame has no previous sample and falls back to the
+		// lifetime average.
+		var rate float64
+		if prev, ok := prevSims[m.URL]; ok && since > 0 && sims >= prev {
+			rate = float64(sims-prev) / since.Seconds()
+		} else if mm.UptimeSeconds > 0 {
+			rate = float64(sims) / mm.UptimeSeconds
+		}
+		prevSims[m.URL] = sims
+		hits := mm.Counters["esteem_worker_store_hits_total"] + mm.Counters["esteem_serve_cache_hits_total"]
+		misses := mm.Counters["esteem_worker_store_misses_total"] + mm.Counters["esteem_serve_cache_misses_total"]
+		hitPct := 0.0
+		if hits+misses > 0 {
+			hitPct = 100 * float64(hits) / float64(hits+misses)
+		}
+		tasks := mm.Counters["esteem_worker_tasks_executed_total"] + mm.Counters["esteem_serve_jobs_completed_total"]
+		leases := mm.Gauges["esteem_worker_leases_held"] + mm.Gauges["esteem_cluster_leases_outstanding"]
+		fmt.Fprintf(w, "%-32s %6.0f %8.1f %5.1f%% %7d %8.0fs\n",
+			node, leases, rate, hitPct, tasks, mm.UptimeSeconds)
+	}
 }
 
 func cmdGetJSON(args []string, name string, path func(string) string) error {

@@ -105,13 +105,19 @@ func run() error {
 	if self == "" {
 		self = "http://" + bound
 	}
+	// One tracer per process, shared by every layer that records spans:
+	// the job API, the coordinator's span-injection endpoint, and (in
+	// worker mode) the lease executor. Sharing it is what lets worker
+	// spans merge into the same ring the /v1/jobs/{id}/trace export
+	// drains.
+	tracer := tracez.New(tracez.Config{SampleRatio: *traceSample, RingSize: *traceRing})
 
 	switch *role {
 	case "", "standalone":
 		return runServe(ln, store, nil, serveParams{
 			workers: *workers, simJobs: *simJobs, queue: *queue,
 			jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
-			traceSample: *traceSample, traceRing: *traceRing,
+			tracer: tracer, node: self,
 			cacheDir: *cacheDir, logger: logger,
 		})
 	case "coordinator":
@@ -120,6 +126,7 @@ func run() error {
 			LeaseTTL:       *leaseTTL,
 			HeartbeatEvery: *heartbeat,
 			Replicas:       *replicas,
+			Tracer:         tracer,
 			Logger:         logger,
 		})
 		if err != nil {
@@ -130,7 +137,7 @@ func run() error {
 		return runServe(ln, shard, coord, serveParams{
 			workers: *workers, simJobs: *simJobs, queue: *queue,
 			jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
-			traceSample: *traceSample, traceRing: *traceRing,
+			tracer: tracer, node: self,
 			cacheDir: *cacheDir, logger: logger,
 		})
 	case "worker":
@@ -144,6 +151,7 @@ func run() error {
 			Replicas:    *replicas,
 			Executors:   *executors,
 			SimWorkers:  *simJobs,
+			Tracer:      tracer,
 			Logger:      logger,
 		}, *drainTimeout)
 	default:
@@ -156,8 +164,8 @@ func run() error {
 type serveParams struct {
 	workers, simJobs, queue  int
 	jobTimeout, drainTimeout time.Duration
-	traceSample              float64
-	traceRing                int
+	tracer                   *tracez.Tracer
+	node                     string
 	cacheDir                 string
 	logger                   *slog.Logger
 }
@@ -172,7 +180,8 @@ func runServe(ln net.Listener, store castore.Backend, coord *cluster.Coordinator
 		SimWorkers: p.simJobs,
 		QueueDepth: p.queue,
 		JobTimeout: p.jobTimeout,
-		Tracer:     tracez.New(tracez.Config{SampleRatio: p.traceSample, RingSize: p.traceRing}),
+		Tracer:     p.tracer,
+		Node:       p.node,
 		Logger:     p.logger,
 	})
 	if err != nil {

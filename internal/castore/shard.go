@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/rendezvous"
+	"repro/internal/tracez"
 )
 
 // ShardPathPrefix is the URL prefix of the shard transport every
@@ -71,7 +72,16 @@ type Sharded struct {
 	repairs       atomic.Uint64
 	remotePuts    atomic.Uint64
 	remotePutErrs atomic.Uint64
+
+	// onRepair, if set, observes each successful read-through repair
+	// (the cluster worker forwards them into the event journal).
+	onRepair func(key, node string)
 }
+
+// SetRepairHook registers a callback invoked after each successful
+// read-through repair with the repaired key and the owner node that
+// received the copy. Must be set before the store is shared.
+func (s *Sharded) SetRepairHook(fn func(key, node string)) { s.onRepair = fn }
 
 // NewSharded layers cluster-wide sharding over local. self is this
 // node's base URL exactly as other members will list it; members
@@ -107,9 +117,20 @@ func (s *Sharded) Owners(key string) []string {
 // owners, or any other live member (stale-placement backstop). Remote
 // hits are cached locally and repaired onto owners that missed.
 func (s *Sharded) Get(key string) ([]byte, bool, error) {
+	return s.getCtx(context.Background(), key)
+}
+
+// getCtx is Get with trace propagation: when ctx carries a sampled
+// span AND the local store misses, the remote probe sequence runs
+// under a "shard-get" child whose traceparent travels on every peer
+// request. The local-hit fast path does no tracing work at all.
+func (s *Sharded) getCtx(ctx context.Context, key string) ([]byte, bool, error) {
 	if data, ok, err := s.local.Get(key); err != nil || ok {
 		return data, ok, err
 	}
+	sp := tracez.FromContext(ctx).Child("shard-get")
+	sp.SetAttr("key", shortKey(key))
+	defer sp.End()
 	members := s.members()
 	owners := rendezvous.Owners(key, members, s.rf)
 	// Probe owners first, then the rest of the membership; track the
@@ -121,7 +142,7 @@ func (s *Sharded) Get(key string) ([]byte, bool, error) {
 			return nil, false
 		}
 		probed[node] = true
-		data, ok, err := s.remoteGet(node, key)
+		data, ok, err := s.remoteGet(ctx, sp, node, key)
 		if err != nil || !ok {
 			s.remoteMisses.Add(1)
 			return nil, false
@@ -129,18 +150,29 @@ func (s *Sharded) Get(key string) ([]byte, bool, error) {
 		s.remoteHits.Add(1)
 		return data, true
 	}
-	finish := func(data []byte) ([]byte, bool, error) {
+	finish := func(source string, data []byte) ([]byte, bool, error) {
 		// Read-through: cache locally, then repair the owners that
 		// missed before this replica answered (best-effort). The local
 		// put doubles as the self-repair when this node is an owner.
+		sp.SetAttr("source", source)
 		s.local.Put(key, data)
 		for _, o := range missedOwners {
 			if o == s.self {
 				s.repairs.Add(1)
+				if s.onRepair != nil {
+					s.onRepair(key, o)
+				}
 				continue
 			}
-			if s.remotePut(o, key, data) == nil {
+			rsp := sp.Child("shard-repair")
+			rsp.SetAttr("target", o)
+			err := s.remotePut(ctx, rsp, o, key, data)
+			rsp.End()
+			if err == nil {
 				s.repairs.Add(1)
+				if s.onRepair != nil {
+					s.onRepair(key, o)
+				}
 			}
 		}
 		return data, true, nil
@@ -151,16 +183,25 @@ func (s *Sharded) Get(key string) ([]byte, bool, error) {
 			continue
 		}
 		if data, ok := try(o); ok {
-			return finish(data)
+			return finish(o, data)
 		}
 		missedOwners = append(missedOwners, o)
 	}
 	for _, m := range members {
 		if data, ok := try(m); ok {
-			return finish(data)
+			return finish(m, data)
 		}
 	}
+	sp.SetAttr("result", "miss")
 	return nil, false, nil
+}
+
+// shortKey truncates a content address for span attrs and logs.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // Put stores the artifact locally and on every remote owner. It fails
@@ -180,7 +221,7 @@ func (s *Sharded) Put(key string, data []byte) error {
 			continue
 		}
 		s.remotePuts.Add(1)
-		if err := s.remotePut(o, key, data); err != nil {
+		if err := s.remotePut(context.Background(), nil, o, key, data); err != nil {
 			s.remotePutErrs.Add(1)
 			lastErr = err
 			continue
@@ -198,7 +239,7 @@ func (s *Sharded) Put(key string, data []byte) error {
 // single-flight lock and its result replicates to the key's owners
 // before the call returns.
 func (s *Sharded) GetOrCompute(ctx context.Context, key string, compute func(context.Context) ([]byte, error)) ([]byte, bool, error) {
-	if data, ok, err := s.Get(key); err != nil {
+	if data, ok, err := s.getCtx(ctx, key); err != nil {
 		return nil, false, err
 	} else if ok {
 		return data, true, nil
@@ -214,6 +255,9 @@ func (s *Sharded) GetOrCompute(ctx context.Context, key string, compute func(con
 		// re-runs later rather than completing with an unreachable
 		// artifact.
 		owners := s.Owners(key)
+		rsp := tracez.FromContext(ctx).Child("shard-replicate")
+		rsp.SetAttr("key", shortKey(key))
+		defer rsp.End()
 		authoritative := 0
 		var lastErr error
 		for _, o := range owners {
@@ -222,7 +266,7 @@ func (s *Sharded) GetOrCompute(ctx context.Context, key string, compute func(con
 				continue
 			}
 			s.remotePuts.Add(1)
-			if err := s.remotePut(o, key, data); err != nil {
+			if err := s.remotePut(ctx, rsp, o, key, data); err != nil {
 				s.remotePutErrs.Add(1)
 				lastErr = err
 				continue
@@ -263,9 +307,17 @@ func (s *Sharded) Stats() Stats {
 // ---- shard transport ----
 
 // remoteGet fetches key from node's local shard. A 404 is a miss, any
-// other non-2xx an error.
-func (s *Sharded) remoteGet(node, key string) ([]byte, bool, error) {
-	resp, err := s.client.Get(node + ShardPathPrefix + key)
+// other non-2xx an error. A sampled sp stamps its traceparent on the
+// request so the peer's access log can correlate.
+func (s *Sharded) remoteGet(ctx context.Context, sp *tracez.Span, node, key string) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+ShardPathPrefix+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if tp := tracez.Traceparent(sp); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	resp, err := s.client.Do(req)
 	if err != nil {
 		return nil, false, err
 	}
@@ -286,12 +338,15 @@ func (s *Sharded) remoteGet(node, key string) ([]byte, bool, error) {
 }
 
 // remotePut stores key on node's local shard.
-func (s *Sharded) remotePut(node, key string, data []byte) error {
-	req, err := http.NewRequest(http.MethodPut, node+ShardPathPrefix+key, bytes.NewReader(data))
+func (s *Sharded) remotePut(ctx context.Context, sp *tracez.Span, node, key string, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, node+ShardPathPrefix+key, bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tp := tracez.Traceparent(sp); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := s.client.Do(req)
 	if err != nil {
 		return err
@@ -307,9 +362,16 @@ func (s *Sharded) remotePut(node, key string, data []byte) error {
 // RegisterShard mounts the shard transport for local on mux: peers
 // read and write this node's replica set directly against its local
 // store (never through its sharded view, which would recurse across
-// the cluster).
-func RegisterShard(mux *http.ServeMux, local *Store) {
+// the cluster). node is this node's advertised URL, stamped on every
+// response as X-Esteem-Node ("" omits the header).
+func RegisterShard(mux *http.ServeMux, local *Store, node string) {
+	stamp := func(w http.ResponseWriter) {
+		if node != "" {
+			w.Header().Set("X-Esteem-Node", node)
+		}
+	}
 	mux.HandleFunc("GET "+ShardPathPrefix+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		stamp(w)
 		key := r.PathValue("key")
 		if !ValidKey(key) {
 			http.Error(w, "malformed shard key", http.StatusBadRequest)
@@ -329,6 +391,7 @@ func RegisterShard(mux *http.ServeMux, local *Store) {
 		w.Write(data)
 	})
 	mux.HandleFunc("PUT "+ShardPathPrefix+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		stamp(w)
 		key := r.PathValue("key")
 		if !ValidKey(key) {
 			http.Error(w, "malformed shard key", http.StatusBadRequest)

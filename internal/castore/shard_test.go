@@ -26,7 +26,7 @@ func newShardNode(t *testing.T) *shardNode {
 		t.Fatal(err)
 	}
 	mux := http.NewServeMux()
-	RegisterShard(mux, store)
+	RegisterShard(mux, store, "")
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return &shardNode{store: store, srv: srv}

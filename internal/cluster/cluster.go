@@ -28,6 +28,7 @@ package cluster
 
 import (
 	"repro/internal/sim"
+	"repro/internal/tracez"
 )
 
 // Task is one leasable simulation unit: the content address the
@@ -41,6 +42,13 @@ type Task struct {
 	Label    string     `json:"label"`
 	Config   sim.Config `json:"config"`
 	Workload []string   `json:"workload"`
+	// TraceID is the submitting job's trace ID (hex), stamped on every
+	// task so worker log lines carry a correlation id even when span
+	// shipping is off. Traceparent is the W3C header value of the
+	// coordinator-side lease span — the parent the worker's spans join
+	// under. Empty means the job's trace is unsampled.
+	TraceID     string `json:"trace_id,omitempty"`
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // ---- wire types (all POST bodies and responses are JSON) ----
@@ -65,10 +73,13 @@ type JoinResponse struct {
 }
 
 // HeartbeatRequest refreshes a worker's membership and extends the
-// leases it still holds.
+// leases it still holds. Events piggybacks worker-observed journal
+// events (replica repairs, version-skew rejections) for the
+// coordinator to sequence into the cluster journal.
 type HeartbeatRequest struct {
-	URL  string   `json:"url"`
-	Held []string `json:"held,omitempty"`
+	URL    string         `json:"url"`
+	Held   []string       `json:"held,omitempty"`
+	Events []JournalEvent `json:"events,omitempty"`
 }
 
 // HeartbeatResponse carries the current live member list.
@@ -91,11 +102,24 @@ type LeaseResponse struct {
 }
 
 // CompleteRequest reports a leased task's outcome. An empty Error
-// means the artifact is stored and the task is done.
+// means the artifact is stored and the task is done. Spans carries
+// the final batch of the task's completed spans (earlier batches of a
+// large trace flush through POST /v1/cluster/spans); the coordinator
+// injects them into its tracer before resolving the task, so a job
+// that observes completion can rely on its merged trace being whole.
 type CompleteRequest struct {
-	URL   string `json:"url"`
-	Key   string `json:"key"`
-	Error string `json:"error,omitempty"`
+	URL   string            `json:"url"`
+	Key   string            `json:"key"`
+	Error string            `json:"error,omitempty"`
+	Spans []tracez.WireSpan `json:"spans,omitempty"`
+}
+
+// SpansRequest is a bounded mid-task span flush (POST
+// /v1/cluster/spans): workers chunk large span sets so no single
+// protocol body exceeds the coordinator's request limit.
+type SpansRequest struct {
+	URL   string            `json:"url"`
+	Spans []tracez.WireSpan `json:"spans"`
 }
 
 // LeaveRequest deregisters a worker (graceful drain); its leases
@@ -140,4 +164,6 @@ type Stats struct {
 	TasksSubmitted    uint64 `json:"tasks_submitted_total"`
 	TasksCompleted    uint64 `json:"tasks_completed_total"`
 	TasksFailed       uint64 `json:"tasks_failed_total"`
+	SpansInjected     uint64 `json:"spans_injected_total"`
+	SpansDropped      uint64 `json:"spans_dropped_total"`
 }

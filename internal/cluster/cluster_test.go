@@ -110,7 +110,7 @@ func TestHeartbeatExtendsLease(t *testing.T) {
 	}
 	deadline := time.Now().Add(500 * time.Millisecond)
 	for time.Now().Before(deadline) {
-		c.heartbeat("http://w1", []string{h.Key})
+		c.heartbeat("http://w1", []string{h.Key}, nil)
 		time.Sleep(30 * time.Millisecond)
 	}
 	if st := c.Stats(); st.LeasesExpired != 0 {

@@ -16,6 +16,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/tracez"
 )
 
 // CoordinatorConfig parameterises a Coordinator. Zero values select
@@ -43,6 +45,15 @@ type CoordinatorConfig struct {
 	// Logger receives membership and lease lifecycle logs. Nil
 	// discards.
 	Logger *slog.Logger
+	// Tracer receives worker-shipped spans (Inject). Nil drops them —
+	// span shipping degrades gracefully when the coordinator doesn't
+	// trace.
+	Tracer *tracez.Tracer
+	// Client fetches member /metrics for fleet aggregation (default: a
+	// 5-second-timeout client).
+	Client *http.Client
+	// JournalSize bounds the cluster event journal ring (default 1024).
+	JournalSize int
 }
 
 func (c *CoordinatorConfig) fill() error {
@@ -70,6 +81,12 @@ func (c *CoordinatorConfig) fill() error {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if c.JournalSize <= 0 {
+		c.JournalSize = 1024
+	}
 	return nil
 }
 
@@ -93,8 +110,11 @@ type task struct {
 	// expired marks a lease that timed out at least once; the next
 	// grant counts as a re-issue.
 	expired bool
-	err     error
-	done    chan struct{}
+	// completedBy is the worker whose terminal report won, kept for
+	// attribution after worker is cleared.
+	completedBy string
+	err         error
+	done        chan struct{}
 }
 
 type memberState struct {
@@ -104,7 +124,8 @@ type memberState struct {
 
 // Coordinator owns the cluster's membership and lease table.
 type Coordinator struct {
-	cfg CoordinatorConfig
+	cfg     CoordinatorConfig
+	journal *Journal
 
 	mu      sync.Mutex
 	members map[string]*memberState
@@ -116,6 +137,7 @@ type Coordinator struct {
 	workersJoined, workersExpired               uint64
 	leasesIssued, leasesExpired, leasesReissued uint64
 	tasksSubmitted, tasksCompleted, tasksFailed uint64
+	spansInjected, spansDropped                 uint64
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -129,6 +151,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		cfg:         cfg,
+		journal:     NewJournal(cfg.JournalSize),
 		members:     make(map[string]*memberState),
 		tasks:       make(map[string]*task),
 		wake:        make(chan struct{}),
@@ -191,6 +214,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		delete(c.members, url)
 		c.workersExpired++
 		c.cfg.Logger.Warn("cluster worker expired", "worker", url)
+		c.journal.Append(JournalEvent{Kind: EventWorkerExpired, Worker: url})
 		for key, t := range c.tasks {
 			if t.state == taskLeased && t.worker == url {
 				c.requeueLocked(key, t, "worker expired")
@@ -216,6 +240,10 @@ func (c *Coordinator) expireLocked(now time.Time) {
 func (c *Coordinator) requeueLocked(key string, t *task, why string) {
 	c.cfg.Logger.Warn("cluster lease expired",
 		"key", key[:12], "worker", t.worker, "reason", why)
+	c.journal.Append(JournalEvent{
+		Kind: EventLeaseExpired, Worker: t.worker, Key: key,
+		TraceID: t.TraceID, Detail: why,
+	})
 	t.state = taskPending
 	t.worker = ""
 	t.expired = true
@@ -240,6 +268,7 @@ func (c *Coordinator) touchLocked(url string) {
 	c.members[url] = &memberState{url: url, lastSeen: time.Now()}
 	c.workersJoined++
 	c.cfg.Logger.Info("cluster worker joined", "worker", url)
+	c.journal.Append(JournalEvent{Kind: EventWorkerJoined, Worker: url})
 }
 
 // memberURLsLocked returns self plus the live workers, sorted for
@@ -279,6 +308,10 @@ func (h *TaskHandle) Done() <-chan struct{} { return h.t.done }
 // Err returns the task's terminal error; call only after Done closes.
 func (h *TaskHandle) Err() error { return h.t.err }
 
+// Worker returns the worker whose terminal report resolved the task;
+// call only after Done closes.
+func (h *TaskHandle) Worker() string { return h.t.completedBy }
+
 // Submit enqueues a task (or coalesces onto the existing entry for
 // its key — tasks from concurrent jobs that share a unit share one
 // lease, the cluster-wide single-flight). A previously failed entry
@@ -293,6 +326,9 @@ func (c *Coordinator) Submit(t Task) *TaskHandle {
 	c.tasks[t.Key] = nt
 	c.queue = append(c.queue, t.Key)
 	c.tasksSubmitted++
+	c.journal.Append(JournalEvent{
+		Kind: EventTaskSubmitted, Key: t.Key, TraceID: t.TraceID, Detail: t.Label,
+	})
 	c.wakeLocked()
 	return &TaskHandle{Key: t.Key, t: nt}
 }
@@ -318,10 +354,15 @@ func (c *Coordinator) lease(ctx context.Context, worker string, wait time.Durati
 			t.worker = worker
 			t.deadline = time.Now().Add(c.cfg.LeaseTTL)
 			c.leasesIssued++
+			kind := EventLeaseGranted
 			if t.expired {
 				c.leasesReissued++
+				kind = EventLeaseReissued
 				c.cfg.Logger.Info("cluster lease re-issued", "key", key[:12], "worker", worker)
 			}
+			c.journal.Append(JournalEvent{
+				Kind: kind, Worker: worker, Key: key, TraceID: t.TraceID, Detail: t.Label,
+			})
 			out := t.Task
 			c.mu.Unlock()
 			return out, true
@@ -346,8 +387,11 @@ func (c *Coordinator) lease(ctx context.Context, worker string, wait time.Durati
 }
 
 // heartbeat refreshes worker's membership and extends its held
-// leases, returning the live member list.
-func (c *Coordinator) heartbeat(worker string, held []string) []string {
+// leases, returning the live member list. Worker-forwarded journal
+// events (replica repairs, version-skew rejections) are re-sequenced
+// into the coordinator's journal; other kinds are discarded so a
+// worker cannot forge membership or lease history.
+func (c *Coordinator) heartbeat(worker string, held []string, events []JournalEvent) []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.touchLocked(worker)
@@ -355,6 +399,14 @@ func (c *Coordinator) heartbeat(worker string, held []string) []string {
 		if t, ok := c.tasks[key]; ok && t.state == taskLeased && t.worker == worker {
 			t.deadline = time.Now().Add(c.cfg.LeaseTTL)
 		}
+	}
+	for _, ev := range events {
+		if ev.Kind != EventReplicaRepair && ev.Kind != EventVersionSkew {
+			continue
+		}
+		ev.Seq = 0 // re-sequenced by Append
+		ev.Worker = worker
+		c.journal.Append(ev)
 	}
 	return c.memberURLsLocked()
 }
@@ -373,14 +425,21 @@ func (c *Coordinator) complete(worker, key, errMsg string) {
 	}
 	t.doneAt = time.Now()
 	t.worker = ""
+	t.completedBy = worker
 	if errMsg != "" {
 		t.state = taskFailed
 		t.err = fmt.Errorf("cluster: task %s failed on %s: %s", key[:12], worker, errMsg)
 		c.tasksFailed++
 		c.cfg.Logger.Error("cluster task failed", "key", key[:12], "worker", worker, "err", errMsg)
+		c.journal.Append(JournalEvent{
+			Kind: EventTaskFailed, Worker: worker, Key: key, TraceID: t.TraceID, Detail: errMsg,
+		})
 	} else {
 		t.state = taskDone
 		c.tasksCompleted++
+		c.journal.Append(JournalEvent{
+			Kind: EventTaskCompleted, Worker: worker, Key: key, TraceID: t.TraceID, Detail: t.Label,
+		})
 	}
 	close(t.done)
 }
@@ -394,11 +453,23 @@ func (c *Coordinator) leave(worker string) {
 	}
 	delete(c.members, worker)
 	c.cfg.Logger.Info("cluster worker left", "worker", worker)
+	c.journal.Append(JournalEvent{Kind: EventWorkerLeft, Worker: worker})
 	for key, t := range c.tasks {
 		if t.state == taskLeased && t.worker == worker {
 			c.requeueLocked(key, t, "worker left")
 		}
 	}
+}
+
+// Journal exposes the cluster event journal (the serve layer tails it
+// into job SSE feeds).
+func (c *Coordinator) Journal() *Journal { return c.journal }
+
+// NoteEvent appends an event observed outside the coordinator's own
+// state machine (e.g. the colocated node's shard repairs) to the
+// journal, returning the stamped event.
+func (c *Coordinator) NoteEvent(ev JournalEvent) JournalEvent {
+	return c.journal.Append(ev)
 }
 
 // Stats snapshots the coordinator's gauges and counters.
@@ -415,6 +486,8 @@ func (c *Coordinator) Stats() Stats {
 		TasksSubmitted: c.tasksSubmitted,
 		TasksCompleted: c.tasksCompleted,
 		TasksFailed:    c.tasksFailed,
+		SpansInjected:  c.spansInjected,
+		SpansDropped:   c.spansDropped,
 	}
 	for _, t := range c.tasks {
 		switch t.state {
@@ -468,14 +541,25 @@ const maxClusterBody = 1 << 20
 // maxLeaseWait caps a lease request's long-poll.
 const maxLeaseWait = 30 * time.Second
 
-// Register mounts the cluster protocol on mux.
+// Register mounts the cluster protocol on mux. Every response carries
+// X-Esteem-Node so clients can attribute it even when the coordinator
+// runs outside the serve layer (which stamps the same header).
 func (c *Coordinator) Register(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v1/cluster/join", c.handleJoin)
-	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
-	mux.HandleFunc("POST /v1/cluster/lease", c.handleLease)
-	mux.HandleFunc("POST /v1/cluster/complete", c.handleComplete)
-	mux.HandleFunc("POST /v1/cluster/leave", c.handleLeave)
-	mux.HandleFunc("GET /v1/cluster/status", c.handleStatus)
+	h := func(fn http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("X-Esteem-Node", c.cfg.Self)
+			fn(w, r)
+		}
+	}
+	mux.HandleFunc("POST /v1/cluster/join", h(c.handleJoin))
+	mux.HandleFunc("POST /v1/cluster/heartbeat", h(c.handleHeartbeat))
+	mux.HandleFunc("POST /v1/cluster/lease", h(c.handleLease))
+	mux.HandleFunc("POST /v1/cluster/complete", h(c.handleComplete))
+	mux.HandleFunc("POST /v1/cluster/spans", h(c.handleSpans))
+	mux.HandleFunc("POST /v1/cluster/leave", h(c.handleLeave))
+	mux.HandleFunc("GET /v1/cluster/status", h(c.handleStatus))
+	mux.HandleFunc("GET /v1/cluster/events", h(c.handleEvents))
+	mux.HandleFunc("GET /v1/cluster/metrics", h(c.handleFleetMetrics))
 }
 
 // decodeBody strictly decodes a bounded JSON request body.
@@ -536,7 +620,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("worker url: %v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, HeartbeatResponse{Members: c.heartbeat(req.URL, req.Held)})
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Members: c.heartbeat(req.URL, req.Held, req.Events)})
 }
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
@@ -568,8 +652,76 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	// Spans land in the tracer BEFORE the task resolves: anything
+	// waiting on the task's Done channel (the job's finish contract)
+	// may immediately read a whole merged trace.
+	c.injectSpans(req.Spans)
 	c.complete(req.URL, req.Key, req.Error)
 	w.WriteHeader(http.StatusOK)
+}
+
+// handleSpans is the bounded mid-task flush for span sets too large
+// for one complete body.
+func (c *Coordinator) handleSpans(w http.ResponseWriter, r *http.Request) {
+	var req SpansRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.injectSpans(req.Spans)
+	w.WriteHeader(http.StatusOK)
+}
+
+// injectSpans records worker-shipped spans into the coordinator's
+// tracer; malformed spans (or a tracer-less coordinator) count as
+// drops rather than erroring the protocol call.
+func (c *Coordinator) injectSpans(spans []tracez.WireSpan) {
+	if len(spans) == 0 {
+		return
+	}
+	var injected, dropped uint64
+	for _, ws := range spans {
+		if c.cfg.Tracer == nil {
+			dropped++
+			continue
+		}
+		d, err := ws.Data()
+		if err == nil {
+			err = c.cfg.Tracer.Inject(d)
+		}
+		if err != nil {
+			dropped++
+			c.cfg.Logger.Warn("cluster span dropped", "span", ws.Name, "err", err)
+			continue
+		}
+		injected++
+	}
+	c.mu.Lock()
+	c.spansInjected += injected
+	c.spansDropped += dropped
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var since int64
+	if s := r.URL.Query().Get("since"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &since); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad since=%q", s))
+			return
+		}
+	}
+	max := 0
+	if s := r.URL.Query().Get("max"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &max); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad max=%q", s))
+			return
+		}
+	}
+	events, _ := c.journal.Since(since, max)
+	writeJSON(w, http.StatusOK, EventsResponse{
+		Events:  events,
+		NextSeq: c.journal.NextSeq(),
+		Dropped: c.journal.Dropped(),
+	})
 }
 
 func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {

@@ -14,40 +14,46 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 )
 
-var serveBin string
+var (
+	serveBin  string
+	buildDir  string
+	buildOnce sync.Once
+	buildErr  error
+)
 
-func TestMain(m *testing.M) {
-	// One shared build of esteem-serve for every e2e test. Skip the
-	// build cost entirely under -short (the tests all skip).
-	short := false
-	for _, a := range os.Args[1:] {
-		if strings.Contains(a, "test.short") && !strings.HasSuffix(a, "=false") {
-			short = true
-		}
-	}
-	code := 0
-	if !short {
+// builtServeBin builds esteem-serve on first use — lazily, so -short
+// runs and benchmark-only runs never pay the build.
+func builtServeBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
 		dir, err := os.MkdirTemp("", "cluster-e2e-")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			buildErr = err
+			return
 		}
+		buildDir = dir
 		serveBin = filepath.Join(dir, "esteem-serve")
 		out, err := exec.Command("go", "build", "-o", serveBin, "repro/cmd/esteem-serve").CombinedOutput()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "building esteem-serve: %v\n%s", err, out)
-			os.Exit(1)
+			buildErr = fmt.Errorf("building esteem-serve: %v\n%s", err, out)
 		}
-		defer os.RemoveAll(dir)
-		code = m.Run()
-		os.RemoveAll(dir)
-	} else {
-		code = m.Run()
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return serveBin
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
 	}
 	os.Exit(code)
 }
@@ -68,7 +74,7 @@ func startNode(t *testing.T, name string, extra ...string) *node {
 		"-addr-file", addrFile,
 		"-log-level", "warn",
 	}, extra...)
-	cmd := exec.Command(serveBin, args...)
+	cmd := exec.Command(builtServeBin(t), args...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("starting %s: %v", name, err)
@@ -198,13 +204,10 @@ type metricsView struct {
 	Counters map[string]uint64  `json:"counters"`
 }
 
-// workerStats mirrors a worker's /metrics?format=json.
+// workerStats mirrors a worker's /metrics?format=json (the
+// fleet-mergeable MetricsJSON shape).
 type workerStats struct {
-	TasksExecuted uint64 `json:"tasks_executed_total"`
-	SimsComputed  uint64 `json:"sims_computed_total"`
-	Store         struct {
-		RemotePuts uint64 `json:"RemotePuts"`
-	} `json:"store"`
+	Counters map[string]uint64 `json:"counters"`
 }
 
 // statusView mirrors GET /v1/cluster/status.
@@ -276,7 +279,7 @@ func TestClusterSweepByteIdentity(t *testing.T) {
 	for _, w := range []*node{w1, w2} {
 		var st workerStats
 		getJSON(t, w.url+"/metrics?format=json", &st)
-		computed += st.SimsComputed
+		computed += st.Counters["esteem_worker_sims_computed_total"]
 	}
 	if computed != uint64(len(want)) {
 		t.Errorf("cluster computed %d simulations for %d unique units", computed, len(want))
@@ -289,6 +292,27 @@ func TestClusterSweepByteIdentity(t *testing.T) {
 	}
 	if got := mv.Gauges["esteem_cluster_workers_live"]; got != 2 {
 		t.Errorf("workers_live = %v, want 2", got)
+	}
+
+	// Fleet aggregation must agree with the per-worker scrapes: the
+	// fleet's worker sim total is exactly the sum over members.
+	var fleet struct {
+		Fleet struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"fleet"`
+		Members []struct {
+			URL   string `json:"url"`
+			Error string `json:"error"`
+		} `json:"members"`
+	}
+	getJSON(t, coord.url+"/v1/cluster/metrics?format=json", &fleet)
+	if got := fleet.Fleet.Counters["esteem_worker_sims_computed_total"]; got != computed {
+		t.Errorf("fleet sims_computed_total = %d, want the members' sum %d", got, computed)
+	}
+	for _, m := range fleet.Members {
+		if m.Error != "" {
+			t.Errorf("fleet member %s unreachable: %s", m.URL, m.Error)
+		}
 	}
 }
 
@@ -373,5 +397,50 @@ func TestClusterWorkerKill(t *testing.T) {
 	}
 	if got := after.Gauges["esteem_cluster_workers_live"]; got != 2 {
 		t.Errorf("workers_live after kill = %v, want 2", got)
+	}
+
+	// The event journal must tell the same story causally: the victim's
+	// expiry, and for at least one task a lease-expired followed (by
+	// sequence number) by a lease-reissued.
+	var journal struct {
+		Events []struct {
+			Seq    int64  `json:"seq"`
+			Kind   string `json:"kind"`
+			Worker string `json:"worker"`
+			Key    string `json:"key"`
+		} `json:"events"`
+		NextSeq int64 `json:"next_seq"`
+	}
+	getJSON(t, coord.url+"/v1/cluster/events", &journal)
+	if len(journal.Events) == 0 || journal.NextSeq <= 1 {
+		t.Fatalf("event journal empty after kill scenario: %+v", journal)
+	}
+	expiredWorker := false
+	expiredAt := map[string]int64{} // key -> seq of its first lease-expired
+	reissued := false
+	for _, ev := range journal.Events {
+		switch ev.Kind {
+		case "worker-expired":
+			if ev.Worker == victim.url {
+				expiredWorker = true
+			}
+		case "lease-expired":
+			if _, ok := expiredAt[ev.Key]; !ok {
+				expiredAt[ev.Key] = ev.Seq
+			}
+		case "lease-reissued":
+			if seq, ok := expiredAt[ev.Key]; ok && ev.Seq > seq {
+				reissued = true
+			}
+		}
+	}
+	if !expiredWorker {
+		t.Errorf("journal has no worker-expired event for the victim %s", victim.url)
+	}
+	if len(expiredAt) == 0 {
+		t.Error("journal has no lease-expired event")
+	}
+	if !reissued {
+		t.Error("journal never re-issued an expired lease (expiry -> reissue causality missing)")
 	}
 }

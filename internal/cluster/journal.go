@@ -1,0 +1,151 @@
+// The cluster event journal: a bounded ring of typed lifecycle
+// events with monotonic sequence numbers. The coordinator appends on
+// every membership/lease/task transition (and on worker-forwarded
+// events like replica repairs), GET /v1/cluster/events?since=N pages
+// through it, and the serve layer tails it into job SSE feeds so a
+// client watching a job sees the causal story (lease expired →
+// reissued → completed) instead of bare counter deltas.
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind is the type tag of a journal event.
+type EventKind string
+
+// Journal event kinds. Worker-originated kinds (replica-repair,
+// version-skew) arrive via heartbeat piggyback; all others are
+// observed by the coordinator itself.
+const (
+	EventWorkerJoined  EventKind = "worker-joined"
+	EventWorkerLeft    EventKind = "worker-left"
+	EventWorkerExpired EventKind = "worker-expired"
+	EventTaskSubmitted EventKind = "task-submitted"
+	EventLeaseGranted  EventKind = "lease-granted"
+	EventLeaseExpired  EventKind = "lease-expired"
+	EventLeaseReissued EventKind = "lease-reissued"
+	EventTaskCompleted EventKind = "task-completed"
+	EventTaskFailed    EventKind = "task-failed"
+	EventReplicaRepair EventKind = "replica-repair"
+	EventVersionSkew   EventKind = "version-skew"
+)
+
+// JournalEvent is one journal entry. Seq is assigned by the
+// coordinator's journal (monotonic from 1); events forwarded by
+// workers are re-sequenced on arrival, so Seq totally orders the
+// journal regardless of origin.
+type JournalEvent struct {
+	Seq    int64     `json:"seq"`
+	UnixMS int64     `json:"unix_ms"`
+	Kind   EventKind `json:"kind"`
+	Worker string    `json:"worker,omitempty"`
+	Key    string    `json:"key,omitempty"`
+	// TraceID correlates lease/task events with the submitting job's
+	// trace (satellite: worker logs and journal share the id).
+	TraceID string `json:"trace_id,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Journal is a bounded, concurrency-safe event ring. It has its own
+// lock and never calls out, so the coordinator may append while
+// holding its state mutex.
+type Journal struct {
+	mu      sync.Mutex
+	ring    []JournalEvent
+	head    int // next write slot
+	count   int
+	next    int64 // next sequence number to assign
+	dropped uint64
+	now     func() time.Time
+	waiters []chan struct{}
+}
+
+// NewJournal returns a journal retaining the last size events
+// (minimum 16).
+func NewJournal(size int) *Journal {
+	if size < 16 {
+		size = 16
+	}
+	return &Journal{ring: make([]JournalEvent, size), next: 1, now: time.Now}
+}
+
+// Append stamps the event with the next sequence number and the
+// current time, stores it (evicting the oldest when full), and wakes
+// any Since waiters. It returns the stamped event.
+func (j *Journal) Append(ev JournalEvent) JournalEvent {
+	j.mu.Lock()
+	ev.Seq = j.next
+	j.next++
+	if ev.UnixMS == 0 {
+		ev.UnixMS = j.now().UnixMilli()
+	}
+	if j.count == len(j.ring) {
+		j.dropped++
+	} else {
+		j.count++
+	}
+	j.ring[j.head] = ev
+	j.head = (j.head + 1) % len(j.ring)
+	waiters := j.waiters
+	j.waiters = nil
+	j.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+	return ev
+}
+
+// Since returns up to max events with Seq > after, oldest first, and
+// a channel that is closed when an event newer than the returned set
+// may exist (for long-polling). max <= 0 means no limit.
+func (j *Journal) Since(after int64, max int) ([]JournalEvent, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []JournalEvent
+	start := j.head - j.count
+	for i := 0; i < j.count; i++ {
+		idx := (start + i + len(j.ring)) % len(j.ring)
+		if j.ring[idx].Seq > after {
+			out = append(out, j.ring[idx])
+			if max > 0 && len(out) == max {
+				break
+			}
+		}
+	}
+	wake := make(chan struct{})
+	if len(out) > 0 {
+		// Newer events may already exist past a max cutoff; either way
+		// the caller should re-poll immediately after consuming.
+		close(wake)
+	} else {
+		j.waiters = append(j.waiters, wake)
+	}
+	return out, wake
+}
+
+// NextSeq returns the sequence number the next event will receive.
+func (j *Journal) NextSeq() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Dropped returns how many events have been evicted unread-or-not by
+// ring wraparound.
+func (j *Journal) Dropped() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// EventsResponse is the JSON shape of GET /v1/cluster/events.
+type EventsResponse struct {
+	Events []JournalEvent `json:"events"`
+	// NextSeq is the since= cursor for the next poll.
+	NextSeq int64 `json:"next_seq"`
+	// Dropped counts events lost to ring eviction over the journal's
+	// lifetime; a consumer seeing it grow between polls missed events.
+	Dropped uint64 `json:"dropped_total"`
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJournalSequencesAndPages(t *testing.T) {
+	j := NewJournal(16)
+	for i := 0; i < 5; i++ {
+		ev := j.Append(JournalEvent{Kind: EventLeaseGranted, Key: "k"})
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d got seq %d", i, ev.Seq)
+		}
+		if ev.UnixMS == 0 {
+			t.Fatalf("event %d not timestamped", i)
+		}
+	}
+	got, _ := j.Since(0, 0)
+	if len(got) != 5 || got[0].Seq != 1 || got[4].Seq != 5 {
+		t.Fatalf("Since(0) = %+v, want seqs 1..5", got)
+	}
+	got, _ = j.Since(3, 0)
+	if len(got) != 2 || got[0].Seq != 4 {
+		t.Fatalf("Since(3) = %+v, want seqs 4..5", got)
+	}
+	got, _ = j.Since(2, 1)
+	if len(got) != 1 || got[0].Seq != 3 {
+		t.Fatalf("Since(2, max 1) = %+v, want [seq 3]", got)
+	}
+	if j.NextSeq() != 6 {
+		t.Fatalf("NextSeq = %d, want 6", j.NextSeq())
+	}
+}
+
+func TestJournalEvictsOldest(t *testing.T) {
+	j := NewJournal(16) // 16 is the floor
+	for i := 0; i < 20; i++ {
+		j.Append(JournalEvent{Kind: EventWorkerJoined})
+	}
+	got, _ := j.Since(0, 0)
+	if len(got) != 16 {
+		t.Fatalf("retained %d events, want 16", len(got))
+	}
+	if got[0].Seq != 5 || got[15].Seq != 20 {
+		t.Fatalf("retained seqs %d..%d, want 5..20", got[0].Seq, got[15].Seq)
+	}
+	if j.Dropped() != 4 {
+		t.Fatalf("Dropped = %d, want 4", j.Dropped())
+	}
+}
+
+func TestJournalSinceWakes(t *testing.T) {
+	j := NewJournal(16)
+	got, wake := j.Since(0, 0)
+	if len(got) != 0 {
+		t.Fatalf("empty journal returned %+v", got)
+	}
+	select {
+	case <-wake:
+		t.Fatal("wake channel closed before any append")
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		<-wake
+		close(done)
+	}()
+	j.Append(JournalEvent{Kind: EventWorkerJoined})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Since waiter not woken by Append")
+	}
+	// Non-empty result: wake is pre-closed so pollers loop immediately.
+	got, wake = j.Since(0, 0)
+	if len(got) != 1 {
+		t.Fatalf("Since after append = %+v", got)
+	}
+	select {
+	case <-wake:
+	default:
+		t.Fatal("wake not pre-closed on non-empty result")
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/castore"
 	"repro/internal/runner"
+	"repro/internal/tracez"
 )
 
 // WorkerConfig parameterises a Worker.
@@ -48,6 +49,12 @@ type WorkerConfig struct {
 	// (default: 45s timeout, comfortably above the 30s lease
 	// long-poll).
 	Client *http.Client
+	// Tracer records this worker's spans. A leased task carrying a
+	// traceparent starts a local root under the coordinator's lease
+	// span; on completion the trace's spans ship back. Nil (or a task
+	// without a traceparent) keeps the execute path span-free — zero
+	// tracing allocations.
+	Tracer *tracez.Tracer
 	// Execute overrides task execution (tests only). Nil selects the
 	// real sweep-backed executor.
 	Execute func(ctx context.Context, t Task) error
@@ -93,11 +100,22 @@ type Worker struct {
 
 	mu   sync.Mutex
 	held map[string]struct{}
+	// pending buffers worker-observed journal events (replica repairs,
+	// version-skew rejections) for the next heartbeat to forward;
+	// bounded so a dead coordinator can't grow it without limit.
+	pending []JournalEvent
+
+	start time.Time
 
 	tasksExecuted atomic.Uint64
 	tasksFailed   atomic.Uint64
 	simsComputed  atomic.Uint64
+	spansShipped  atomic.Uint64
+	eventsDropped atomic.Uint64
 }
+
+// maxPendingEvents bounds the worker-side event buffer.
+const maxPendingEvents = 256
 
 // NewWorker builds a worker and its sharded store view. Call Run to
 // join and start executing.
@@ -105,7 +123,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	w := &Worker{cfg: cfg, held: make(map[string]struct{})}
+	w := &Worker{cfg: cfg, held: make(map[string]struct{}), start: time.Now()}
 	// Until the first join response arrives, the member view is just
 	// this node: puts degrade to self-only and repair once the cluster
 	// view lands.
@@ -113,7 +131,45 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	w.heartbeatEvery.Store(int64(3 * time.Second))
 	w.leaseTTL.Store(int64(15 * time.Second))
 	w.shard = castore.NewSharded(cfg.Local, cfg.Self, w.Members, cfg.Replicas, cfg.Client)
+	w.shard.SetRepairHook(func(key, node string) {
+		w.noteEvent(EventReplicaRepair, key, "repaired onto "+node)
+	})
 	return w, nil
+}
+
+// noteEvent buffers a worker-observed journal event for the next
+// heartbeat; the coordinator re-sequences it into the cluster journal.
+func (w *Worker) noteEvent(kind EventKind, key, detail string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.pending) >= maxPendingEvents {
+		w.eventsDropped.Add(1)
+		return
+	}
+	w.pending = append(w.pending, JournalEvent{
+		UnixMS: time.Now().UnixMilli(), Kind: kind, Key: key, Detail: detail,
+	})
+}
+
+// takePending swaps out the buffered events for a heartbeat.
+func (w *Worker) takePending() []JournalEvent {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	evs := w.pending
+	w.pending = nil
+	return evs
+}
+
+// restorePending re-buffers events whose heartbeat failed, oldest
+// first, dropping overflow.
+func (w *Worker) restorePending(evs []JournalEvent) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if room := maxPendingEvents - len(evs); room < len(w.pending) {
+		w.eventsDropped.Add(uint64(len(w.pending) - max(room, 0)))
+		w.pending = w.pending[:max(room, 0)]
+	}
+	w.pending = append(evs, w.pending...)
 }
 
 // Members returns the latest live member list (the sharded store's
@@ -233,10 +289,12 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 			return
 		case <-time.After(every):
 		}
+		events := w.takePending()
 		var resp HeartbeatResponse
 		ok, err := w.post(ctx, "/v1/cluster/heartbeat",
-			HeartbeatRequest{URL: w.cfg.Self, Held: w.heldKeys()}, &resp)
+			HeartbeatRequest{URL: w.cfg.Self, Held: w.heldKeys(), Events: events}, &resp)
 		if err != nil {
+			w.restorePending(events)
 			w.cfg.Logger.Warn("heartbeat failed", "err", err)
 			continue
 		}
@@ -268,8 +326,24 @@ func (w *Worker) executorLoop(ctx context.Context) {
 			continue // long-poll expired with no work
 		}
 		t := resp.Task
+		// Join the job's trace when the lease carries a traceparent:
+		// the worker's spans become a subtree under the coordinator's
+		// lease span. Without one (or without a tracer) tsp stays nil
+		// and the execute path does no tracing work at all.
+		var tsp *tracez.Span
+		tctx := ctx
+		if w.cfg.Tracer != nil && t.Traceparent != "" {
+			if tid, parent, ok := tracez.ParseTraceparent(t.Traceparent); ok {
+				tsp = w.cfg.Tracer.RootFrom("worker", tid, parent)
+				tsp.SetAttr("node", w.cfg.Self)
+				tsp.SetAttr("label", t.Label)
+				tctx = tracez.ContextWith(ctx, tsp)
+			}
+		}
+		w.cfg.Logger.Info("task leased",
+			"key", t.Key[:12], "label", t.Label, "trace_id", t.TraceID)
 		w.markHeld(t.Key, true)
-		execErr := w.execute(ctx, t)
+		execErr := w.execute(tctx, t)
 		w.markHeld(t.Key, false)
 		if ctx.Err() != nil && execErr != nil {
 			// Shutdown raced the task: don't report a spurious failure;
@@ -281,15 +355,55 @@ func (w *Worker) executorLoop(ctx context.Context) {
 		if execErr != nil {
 			w.tasksFailed.Add(1)
 			errMsg = execErr.Error()
-			w.cfg.Logger.Error("task failed", "key", t.Key[:12], "label", t.Label, "err", execErr)
+			w.cfg.Logger.Error("task failed",
+				"key", t.Key[:12], "label", t.Label, "trace_id", t.TraceID, "err", execErr)
+		}
+		// Ship the trace's completed spans home: bulk via bounded
+		// /v1/cluster/spans flushes, the final batch on the complete
+		// body so the coordinator injects it before resolving the task.
+		var tail []tracez.WireSpan
+		tsp.End()
+		if tsp.Sampled() {
+			tail = w.shipSpans(ctx, w.cfg.Tracer.Take(tsp.TraceID()))
 		}
 		// Completion is best-effort: if it fails, the lease TTL expires
 		// and the task re-runs (a cache hit by then).
 		if _, err := w.post(ctx, "/v1/cluster/complete",
-			CompleteRequest{URL: w.cfg.Self, Key: t.Key, Error: errMsg}, nil); err != nil {
+			CompleteRequest{URL: w.cfg.Self, Key: t.Key, Error: errMsg, Spans: tail}, nil); err != nil {
 			w.cfg.Logger.Warn("completion report failed", "key", t.Key[:12], "err", err)
 		}
 	}
+}
+
+// maxSpansPerBatch keeps each shipped span batch comfortably inside
+// the coordinator's 1MiB protocol body limit (a wire span is a few
+// hundred bytes).
+const maxSpansPerBatch = 512
+
+// shipSpans sends all but the final batch of a task's spans through
+// POST /v1/cluster/spans and returns the final batch for the caller
+// to attach to its complete request — so the last spans land in the
+// same round-trip that resolves the task.
+func (w *Worker) shipSpans(ctx context.Context, spans []tracez.SpanData) []tracez.WireSpan {
+	if len(spans) == 0 {
+		return nil
+	}
+	wire := make([]tracez.WireSpan, len(spans))
+	for i, d := range spans {
+		wire[i] = d.Wire()
+	}
+	for len(wire) > maxSpansPerBatch {
+		batch := wire[:maxSpansPerBatch]
+		wire = wire[maxSpansPerBatch:]
+		if _, err := w.post(ctx, "/v1/cluster/spans",
+			SpansRequest{URL: w.cfg.Self, Spans: batch}, nil); err != nil {
+			w.cfg.Logger.Warn("span flush failed", "spans", len(batch), "err", err)
+		} else {
+			w.spansShipped.Add(uint64(len(batch)))
+		}
+	}
+	w.spansShipped.Add(uint64(len(wire)))
+	return wire
 }
 
 // execute runs one leased task. The default executor is a one-task
@@ -308,6 +422,8 @@ func (w *Worker) execute(ctx context.Context, t Task) error {
 		return fmt.Errorf("deriving key: %w", err)
 	}
 	if key != t.Key {
+		w.noteEvent(EventVersionSkew, t.Key,
+			fmt.Sprintf("local key %s disagrees with coordinator", key[:12]))
 		return fmt.Errorf("key mismatch: coordinator %s vs local %s (version skew?)", t.Key[:12], key[:12])
 	}
 	sweep := runner.NewSweep(w.cfg.SimWorkers)
@@ -371,20 +487,53 @@ func (w *Worker) Stats() WorkerStats {
 	}
 }
 
+// MetricsJSON snapshots the worker's counters in the fleet-mergeable
+// shape served on /metrics?format=json (the same schema the serve
+// layer exports, so the coordinator's aggregator reads both).
+func (w *Worker) MetricsJSON() MetricsJSON {
+	st := w.Stats()
+	return MetricsJSON{
+		UptimeSeconds: time.Since(w.start).Seconds(),
+		Gauges: map[string]float64{
+			"esteem_worker_leases_held": float64(st.LeasesHeld),
+			"esteem_worker_members":     float64(st.Members),
+		},
+		Counters: map[string]uint64{
+			"esteem_worker_tasks_executed_total":          st.TasksExecuted,
+			"esteem_worker_tasks_failed_total":            st.TasksFailed,
+			"esteem_worker_sims_computed_total":           st.SimsComputed,
+			"esteem_worker_spans_shipped_total":           w.spansShipped.Load(),
+			"esteem_worker_events_dropped_total":          w.eventsDropped.Load(),
+			"esteem_worker_store_hits_total":              st.Store.Hits,
+			"esteem_worker_store_misses_total":            st.Store.Misses,
+			"esteem_worker_shard_remote_hits_total":       st.Store.RemoteHits,
+			"esteem_worker_shard_remote_misses_total":     st.Store.RemoteMisses,
+			"esteem_worker_shard_repairs_total":           st.Store.Repairs,
+			"esteem_worker_shard_remote_puts_total":       st.Store.RemotePuts,
+			"esteem_worker_shard_remote_put_errors_total": st.Store.RemotePutErrors,
+		},
+		Histograms: map[string]HistogramJSON{},
+	}
+}
+
 // Register mounts the worker's HTTP surface on mux: health, metrics,
-// and the shard transport serving this node's local store.
+// and the shard transport serving this node's local store. Every
+// response carries X-Esteem-Node (satellite: attribute results to the
+// node that computed them).
 func (w *Worker) Register(mux *http.ServeMux) {
-	castore.RegisterShard(mux, w.cfg.Local)
+	castore.RegisterShard(mux, w.cfg.Local, w.cfg.Self)
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("X-Esteem-Node", w.cfg.Self)
 		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(rw, "ok\n")
 	})
 	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
-		st := w.Stats()
+		rw.Header().Set("X-Esteem-Node", w.cfg.Self)
 		if r.URL.Query().Get("format") == "json" {
-			writeJSON(rw, http.StatusOK, st)
+			writeJSON(rw, http.StatusOK, w.MetricsJSON())
 			return
 		}
+		st := w.Stats()
 		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		var b bytes.Buffer
 		counter := func(name, help string, v uint64) {
@@ -396,6 +545,8 @@ func (w *Worker) Register(mux *http.ServeMux) {
 		counter("esteem_worker_tasks_executed_total", "Cluster tasks executed by this worker.", st.TasksExecuted)
 		counter("esteem_worker_tasks_failed_total", "Cluster tasks that failed on this worker.", st.TasksFailed)
 		counter("esteem_worker_sims_computed_total", "Simulations actually computed (cache hits excluded).", st.SimsComputed)
+		counter("esteem_worker_spans_shipped_total", "Completed spans shipped to the coordinator.", w.spansShipped.Load())
+		counter("esteem_worker_events_dropped_total", "Journal events dropped from the worker's pending buffer.", w.eventsDropped.Load())
 		gauge("esteem_worker_leases_held", "Leases currently held.", st.LeasesHeld)
 		gauge("esteem_worker_members", "Cluster members in this worker's placement view.", st.Members)
 		counter("esteem_worker_store_hits_total", "Local store hits.", st.Store.Hits)

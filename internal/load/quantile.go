@@ -1,0 +1,37 @@
+// Quantile estimation over served histogram snapshots — the same
+// linear-interpolation-within-bucket estimate Prometheus's
+// histogram_quantile() computes, so dashboards and the client's
+// cluster top agree with PromQL.
+package load
+
+import "repro/internal/serve"
+
+// HistogramQuantile estimates the q-quantile (0 < q <= 1) of a
+// histogram snapshot in seconds. The estimate interpolates linearly
+// within the first cumulative bucket containing the target rank
+// (assuming samples spread uniformly across it); ranks landing in the
+// implicit +Inf bucket clamp to the highest finite bound. An empty
+// histogram reports 0.
+func HistogramQuantile(v serve.HistogramView, q float64) float64 {
+	if v.Count == 0 || len(v.Buckets) == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(v.Count)
+	lower := 0.0
+	var below uint64
+	for _, b := range v.Buckets {
+		if float64(b.Count) >= rank {
+			in := b.Count - below
+			if in == 0 {
+				return b.LE
+			}
+			return lower + (b.LE-lower)*(rank-float64(below))/float64(in)
+		}
+		lower = b.LE
+		below = b.Count
+	}
+	return v.Buckets[len(v.Buckets)-1].LE
+}

@@ -1,0 +1,45 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	// 10 samples: 4 in (0, 0.1], 4 in (0.1, 1], 2 above 1 (+Inf).
+	v := serve.HistogramView{
+		Count:      10,
+		SumSeconds: 5,
+		Buckets: []serve.HistBucket{
+			{LE: 0.1, Count: 4},
+			{LE: 1, Count: 8},
+		},
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.2, 0.05},  // rank 2 of 4 in the first bucket: half of 0.1
+		{0.4, 0.1},   // rank 4: exactly the first bound
+		{0.5, 0.325}, // rank 5: a quarter into (0.1, 1]
+		{0.8, 1},     // rank 8: exactly the second bound
+		{0.99, 1},    // in the +Inf bucket: clamps to the last bound
+		{1, 1},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := HistogramQuantile(v, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("q=%g: got %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := HistogramQuantile(serve.HistogramView{}, 0.5); got != 0 {
+		t.Errorf("empty histogram: got %g, want 0", got)
+	}
+	// A bucket with zero in-bucket samples must not divide by zero.
+	flat := serve.HistogramView{Count: 2, Buckets: []serve.HistBucket{{LE: 0.1, Count: 2}, {LE: 1, Count: 2}}}
+	if got := HistogramQuantile(flat, 1); got != 0.1 {
+		t.Errorf("flat tail: got %g, want 0.1", got)
+	}
+}

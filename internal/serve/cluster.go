@@ -2,15 +2,20 @@
 // leased to joined workers instead of jobs on a local sweep. The SSE
 // event stream keeps its shape — one "task" event per unit lifecycle
 // transition — so clients cannot tell (and need not care) whether a
-// job ran locally or across the cluster.
+// job ran locally or across the cluster; cluster mode additionally
+// tails the coordinator's event journal into the stream as "cluster"
+// events, so a client watching a job sees the causal story (lease
+// granted → expired → reissued → completed) behind its tasks.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/tracez"
 )
 
 // runClusterJob submits every unit of j to the coordinator's task
@@ -18,17 +23,45 @@ import (
 // in-flight jobs (or already computed) coalesce onto existing table
 // entries — the cluster-wide single-flight — so a unit simulates at
 // most once no matter how many jobs want it.
+//
+// Each unit gets a "lease" span under the job's run span; its W3C
+// traceparent travels on the task, the executing worker roots its own
+// spans under it, and the worker's span batch ships back before the
+// task resolves — so the job's trace is one tree spanning every node
+// that touched it.
 func (s *Server) runClusterJob(ctx context.Context, j *Job) error {
 	total := len(j.Units)
+	rsp := tracez.FromContext(ctx)
 	handles := make([]*cluster.TaskHandle, total)
+	leases := make([]*tracez.Span, total)
+	defer func() {
+		// End every lease span on the way out (idempotent): an early
+		// ctx.Done return must not leave spans open, or the worker
+		// subtrees they parent would dangle outside the exported tree.
+		for _, lsp := range leases {
+			lsp.End()
+		}
+	}()
+
+	stopTail := s.tailJournal(ctx, j)
+	defer stopTail()
+
 	for i, u := range j.Units {
+		lsp := rsp.Child("lease")
+		lsp.SetAttr("label", u.Label)
+		lsp.SetAttr("key", shortKey(u.Key))
+		leases[i] = lsp
 		handles[i] = s.cfg.Cluster.Submit(cluster.Task{
 			Key:      u.Key,
 			Label:    u.Label,
 			Config:   u.cfg,
 			Workload: u.Workload,
+			// TraceID rides along even when the trace is unsampled so
+			// worker log lines always carry the correlation id.
+			TraceID:     j.TraceID,
+			Traceparent: tracez.Traceparent(lsp),
 		})
-		j.log.publish("task", Event{Task: "started", Label: u.Label, Total: total})
+		j.log.publish("task", Event{Task: "started", Label: u.Label, Key: shortKey(u.Key), Total: total})
 	}
 	finished := 0
 	var errs []error
@@ -40,7 +73,15 @@ func (s *Server) runClusterJob(ctx context.Context, j *Job) error {
 				finished, total, ctx.Err())
 		}
 		finished++
-		ev := Event{Label: j.Units[i].Label, Finished: finished, Total: total}
+		leases[i].SetAttr("worker", h.Worker())
+		leases[i].End()
+		ev := Event{
+			Label:    j.Units[i].Label,
+			Key:      shortKey(j.Units[i].Key),
+			Node:     h.Worker(),
+			Finished: finished,
+			Total:    total,
+		}
 		if err := h.Err(); err != nil {
 			errs = append(errs, err)
 			ev.Task = "failed"
@@ -51,4 +92,56 @@ func (s *Server) runClusterJob(ctx context.Context, j *Job) error {
 		j.log.publish("task", ev)
 	}
 	return errors.Join(errs...)
+}
+
+// tailJournal streams the coordinator's journal events that concern j
+// (its unit keys, plus cluster membership changes) into the job's SSE
+// feed as "cluster" events. The returned stop function cancels the
+// tail and waits for it — call it before the job finishes so nothing
+// publishes into a closed log.
+func (s *Server) tailJournal(ctx context.Context, j *Job) func() {
+	journal := s.cfg.Cluster.Journal()
+	keys := make(map[string]bool, len(j.Units))
+	for _, u := range j.Units {
+		keys[u.Key] = true
+	}
+	since := journal.NextSeq() - 1
+	tctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			events, wake := journal.Since(since, 0)
+			for _, ev := range events {
+				since = ev.Seq
+				if ev.Key != "" && !keys[ev.Key] {
+					continue // another job's task
+				}
+				j.log.publish("cluster", Event{
+					Cluster: string(ev.Kind),
+					Node:    ev.Worker,
+					Key:     shortKey(ev.Key),
+					Detail:  ev.Detail,
+				})
+			}
+			select {
+			case <-tctx.Done():
+				return
+			case <-wake:
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// shortKey truncates a content address for event payloads.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }

@@ -1,0 +1,253 @@
+// Cluster observability e2e: a coordinator-mode server with two real
+// HTTP workers produces ONE merged span tree per job — coordinator
+// lease spans parenting each executing worker's subtree — and the
+// distributed run's artifacts are byte-identical to a standalone,
+// untraced sweep of the same spec.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/castore"
+	"repro/internal/cluster"
+	"repro/internal/tracez"
+)
+
+// clusterSpec is a four-unit sweep (2 benchmarks x 2 techniques) —
+// enough work that both workers lease at least one task.
+const clusterSpec = `{
+	"config": {"MeasureInstr": 60000, "WarmupInstr": 5000, "IntervalCycles": 20000, "Seed": 9},
+	"benchmarks": [["gcc"], ["lbm"]],
+	"techniques": ["esteem", "baseline"]
+}`
+
+// startClusterServer boots a coordinator-mode Server over a real HTTP
+// listener. The listener starts before the coordinator exists (the
+// advertised Self URL is only known after binding), so the handler is
+// swapped in once assembly finishes.
+func startClusterServer(t *testing.T, tracer *tracez.Tracer) (*Server, *cluster.Coordinator, string) {
+	t.Helper()
+	var handler atomic.Value // http.Handler
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h, ok := handler.Load().(http.Handler); ok {
+			h.ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "assembling", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(ts.Close)
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Self:   ts.URL,
+		Tracer: tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	store, err := castore.Open(t.TempDir(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := castore.NewSharded(store, ts.URL, coord.MemberURLs, 2, nil)
+	s, err := New(Config{
+		Store:      shard,
+		Cluster:    coord,
+		Workers:    2,
+		JobTimeout: time.Minute,
+		Tracer:     tracer,
+		Node:       ts.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	handler.Store(s.Handler())
+	return s, coord, ts.URL
+}
+
+// startClusterWorker boots one worker node with its own store, HTTP
+// listener and tracer, returning its URL and a channel closed when Run
+// exits.
+func startClusterWorker(t *testing.T, ctx context.Context, coordURL string, seed uint64) (string, chan struct{}) {
+	t.Helper()
+	store, err := castore.Open(t.TempDir(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	ws := httptest.NewServer(mux)
+	t.Cleanup(ws.Close)
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Coordinator: coordURL,
+		Self:        ws.URL,
+		Local:       store,
+		SimWorkers:  1,
+		Tracer:      tracez.New(tracez.Config{Seed: seed}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Register(mux)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	return ws.URL, done
+}
+
+func TestClusterTraceMergesAcrossNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster e2e in -short mode")
+	}
+	tracer := tracez.New(tracez.Config{Seed: 1})
+	s, coord, coordURL := startClusterServer(t, tracer)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w1, done1 := startClusterWorker(t, ctx, coordURL, 101)
+	w2, done2 := startClusterWorker(t, ctx, coordURL, 202)
+
+	// Submit only once both workers are live, so both long-polls are
+	// parked on the lease endpoint when the tasks land.
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.Stats().WorkersLive < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never joined: %+v", coord.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	v := submit(t, s, clusterSpec)
+	if len(v.Units) != 4 {
+		t.Fatalf("expected 4 units, got %d", len(v.Units))
+	}
+	if waitDone(t, s, v.ID).State != StateDone {
+		t.Fatalf("cluster job failed: %+v", waitDone(t, s, v.ID))
+	}
+
+	// One merged tree: coordinator spans and worker-shipped spans under
+	// a single root, well-formed, with the run phase accounted for.
+	tr := do(t, s, "GET", "/v1/jobs/"+v.ID+"/trace", "")
+	if tr.Code != http.StatusOK {
+		t.Fatalf("trace: %d %s", tr.Code, tr.Body)
+	}
+	tree, err := tracez.ParseTree(tr.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("merged tree invalid: %v", err)
+	}
+	if tree.TraceID != v.TraceID {
+		t.Fatalf("tree trace id %q, want %q", tree.TraceID, v.TraceID)
+	}
+	if cov := tree.Coverage(); cov < 0.9 {
+		t.Fatalf("coverage %.3f, want >= 0.9", cov)
+	}
+
+	// Every worker subtree parents under a coordinator lease span, and
+	// at least two distinct nodes executed work.
+	var leases, workers int
+	nodes := map[string]bool{}
+	var walk func(n *tracez.Node, parent string)
+	walk = func(n *tracez.Node, parent string) {
+		switch n.Name {
+		case "lease":
+			leases++
+		case "worker":
+			workers++
+			if parent != "lease" {
+				t.Fatalf("worker span %s parents under %q, want lease", n.SpanID, parent)
+			}
+			for _, a := range n.Attrs {
+				if a.Key == "node" {
+					nodes[a.Value] = true
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, n.Name)
+		}
+	}
+	walk(tree.Root, "")
+	if leases != 4 {
+		t.Fatalf("expected 4 lease spans, got %d", leases)
+	}
+	if workers != 4 {
+		t.Fatalf("expected 4 worker spans, got %d", workers)
+	}
+	if !nodes[w1] || !nodes[w2] {
+		t.Fatalf("worker spans name nodes %v, want both %s and %s", nodes, w1, w2)
+	}
+
+	// The Chrome export renders one process lane per node: the
+	// coordinator plus each worker.
+	ch := do(t, s, "GET", "/v1/jobs/"+v.ID+"/trace?format=chrome", "")
+	if ch.Code != http.StatusOK {
+		t.Fatalf("chrome trace: %d %s", ch.Code, ch.Body)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(ch.Body.Bytes(), &chrome); err != nil {
+		t.Fatal(err)
+	}
+	laneNames := map[string]bool{}
+	for _, e := range chrome.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			laneNames[e.Args["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{coordURL, w1, w2} {
+		if !laneNames[want] {
+			t.Fatalf("chrome export lanes %v missing %s", laneNames, want)
+		}
+	}
+
+	// The journal told the job's SSE feed the causal story.
+	ev := do(t, s, "GET", "/v1/jobs/"+v.ID+"/events", "")
+	for _, want := range []string{`"cluster":"lease-granted"`, `"cluster":"task-completed"`} {
+		if !bytes.Contains(ev.Body.Bytes(), []byte(want)) {
+			t.Fatalf("SSE feed missing %s:\n%s", want, ev.Body)
+		}
+	}
+
+	// Byte-identity: an untraced standalone sweep of the same spec
+	// stores the same keys with the same bytes.
+	plain := newTestServer(t, func(c *Config) {
+		c.Tracer = tracez.New(tracez.Config{Seed: 5, SampleRatio: 1e-12})
+	})
+	pv := submit(t, plain, clusterSpec)
+	if waitDone(t, plain, pv.ID).State != StateDone {
+		t.Fatal("standalone job failed")
+	}
+	for i, u := range v.Units {
+		if pv.Units[i].Key != u.Key {
+			t.Fatalf("unit %d key drifted: cluster %s vs standalone %s", i, u.Key, pv.Units[i].Key)
+		}
+		a := do(t, s, "GET", "/v1/artifacts/"+u.Key, "")
+		b := do(t, plain, "GET", "/v1/artifacts/"+u.Key, "")
+		if a.Code != http.StatusOK || b.Code != http.StatusOK {
+			t.Fatalf("artifact %s: cluster %d, standalone %d", u.Key, a.Code, b.Code)
+		}
+		if !bytes.Equal(a.Body.Bytes(), b.Body.Bytes()) {
+			t.Fatalf("artifact %s differs between cluster and standalone runs", u.Key)
+		}
+	}
+
+	cancel()
+	<-done1
+	<-done2
+}

@@ -68,7 +68,7 @@ type Job struct {
 	log *eventLog
 }
 
-func newJob(id string, spec JobSpec, units []Unit, root *tracez.Span) *Job {
+func newJob(id string, spec JobSpec, units []Unit, root *tracez.Span, node string) *Job {
 	j := &Job{
 		ID:        id,
 		Spec:      spec,
@@ -80,7 +80,7 @@ func newJob(id string, spec JobSpec, units []Unit, root *tracez.Span) *Job {
 		queueSpan: root.Child("queue"),
 		enqueued:  time.Now(),
 		state:     StateQueued,
-		log:       newEventLog(root.TraceID().String()),
+		log:       newEventLog(root.TraceID().String(), node),
 	}
 	j.log.publish("state", Event{State: string(StateQueued)})
 	return j
@@ -207,17 +207,24 @@ func unitLabel(tech sim.Technique, wl []string) string {
 	return fmt.Sprintf("%s/%s", tech, strings.Join(wl, "+"))
 }
 
-// Event is one entry of a job's SSE stream: either a job state
-// transition (State set) or a runner task lifecycle event (Task set).
-// Every event carries the job's trace ID so stream consumers can
-// correlate with logs and span exports.
+// Event is one entry of a job's SSE stream: a job state transition
+// (State set), a runner task lifecycle event (Task set), or — in
+// cluster mode — a cluster journal event (Cluster set). Every event
+// carries the job's trace ID so stream consumers can correlate with
+// logs and span exports, and Node names the node the event concerns
+// (the serving node for local tasks, the executing worker for cluster
+// ones).
 type Event struct {
 	Seq      int    `json:"seq"`
 	Event    string `json:"-"`
 	TraceID  string `json:"trace_id,omitempty"`
 	State    string `json:"state,omitempty"`
 	Task     string `json:"task,omitempty"`
+	Cluster  string `json:"cluster,omitempty"`
+	Node     string `json:"node,omitempty"`
 	Label    string `json:"label,omitempty"`
+	Key      string `json:"key,omitempty"`
+	Detail   string `json:"detail,omitempty"`
 	Finished int    `json:"finished,omitempty"`
 	Total    int    `json:"total,omitempty"`
 	Error    string `json:"error,omitempty"`
@@ -229,6 +236,7 @@ type Event struct {
 // consumption rate.
 type eventLog struct {
 	traceID string // stamped onto every published event
+	node    string // default Node for events that don't set their own
 
 	mu     sync.Mutex
 	events []Event
@@ -236,8 +244,8 @@ type eventLog struct {
 	closed bool
 }
 
-func newEventLog(traceID string) *eventLog {
-	return &eventLog{traceID: traceID, wake: make(chan struct{})}
+func newEventLog(traceID, node string) *eventLog {
+	return &eventLog{traceID: traceID, node: node, wake: make(chan struct{})}
 }
 
 // publish appends an event and wakes every waiter.
@@ -250,6 +258,9 @@ func (l *eventLog) publish(kind string, ev Event) {
 	ev.Seq = len(l.events)
 	ev.Event = kind
 	ev.TraceID = l.traceID
+	if ev.Node == "" {
+		ev.Node = l.node
+	}
 	l.events = append(l.events, ev)
 	close(l.wake)
 	l.wake = make(chan struct{})

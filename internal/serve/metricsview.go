@@ -99,6 +99,8 @@ func (s *Server) metricsData() (gauges, counters []metricPoint, hists []histPoin
 			metricPoint{name: "esteem_cluster_tasks_submitted_total", help: "Tasks entered into the lease table.", cval: cs.TasksSubmitted},
 			metricPoint{name: "esteem_cluster_tasks_completed_total", help: "Tasks completed by workers.", cval: cs.TasksCompleted},
 			metricPoint{name: "esteem_cluster_tasks_failed_total", help: "Tasks that failed on a worker.", cval: cs.TasksFailed},
+			metricPoint{name: "esteem_cluster_spans_injected_total", help: "Worker-shipped spans merged into the coordinator's tracer.", cval: cs.SpansInjected},
+			metricPoint{name: "esteem_cluster_spans_dropped_total", help: "Worker-shipped spans dropped (malformed, or no tracer).", cval: cs.SpansDropped},
 		)
 	}
 	hists = []histPoint{

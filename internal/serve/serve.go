@@ -72,6 +72,12 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds submission bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Node is this server's advertised name (the cluster member URL in
+	// cluster mode). When set, every HTTP response carries it as
+	// X-Esteem-Node, job root spans carry it as a "node" attribute (the
+	// per-node lane in Chrome exports), and SSE events default their
+	// node field to it.
+	Node string
 	// Tracer records per-job span trees. Nil selects a default tracer
 	// (crypto/rand IDs, sample everything, 4096-span ring); requests
 	// that carry a W3C traceparent header join the caller's trace.
@@ -182,7 +188,7 @@ func New(cfg Config) (*Server, error) {
 		// worker peers over the same transport they use among
 		// themselves.
 		if sh, ok := cfg.Store.(*castore.Sharded); ok {
-			castore.RegisterShard(s.mux, sh.Local())
+			castore.RegisterShard(s.mux, sh.Local(), cfg.Node)
 		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -237,6 +243,9 @@ func setLogTrace(w http.ResponseWriter, traceID string) {
 func (s *Server) accessLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
+		if s.cfg.Node != "" {
+			sw.Header().Set("X-Esteem-Node", s.cfg.Node)
+		}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		attrs := []any{
@@ -545,7 +554,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	root.SetAttr("job_id", id)
 	root.SetAttrInt("units", int64(len(units)))
-	job := newJob(id, spec, units, root)
+	if s.cfg.Node != "" {
+		root.SetAttr("node", s.cfg.Node)
+	}
+	job := newJob(id, spec, units, root, s.cfg.Node)
 	setLogTrace(w, job.TraceID)
 
 	s.mu.Lock()

@@ -232,42 +232,90 @@ type chromeFile struct {
 // and each of its direct subtrees get their own track ("tid"), so
 // concurrent tasks render side by side instead of as a false stack;
 // within a subtree spans are strictly nested and stack naturally.
+// Spans carrying a "node" attribute (inherited by their descendants)
+// group into one process lane ("pid") per node, so a merged cluster
+// trace renders coordinator and workers side by side; single-node
+// trees stay one process, exactly as before.
 func ChromeTrace(t *Tree) ([]byte, error) {
 	if t == nil || t.Root == nil {
 		return nil, fmt.Errorf("tracez: empty tree")
 	}
 	f := chromeFile{DisplayTimeUnit: "ms"}
-	name := func(tid int, label string) {
+	// One pid per distinct node value, in discovery order. Spans with
+	// no "node" attribute inherit the nearest ancestor's.
+	pids := map[string]int{}
+	pidOrder := []string{}
+	pidOf := func(node string) int {
+		if p, ok := pids[node]; ok {
+			return p
+		}
+		p := len(pids) + 1
+		pids[node] = p
+		pidOrder = append(pidOrder, node)
+		return p
+	}
+	nodeOf := func(n *Node, inherited string) string {
+		for _, a := range n.Attrs {
+			if a.Key == "node" {
+				return a.Value
+			}
+		}
+		return inherited
+	}
+	type track struct{ pid, tid int }
+	named := map[track]bool{}
+	name := func(pid, tid int, label string) {
+		if named[track{pid, tid}] {
+			return
+		}
+		named[track{pid, tid}] = true
 		f.TraceEvents = append(f.TraceEvents, chromeEvent{
-			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
 			Args: map[string]any{"name": label},
 		})
 	}
-	emit := func(n *Node, tid int) {
+	emit := func(n *Node, pid, tid int) {
 		args := map[string]any{"span_id": n.SpanID, "trace_id": t.TraceID}
 		for _, a := range n.Attrs {
 			args[a.Key] = a.Value
 		}
 		dur := n.DurUS
 		f.TraceEvents = append(f.TraceEvents, chromeEvent{
-			Name: n.Name, Cat: "esteem", Ph: "X", TS: n.StartUS, Dur: &dur, PID: 1, TID: tid,
+			Name: n.Name, Cat: "esteem", Ph: "X", TS: n.StartUS, Dur: &dur, PID: pid, TID: tid,
 			Args: args,
 		})
 	}
-	name(0, t.Root.Name)
-	emit(t.Root, 0)
-	var walk func(n *Node, tid int)
-	walk = func(n *Node, tid int) {
-		emit(n, tid)
+	var walk func(n *Node, node, label string, tid int)
+	walk = func(n *Node, node, label string, tid int) {
+		node = nodeOf(n, node)
+		pid := pidOf(node)
+		name(pid, tid, label)
+		emit(n, pid, tid)
 		for _, c := range n.Children {
-			walk(c, tid)
+			walk(c, node, label, tid)
 		}
 	}
+	rootNode := nodeOf(t.Root, "")
+	name(pidOf(rootNode), 0, t.Root.Name)
+	emit(t.Root, pidOf(rootNode), 0)
 	lane := 0
 	for _, c := range t.Root.Children {
 		lane++
-		name(lane, c.Name)
-		walk(c, lane)
+		walk(c, rootNode, c.Name, lane)
+	}
+	// Name the process lanes only when the trace actually crossed
+	// nodes; single-node exports keep their historical shape.
+	if len(pids) > 1 {
+		for _, node := range pidOrder {
+			label := node
+			if label == "" {
+				label = "local"
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pids[node],
+				Args: map[string]any{"name": label},
+			})
+		}
 	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)

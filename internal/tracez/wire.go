@@ -1,0 +1,130 @@
+// Span shipping: the JSON wire form workers use to send completed
+// spans to the coordinator, and the tracer operations behind it —
+// Take drains one trace's spans out of a worker's ring (so a batch is
+// shipped exactly once) and Inject records remote spans into the
+// coordinator's ring (so GET /v1/jobs/{id}/trace merges coordinator
+// and worker spans into one tree).
+//
+// Times travel as Unix nanoseconds. Reconstructed time.Times carry no
+// monotonic reading, which is fine for exports (they subtract into
+// wall-clock differences); cross-host wall-clock skew beyond
+// Validate's slack is the deployment's problem, not the format's —
+// see DESIGN.md §9.
+package tracez
+
+import (
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// ParseSpanID decodes a 16-hex-digit span ID.
+func ParseSpanID(s string) (SpanID, bool) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil || id.IsZero() {
+		return SpanID{}, false
+	}
+	return id, true
+}
+
+// WireSpan is one completed span in transit between nodes: hex IDs,
+// Unix-nanosecond times.
+type WireSpan struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	Parent  string `json:"parent_id,omitempty"`
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_unix_ns"`
+	EndNS   int64  `json:"end_unix_ns"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// Wire converts a SpanData to its wire form.
+func (d SpanData) Wire() WireSpan {
+	w := WireSpan{
+		TraceID: d.TraceID.String(),
+		SpanID:  d.SpanID.String(),
+		Name:    d.Name,
+		StartNS: d.Start.UnixNano(),
+		EndNS:   d.End.UnixNano(),
+		Attrs:   d.Attrs,
+	}
+	if !d.Parent.IsZero() {
+		w.Parent = d.Parent.String()
+	}
+	return w
+}
+
+// Data converts a wire span back to SpanData, validating its IDs.
+func (w WireSpan) Data() (SpanData, error) {
+	tid, ok := ParseTraceID(w.TraceID)
+	if !ok {
+		return SpanData{}, fmt.Errorf("tracez: wire span %q: bad trace id %q", w.Name, w.TraceID)
+	}
+	sid, ok := ParseSpanID(w.SpanID)
+	if !ok {
+		return SpanData{}, fmt.Errorf("tracez: wire span %q: bad span id %q", w.Name, w.SpanID)
+	}
+	d := SpanData{
+		TraceID: tid,
+		SpanID:  sid,
+		Name:    w.Name,
+		Start:   time.Unix(0, w.StartNS),
+		End:     time.Unix(0, w.EndNS),
+		Attrs:   w.Attrs,
+	}
+	if w.Parent != "" {
+		pid, ok := ParseSpanID(w.Parent)
+		if !ok {
+			return SpanData{}, fmt.Errorf("tracez: wire span %q: bad parent id %q", w.Name, w.Parent)
+		}
+		d.Parent = pid
+	}
+	return d, nil
+}
+
+// Inject records a remote span into the ring, as if a local span had
+// ended. Injected spans bypass sampling (the shipping worker already
+// made — and inherited — the head decision).
+func (t *Tracer) Inject(d SpanData) error {
+	if d.TraceID.IsZero() || d.SpanID.IsZero() {
+		return fmt.Errorf("tracez: injecting span %q: zero id", d.Name)
+	}
+	if d.End.Before(d.Start) {
+		return fmt.Errorf("tracez: injecting span %q: ends before it starts", d.Name)
+	}
+	t.record(d)
+	return nil
+}
+
+// Take removes and returns the completed spans of one trace, oldest
+// first. Workers ship a task's spans with Take so a later flush of
+// the same trace cannot re-send them (duplicate span IDs would break
+// BuildTree on the coordinator).
+func (t *Tracer) Take(tid TraceID) []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out, keep []SpanData
+	start := t.head - t.count
+	for i := 0; i < t.count; i++ {
+		idx := (start + i + len(t.ring)) % len(t.ring)
+		if t.ring[idx].TraceID == tid {
+			out = append(out, t.ring[idx])
+		} else {
+			keep = append(keep, t.ring[idx])
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	n := copy(t.ring, keep)
+	for i := n; i < len(t.ring); i++ {
+		t.ring[i] = SpanData{}
+	}
+	t.count = n
+	t.head = n % len(t.ring)
+	return out
+}

@@ -1,0 +1,236 @@
+package tracez
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWireSpanRoundTrip(t *testing.T) {
+	tr := New(Config{Seed: 21, Now: fakeClock(time.Millisecond)})
+	root := tr.Root("worker")
+	root.SetAttr("node", "http://w1")
+	child := root.Child("task")
+	child.End()
+	root.End()
+
+	spans := tr.Spans(root.TraceID())
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	for _, d := range spans {
+		w := d.Wire()
+		// The wire form must survive JSON (the actual transport).
+		blob, err := json.Marshal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back WireSpan
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Data()
+		if err != nil {
+			t.Fatalf("Data(): %v", err)
+		}
+		if got.TraceID != d.TraceID || got.SpanID != d.SpanID || got.Parent != d.Parent {
+			t.Fatalf("ids drifted: got %+v want %+v", got, d)
+		}
+		if got.Name != d.Name || !got.Start.Equal(d.Start) || !got.End.Equal(d.End) {
+			t.Fatalf("payload drifted: got %+v want %+v", got, d)
+		}
+		if len(got.Attrs) != len(d.Attrs) {
+			t.Fatalf("attrs drifted: got %v want %v", got.Attrs, d.Attrs)
+		}
+	}
+}
+
+func TestWireSpanRejectsBadIDs(t *testing.T) {
+	for _, w := range []WireSpan{
+		{TraceID: "xyz", SpanID: strings.Repeat("a", 16), Name: "s"},
+		{TraceID: strings.Repeat("a", 32), SpanID: "12", Name: "s"},
+		{TraceID: strings.Repeat("0", 32), SpanID: strings.Repeat("a", 16), Name: "s"},
+		{TraceID: strings.Repeat("a", 32), SpanID: strings.Repeat("a", 16), Parent: "nope", Name: "s"},
+	} {
+		if _, err := w.Data(); err == nil {
+			t.Errorf("Data() accepted malformed wire span %+v", w)
+		}
+	}
+}
+
+func TestTakeDrainsOneTrace(t *testing.T) {
+	tr := New(Config{Seed: 33, Now: fakeClock(time.Millisecond)})
+	a := tr.Root("a")
+	a.Child("a1").End()
+	a.End()
+	b := tr.Root("b")
+	b.Child("b1").End()
+	b.End()
+
+	got := tr.Take(a.TraceID())
+	if len(got) != 2 {
+		t.Fatalf("Take returned %d spans, want 2", len(got))
+	}
+	for _, d := range got {
+		if d.TraceID != a.TraceID() {
+			t.Fatalf("Take leaked span from trace %s", d.TraceID)
+		}
+	}
+	// Drained: a second Take finds nothing, trace b is untouched.
+	if again := tr.Take(a.TraceID()); again != nil {
+		t.Fatalf("second Take returned %d spans, want none", len(again))
+	}
+	if left := tr.Spans(b.TraceID()); len(left) != 2 {
+		t.Fatalf("trace b has %d spans after Take(a), want 2", len(left))
+	}
+	if st := tr.Stats(); st.Buffered != 2 {
+		t.Fatalf("Buffered = %d after Take, want 2", st.Buffered)
+	}
+	// The ring still works after compaction.
+	c := tr.Root("c")
+	c.End()
+	if got := tr.Spans(c.TraceID()); len(got) != 1 {
+		t.Fatalf("post-Take record lost: %d spans", len(got))
+	}
+}
+
+func TestInjectMergesRemoteSpans(t *testing.T) {
+	clock := fakeClock(time.Millisecond)
+	coord := New(Config{Seed: 1, Now: clock})
+	worker := New(Config{Seed: 2, Now: clock})
+
+	root := coord.Root("job")
+	lease := root.Child("lease")
+
+	// Worker joins the trace via traceparent, exactly as over the wire.
+	tid, parent, ok := ParseTraceparent(Traceparent(lease))
+	if !ok {
+		t.Fatal("traceparent did not round-trip")
+	}
+	wsp := worker.RootFrom("worker", tid, parent)
+	wsp.SetAttr("node", "http://w1")
+	wsp.Child("task").End()
+	wsp.End()
+
+	// Ship: drain the worker, inject into the coordinator.
+	for _, d := range worker.Take(tid) {
+		back, err := d.Wire().Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Inject(back); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lease.End()
+	root.End()
+
+	tree, err := BuildTree(coord.Spans(root.TraceID()))
+	if err != nil {
+		t.Fatalf("BuildTree over merged spans: %v", err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("merged tree invalid: %v", err)
+	}
+	if tree.Spans != 4 {
+		t.Fatalf("merged tree has %d spans, want 4", tree.Spans)
+	}
+	// worker must hang under lease.
+	if len(tree.Root.Children) != 1 || tree.Root.Children[0].Name != "lease" {
+		t.Fatalf("root children = %+v, want [lease]", tree.Root.Children)
+	}
+	leaseNode := tree.Root.Children[0]
+	if len(leaseNode.Children) != 1 || leaseNode.Children[0].Name != "worker" {
+		t.Fatalf("lease children = %+v, want [worker]", leaseNode.Children)
+	}
+
+	if err := coord.Inject(SpanData{Name: "bad"}); err == nil {
+		t.Fatal("Inject accepted a zero-id span")
+	}
+}
+
+func TestChromeTracePerNodeLanes(t *testing.T) {
+	clock := fakeClock(time.Millisecond)
+	coord := New(Config{Seed: 4, Now: clock})
+	worker := New(Config{Seed: 5, Now: clock})
+
+	root := coord.Root("job")
+	root.SetAttr("node", "http://coord")
+	lease := root.Child("lease")
+	tid, parent, _ := ParseTraceparent(Traceparent(lease))
+	wsp := worker.RootFrom("worker", tid, parent)
+	wsp.SetAttr("node", "http://w1")
+	wsp.Child("task").End()
+	wsp.End()
+	for _, d := range worker.Take(tid) {
+		if err := coord.Inject(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lease.End()
+	root.End()
+
+	tree, err := BuildTree(coord.Spans(root.TraceID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ChromeTrace(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	pidByNode := map[string]map[int]bool{}
+	processNames := map[string]int{}
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			node, _ := ev.Args["node"].(string)
+			if pidByNode[node] == nil {
+				pidByNode[node] = map[int]bool{}
+			}
+			pidByNode[node][ev.PID] = true
+		case "M":
+			if ev.Name == "process_name" {
+				processNames[ev.Args["name"].(string)] = ev.PID
+			}
+		}
+	}
+	// Two nodes -> two process lanes, each named.
+	if len(processNames) != 2 {
+		t.Fatalf("process_name metadata = %v, want coordinator and worker lanes", processNames)
+	}
+	coordPIDs := pidByNode["http://coord"]
+	workerPIDs := pidByNode["http://w1"]
+	if len(coordPIDs) != 1 || len(workerPIDs) != 1 {
+		t.Fatalf("node pids not stable: coord %v worker %v", coordPIDs, workerPIDs)
+	}
+	for pid := range coordPIDs {
+		if workerPIDs[pid] {
+			t.Fatalf("coordinator and worker share pid %d", pid)
+		}
+		if processNames["http://coord"] != pid {
+			t.Fatalf("coordinator process_name pid = %d, spans use %d", processNames["http://coord"], pid)
+		}
+	}
+	// The lease span carries no node attr: it must inherit the root's.
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "lease" {
+			for pid := range coordPIDs {
+				if ev.PID != pid {
+					t.Fatalf("lease span pid = %d, want inherited coordinator pid %d", ev.PID, pid)
+				}
+			}
+		}
+	}
+}

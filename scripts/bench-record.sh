@@ -25,6 +25,8 @@ trap 'rm -f "$out"' EXIT
         -bench '^BenchmarkRefreshWindow$'
     go test ./internal/sim/ -run '^$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
         -bench '^BenchmarkSimRunShort$'
+    go test ./internal/cluster/ -run '^$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
+        -bench '^BenchmarkClusterTask$'
 } | tee "$out"
 
 case "$MODE" in

@@ -12,7 +12,16 @@
 #      count equals the number of unique units (exactly once each),
 #      and artifacts replicated across shards;
 #   3. the coordinator's cluster status and /metrics expose the
-#      membership and lease counters.
+#      membership and lease counters;
+#   4. the fleet aggregation endpoint (/v1/cluster/metrics) sums the
+#      per-worker snapshots — fleet sims total equals the unit count —
+#      and carries both workers as labeled series;
+#   5. the cluster event journal (/v1/cluster/events) recorded the
+#      lifecycle (worker-joined, lease-granted, task-completed);
+#   6. the distributed job exports one merged, validated span tree
+#      whose Chrome form has a per-node lane for every node. When
+#      CLUSTER_OUT is set, the merged trace (tree + chrome) is saved
+#      there for upload as a CI artifact.
 #
 # (Worker-failure recovery — SIGKILL mid-sweep — is covered by the Go
 # e2e test TestClusterWorkerKill in internal/cluster.)
@@ -55,6 +64,7 @@ submit_and_fetch() {
     _id="$("$WORK/esteem-client" submit -server "$_server" $SUBMIT_ARGS 2>/dev/null |
         sed -n 's/^  "id": "\([0-9a-f]*\)",$/\1/p')"
     [ -n "$_id" ] || { echo "submit returned no job id"; exit 1; }
+    JOB_ID="$_id"
     for _key in $("$WORK/esteem-client" status -server "$_server" "$_id" |
         sed -n 's/^ *"key": "\([0-9a-f]*\)",*$/\1/p'); do
         "$WORK/esteem-client" artifact -server "$_server" -o "$_out/$_key.json" "$_key"
@@ -114,5 +124,68 @@ LIVE="$(metric "$COORD_URL" esteem_cluster_workers_live)"
 [ "$LIVE" = "2" ] || { echo "workers_live=$LIVE, want 2"; exit 1; }
 DONE_TASKS="$(metric "$COORD_URL" esteem_cluster_tasks_completed_total)"
 [ "$DONE_TASKS" = "$REF_COUNT" ] || { echo "tasks_completed=$DONE_TASKS, want $REF_COUNT"; exit 1; }
+
+echo "== fleet metrics aggregation =="
+# The fleet text exposition keeps the aggregate series unlabeled (the
+# {node="..."} breakdowns ride alongside), so the same awk works.
+fleet_metric() {
+    curl -sf "$COORD_URL/v1/cluster/metrics" | awk -v m="$1" '$1 == m {print $2}'
+}
+FLEET_SIMS="$(fleet_metric esteem_worker_sims_computed_total)"
+[ "$FLEET_SIMS" = "$REF_COUNT" ] ||
+    { echo "fleet sims_computed_total=$FLEET_SIMS, want $REF_COUNT"; exit 1; }
+curl -sf "$COORD_URL/v1/cluster/metrics" >"$WORK/fleet.prom"
+for url in "$WORKER1_URL" "$W2URL"; do
+    grep -q "node=\"$url\"" "$WORK/fleet.prom" ||
+        { echo "fleet metrics missing per-member series for $url"; exit 1; }
+done
+echo "fleet sims total $FLEET_SIMS == $REF_COUNT units, both workers labeled"
+
+echo "== client fleet view (cluster top) =="
+"$WORK/esteem-client" cluster top -server "$COORD_URL" -count 1 -plain |
+    tee "$WORK/top.txt"
+grep -q "members 3/3 reachable" "$WORK/top.txt" ||
+    { echo "cluster top did not show 3/3 members reachable"; exit 1; }
+
+echo "== cluster event journal =="
+"$WORK/esteem-client" cluster events -server "$COORD_URL" >"$WORK/events.json"
+for kind in worker-joined task-submitted lease-granted task-completed; do
+    grep -q "\"kind\": *\"$kind\"" "$WORK/events.json" ||
+        { echo "journal missing $kind event"; exit 1; }
+done
+COMPLETED="$(grep -c '"kind": *"task-completed"' "$WORK/events.json")"
+[ "$COMPLETED" -eq "$REF_COUNT" ] ||
+    { echo "journal shows $COMPLETED task-completed events, want $REF_COUNT"; exit 1; }
+echo "journal recorded the full lifecycle ($COMPLETED completions)"
+
+echo "== node attribution header =="
+curl -sf -o /dev/null -D "$WORK/headers.txt" "$COORD_URL/v1/cluster/status"
+grep -qi '^x-esteem-node:' "$WORK/headers.txt" ||
+    { echo "cluster response missing X-Esteem-Node header"; exit 1; }
+
+echo "== merged cluster trace =="
+# One span tree for the distributed job: coordinator root, lease spans,
+# worker-shipped spans — Validate + coverage gate client-side, and the
+# Chrome export must carry a named lane per node.
+"$WORK/esteem-client" trace -server "$COORD_URL" -min-coverage 0.5 \
+    -o "$WORK/trace-tree.json" "$JOB_ID"
+"$WORK/esteem-client" trace -server "$COORD_URL" -format chrome \
+    -o "$WORK/trace-chrome.json" "$JOB_ID" 2>/dev/null
+grep -q '"traceEvents"' "$WORK/trace-chrome.json" ||
+    { echo "cluster chrome trace malformed"; exit 1; }
+grep -q '"process_name"' "$WORK/trace-chrome.json" ||
+    { echo "cluster chrome trace has no per-node lanes"; exit 1; }
+for url in "$COORD_URL" "$WORKER1_URL" "$W2URL"; do
+    grep -q "$url" "$WORK/trace-chrome.json" ||
+        { echo "chrome trace missing a lane for $url"; exit 1; }
+done
+echo "merged trace valid, per-node lanes for coordinator + both workers"
+
+if [ -n "${CLUSTER_OUT:-}" ]; then
+    mkdir -p "$CLUSTER_OUT"
+    cp "$WORK/trace-tree.json" "$WORK/trace-chrome.json" \
+        "$WORK/fleet.prom" "$WORK/events.json" "$CLUSTER_OUT/"
+    echo "== saved cluster artifacts to $CLUSTER_OUT =="
+fi
 
 echo "== cluster smoke OK =="
